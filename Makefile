@@ -1,0 +1,43 @@
+# classfuzz-go build targets. Everything is stdlib-only and offline.
+
+GO ?= go
+
+.PHONY: all build test vet bench race experiments catalog report clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Short mode skips the soak and multi-repeat studies.
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=NONE .
+
+# Regenerate every paper table/figure (quick scale).
+experiments:
+	$(GO) run ./cmd/experiments
+
+# Regenerate at the paper's scale (1,216 seeds, 21,736-class corpus).
+experiments-paper:
+	$(GO) run ./cmd/experiments -scale paper
+
+catalog:
+	$(GO) run ./cmd/catalog
+
+report:
+	$(GO) run ./cmd/report -seeds 100 -iters 1000
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,61 @@
+// Command catalog prints the repository's analogue of the paper's 62
+// reported JVM discrepancies (§3.3): each entry's classification, the
+// encoded five-VM outcome vector it triggers, and optionally the full
+// per-VM outcomes or the triggering class in Jimple form.
+//
+// Usage:
+//
+//	catalog [-class defect-indicative|policy-difference|compatibility]
+//	        [-v] [-jimple] [-id D01]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/catalog"
+	"repro/internal/difftest"
+	"repro/internal/jimple"
+)
+
+func main() {
+	clsFilter := flag.String("class", "", "filter by classification")
+	verbose := flag.Bool("v", false, "print per-VM outcomes")
+	showJimple := flag.Bool("jimple", false, "print the triggering class in Jimple form")
+	idFilter := flag.String("id", "", "show only the entry with this ID")
+	flag.Parse()
+
+	runner := difftest.NewStandardRunner()
+	counts := map[catalog.Classification]int{}
+	shown := 0
+	for _, e := range catalog.Entries() {
+		counts[e.Classification]++
+		if *clsFilter != "" && string(e.Classification) != *clsFilter {
+			continue
+		}
+		if *idFilter != "" && e.ID != *idFilter {
+			continue
+		}
+		data, err := e.Data()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		v := runner.Run(data)
+		fmt.Printf("%s  %s  [%s/%-4s]  %s\n", e.ID, v.Key(), e.Classification, e.Problem, e.Title)
+		shown++
+		if *verbose {
+			for i, name := range runner.Names() {
+				fmt.Printf("      %-14s %s\n", name, v.Outcomes[i])
+			}
+		}
+		if *showJimple && e.Build != nil {
+			fmt.Println(jimple.Print(e.Build()))
+		}
+	}
+	if *idFilter == "" && *clsFilter == "" {
+		fmt.Printf("\n%d reported discrepancies: %d defect-indicative, %d policy-difference, %d compatibility\n",
+			shown, counts[catalog.DefectIndicative], counts[catalog.PolicyDifference], counts[catalog.Compatibility])
+	}
+}

@@ -1,0 +1,47 @@
+// Command classdump disassembles .class files javap-style, optionally
+// as textual Jimple.
+//
+// Usage:
+//
+//	classdump [-jimple] file.class...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/classfile"
+	"repro/internal/jimple"
+)
+
+func main() {
+	asJimple := flag.Bool("jimple", false, "print the lifted Jimple model instead of the javap-style dump")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: classdump [-jimple] file.class...")
+		os.Exit(2)
+	}
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+			os.Exit(1)
+		}
+		f, err := classfile.Parse(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+			os.Exit(1)
+		}
+		if *asJimple {
+			c, err := jimple.Lift(f)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+				os.Exit(1)
+			}
+			fmt.Print(jimple.Print(c))
+		} else {
+			fmt.Print(f.Dump())
+		}
+	}
+}

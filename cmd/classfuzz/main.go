@@ -1,0 +1,92 @@
+// Command classfuzz runs a fuzzing campaign and writes the accepted
+// representative classfiles to a directory.
+//
+// Usage:
+//
+//	classfuzz [-alg classfuzz|randfuzz|greedyfuzz|uniquefuzz]
+//	          [-criterion stbr|st|tr] [-seeds N] [-iters N]
+//	          [-seed N] [-out DIR] [-difftest]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/coverage"
+	"repro/internal/difftest"
+	"repro/internal/fuzz"
+	"repro/internal/jvm"
+	"repro/internal/seedgen"
+)
+
+func main() {
+	alg := flag.String("alg", "classfuzz", "algorithm: classfuzz, randfuzz, greedyfuzz, uniquefuzz")
+	criterion := flag.String("criterion", "stbr", "uniqueness criterion for classfuzz: st, stbr, tr")
+	seedCount := flag.Int("seeds", 100, "number of generated seed classes")
+	iters := flag.Int("iters", 1000, "iteration budget")
+	seed := flag.Int64("seed", 1, "random seed")
+	out := flag.String("out", "", "directory to write accepted .class files (omit to skip)")
+	runDiff := flag.Bool("difftest", false, "differentially test the accepted suite on the five VMs")
+	flag.Parse()
+
+	var crit coverage.Criterion
+	switch *criterion {
+	case "st":
+		crit = coverage.ST
+	case "stbr":
+		crit = coverage.STBR
+	case "tr":
+		crit = coverage.TR
+	default:
+		fmt.Fprintf(os.Stderr, "unknown criterion %q\n", *criterion)
+		os.Exit(2)
+	}
+
+	cfg := fuzz.Config{
+		Algorithm:  fuzz.Algorithm(*alg),
+		Criterion:  crit,
+		Seeds:      seedgen.Generate(seedgen.DefaultOptions(*seedCount, *seed)),
+		Iterations: *iters,
+		Rand:       *seed,
+		RefSpec:    jvm.HotSpot9(),
+	}
+	res, err := fuzz.Run(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "campaign failed: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s%s: %d iterations, %d generated, %d representative tests (succ %.1f%%), %s\n",
+		res.Algorithm, critLabel(res), res.Iterations, len(res.Gen), len(res.Test),
+		res.Succ()*100, res.Elapsed.Round(1000000))
+
+	if *out != "" {
+		if err := res.Save(*out); err != nil {
+			fmt.Fprintf(os.Stderr, "save: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d classfiles and manifest.json to %s\n", len(res.Test), *out)
+	}
+
+	if *runDiff {
+		var classes [][]byte
+		for _, g := range res.Test {
+			classes = append(classes, g.Data)
+		}
+		sum := difftest.NewStandardRunner().Evaluate(classes)
+		fmt.Printf("differential testing: %d classes, %d all-invoked, %d all-rejected-same-stage, %d discrepancies (%.1f%%), %d distinct\n",
+			sum.Total, sum.AllInvoked, sum.AllRejectedSameStage,
+			sum.Discrepancies, sum.DiffRate()*100, sum.DistinctCount())
+		for _, v := range sum.SortedVectors() {
+			fmt.Printf("  vector %s: %d classfiles\n", v.Key, v.Count)
+		}
+	}
+}
+
+func critLabel(r *fuzz.Result) string {
+	if r.Algorithm == fuzz.Classfuzz {
+		return r.Criterion.String()
+	}
+	return ""
+}

@@ -1,0 +1,107 @@
+// Command experiments regenerates the paper's evaluation tables and
+// figures on stdout.
+//
+// Usage:
+//
+//	experiments [-scale default|paper] [-run all|prelim|table4|table5|table6|table7|figure4|pestimate|mcmcgain]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "default", "campaign scale: default or paper")
+	runFlag := flag.String("run", "all", "experiment to run: all, prelim, table4, table5, table6, table7, figure4, pestimate, mcmcgain")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	var scale experiments.Scale
+	switch *scaleFlag {
+	case "default":
+		scale = experiments.DefaultScale()
+	case "paper":
+		scale = experiments.PaperScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+	scale.Seed = *seed
+
+	needSession := map[string]bool{
+		"all": true, "table4": true, "table5": true, "table6": true,
+		"table7": true, "figure4": true,
+	}
+
+	var sess *experiments.Session
+	if needSession[*runFlag] {
+		fmt.Fprintf(os.Stderr, "running campaigns (%d seeds, %d iterations per directed algorithm)...\n",
+			scale.SeedCount, scale.Iterations)
+		var err error
+		sess, err = experiments.NewSession(scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "session failed: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	show := func(what string) {
+		switch what {
+		case "prelim":
+			p, err := experiments.RunPreliminary(scale.CorpusCount, scale.Seed+7)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "preliminary study failed: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println(p)
+		case "table4":
+			fmt.Println(sess.Table4())
+		case "table5":
+			fmt.Println(sess.Table5())
+		case "table6":
+			fmt.Println(sess.Table6())
+		case "table7":
+			fmt.Println(sess.Table7())
+		case "figure4":
+			fmt.Println(sess.Figure4())
+		case "mcmcgain":
+			study, err := experiments.RunMCMCGainStudy(scale, 5)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mcmc gain study failed: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println(study)
+			fmt.Println()
+		case "blind":
+			b, err := experiments.RunBlindBaseline(scale)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "blind baseline failed: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println(b)
+			fmt.Println()
+		case "pestimate":
+			p, err := experiments.RunPEstimate()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "parameter estimation failed: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println(p)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", what)
+			os.Exit(2)
+		}
+	}
+
+	if *runFlag == "all" {
+		for _, what := range []string{"prelim", "table4", "table5", "table6", "table7", "figure4", "mcmcgain", "blind", "pestimate"} {
+			show(what)
+		}
+		return
+	}
+	show(*runFlag)
+}

@@ -1,0 +1,54 @@
+// Command jimpleasm assembles textual Jimple (the format classdump
+// -jimple prints) into a classfile — the inverse tool, mirroring Soot's
+// ability to read .jimple sources. Combined with jvmdiff it allows
+// hand-writing discrepancy candidates:
+//
+//	jimpleasm -o M.class M.jimple && jvmdiff -v M.class
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/jimple"
+)
+
+func main() {
+	out := flag.String("o", "", "output .class path (default: input with .class suffix)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: jimpleasm [-o out.class] file.jimple")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(1)
+	}
+	c, err := jimple.ParseClass(string(src))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(1)
+	}
+	f, err := jimple.Lower(c)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lower: %v\n", err)
+		os.Exit(1)
+	}
+	data, err := f.Bytes()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "serialise: %v\n", err)
+		os.Exit(1)
+	}
+	path := *out
+	if path == "" {
+		path = strings.TrimSuffix(flag.Arg(0), ".jimple") + ".class"
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("assembled %s (%d bytes) from %s\n", path, len(data), flag.Arg(0))
+}

@@ -1,0 +1,168 @@
+// Command report runs the full classfuzz workflow — campaign,
+// differential testing, triage — and emits a self-contained Markdown
+// report: the document a JVM team would receive from one fuzzing
+// session (campaign statistics, mutator effectiveness, discrepancy
+// inventory with vectors and triage verdicts, reduced witnesses).
+//
+// Usage:
+//
+//	report [-seeds N] [-iters N] [-seed N] [-reduce N] > report.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/coverage"
+	"repro/internal/difftest"
+	"repro/internal/fuzz"
+	"repro/internal/jimple"
+	"repro/internal/jvm"
+	"repro/internal/reduce"
+	"repro/internal/seedgen"
+	"repro/internal/triage"
+)
+
+func main() {
+	seedCount := flag.Int("seeds", 100, "seed corpus size")
+	iters := flag.Int("iters", 1000, "campaign iterations")
+	seed := flag.Int64("seed", 1, "random seed")
+	reduceN := flag.Int("reduce", 3, "number of discrepancy witnesses to reduce")
+	flag.Parse()
+
+	cfg := fuzz.Config{
+		Algorithm:   fuzz.Classfuzz,
+		Criterion:   coverage.STBR,
+		Seeds:       seedgen.Generate(seedgen.DefaultOptions(*seedCount, *seed)),
+		Iterations:  *iters,
+		Rand:        *seed,
+		RefSpec:     jvm.HotSpot9(),
+		KeepClasses: true,
+	}
+	res, err := fuzz.Run(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "campaign: %v\n", err)
+		os.Exit(1)
+	}
+
+	runner := difftest.NewStandardRunner()
+	var classes [][]byte
+	for _, g := range res.Test {
+		classes = append(classes, g.Data)
+	}
+	sum := runner.EvaluateParallel(classes, 0)
+	tr := triage.New()
+
+	fmt.Printf("# classfuzz session report\n\n")
+	fmt.Printf("Coverage-directed differential testing of five simulated JVM implementations\n")
+	fmt.Printf("(HotSpot 7/8/9, J9, GIJ), per Chen et al., PLDI 2016.\n\n")
+
+	fmt.Printf("## Campaign\n\n")
+	fmt.Printf("| metric | value |\n|---|---|\n")
+	fmt.Printf("| algorithm | %s%s |\n", res.Algorithm, res.Criterion)
+	fmt.Printf("| seeds | %d |\n", *seedCount)
+	fmt.Printf("| iterations | %d |\n", res.Iterations)
+	fmt.Printf("| generated classfiles | %d |\n", len(res.Gen))
+	fmt.Printf("| representative tests | %d |\n", len(res.Test))
+	fmt.Printf("| success rate | %.1f%% |\n", res.Succ()*100)
+	fmt.Printf("| wall clock | %s |\n\n", res.Elapsed.Round(1000000))
+
+	fmt.Printf("## Differential testing\n\n")
+	fmt.Printf("| metric | value |\n|---|---|\n")
+	fmt.Printf("| suite size | %d |\n", sum.Total)
+	fmt.Printf("| invoked by all five VMs | %d |\n", sum.AllInvoked)
+	fmt.Printf("| rejected by all at the same stage | %d |\n", sum.AllRejectedSameStage)
+	fmt.Printf("| discrepancy-triggering | %d (%.1f%%) |\n", sum.Discrepancies, sum.DiffRate()*100)
+	fmt.Printf("| distinct discrepancies | %d |\n\n", sum.DistinctCount())
+
+	fmt.Printf("### Per-VM phase histogram\n\n")
+	fmt.Printf("| phase | %s |\n", strings.Join(sum.VMNames, " | "))
+	fmt.Printf("|---|%s\n", strings.Repeat("---|", len(sum.VMNames)))
+	labels := []string{"invoked", "loading", "linking", "initialization", "runtime"}
+	for p, label := range labels {
+		row := make([]string, len(sum.VMNames))
+		for v := range sum.VMNames {
+			row[v] = fmt.Sprintf("%d", sum.PhaseHistogram[v][p])
+		}
+		fmt.Printf("| %s | %s |\n", label, strings.Join(row, " | "))
+	}
+
+	fmt.Printf("\n## Top mutators\n\n")
+	stats := append([]fuzz.MutatorStat(nil), res.MutatorStats...)
+	sort.SliceStable(stats, func(a, b int) bool {
+		if stats[a].Rate() != stats[b].Rate() {
+			return stats[a].Rate() > stats[b].Rate()
+		}
+		return stats[a].Selected > stats[b].Selected
+	})
+	fmt.Printf("| mutator | selected | representative | rate |\n|---|---|---|---|\n")
+	shown := 0
+	for _, st := range stats {
+		if st.Selected < 2 {
+			continue
+		}
+		fmt.Printf("| %s | %d | %d | %.2f |\n", st.Name, st.Selected, st.Success, st.Rate())
+		if shown++; shown == 10 {
+			break
+		}
+	}
+
+	fmt.Printf("\n## Discrepancy inventory\n\n")
+	fmt.Printf("Vector digits are the phase codes 0–4 per VM, in the order above.\n\n")
+	type finding struct {
+		g   *fuzz.GenClass
+		v   difftest.Vector
+		rep *triage.Report
+	}
+	byVector := map[string][]finding{}
+	for _, g := range res.Test {
+		v := runner.Run(g.Data)
+		if !v.Discrepant() {
+			continue
+		}
+		byVector[v.Key()] = append(byVector[v.Key()], finding{g: g, v: v, rep: tr.Triage(g.Data)})
+	}
+	keys := make([]string, 0, len(byVector))
+	for k := range byVector {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Printf("| vector | count | triage | witness | via mutator |\n|---|---|---|---|---|\n")
+	for _, k := range keys {
+		fs := byVector[k]
+		f := fs[0]
+		mutName := ""
+		if f.g.MutatorID >= 0 && f.g.MutatorID < len(res.MutatorStats) {
+			mutName = res.MutatorStats[f.g.MutatorID].Name
+		}
+		fmt.Printf("| `%s` | %d | %s | %s | %s |\n", k, len(fs), f.rep.Verdict, f.g.Name, mutName)
+	}
+
+	fmt.Printf("\n## Reduced witnesses\n\n")
+	reduced := 0
+	for _, k := range keys {
+		if reduced == *reduceN {
+			break
+		}
+		f := byVector[k][0]
+		if f.g.Class == nil {
+			continue
+		}
+		rres, err := reduce.Reduce(f.g.Class, runner, reduce.Options{MaxRounds: 4})
+		if err != nil {
+			continue
+		}
+		reduced++
+		fmt.Printf("### %s (vector `%s`, %s)\n\n", f.g.Name, k, f.rep.Verdict)
+		for i, name := range runner.Names() {
+			fmt.Printf("- %s: %s\n", name, f.v.Outcomes[i])
+		}
+		fmt.Printf("\n```jimple\n%s```\n\n", jimple.Print(rres.Reduced))
+	}
+	if reduced == 0 {
+		fmt.Printf("_no reducible witnesses in this session_\n")
+	}
+}

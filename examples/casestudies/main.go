@@ -1,0 +1,130 @@
+// Casestudies reconstructs the four concrete discrepancy families of
+// §3.3 (Problems 1–4) as classfiles and shows how each splits the five
+// JVM implementations — the repository's executable version of the
+// paper's discrepancy analysis.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	classfuzz "repro"
+	"repro/internal/classfile"
+	"repro/internal/descriptor"
+	"repro/internal/jimple"
+)
+
+func show(title string, c *jimple.Class) {
+	fmt.Printf("== %s\n", title)
+	data, err := classfuzz.Compile(c)
+	if err != nil {
+		log.Fatalf("%s: %v", title, err)
+	}
+	runner := classfuzz.NewRunner()
+	v := runner.Run(data)
+	for i, name := range runner.Names() {
+		fmt.Printf("   %-14s %s\n", name, v.Outcomes[i])
+	}
+	fmt.Printf("   encoded vector: %s\n\n", v.Key())
+}
+
+func main() {
+	// --- Problem 1: "other methods named <clinit> are of no consequence".
+	// Figure 2's class: a public abstract non-static <clinit> without
+	// code. HotSpot treats it as an ordinary method and invokes the
+	// class; J9 demands a Code attribute and throws ClassFormatError.
+	p1 := jimple.NewClass("M1436188543")
+	p1.AddDefaultInit()
+	p1.AddStandardMain("Completed!")
+	p1.AddMethod(classfile.AccPublic|classfile.AccAbstract, "<clinit>", nil, descriptor.Void)
+	show("Problem 1: public abstract <clinit> (Figure 2)", p1)
+
+	// --- Problem 2a: lazy vs eager method verification. A broken method
+	// that main never invokes: HotSpot's eager verifier rejects the
+	// class at linking; J9 and GIJ only verify on invocation and run it.
+	p2 := jimple.NewClass("M2Lazy")
+	p2.AddDefaultInit()
+	p2.AddStandardMain("Completed!")
+	broken := p2.AddMethod(classfile.AccPublic|classfile.AccStatic, "broken", nil, descriptor.Int)
+	broken.Body = []jimple.Stmt{&jimple.Return{}} // void return from int method
+	show("Problem 2a: broken method that is never invoked (eager vs lazy verification)", p2)
+
+	// --- Problem 2b: the internalTransform incompatible cast. The
+	// method's parameter is declared java.lang.String but used as
+	// java.util.Map; GIJ's strict dialect reports a VerifyError where
+	// HotSpot and J9 accept the cast.
+	p2b := jimple.NewClass("M1433982529")
+	p2b.AddDefaultInit()
+	it := p2b.AddMethod(classfile.AccProtected|classfile.AccStatic, "internalTransform",
+		[]descriptor.Type{descriptor.Object("java/lang/String")}, descriptor.Void)
+	arg := it.NewLocal("r0", descriptor.Object("java/lang/String"))
+	it.Body = []jimple.Stmt{
+		&jimple.Identity{Target: arg, Param: 0},
+		&jimple.InvokeStmt{Call: &jimple.Invoke{
+			Kind: jimple.InvokeStatic, Class: "java/lang/Object", Name: "getBoolean",
+			Sig: descriptor.Method{Params: []descriptor.Type{descriptor.Object("java/util/Map")},
+				Return: descriptor.Boolean},
+			Args: []jimple.Expr{&jimple.UseLocal{L: arg}},
+		}},
+		&jimple.Return{},
+	}
+	mn := p2b.AddMethod(classfile.AccPublic|classfile.AccStatic, "main",
+		[]descriptor.Type{descriptor.Array(descriptor.Object("java/lang/String"), 1)}, descriptor.Void)
+	args := mn.NewLocal("a0", descriptor.Array(descriptor.Object("java/lang/String"), 1))
+	mn.Body = []jimple.Stmt{
+		&jimple.Identity{Target: args, Param: 0},
+		&jimple.InvokeStmt{Call: &jimple.Invoke{
+			Kind: jimple.InvokeStatic, Class: "M1433982529", Name: "internalTransform",
+			Sig: descriptor.Method{Params: []descriptor.Type{descriptor.Object("java/lang/String")},
+				Return: descriptor.Void},
+			Args: []jimple.Expr{&jimple.StringConst{V: "x"}},
+		}},
+		&jimple.Return{},
+	}
+	show("Problem 2b: String used where Map is declared (the internalTransform cast)", p2b)
+
+	// --- Problem 3: throws-clause accessibility. main declares the
+	// package-private synthetic sun.java2d.pisces.PiscesRenderingEngine$2
+	// thrown; HotSpot reports IllegalAccessError, J9 and GIJ run the
+	// class.
+	p3 := jimple.NewClass("M1437121261")
+	p3.AddDefaultInit()
+	m3 := p3.AddStandardMain("Completed!")
+	m3.Throws = []string{"sun/java2d/pisces/PiscesRenderingEngine$2"}
+	show("Problem 3: throws sun.java2d.pisces.PiscesRenderingEngine$2", p3)
+
+	// --- Problem 4: GIJ's leniency, three of the paper's five bullets.
+	p4a := jimple.NewClass("IExtendsException")
+	p4a.Modifiers = classfile.AccPublic | classfile.AccInterface | classfile.AccAbstract
+	p4a.Super = "java/lang/Exception"
+	show("Problem 4: interface extending java.lang.Exception", p4a)
+
+	p4b := jimple.NewClass("IWithMain")
+	p4b.Modifiers = classfile.AccPublic | classfile.AccInterface | classfile.AccAbstract
+	p4b.AddStandardMain("interface main!")
+	show("Problem 4: interface with a main method", p4b)
+
+	p4c := jimple.NewClass("MDupFields")
+	p4c.AddDefaultInit()
+	p4c.AddStandardMain("Completed!")
+	p4c.AddField(classfile.AccPublic, "x", descriptor.Int)
+	p4c.AddField(classfile.AccPublic, "x", descriptor.Int)
+	show("Problem 4: duplicate fields", p4c)
+
+	// --- The compatibility channel (§1): subclassing the EnumEditor
+	// class that became final in JRE8 — a discrepancy that vanishes when
+	// all VMs share one environment (Definition 2).
+	env := jimple.NewClass("MEnumEditorSub")
+	env.Super = "com/sun/beans/editors/EnumEditor"
+	env.AddStandardMain("Completed!")
+	show("Compatibility: extends com.sun.beans.editors.EnumEditor (final from JRE8)", env)
+
+	data, _ := classfuzz.Compile(env)
+	shared, err := classfuzz.NewSharedEnvRunner("jre7")
+	if err != nil {
+		log.Fatal(err)
+	}
+	v := shared.Run(data)
+	fmt.Printf("== Same class under a shared JRE7 environment (Definition 2): vector %s\n", v.Key())
+	fmt.Println("   (the HotSpot trio now agrees: the discrepancy was compatibility, not a defect)")
+}

@@ -1,0 +1,137 @@
+package bytecode
+
+import (
+	"testing"
+)
+
+func TestLookupCoversFullInstructionSet(t *testing.T) {
+	// Every opcode from nop through jsr_w must be defined contiguously.
+	for op := 0x00; op <= 0xc9; op++ {
+		if _, ok := Lookup(Opcode(op)); !ok {
+			t.Errorf("opcode 0x%02x undefined but should be part of the instruction set", op)
+		}
+	}
+	// Reserved opcodes.
+	for _, op := range []Opcode{Breakpoint, Impdep1, Impdep2} {
+		if _, ok := Lookup(op); !ok {
+			t.Errorf("reserved opcode 0x%02x should be defined", byte(op))
+		}
+	}
+	// The gap 0xcb..0xfd must be undefined.
+	for op := 0xcb; op <= 0xfd; op++ {
+		if _, ok := Lookup(Opcode(op)); ok {
+			t.Errorf("opcode 0x%02x should be undefined", op)
+		}
+	}
+}
+
+func TestMnemonics(t *testing.T) {
+	cases := map[Opcode]string{
+		Nop:             "nop",
+		Aload0:          "aload_0",
+		Iconst5:         "iconst_5",
+		IfIcmpge:        "if_icmpge",
+		Invokevirtual:   "invokevirtual",
+		Invokeinterface: "invokeinterface",
+		Tableswitch:     "tableswitch",
+		Wide:            "wide",
+		GotoW:           "goto_w",
+		Dup2X2:          "dup2_x2",
+	}
+	for op, want := range cases {
+		if got := op.Mnemonic(); got != want {
+			t.Errorf("Mnemonic(0x%02x) = %q, want %q", byte(op), got, want)
+		}
+	}
+	if got := Opcode(0xcb).Mnemonic(); got != "op_0xcb" {
+		t.Errorf("undefined mnemonic = %q", got)
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	if !Goto.IsBranch() || !Ifeq.IsBranch() || !GotoW.IsBranch() {
+		t.Error("goto/ifeq/goto_w must be branches")
+	}
+	if Tableswitch.IsBranch() {
+		t.Error("tableswitch is not an offset-operand branch")
+	}
+	if !Ifnull.IsConditionalBranch() || Goto.IsConditionalBranch() {
+		t.Error("conditional branch misclassified")
+	}
+	for _, op := range []Opcode{Ireturn, Lreturn, Freturn, Dreturn, Areturn, Return} {
+		if !op.IsReturn() {
+			t.Errorf("%s should be a return", op.Mnemonic())
+		}
+	}
+	if Athrow.IsReturn() {
+		t.Error("athrow is not a return")
+	}
+	for _, op := range []Opcode{Invokevirtual, Invokespecial, Invokestatic, Invokeinterface, Invokedynamic} {
+		if !op.IsInvoke() {
+			t.Errorf("%s should be an invoke", op.Mnemonic())
+		}
+	}
+	for _, op := range []Opcode{Goto, GotoW, Athrow, Return, Areturn, Tableswitch, Lookupswitch, Ret} {
+		if !op.EndsBlock() {
+			t.Errorf("%s should end a basic block", op.Mnemonic())
+		}
+	}
+	if Ifeq.EndsBlock() || Invokestatic.EndsBlock() {
+		t.Error("conditional branch / invoke must fall through")
+	}
+}
+
+func TestStackEffects(t *testing.T) {
+	cases := []struct {
+		op        Opcode
+		pop, push int8
+	}{
+		{Nop, 0, 0},
+		{Iconst0, 0, 1},
+		{Lconst0, 0, 2},
+		{Dup, 1, 2},
+		{Dup2X2, 4, 6},
+		{Iadd, 2, 1},
+		{Ladd, 4, 2},
+		{Lcmp, 4, 1},
+		{Iastore, 3, 0},
+		{Lastore, 4, 0},
+		{Athrow, 1, 0},
+		{Arraylength, 1, 1},
+	}
+	for _, c := range cases {
+		in, ok := Lookup(c.op)
+		if !ok {
+			t.Fatalf("%s undefined", c.op.Mnemonic())
+		}
+		if in.Pop != c.pop || in.Push != c.push {
+			t.Errorf("%s stack effect = (%d,%d), want (%d,%d)", c.op.Mnemonic(), in.Pop, in.Push, c.pop, c.push)
+		}
+	}
+	for _, op := range []Opcode{Invokevirtual, Invokestatic, Getstatic, Putfield, Multianewarray} {
+		in, _ := Lookup(op)
+		if in.Pop != VariableStack && in.Push != VariableStack {
+			t.Errorf("%s must have a variable stack effect", op.Mnemonic())
+		}
+	}
+}
+
+func TestArrayTypeCodes(t *testing.T) {
+	valid := map[ArrayTypeCode]string{
+		TBoolean: "Z", TChar: "C", TFloat: "F", TDouble: "D",
+		TByte: "B", TShort: "S", TInt: "I", TLong: "J",
+	}
+	for c, want := range valid {
+		if !c.Valid() {
+			t.Errorf("type code %d should be valid", c)
+		}
+		if got := c.Descriptor(); got != want {
+			t.Errorf("Descriptor(%d) = %q, want %q", c, got, want)
+		}
+	}
+	for _, c := range []ArrayTypeCode{0, 1, 2, 3, 12, 255} {
+		if c.Valid() {
+			t.Errorf("type code %d should be invalid", c)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+// Package catalog curates the repository's analogue of the 62 JVM
+// discrepancies the paper reported to JVM developers (§3.3): a fixed
+// collection of discrepancy-triggering classfile constructions, each
+// with the paper's classification — 28 defect-indicative, 30 caused by
+// different verification/checking strategies, 4 compatibility issues.
+// Every entry builds a concrete class that splits the five simulated
+// VMs; the tests pin each entry's behaviour, and cmd/catalog prints the
+// full report with encoded outcome vectors.
+package catalog
+
+import (
+	"repro/internal/classfile"
+	"repro/internal/descriptor"
+	"repro/internal/jimple"
+)
+
+// Classification is the paper's three-way split of the 62 reports.
+type Classification string
+
+// The §3.3 categories.
+const (
+	// DefectIndicative marks discrepancies indicating defects in one or
+	// more JVM implementations (28 of 62).
+	DefectIndicative Classification = "defect-indicative"
+	// PolicyDifference marks discrepancies caused by different
+	// verification/checking strategies or resource accessibility
+	// policies (30 of 62).
+	PolicyDifference Classification = "policy-difference"
+	// Compatibility marks environment-version issues (4 of 62).
+	Compatibility Classification = "compatibility"
+)
+
+// Entry is one reported discrepancy.
+type Entry struct {
+	// ID is the stable report number, D01..D62.
+	ID string
+	// Title is a one-line summary.
+	Title string
+	// Problem links to the paper's case-study family (P1..P4, or "env").
+	Problem string
+	// Classification is the §3.3 category.
+	Classification Classification
+	// Build constructs the triggering class at the Jimple level. Nil
+	// when the trigger needs classfile-level construction (exotic
+	// constant-pool shapes, raw bytecode); then BuildFile is set.
+	Build func() *jimple.Class
+	// BuildFile constructs the trigger directly as a classfile.
+	BuildFile func() *classfile.File
+}
+
+// Data renders the entry's triggering classfile bytes.
+func (e Entry) Data() ([]byte, error) {
+	if e.BuildFile != nil {
+		return e.BuildFile().Bytes()
+	}
+	f, err := jimple.Lower(e.Build())
+	if err != nil {
+		return nil, err
+	}
+	return f.Bytes()
+}
+
+// Entries returns all 62 reports in ID order. The slice is rebuilt per
+// call so callers may mutate the classes.
+func Entries() []Entry { return buildEntries() }
+
+// Count mirrors the paper's 62 reported discrepancies.
+const Count = 62
+
+// --- construction helpers ------------------------------------------------------
+
+// std builds a well-formed public class with <init> and the standard
+// observable main.
+func std(name string) *jimple.Class {
+	c := jimple.NewClass(name)
+	c.AddDefaultInit()
+	c.AddStandardMain("Completed!")
+	return c
+}
+
+// bare builds a well-formed class with main but no constructor (useful
+// when the constructor itself is the subject).
+func bare(name string) *jimple.Class {
+	c := jimple.NewClass(name)
+	c.AddStandardMain("Completed!")
+	return c
+}
+
+// iface builds a well-formed empty interface.
+func iface(name string) *jimple.Class {
+	c := jimple.NewClass(name)
+	c.Modifiers = classfile.AccPublic | classfile.AccInterface | classfile.AccAbstract
+	return c
+}
+
+// addVoid appends a trivial concrete void method and returns it.
+func addVoid(c *jimple.Class, name string) *jimple.Method {
+	m := c.AddMethod(classfile.AccPublic|classfile.AccStatic, name, nil, descriptor.Void)
+	m.Body = []jimple.Stmt{&jimple.Return{}}
+	return m
+}
+
+// brokenIntMethod appends a method whose body fails verification (void
+// return from an int method).
+func brokenIntMethod(c *jimple.Class, name string) *jimple.Method {
+	m := c.AddMethod(classfile.AccPublic|classfile.AccStatic, name, nil, descriptor.Int)
+	m.Body = []jimple.Stmt{&jimple.Return{}}
+	return m
+}
+
+// callInMain rewires main to invoke a static void method of the class
+// before printing.
+func callInMain(c *jimple.Class, callee string) {
+	m := c.FindMethod("main")
+	call := &jimple.InvokeStmt{Call: &jimple.Invoke{
+		Kind: jimple.InvokeStatic, Class: c.Name, Name: callee,
+		Sig: descriptor.Method{Return: descriptor.Void},
+	}}
+	// Insert after the identity statement.
+	body := append([]jimple.Stmt{}, m.Body[:1]...)
+	body = append(body, call)
+	jimple.RetargetAfterInsertion(m.Body, 1)
+	m.Body = append(body, m.Body[1:]...)
+}
+
+// mainCallsMissing makes main invoke a method that does not exist on
+// the given class.
+func mainCallsMissing(c *jimple.Class, class, name, desc string) {
+	md, err := descriptor.ParseMethod(desc)
+	if err != nil {
+		md = descriptor.Method{Return: descriptor.Void}
+	}
+	m := c.FindMethod("main")
+	call := &jimple.InvokeStmt{Call: &jimple.Invoke{
+		Kind: jimple.InvokeStatic, Class: class, Name: name, Sig: md,
+	}}
+	jimple.RetargetAfterInsertion(m.Body, 1)
+	m.Body = append(append(append([]jimple.Stmt{}, m.Body[:1]...), call), m.Body[1:]...)
+}

@@ -1,0 +1,191 @@
+package catalog
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/difftest"
+	"repro/internal/jimple"
+	"repro/internal/reduce"
+)
+
+func TestSixtyTwoReports(t *testing.T) {
+	es := Entries()
+	if len(es) != Count || Count != 62 {
+		t.Fatalf("catalog holds %d entries, want 62", len(es))
+	}
+	counts := map[Classification]int{}
+	seenID := map[string]bool{}
+	seenTitle := map[string]bool{}
+	for _, e := range es {
+		counts[e.Classification]++
+		if seenID[e.ID] {
+			t.Errorf("duplicate ID %s", e.ID)
+		}
+		seenID[e.ID] = true
+		if seenTitle[e.Title] {
+			t.Errorf("duplicate title %q", e.Title)
+		}
+		seenTitle[e.Title] = true
+		if e.Build == nil && e.BuildFile == nil {
+			t.Errorf("%s has no builder", e.ID)
+		}
+		if e.Title == "" || e.Problem == "" {
+			t.Errorf("%s lacks metadata", e.ID)
+		}
+	}
+	// The paper's §3.3 split of the 62 reported discrepancies.
+	if counts[DefectIndicative] != 28 {
+		t.Errorf("defect-indicative = %d, want 28", counts[DefectIndicative])
+	}
+	if counts[PolicyDifference] != 30 {
+		t.Errorf("policy-difference = %d, want 30", counts[PolicyDifference])
+	}
+	if counts[Compatibility] != 4 {
+		t.Errorf("compatibility = %d, want 4", counts[Compatibility])
+	}
+}
+
+func TestEveryEntryTriggersADiscrepancy(t *testing.T) {
+	runner := difftest.NewStandardRunner()
+	for _, e := range Entries() {
+		data, err := e.Data()
+		if err != nil {
+			t.Errorf("%s: %v", e.ID, err)
+			continue
+		}
+		v := runner.Run(data)
+		if !v.Discrepant() {
+			t.Errorf("%s (%s) does not split the VMs: vector %s", e.ID, e.Title, v.Key())
+		}
+	}
+}
+
+func TestEntriesAreDeterministic(t *testing.T) {
+	a, b := Entries(), Entries()
+	for i := range a {
+		da, err := a[i].Data()
+		if err != nil {
+			t.Fatal(err)
+		}
+		db, err := b[i].Data()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(da) != string(db) {
+			t.Errorf("%s not deterministic", a[i].ID)
+		}
+	}
+}
+
+func TestCompatibilityEntriesVanishUnderSharedEnv(t *testing.T) {
+	// Definition 2: a compatibility discrepancy disappears (or at least
+	// changes) once the HotSpot trio shares one library release — the
+	// same-policy VMs must agree with each other.
+	std := difftest.NewStandardRunner()
+	for _, rel := range []string{"jre7"} {
+		_ = rel
+	}
+	shared := difftest.NewSharedEnvRunner(0) // rtlib.JRE7
+	for _, e := range Entries() {
+		if e.Classification != Compatibility {
+			continue
+		}
+		data, err := e.Data()
+		if err != nil {
+			t.Fatal(err)
+		}
+		vs := std.Run(data)
+		hsSplitStd := vs.Codes[0] != vs.Codes[1] || vs.Codes[1] != vs.Codes[2]
+		vsh := shared.Run(data)
+		hsSplitShared := vsh.Codes[0] != vsh.Codes[1] || vsh.Codes[1] != vsh.Codes[2]
+		if hsSplitStd && hsSplitShared {
+			t.Errorf("%s: HotSpot trio still split under a shared environment (%s -> %s)",
+				e.ID, vs.Key(), vsh.Key())
+		}
+	}
+}
+
+func TestDefectEntriesSurviveSharedEnv(t *testing.T) {
+	// Defect-indicative and policy discrepancies persist when every VM
+	// shares one environment — they come from the implementations.
+	shared := difftest.NewSharedEnvRunner(1) // rtlib.JRE8
+	surviving := 0
+	for _, e := range Entries() {
+		if e.Classification == Compatibility {
+			continue
+		}
+		data, err := e.Data()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if shared.Run(data).Discrepant() {
+			surviving++
+		}
+	}
+	// A few entries interact with release contents and may collapse, but
+	// the bulk must survive.
+	if surviving < 50 {
+		t.Errorf("only %d/58 non-compatibility entries survive a shared environment", surviving)
+	}
+}
+
+func TestJimpleEntriesReduceWithoutLosingTheSplit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("reduction sweep")
+	}
+	runner := difftest.NewStandardRunner()
+	checked := 0
+	for _, e := range Entries() {
+		if e.Build == nil || checked >= 8 {
+			continue
+		}
+		checked++
+		c := e.Build()
+		res, err := reduce.Reduce(c, runner, reduce.Options{MaxRounds: 3})
+		if err != nil {
+			t.Errorf("%s: %v", e.ID, err)
+			continue
+		}
+		f, err := jimple.Lower(res.Reduced)
+		if err != nil {
+			t.Errorf("%s: %v", e.ID, err)
+			continue
+		}
+		data, _ := f.Bytes()
+		v := runner.Run(data)
+		if v.Key() != res.Vector {
+			t.Errorf("%s: reduction changed the vector %s -> %s", e.ID, res.Vector, v.Key())
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no entries checked")
+	}
+}
+
+func TestProblemFamiliesCovered(t *testing.T) {
+	fams := map[string]int{}
+	for _, e := range Entries() {
+		fams[e.Problem]++
+	}
+	for _, want := range []string{"P1", "P2", "P3", "P4", "env"} {
+		if fams[want] == 0 {
+			t.Errorf("no entries for family %s", want)
+		}
+	}
+}
+
+func TestIDFormat(t *testing.T) {
+	es := Entries()
+	if es[0].ID != "D01" {
+		t.Errorf("first ID = %s", es[0].ID)
+	}
+	if es[len(es)-1].ID != "D62" {
+		t.Errorf("last ID = %s", es[len(es)-1].ID)
+	}
+	for _, e := range es {
+		if !strings.HasPrefix(e.ID, "D") || len(e.ID) != 3 {
+			t.Errorf("bad ID %q", e.ID)
+		}
+	}
+}

@@ -1,0 +1,590 @@
+package catalog
+
+import (
+	"repro/internal/bytecode"
+	"repro/internal/classfile"
+	"repro/internal/descriptor"
+	"repro/internal/jimple"
+)
+
+// buildEntries constructs the 62 reports. Groupings follow §3.3:
+// Problem 1 (<clinit> classification), Problem 2 (verification
+// dialects), Problem 3 (class accessibility), Problem 4 (GIJ's
+// leniency), plus the environment-compatibility channel of §1.
+func buildEntries() []Entry {
+	var es []Entry
+	add := func(title, problem string, cls Classification, build func() *jimple.Class) {
+		id := len(es) + 1
+		es = append(es, Entry{
+			ID:             idOf(id),
+			Title:          title,
+			Problem:        problem,
+			Classification: cls,
+			Build:          build,
+		})
+	}
+	addFile := func(title, problem string, cls Classification, build func() *classfile.File) {
+		id := len(es) + 1
+		es = append(es, Entry{
+			ID:             idOf(id),
+			Title:          title,
+			Problem:        problem,
+			Classification: cls,
+			BuildFile:      build,
+		})
+	}
+
+	// ===== Problem 1: methods named <clinit> =============================
+
+	add("public abstract <clinit> treated as initializer by J9 (Figure 2)", "P1", DefectIndicative, func() *jimple.Class {
+		c := std("D_ClinitAbstract")
+		c.AddMethod(classfile.AccPublic|classfile.AccAbstract, "<clinit>", nil, descriptor.Void)
+		return c
+	})
+	add("public native <clinit> without code splits J9 from HotSpot", "P1", DefectIndicative, func() *jimple.Class {
+		c := std("D_ClinitNative")
+		c.AddMethod(classfile.AccPublic|classfile.AccNative, "<clinit>", nil, descriptor.Void)
+		return c
+	})
+	add("non-static <clinit>(int) is an ordinary method under SE 9 rules, an initializer to J9", "P1", DefectIndicative, func() *jimple.Class {
+		c := std("D_ClinitArgs")
+		c.AddMethod(classfile.AccPublic|classfile.AccAbstract, "<clinit>",
+			[]descriptor.Type{descriptor.Int}, descriptor.Void)
+		return c
+	})
+	add("static <clinit> returning int: initializer only to J9's name-based rule", "P1", PolicyDifference, func() *jimple.Class {
+		c := std("D_ClinitRet")
+		m := c.AddMethod(classfile.AccPublic|classfile.AccStatic|classfile.AccAbstract, "<clinit>", nil, descriptor.Int)
+		_ = m
+		return c
+	})
+
+	// ===== Problem 2: verification dialects ===============================
+
+	add("broken method never invoked: eager HotSpot rejects, lazy J9/GIJ run", "P2", PolicyDifference, func() *jimple.Class {
+		c := std("D_LazyVerify")
+		brokenIntMethod(c, "broken")
+		return c
+	})
+	add("stack underflow in unreached method", "P2", PolicyDifference, func() *jimple.Class {
+		c := std("D_Underflow")
+		m := c.AddMethod(classfile.AccPublic|classfile.AccStatic, "under", nil, descriptor.Int)
+		x := m.NewLocal("i0", descriptor.Int)
+		// return of an undefined local: verification error when verified.
+		m.Body = []jimple.Stmt{&jimple.Return{Value: &jimple.UseLocal{L: x}}}
+		return c
+	})
+	add("concrete method with empty code array in unreached position", "P2", PolicyDifference, func() *jimple.Class {
+		c := std("D_EmptyCode")
+		m := c.AddMethod(classfile.AccPublic|classfile.AccStatic, "empty", nil, descriptor.Void)
+		m.Body = []jimple.Stmt{}
+		return c
+	})
+	add("String parameter used as Map: GIJ's assignability check, HotSpot's miss (M1433982529)", "P2", DefectIndicative, func() *jimple.Class {
+		c := jimple.NewClass("D_CastStringMap")
+		c.AddDefaultInit()
+		it := c.AddMethod(classfile.AccProtected|classfile.AccStatic, "internalTransform",
+			[]descriptor.Type{descriptor.Object("java/lang/String")}, descriptor.Void)
+		arg := it.NewLocal("r0", descriptor.Object("java/lang/String"))
+		it.Body = []jimple.Stmt{
+			&jimple.Identity{Target: arg, Param: 0},
+			&jimple.InvokeStmt{Call: &jimple.Invoke{
+				Kind: jimple.InvokeStatic, Class: "java/lang/Object", Name: "getBoolean",
+				Sig: descriptor.Method{Params: []descriptor.Type{descriptor.Object("java/util/Map")},
+					Return: descriptor.Boolean},
+				Args: []jimple.Expr{&jimple.UseLocal{L: arg}},
+			}},
+			&jimple.Return{},
+		}
+		c.AddStandardMain("Completed!")
+		callInMainWithString(c, "internalTransform")
+		return c
+	})
+	add("Boolean passed where Enumeration is declared: the same missed cast family", "P2", DefectIndicative, func() *jimple.Class {
+		c := jimple.NewClass("D_CastBoolEnum")
+		c.AddDefaultInit()
+		m := c.AddMethod(classfile.AccPublic|classfile.AccStatic, "consume",
+			[]descriptor.Type{descriptor.Object("java/lang/Boolean")}, descriptor.Void)
+		arg := m.NewLocal("r0", descriptor.Object("java/lang/Boolean"))
+		m.Body = []jimple.Stmt{
+			&jimple.Identity{Target: arg, Param: 0},
+			&jimple.InvokeStmt{Call: &jimple.Invoke{
+				Kind: jimple.InvokeStatic, Class: "D_CastBoolEnum", Name: "sink",
+				Sig: descriptor.Method{Params: []descriptor.Type{descriptor.Object("java/util/Enumeration")},
+					Return: descriptor.Void},
+				Args: []jimple.Expr{&jimple.UseLocal{L: arg}},
+			}},
+			&jimple.Return{},
+		}
+		sink := c.AddMethod(classfile.AccPublic|classfile.AccStatic, "sink",
+			[]descriptor.Type{descriptor.Object("java/util/Enumeration")}, descriptor.Void)
+		sarg := sink.NewLocal("r0", descriptor.Object("java/util/Enumeration"))
+		sink.Body = []jimple.Stmt{&jimple.Identity{Target: sarg, Param: 0}, &jimple.Return{}}
+		c.AddStandardMain("Completed!")
+		m2 := c.FindMethod("main")
+		call := &jimple.InvokeStmt{Call: &jimple.Invoke{
+			Kind: jimple.InvokeStatic, Class: "D_CastBoolEnum", Name: "consume",
+			Sig: descriptor.Method{Params: []descriptor.Type{descriptor.Object("java/lang/Boolean")},
+				Return: descriptor.Void},
+			Args: []jimple.Expr{&jimple.NullConst{}},
+		}}
+		jimple.RetargetAfterInsertion(m2.Body, 1)
+		m2.Body = append(append(append([]jimple.Stmt{}, m2.Body[:1]...), call), m2.Body[1:]...)
+		return c
+	})
+	add("merged initialized/uninitialized values: GIJ reports, HotSpot cannot", "P2", DefectIndicative, func() *jimple.Class {
+		// if (args.length == 0) { o = new HashMap (left uninitialized on
+		// one path) } merge; GIJ flags the merge when main is invoked.
+		c := jimple.NewClass("D_UninitMerge")
+		c.AddDefaultInit()
+		m := c.AddMethod(classfile.AccPublic|classfile.AccStatic, "main",
+			[]descriptor.Type{descriptor.Array(descriptor.Object("java/lang/String"), 1)}, descriptor.Void)
+		args := m.NewLocal("r0", descriptor.Array(descriptor.Object("java/lang/String"), 1))
+		o := m.NewLocal("o0", descriptor.Object("java/util/HashMap"))
+		m.Body = []jimple.Stmt{
+			/*0*/ &jimple.Identity{Target: args, Param: 0},
+			/*1*/ &jimple.Assign{LHS: &jimple.UseLocal{L: o}, RHS: &jimple.NullConst{}},
+			/*2*/ &jimple.If{Op: jimple.CondEq, L: &jimple.ArrayLen{X: &jimple.UseLocal{L: args}},
+				R: &jimple.IntConst{V: 0, Kind: 'I'}, Target: 4},
+			/*3*/ &jimple.Goto{Target: 5},
+			/*4*/ &jimple.Assign{LHS: &jimple.UseLocal{L: o}, RHS: &jimple.NewExpr{Class: "java/util/HashMap"}},
+			/*5*/ &jimple.Return{},
+		}
+		return c
+	})
+	addFile("unrelated reference types merged on the stack: J9's 'stack shape inconsistent'", "P2", DefectIndicative, stackShapeFile)
+	add("jsr/ret in a version-51 classfile: rejected by modern verifiers, run by GIJ", "P2", DefectIndicative, func() *jimple.Class {
+		c := std("D_JsrRet")
+		m := c.AddMethod(classfile.AccPublic|classfile.AccStatic, "sub", nil, descriptor.Void)
+		m.Body = []jimple.Stmt{&jimple.Raw{Ins: jsrRetBody()}}
+		callInMain(c, "sub")
+		return c
+	})
+	addFile("max_locals smaller than the parameter frame of an unreached method", "P2", PolicyDifference, func() *classfile.File {
+		f := helloFile("D_TightLocals")
+		m := f.AddMethod(classfile.AccPublic|classfile.AccStatic, "wide", "(JJ)V")
+		cb := classfile.NewCodeBuilder(f.Pool)
+		cb.Op(bytecode.Return)
+		cb.SetMaxStack(1).SetMaxLocals(1) // four parameter slots don't fit
+		m.Attributes = append(m.Attributes, cb.Build())
+		return f
+	})
+	add("athrow of a non-Throwable in an unreached method", "P2", PolicyDifference, func() *jimple.Class {
+		c := std("D_ThrowNonThrowable")
+		m := c.AddMethod(classfile.AccPublic|classfile.AccStatic, "boom", nil, descriptor.Void)
+		o := m.NewLocal("o0", descriptor.Object("java/util/HashMap"))
+		m.Body = []jimple.Stmt{
+			&jimple.Assign{LHS: &jimple.UseLocal{L: o}, RHS: &jimple.NewExpr{Class: "java/util/HashMap"}},
+			&jimple.InvokeStmt{Call: &jimple.Invoke{Kind: jimple.InvokeSpecial, Class: "java/util/HashMap",
+				Name: "<init>", Sig: descriptor.Method{Return: descriptor.Void}, Base: o}},
+			&jimple.Throw{Value: &jimple.UseLocal{L: o}},
+		}
+		return c
+	})
+	add("ireturn from a void method, unreached", "P2", PolicyDifference, func() *jimple.Class {
+		c := std("D_WrongReturn")
+		m := c.AddMethod(classfile.AccPublic|classfile.AccStatic, "wrong", nil, descriptor.Void)
+		m.Body = []jimple.Stmt{&jimple.Return{Value: &jimple.IntConst{V: 1, Kind: 'I'}}}
+		return c
+	})
+	add("use of a local beyond max_locals in an unreached method", "P2", PolicyDifference, func() *jimple.Class {
+		c := std("D_LocalOOB")
+		m := c.AddMethod(classfile.AccPublic|classfile.AccStatic, "oob", nil, descriptor.Int)
+		x := &jimple.Local{Name: "ghost", Type: descriptor.Int} // not declared on m
+		m.Body = []jimple.Stmt{&jimple.Return{Value: &jimple.UseLocal{L: x}}}
+		return c
+	})
+
+	// ===== Problem 3 and resolution/accessibility policies ==================
+
+	add("throws sun.java2d.pisces.PiscesRenderingEngine$2: HotSpot's IllegalAccessError (M1437121261)", "P3", PolicyDifference, func() *jimple.Class {
+		c := std("D_ThrowsPisces")
+		c.FindMethod("main").Throws = []string{"sun/java2d/pisces/PiscesRenderingEngine$2"}
+		return c
+	})
+	add("throws a nonexistent class: link-time NoClassDefFoundError only on throws-checking VMs", "P3", PolicyDifference, func() *jimple.Class {
+		c := std("D_ThrowsMissing")
+		c.FindMethod("main").Throws = []string{"org/fuzz/NoSuchThrowable"}
+		return c
+	})
+	add("throws the JRE7-only com.sun.legacy.Jre7Only: splits by release and by throws checking", "P3", Compatibility, func() *jimple.Class {
+		c := std("D_ThrowsJre7Only")
+		c.FindMethod("main").Throws = []string{"com/sun/legacy/Jre7Only"}
+		return c
+	})
+	add("dangling method reference: eager resolution (link) vs lazy (runtime) vs never", "P3", PolicyDifference, func() *jimple.Class {
+		c := std("D_DanglingRef")
+		mainCallsMissing(c, "D_DanglingRef", "ghost", "()V")
+		return c
+	})
+	add("reference to a missing class reached only on a dead path", "P3", PolicyDifference, func() *jimple.Class {
+		c := std("D_DeadMissing")
+		m := addVoid(c, "dead")
+		m.Body = []jimple.Stmt{
+			&jimple.InvokeStmt{Call: &jimple.Invoke{Kind: jimple.InvokeStatic,
+				Class: "org/fuzz/DoesNotExist", Name: "m",
+				Sig: descriptor.Method{Return: descriptor.Void}}},
+			&jimple.Return{},
+		}
+		return c
+	})
+	add("platform method with a wrong descriptor: NoSuchMethodError timing split", "P3", PolicyDifference, func() *jimple.Class {
+		c := std("D_WrongDesc")
+		mainCallsMissing(c, "java/io/PrintStream", "println", "(Ljava/util/Map;)V")
+		return c
+	})
+	add("field reference to a deleted field: NoSuchFieldError timing split", "P3", PolicyDifference, func() *jimple.Class {
+		c := std("D_MissingField")
+		m := c.FindMethod("main")
+		get := &jimple.Assign{
+			LHS: &jimple.UseLocal{L: m.NewLocal("x0", descriptor.Int)},
+			RHS: &jimple.StaticFieldRef{Class: "D_MissingField", Name: "gone", Type: descriptor.Int},
+		}
+		jimple.RetargetAfterInsertion(m.Body, 1)
+		m.Body = append(append(append([]jimple.Stmt{}, m.Body[:1]...), get), m.Body[1:]...)
+		return c
+	})
+	add("new of an encapsulated sun.* class: HotSpot 9 module boundary", "P3", PolicyDifference, func() *jimple.Class {
+		c := std("D_NewSun")
+		m := addVoid(c, "makeSun")
+		o := m.NewLocal("o0", descriptor.Object("sun/java2d/pisces/PiscesRenderingEngine"))
+		m.Body = []jimple.Stmt{
+			&jimple.Assign{LHS: &jimple.UseLocal{L: o},
+				RHS: &jimple.NewExpr{Class: "sun/java2d/pisces/PiscesRenderingEngine"}},
+			&jimple.Return{},
+		}
+		return c
+	})
+	add("class constant naming an encapsulated type: HotSpot 9 initialization-phase rejection", "P3", PolicyDifference, func() *jimple.Class {
+		c := std("D_SunConstant")
+		m := c.FindMethod("main")
+		ld := &jimple.Assign{
+			LHS: &jimple.UseLocal{L: m.NewLocal("k0", descriptor.Object("java/lang/Class"))},
+			RHS: &jimple.ClassConst{Name: "sun/java2d/pisces/PiscesRenderingEngine"},
+		}
+		jimple.RetargetAfterInsertion(m.Body, 1)
+		m.Body = append(append(append([]jimple.Stmt{}, m.Body[:1]...), ld), m.Body[1:]...)
+		return c
+	})
+	addFile("Fieldref carrying a method descriptor: strict constant-pool checking vs GIJ", "P3", PolicyDifference, func() *classfile.File {
+		f := helloFile("D_FieldrefMethodDesc")
+		f.Pool.AddFieldref("java/lang/System", "out", "()V")
+		return f
+	})
+	add("implements a missing interface: eager loading failure vs lazy tolerance", "P3", PolicyDifference, func() *jimple.Class {
+		c := std("D_IfaceMissing")
+		c.Interfaces = append(c.Interfaces, "org/fuzz/NoSuchIface")
+		return c
+	})
+	add("array type as superclass: arrays are final, so VerifyError except on GIJ", "P3", PolicyDifference, func() *jimple.Class {
+		c := bare("D_SuperArray")
+		c.Super = "[I"
+		return c
+	})
+	add("extends the final java.lang.String: VerifyError except on GIJ", "P3", DefectIndicative, func() *jimple.Class {
+		c := bare("D_SuperFinal")
+		c.Super = "java/lang/String"
+		return c
+	})
+	addFile("Methodref carrying a field descriptor: strict constant-pool checking vs GIJ", "P3", PolicyDifference, func() *classfile.File {
+		f := helloFile("D_MethodrefFieldDesc")
+		f.Pool.AddMethodref("java/lang/System", "exit", "I")
+		return f
+	})
+	add("implements the class java.lang.Thread: IncompatibleClassChangeError vs lazy", "P3", PolicyDifference, func() *jimple.Class {
+		c := std("D_ImplClass")
+		c.Interfaces = append(c.Interfaces, "java/lang/Thread")
+		return c
+	})
+
+	// ===== Problem 4: GIJ's leniency =======================================
+
+	add("interface extending java.lang.Exception: GIJ misses the illegal inheritance", "P4", DefectIndicative, func() *jimple.Class {
+		c := iface("D_IfaceExtException")
+		c.Super = "java/lang/Exception"
+		return c
+	})
+	add("interface extending java.lang.Thread", "P4", DefectIndicative, func() *jimple.Class {
+		c := iface("D_IfaceExtThread")
+		c.Super = "java/lang/Thread"
+		return c
+	})
+	add("interface with a main method: only GIJ executes it", "P4", DefectIndicative, func() *jimple.Class {
+		c := iface("D_IfaceMain")
+		c.AddStandardMain("interface main")
+		return c
+	})
+	add("interface method not public", "P4", DefectIndicative, func() *jimple.Class {
+		c := iface("D_IfacePrivMethod")
+		c.AddMethod(classfile.AccPrivate|classfile.AccAbstract, "op", nil, descriptor.Void)
+		return c
+	})
+	add("interface method not abstract (concrete body)", "P4", DefectIndicative, func() *jimple.Class {
+		c := iface("D_IfaceConcrete")
+		m := c.AddMethod(classfile.AccPublic|classfile.AccStatic, "op", nil, descriptor.Void)
+		m.Body = []jimple.Stmt{&jimple.Return{}}
+		return c
+	})
+	add("interface field not public static final", "P4", DefectIndicative, func() *jimple.Class {
+		c := iface("D_IfaceField")
+		c.AddField(classfile.AccPrivate, "hidden", descriptor.Int)
+		return c
+	})
+	add("interface without ACC_ABSTRACT", "P4", DefectIndicative, func() *jimple.Class {
+		c := iface("D_IfaceNotAbstract")
+		c.Modifiers = classfile.AccPublic | classfile.AccInterface
+		return c
+	})
+	add("interface declaring <init>", "P4", DefectIndicative, func() *jimple.Class {
+		c := iface("D_IfaceInit")
+		c.AddMethod(classfile.AccPublic|classfile.AccAbstract, "<init>", nil, descriptor.Void)
+		return c
+	})
+	add("public abstract void <init>(int,int,int,boolean): accepted only by GIJ", "P4", DefectIndicative, func() *jimple.Class {
+		c := std("D_InitAbstract")
+		c.AddMethod(classfile.AccPublic|classfile.AccAbstract, "<init>",
+			[]descriptor.Type{descriptor.Int, descriptor.Int, descriptor.Int, descriptor.Boolean},
+			descriptor.Void)
+		return c
+	})
+	add("static <init>: GIJ accepts the Table 2 example", "P4", DefectIndicative, func() *jimple.Class {
+		c := std("D_InitStatic")
+		m := c.AddMethod(classfile.AccPublic|classfile.AccStatic, "<init>",
+			[]descriptor.Type{descriptor.Int}, descriptor.Void)
+		a := m.NewLocal("i0", descriptor.Int)
+		m.Body = []jimple.Stmt{&jimple.Identity{Target: a, Param: 0}, &jimple.Return{}}
+		return c
+	})
+	add("<init> returning java.lang.Thread: GIJ allows a result-bearing constructor", "P4", DefectIndicative, func() *jimple.Class {
+		c := std("D_InitReturnsThread")
+		m := c.AddMethod(classfile.AccPublic, "<init>", nil, descriptor.Object("java/lang/Thread"))
+		this := m.NewLocal("r0", descriptor.Object("D_InitReturnsThread"))
+		m.Body = []jimple.Stmt{
+			&jimple.Identity{Target: this, Param: -1},
+			&jimple.Return{Value: &jimple.NullConst{}},
+		}
+		return c
+	})
+	add("<init> returning int", "P4", DefectIndicative, func() *jimple.Class {
+		c := std("D_InitReturnsInt")
+		m := c.AddMethod(classfile.AccPublic, "<init>", []descriptor.Type{descriptor.Int}, descriptor.Int)
+		this := m.NewLocal("r0", descriptor.Object("D_InitReturnsInt"))
+		a := m.NewLocal("i0", descriptor.Int)
+		m.Body = []jimple.Stmt{
+			&jimple.Identity{Target: this, Param: -1},
+			&jimple.Identity{Target: a, Param: 0},
+			&jimple.Return{Value: &jimple.UseLocal{L: a}},
+		}
+		return c
+	})
+	add("synchronized native <init>", "P4", DefectIndicative, func() *jimple.Class {
+		c := std("D_InitNative")
+		c.AddMethod(classfile.AccPublic|classfile.AccSynchronized|classfile.AccNative, "<init>",
+			[]descriptor.Type{descriptor.Long}, descriptor.Void)
+		return c
+	})
+	add("duplicate fields: GIJ accepts, the others reject", "P4", DefectIndicative, func() *jimple.Class {
+		c := std("D_DupFields")
+		c.AddField(classfile.AccPublic, "x", descriptor.Int)
+		c.AddField(classfile.AccPublic, "x", descriptor.Int)
+		return c
+	})
+	add("duplicate fields with different flags", "P4", DefectIndicative, func() *jimple.Class {
+		c := std("D_DupFieldsFlags")
+		c.AddField(classfile.AccPublic, "y", descriptor.Object("java/lang/String"))
+		c.AddField(classfile.AccPrivate|classfile.AccFinal, "y", descriptor.Object("java/lang/String"))
+		return c
+	})
+	add("version-60 classfile: GIJ processes classfiles beyond its platform version", "P4", DefectIndicative, func() *jimple.Class {
+		c := std("D_Version60")
+		c.Major = 60
+		return c
+	})
+	add("conflicting public+private on a method", "P4", PolicyDifference, func() *jimple.Class {
+		c := std("D_VisConflict")
+		m := addVoid(c, "both")
+		m.Modifiers |= classfile.AccPublic | classfile.AccPrivate
+		return c
+	})
+	add("final volatile field", "P4", PolicyDifference, func() *jimple.Class {
+		c := std("D_FinalVolatile")
+		c.AddField(classfile.AccPublic|classfile.AccFinal|classfile.AccVolatile, "fv", descriptor.Int)
+		return c
+	})
+	add("final abstract class", "P4", PolicyDifference, func() *jimple.Class {
+		c := std("D_FinalAbstract")
+		c.Modifiers |= classfile.AccFinal | classfile.AccAbstract
+		return c
+	})
+	add("abstract method with a Code attribute", "P4", PolicyDifference, func() *jimple.Class {
+		c := std("D_AbstractWithCode")
+		m := addVoid(c, "hasBody")
+		m.Modifiers |= classfile.AccAbstract
+		return c
+	})
+	add("abstract method marked final", "P4", PolicyDifference, func() *jimple.Class {
+		c := std("D_AbstractFinal")
+		c.AddMethod(classfile.AccPublic|classfile.AccAbstract|classfile.AccFinal, "af", nil, descriptor.Void)
+		return c
+	})
+	add("concrete method without a Code attribute", "P4", PolicyDifference, func() *jimple.Class {
+		c := std("D_NoCode")
+		c.AddMethod(classfile.AccPublic, "codeless", nil, descriptor.Void)
+		return c
+	})
+	add("instance main: GIJ invokes it, strict VMs report main-not-found", "P4", DefectIndicative, func() *jimple.Class {
+		c := jimple.NewClass("D_InstanceMain")
+		c.AddDefaultInit()
+		m := c.AddStandardMain("instance main")
+		m.Modifiers = classfile.AccPublic // not static
+		// Rebind: instance main still has args as parameter 0? For an
+		// instance method parameter 0 sits in slot 1; the identity
+		// statement keeps the binding correct either way.
+		return c
+	})
+	add("malformed field descriptor: lenient GIJ ignores what it never reads", "P4", DefectIndicative, func() *jimple.Class {
+		c := std("D_BadFieldDesc")
+		c.Fields = append(c.Fields, &jimple.Field{Name: "weird", Type: descriptor.Type{Kind: 'Q'}, Modifiers: classfile.AccPublic})
+		return c
+	})
+	addFile("Exceptions attribute entry pointing at a Utf8 constant: only throws-checking VMs notice", "P4", PolicyDifference, func() *classfile.File {
+		f := helloFile("D_ThrowsUtf8")
+		main := f.FindMethod("main")
+		main.Attributes = append(main.Attributes, &classfile.ExceptionsAttr{
+			Classes: []uint16{f.Pool.AddUtf8("not-a-class")},
+		})
+		return f
+	})
+
+	// ===== environment compatibility (§1) ===================================
+
+	add("extends com.sun.beans.editors.EnumEditor: final only from JRE8 (the paper's VerifyError case)", "env", Compatibility, func() *jimple.Class {
+		c := bare("D_EnumEditorSub")
+		c.Super = "com/sun/beans/editors/EnumEditor"
+		return c
+	})
+	add("extends a JRE7-only class: NoClassDefFoundError on newer releases", "env", Compatibility, func() *jimple.Class {
+		c := bare("D_Jre7OnlySub")
+		c.Super = "com/sun/legacy/Jre7Only"
+		return c
+	})
+	add("implements java.util.function.Function: absent before JRE8", "env", Compatibility, func() *jimple.Class {
+		c := std("D_Jre8Iface")
+		c.Interfaces = append(c.Interfaces, "java/util/function/Function")
+		return c
+	})
+
+	// ===== remaining policy splits to reach the paper's tally ===============
+
+	add("non-public main: strict VMs refuse to launch it, GIJ invokes it", "P4", DefectIndicative, func() *jimple.Class {
+		c := jimple.NewClass("D_PackageMain")
+		c.AddDefaultInit()
+		m := c.AddStandardMain("package main")
+		m.Modifiers = classfile.AccStatic // package-private static
+		return c
+	})
+	add("getstatic on a field whose declared type changed: descriptor mismatch resolution", "P3", PolicyDifference, func() *jimple.Class {
+		c := std("D_FieldTypeChanged")
+		c.AddField(classfile.AccPublic|classfile.AccStatic, "v", descriptor.Long)
+		m := c.FindMethod("main")
+		get := &jimple.Assign{
+			LHS: &jimple.UseLocal{L: m.NewLocal("x0", descriptor.Int)},
+			RHS: &jimple.StaticFieldRef{Class: "D_FieldTypeChanged", Name: "v", Type: descriptor.Int},
+		}
+		jimple.RetargetAfterInsertion(m.Body, 1)
+		m.Body = append(append(append([]jimple.Stmt{}, m.Body[:1]...), get), m.Body[1:]...)
+		return c
+	})
+	add("clinit throwing an exception vs VMs that never classify it as the initializer", "P1", PolicyDifference, func() *jimple.Class {
+		// A *non-static* <clinit> with a throwing body: HotSpot treats it
+		// as an ordinary (never-invoked) method; J9 classifies it as the
+		// initializer and runs it during initialization.
+		c := std("D_ClinitThrows")
+		m := c.AddMethod(classfile.AccPublic, "<clinit>", nil, descriptor.Void)
+		this := m.NewLocal("r0", descriptor.Object("D_ClinitThrows"))
+		e := m.NewLocal("e0", descriptor.Object("java/lang/RuntimeException"))
+		m.Body = []jimple.Stmt{
+			&jimple.Identity{Target: this, Param: -1},
+			&jimple.Assign{LHS: &jimple.UseLocal{L: e}, RHS: &jimple.NewExpr{Class: "java/lang/RuntimeException"}},
+			&jimple.InvokeStmt{Call: &jimple.Invoke{Kind: jimple.InvokeSpecial,
+				Class: "java/lang/RuntimeException", Name: "<init>",
+				Sig: descriptor.Method{Return: descriptor.Void}, Base: e}},
+			&jimple.Throw{Value: &jimple.UseLocal{L: e}},
+		}
+		return c
+	})
+
+	return es
+}
+
+// callInMainWithString rewires main to invoke a static (String)V method
+// with a constant argument.
+func callInMainWithString(c *jimple.Class, callee string) {
+	m := c.FindMethod("main")
+	call := &jimple.InvokeStmt{Call: &jimple.Invoke{
+		Kind: jimple.InvokeStatic, Class: c.Name, Name: callee,
+		Sig: descriptor.Method{Params: []descriptor.Type{descriptor.Object("java/lang/String")},
+			Return: descriptor.Void},
+		Args: []jimple.Expr{&jimple.StringConst{V: "x"}},
+	}}
+	jimple.RetargetAfterInsertion(m.Body, 1)
+	m.Body = append(append(append([]jimple.Stmt{}, m.Body[:1]...), call), m.Body[1:]...)
+}
+
+// helloFile builds a well-formed classfile with <init> and the
+// standard main, for entries needing classfile-level construction.
+func helloFile(name string) *classfile.File {
+	f := classfile.New(name)
+	classfile.AttachDefaultInit(f)
+	classfile.AttachStandardMain(f, "Completed!")
+	return f
+}
+
+// stackShapeFile builds a main that merges java/lang/String and
+// java/util/HashMap on the operand stack before popping — the shape
+// J9's strict merge rejects while HotSpot widens to Object and GIJ
+// never eagerly verifies.
+func stackShapeFile() *classfile.File {
+	f := helloFile("D_StackShape")
+	main := f.FindMethod("main")
+	main.RemoveAttribute(f.Pool, classfile.AttrCode)
+	cb := classfile.NewCodeBuilder(f.Pool)
+	// pc0 aload_0; pc1 arraylength; pc2 ifeq ->10; pc5 ldc "s";
+	// pc7 goto ->17; pc10 new HashMap; pc13 dup; pc14 invokespecial
+	// <init>; pc17 pop; pc18 return
+	cb.Op(bytecode.Aload0).Op(bytecode.Arraylength)
+	cb.U2(bytecode.Ifeq, 8)
+	cb.Ldc("s")
+	cb.U2(bytecode.Goto, 10)
+	cb.New("java/util/HashMap").
+		Op(bytecode.Dup).
+		Invokespecial("java/util/HashMap", "<init>", "()V")
+	cb.Op(bytecode.Pop)
+	cb.Op(bytecode.Return)
+	cb.SetMaxStack(2).SetMaxLocals(1)
+	main.Attributes = append(main.Attributes, cb.Build())
+	return f
+}
+
+// jsrRetBody emits a tiny jsr/ret subroutine body as raw instructions:
+// jsr to a subroutine that stores the return address and rets through
+// it — legal in old classfiles, rejected at version ≥ 51.
+func jsrRetBody() []*bytecode.Instruction {
+	ins, err := bytecode.Decode([]byte{
+		0xa8, 0x00, 0x04, // jsr +4
+		0xb1,       // return
+		0x4c,       // astore_1
+		0xa9, 0x01, // ret 1
+	})
+	if err != nil {
+		panic(err)
+	}
+	return ins
+}
+
+func idOf(n int) string {
+	if n < 10 {
+		return "D0" + string(rune('0'+n))
+	}
+	return "D" + string(rune('0'+n/10)) + string(rune('0'+n%10))
+}

@@ -1,0 +1,159 @@
+package classfile
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestAnnotationsRoundTrip(t *testing.T) {
+	f := New("AnnHost")
+	AttachDefaultInit(f)
+	typeIdx := f.Pool.AddUtf8("Ljava/lang/Deprecated;")
+	nameIdx := f.Pool.AddUtf8("value")
+	strIdx := f.Pool.AddUtf8("why")
+	enumT := f.Pool.AddUtf8("Ljava/lang/annotation/RetentionPolicy;")
+	enumN := f.Pool.AddUtf8("RUNTIME")
+	clsIdx := f.Pool.AddUtf8("Ljava/lang/String;")
+	intIdx := f.Pool.AddInteger(7)
+
+	nested := &Annotation{TypeIndex: typeIdx}
+	ann := Annotation{
+		TypeIndex: typeIdx,
+		Elements: []ElementPair{
+			{NameIndex: nameIdx, Value: ElementValue{Tag: 's', ConstIndex: strIdx}},
+			{NameIndex: nameIdx, Value: ElementValue{Tag: 'I', ConstIndex: intIdx}},
+			{NameIndex: nameIdx, Value: ElementValue{Tag: 'e', EnumType: enumT, EnumName: enumN}},
+			{NameIndex: nameIdx, Value: ElementValue{Tag: 'c', ClassInfo: clsIdx}},
+			{NameIndex: nameIdx, Value: ElementValue{Tag: '@', Nested: nested}},
+			{NameIndex: nameIdx, Value: ElementValue{Tag: '[', Array: []ElementValue{
+				{Tag: 'I', ConstIndex: intIdx},
+				{Tag: 's', ConstIndex: strIdx},
+			}}},
+		},
+	}
+	f.Attributes = append(f.Attributes, &AnnotationsAttr{Visible: true, Annotations: []Annotation{ann}})
+	f.Methods[0].Attributes = append(f.Methods[0].Attributes,
+		&AnnotationsAttr{Visible: false, Annotations: []Annotation{{TypeIndex: typeIdx}}})
+
+	data, err := f.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got *AnnotationsAttr
+	for _, a := range g.Attributes {
+		if an, ok := a.(*AnnotationsAttr); ok {
+			got = an
+		}
+	}
+	if got == nil || !got.Visible {
+		t.Fatal("class-level RuntimeVisibleAnnotations lost")
+	}
+	if len(got.Annotations) != 1 || len(got.Annotations[0].Elements) != 6 {
+		t.Fatalf("annotation shape lost: %+v", got)
+	}
+	els := got.Annotations[0].Elements
+	if els[0].Value.Tag != 's' || els[0].Value.ConstIndex != strIdx {
+		t.Error("string element lost")
+	}
+	if els[2].Value.EnumName != enumN {
+		t.Error("enum element lost")
+	}
+	if els[4].Value.Nested == nil || els[4].Value.Nested.TypeIndex != typeIdx {
+		t.Error("nested annotation lost")
+	}
+	if len(els[5].Value.Array) != 2 || els[5].Value.Array[1].Tag != 's' {
+		t.Error("array element lost")
+	}
+
+	var mGot *AnnotationsAttr
+	for _, a := range g.Methods[0].Attributes {
+		if an, ok := a.(*AnnotationsAttr); ok {
+			mGot = an
+		}
+	}
+	if mGot == nil || mGot.Visible {
+		t.Fatal("method-level RuntimeInvisibleAnnotations lost")
+	}
+
+	// Stability.
+	data2, err := g.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Error("annotations serialisation not stable")
+	}
+}
+
+func TestAnnotationsCloneIsDeep(t *testing.T) {
+	inner := &Annotation{TypeIndex: 3}
+	a := &AnnotationsAttr{Visible: true, Annotations: []Annotation{{
+		TypeIndex: 1,
+		Elements: []ElementPair{{NameIndex: 2, Value: ElementValue{Tag: '@', Nested: inner}},
+			{NameIndex: 2, Value: ElementValue{Tag: '[', Array: []ElementValue{{Tag: 'I', ConstIndex: 5}}}}},
+	}}}
+	c := a.CloneAttr().(*AnnotationsAttr)
+	c.Annotations[0].Elements[0].Value.Nested.TypeIndex = 99
+	c.Annotations[0].Elements[1].Value.Array[0].ConstIndex = 99
+	if inner.TypeIndex != 3 {
+		t.Error("nested annotation aliased across clone")
+	}
+	if a.Annotations[0].Elements[1].Value.Array[0].ConstIndex != 5 {
+		t.Error("array aliased across clone")
+	}
+}
+
+func TestAnnotationsRejectBadTag(t *testing.T) {
+	f := New("AnnBad")
+	f.Attributes = append(f.Attributes, &RawAttr{
+		Name: AttrRuntimeVisibleAnnotations,
+		Data: []byte{0x00, 0x01, 0x00, 0x01, 0x00, 0x01, 0x00, 0x01, 'q', 0x00, 0x01},
+	})
+	f.Pool.AddUtf8(AttrRuntimeVisibleAnnotations)
+	data, err := f.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Parse(data); err == nil {
+		t.Error("unknown element_value tag must be rejected")
+	}
+}
+
+func TestBootstrapMethodsRoundTrip(t *testing.T) {
+	f := New("BsmHost")
+	mh := f.Pool.add(&Constant{Tag: TagMethodHandle, Kind: 6, Ref1: f.Pool.AddMethodref("java/lang/Object", "toString", "()Ljava/lang/String;")})
+	arg := f.Pool.AddString("x")
+	f.Attributes = append(f.Attributes, &BootstrapMethodsAttr{Methods: []BootstrapMethod{
+		{MethodRef: mh, Args: []uint16{arg}},
+		{MethodRef: mh},
+	}})
+	data, err := f.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got *BootstrapMethodsAttr
+	for _, a := range g.Attributes {
+		if b, ok := a.(*BootstrapMethodsAttr); ok {
+			got = b
+		}
+	}
+	if got == nil || len(got.Methods) != 2 {
+		t.Fatal("BootstrapMethods lost")
+	}
+	if got.Methods[0].MethodRef != mh || len(got.Methods[0].Args) != 1 || got.Methods[0].Args[0] != arg {
+		t.Errorf("entry 0 lost: %+v", got.Methods[0])
+	}
+	clone := got.CloneAttr().(*BootstrapMethodsAttr)
+	clone.Methods[0].Args[0] = 9999
+	if got.Methods[0].Args[0] == 9999 {
+		t.Error("clone aliased args")
+	}
+}

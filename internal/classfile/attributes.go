@@ -1,0 +1,214 @@
+package classfile
+
+// Attribute is one attribute_info structure. Concrete types model the
+// attributes the startup pipeline cares about; everything else is kept
+// as a RawAttr so unknown attributes survive a parse/serialise
+// round-trip byte-for-byte.
+type Attribute interface {
+	// AttrName returns the attribute's name ("Code", "Exceptions", ...).
+	AttrName() string
+	// CloneAttr returns a deep copy.
+	CloneAttr() Attribute
+}
+
+// Attribute name constants.
+const (
+	AttrCode               = "Code"
+	AttrExceptions         = "Exceptions"
+	AttrConstantValue      = "ConstantValue"
+	AttrSourceFile         = "SourceFile"
+	AttrInnerClasses       = "InnerClasses"
+	AttrLineNumberTable    = "LineNumberTable"
+	AttrLocalVariableTable = "LocalVariableTable"
+	AttrStackMapTable      = "StackMapTable"
+	AttrSynthetic          = "Synthetic"
+	AttrDeprecated         = "Deprecated"
+	AttrSignature          = "Signature"
+)
+
+// ExceptionHandler is one exception_table entry in a Code attribute.
+type ExceptionHandler struct {
+	StartPC   uint16
+	EndPC     uint16
+	HandlerPC uint16
+	CatchType uint16 // Class entry, 0 = catch-all
+}
+
+// CodeAttr is the Code attribute: the method body.
+type CodeAttr struct {
+	MaxStack   uint16
+	MaxLocals  uint16
+	Code       []byte
+	Handlers   []ExceptionHandler
+	Attributes []Attribute
+}
+
+// AttrName implements Attribute.
+func (*CodeAttr) AttrName() string { return AttrCode }
+
+// CloneAttr implements Attribute.
+func (c *CodeAttr) CloneAttr() Attribute {
+	return &CodeAttr{
+		MaxStack:   c.MaxStack,
+		MaxLocals:  c.MaxLocals,
+		Code:       append([]byte(nil), c.Code...),
+		Handlers:   append([]ExceptionHandler(nil), c.Handlers...),
+		Attributes: cloneAttrs(c.Attributes),
+	}
+}
+
+// ExceptionsAttr lists the checked exceptions a method declares to throw.
+type ExceptionsAttr struct {
+	Classes []uint16 // Class entries
+}
+
+// AttrName implements Attribute.
+func (*ExceptionsAttr) AttrName() string { return AttrExceptions }
+
+// CloneAttr implements Attribute.
+func (e *ExceptionsAttr) CloneAttr() Attribute {
+	return &ExceptionsAttr{Classes: append([]uint16(nil), e.Classes...)}
+}
+
+// ConstantValueAttr gives a static field its compile-time constant.
+type ConstantValueAttr struct {
+	ValueIndex uint16
+}
+
+// AttrName implements Attribute.
+func (*ConstantValueAttr) AttrName() string { return AttrConstantValue }
+
+// CloneAttr implements Attribute.
+func (c *ConstantValueAttr) CloneAttr() Attribute { cc := *c; return &cc }
+
+// SourceFileAttr names the source file.
+type SourceFileAttr struct {
+	NameIndex uint16 // Utf8
+}
+
+// AttrName implements Attribute.
+func (*SourceFileAttr) AttrName() string { return AttrSourceFile }
+
+// CloneAttr implements Attribute.
+func (s *SourceFileAttr) CloneAttr() Attribute { ss := *s; return &ss }
+
+// InnerClassEntry is one classes[] element of InnerClasses.
+type InnerClassEntry struct {
+	InnerClass uint16 // Class
+	OuterClass uint16 // Class or 0
+	InnerName  uint16 // Utf8 or 0
+	Flags      Flags
+}
+
+// InnerClassesAttr records nested-class relationships.
+type InnerClassesAttr struct {
+	Entries []InnerClassEntry
+}
+
+// AttrName implements Attribute.
+func (*InnerClassesAttr) AttrName() string { return AttrInnerClasses }
+
+// CloneAttr implements Attribute.
+func (a *InnerClassesAttr) CloneAttr() Attribute {
+	return &InnerClassesAttr{Entries: append([]InnerClassEntry(nil), a.Entries...)}
+}
+
+// LineNumberEntry maps a bytecode pc to a source line.
+type LineNumberEntry struct {
+	StartPC uint16
+	Line    uint16
+}
+
+// LineNumberTableAttr is the debug line table inside Code.
+type LineNumberTableAttr struct {
+	Entries []LineNumberEntry
+}
+
+// AttrName implements Attribute.
+func (*LineNumberTableAttr) AttrName() string { return AttrLineNumberTable }
+
+// CloneAttr implements Attribute.
+func (a *LineNumberTableAttr) CloneAttr() Attribute {
+	return &LineNumberTableAttr{Entries: append([]LineNumberEntry(nil), a.Entries...)}
+}
+
+// LocalVariableEntry describes one local variable's live range.
+type LocalVariableEntry struct {
+	StartPC   uint16
+	Length    uint16
+	NameIndex uint16
+	DescIndex uint16
+	Slot      uint16
+}
+
+// LocalVariableTableAttr is the debug local-variable table inside Code.
+type LocalVariableTableAttr struct {
+	Entries []LocalVariableEntry
+}
+
+// AttrName implements Attribute.
+func (*LocalVariableTableAttr) AttrName() string { return AttrLocalVariableTable }
+
+// CloneAttr implements Attribute.
+func (a *LocalVariableTableAttr) CloneAttr() Attribute {
+	return &LocalVariableTableAttr{Entries: append([]LocalVariableEntry(nil), a.Entries...)}
+}
+
+// StackMapTableAttr keeps the verifier stack-map frames as raw bytes.
+// The dataflow verifier in internal/jvm infers types itself (like the
+// pre-51 inference verifier), so the frames need not be decoded, but
+// they must survive round-trips.
+type StackMapTableAttr struct {
+	Raw []byte
+}
+
+// AttrName implements Attribute.
+func (*StackMapTableAttr) AttrName() string { return AttrStackMapTable }
+
+// CloneAttr implements Attribute.
+func (a *StackMapTableAttr) CloneAttr() Attribute {
+	return &StackMapTableAttr{Raw: append([]byte(nil), a.Raw...)}
+}
+
+// SyntheticAttr marks compiler-generated members.
+type SyntheticAttr struct{}
+
+// AttrName implements Attribute.
+func (*SyntheticAttr) AttrName() string { return AttrSynthetic }
+
+// CloneAttr implements Attribute.
+func (a *SyntheticAttr) CloneAttr() Attribute { return &SyntheticAttr{} }
+
+// DeprecatedAttr marks deprecated members.
+type DeprecatedAttr struct{}
+
+// AttrName implements Attribute.
+func (*DeprecatedAttr) AttrName() string { return AttrDeprecated }
+
+// CloneAttr implements Attribute.
+func (a *DeprecatedAttr) CloneAttr() Attribute { return &DeprecatedAttr{} }
+
+// SignatureAttr carries a generic signature string index.
+type SignatureAttr struct {
+	SigIndex uint16
+}
+
+// AttrName implements Attribute.
+func (*SignatureAttr) AttrName() string { return AttrSignature }
+
+// CloneAttr implements Attribute.
+func (a *SignatureAttr) CloneAttr() Attribute { aa := *a; return &aa }
+
+// RawAttr preserves attributes this package does not model.
+type RawAttr struct {
+	Name string
+	Data []byte
+}
+
+// AttrName implements Attribute.
+func (r *RawAttr) AttrName() string { return r.Name }
+
+// CloneAttr implements Attribute.
+func (r *RawAttr) CloneAttr() Attribute {
+	return &RawAttr{Name: r.Name, Data: append([]byte(nil), r.Data...)}
+}

@@ -1,0 +1,189 @@
+package classfile
+
+import (
+	"encoding/binary"
+
+	"repro/internal/bytecode"
+)
+
+// CodeBuilder incrementally assembles a method body. It is the
+// convenience layer used by the seed generator and by tests: emit
+// instructions against the class's constant pool, then Attach the
+// resulting Code attribute to a method.
+type CodeBuilder struct {
+	pool      *ConstPool
+	code      []byte
+	maxStack  uint16
+	maxLocals uint16
+	handlers  []ExceptionHandler
+}
+
+// NewCodeBuilder returns a builder writing against the given pool.
+func NewCodeBuilder(pool *ConstPool) *CodeBuilder {
+	return &CodeBuilder{pool: pool}
+}
+
+// SetMaxStack overrides the computed max_stack value.
+func (b *CodeBuilder) SetMaxStack(n uint16) *CodeBuilder { b.maxStack = n; return b }
+
+// SetMaxLocals overrides the computed max_locals value.
+func (b *CodeBuilder) SetMaxLocals(n uint16) *CodeBuilder { b.maxLocals = n; return b }
+
+// PC returns the current bytecode offset.
+func (b *CodeBuilder) PC() int { return len(b.code) }
+
+// Op emits a bare opcode.
+func (b *CodeBuilder) Op(op bytecode.Opcode) *CodeBuilder {
+	b.code = append(b.code, byte(op))
+	return b
+}
+
+// U1 emits an opcode with one raw operand byte.
+func (b *CodeBuilder) U1(op bytecode.Opcode, v byte) *CodeBuilder {
+	b.code = append(b.code, byte(op), v)
+	return b
+}
+
+// U2 emits an opcode with one raw 16-bit operand.
+func (b *CodeBuilder) U2(op bytecode.Opcode, v uint16) *CodeBuilder {
+	b.code = append(b.code, byte(op))
+	b.code = binary.BigEndian.AppendUint16(b.code, v)
+	return b
+}
+
+// Ldc emits ldc/ldc_w for a string constant.
+func (b *CodeBuilder) Ldc(s string) *CodeBuilder {
+	idx := b.pool.AddString(s)
+	if idx <= 0xFF {
+		return b.U1(bytecode.Ldc, byte(idx))
+	}
+	return b.U2(bytecode.LdcW, idx)
+}
+
+// LdcInt emits the shortest instruction pushing an int constant.
+func (b *CodeBuilder) LdcInt(v int32) *CodeBuilder {
+	switch {
+	case v >= -1 && v <= 5:
+		return b.Op(bytecode.Opcode(byte(bytecode.Iconst0) + byte(v)))
+	case v >= -128 && v <= 127:
+		return b.U1(bytecode.Bipush, byte(int8(v)))
+	case v >= -32768 && v <= 32767:
+		return b.U2(bytecode.Sipush, uint16(int16(v)))
+	default:
+		idx := b.pool.AddInteger(v)
+		if idx <= 0xFF {
+			return b.U1(bytecode.Ldc, byte(idx))
+		}
+		return b.U2(bytecode.LdcW, idx)
+	}
+}
+
+// Getstatic emits a getstatic against a field reference.
+func (b *CodeBuilder) Getstatic(class, name, desc string) *CodeBuilder {
+	return b.U2(bytecode.Getstatic, b.pool.AddFieldref(class, name, desc))
+}
+
+// Putstatic emits a putstatic against a field reference.
+func (b *CodeBuilder) Putstatic(class, name, desc string) *CodeBuilder {
+	return b.U2(bytecode.Putstatic, b.pool.AddFieldref(class, name, desc))
+}
+
+// Getfield emits a getfield against a field reference.
+func (b *CodeBuilder) Getfield(class, name, desc string) *CodeBuilder {
+	return b.U2(bytecode.Getfield, b.pool.AddFieldref(class, name, desc))
+}
+
+// Putfield emits a putfield against a field reference.
+func (b *CodeBuilder) Putfield(class, name, desc string) *CodeBuilder {
+	return b.U2(bytecode.Putfield, b.pool.AddFieldref(class, name, desc))
+}
+
+// Invokevirtual emits an invokevirtual against a method reference.
+func (b *CodeBuilder) Invokevirtual(class, name, desc string) *CodeBuilder {
+	return b.U2(bytecode.Invokevirtual, b.pool.AddMethodref(class, name, desc))
+}
+
+// Invokespecial emits an invokespecial against a method reference.
+func (b *CodeBuilder) Invokespecial(class, name, desc string) *CodeBuilder {
+	return b.U2(bytecode.Invokespecial, b.pool.AddMethodref(class, name, desc))
+}
+
+// Invokestatic emits an invokestatic against a method reference.
+func (b *CodeBuilder) Invokestatic(class, name, desc string) *CodeBuilder {
+	return b.U2(bytecode.Invokestatic, b.pool.AddMethodref(class, name, desc))
+}
+
+// New emits a new instruction for the named class.
+func (b *CodeBuilder) New(class string) *CodeBuilder {
+	return b.U2(bytecode.New, b.pool.AddClass(class))
+}
+
+// Checkcast emits a checkcast for the named class.
+func (b *CodeBuilder) Checkcast(class string) *CodeBuilder {
+	return b.U2(bytecode.Checkcast, b.pool.AddClass(class))
+}
+
+// Handler records an exception-table entry.
+func (b *CodeBuilder) Handler(startPC, endPC, handlerPC int, catchType string) *CodeBuilder {
+	var ct uint16
+	if catchType != "" {
+		ct = b.pool.AddClass(catchType)
+	}
+	b.handlers = append(b.handlers, ExceptionHandler{
+		StartPC:   uint16(startPC),
+		EndPC:     uint16(endPC),
+		HandlerPC: uint16(handlerPC),
+		CatchType: ct,
+	})
+	return b
+}
+
+// Build returns the finished Code attribute. If max values were not set
+// explicitly, generous defaults based on code length are used; the
+// verifier in internal/jvm recomputes real stack usage anyway.
+func (b *CodeBuilder) Build() *CodeAttr {
+	ms, ml := b.maxStack, b.maxLocals
+	if ms == 0 {
+		ms = 8
+	}
+	if ml == 0 {
+		ml = 8
+	}
+	return &CodeAttr{
+		MaxStack:  ms,
+		MaxLocals: ml,
+		Code:      append([]byte(nil), b.code...),
+		Handlers:  append([]ExceptionHandler(nil), b.handlers...),
+	}
+}
+
+// AttachStandardMain appends the fuzzing harness main method the paper
+// describes (§2.2.1): a public static void main(String[]) that prints a
+// completion message, so a mutant either runs it or fails earlier in
+// the startup pipeline.
+func AttachStandardMain(f *File, message string) {
+	cb := NewCodeBuilder(f.Pool)
+	cb.Getstatic("java/lang/System", "out", "Ljava/io/PrintStream;").
+		Ldc(message).
+		Invokevirtual("java/io/PrintStream", "println", "(Ljava/lang/String;)V").
+		Op(bytecode.Return)
+	cb.SetMaxStack(2).SetMaxLocals(1)
+	m := f.AddMethod(AccPublic|AccStatic, "main", "([Ljava/lang/String;)V")
+	m.Attributes = append(m.Attributes, cb.Build())
+}
+
+// AttachDefaultInit appends the canonical no-arg constructor calling
+// super.<init>.
+func AttachDefaultInit(f *File) {
+	super := f.SuperName()
+	if super == "" {
+		super = "java/lang/Object"
+	}
+	cb := NewCodeBuilder(f.Pool)
+	cb.Op(bytecode.Aload0).
+		Invokespecial(super, "<init>", "()V").
+		Op(bytecode.Return)
+	cb.SetMaxStack(1).SetMaxLocals(1)
+	m := f.AddMethod(AccPublic, "<init>", "()V")
+	m.Attributes = append(m.Attributes, cb.Build())
+}

@@ -1,0 +1,241 @@
+package classfile
+
+import (
+	"fmt"
+)
+
+// Magic is the classfile magic number.
+const Magic = 0xCAFEBABE
+
+// Well-known major version numbers.
+const (
+	MajorJava5 = 49
+	MajorJava6 = 50
+	MajorJava7 = 51
+	MajorJava8 = 52
+	MajorJava9 = 53
+)
+
+// File is a parsed classfile: the this_class structure plus its constant
+// pool, member tables and attributes. All indices refer into Pool.
+type File struct {
+	Minor uint16
+	Major uint16
+	Pool  *ConstPool
+
+	AccessFlags Flags
+	ThisClass   uint16 // Class entry
+	SuperClass  uint16 // Class entry; 0 only for java/lang/Object
+	Interfaces  []uint16
+
+	Fields     []*Member
+	Methods    []*Member
+	Attributes []Attribute
+}
+
+// Member is a field_info or method_info structure.
+type Member struct {
+	AccessFlags Flags
+	NameIndex   uint16
+	DescIndex   uint16
+	Attributes  []Attribute
+}
+
+// New creates an empty public class with the standard version-51 header
+// and a superclass of java/lang/Object.
+func New(internalName string) *File {
+	f := &File{
+		Minor: 0,
+		Major: MajorJava7,
+		Pool:  NewConstPool(),
+	}
+	f.AccessFlags = AccPublic | AccSuper
+	f.ThisClass = f.Pool.AddClass(internalName)
+	f.SuperClass = f.Pool.AddClass("java/lang/Object")
+	return f
+}
+
+// Name returns the internal name of this class, or "" when the
+// this_class index is dangling.
+func (f *File) Name() string {
+	n, _ := f.Pool.ClassName(f.ThisClass)
+	return n
+}
+
+// SuperName returns the internal name of the superclass, "" for none.
+func (f *File) SuperName() string {
+	if f.SuperClass == 0 {
+		return ""
+	}
+	n, _ := f.Pool.ClassName(f.SuperClass)
+	return n
+}
+
+// InterfaceNames resolves the interface table to internal names;
+// unresolvable entries appear as "".
+func (f *File) InterfaceNames() []string {
+	out := make([]string, len(f.Interfaces))
+	for i, idx := range f.Interfaces {
+		out[i], _ = f.Pool.ClassName(idx)
+	}
+	return out
+}
+
+// IsInterface reports whether ACC_INTERFACE is set.
+func (f *File) IsInterface() bool { return f.AccessFlags.Has(AccInterface) }
+
+// Name returns the member's name via the pool.
+func (m *Member) Name(cp *ConstPool) string {
+	n, _ := cp.Utf8(m.NameIndex)
+	return n
+}
+
+// Descriptor returns the member's descriptor via the pool.
+func (m *Member) Descriptor(cp *ConstPool) string {
+	d, _ := cp.Utf8(m.DescIndex)
+	return d
+}
+
+// Code returns the member's Code attribute, or nil.
+func (m *Member) Code() *CodeAttr {
+	for _, a := range m.Attributes {
+		if c, ok := a.(*CodeAttr); ok {
+			return c
+		}
+	}
+	return nil
+}
+
+// Exceptions returns the member's Exceptions attribute, or nil.
+func (m *Member) Exceptions() *ExceptionsAttr {
+	for _, a := range m.Attributes {
+		if e, ok := a.(*ExceptionsAttr); ok {
+			return e
+		}
+	}
+	return nil
+}
+
+// RemoveAttribute deletes all attributes with the given name.
+func (m *Member) RemoveAttribute(cp *ConstPool, name string) {
+	out := m.Attributes[:0]
+	for _, a := range m.Attributes {
+		if a.AttrName() != name {
+			out = append(out, a)
+		}
+	}
+	m.Attributes = out
+}
+
+// FindMethod returns the first method with the given name (any
+// descriptor), or nil.
+func (f *File) FindMethod(name string) *Member {
+	for _, m := range f.Methods {
+		if m.Name(f.Pool) == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// FindMethodExact returns the method with the given name and descriptor,
+// or nil.
+func (f *File) FindMethodExact(name, desc string) *Member {
+	for _, m := range f.Methods {
+		if m.Name(f.Pool) == name && m.Descriptor(f.Pool) == desc {
+			return m
+		}
+	}
+	return nil
+}
+
+// FindField returns the first field with the given name, or nil.
+func (f *File) FindField(name string) *Member {
+	for _, fl := range f.Fields {
+		if fl.Name(f.Pool) == name {
+			return fl
+		}
+	}
+	return nil
+}
+
+// SetSuper rewrites the superclass to the named class.
+func (f *File) SetSuper(internalName string) {
+	f.SuperClass = f.Pool.AddClass(internalName)
+}
+
+// AddInterface appends an implemented interface by name.
+func (f *File) AddInterface(internalName string) {
+	f.Interfaces = append(f.Interfaces, f.Pool.AddClass(internalName))
+}
+
+// AddField appends a new field and returns it.
+func (f *File) AddField(flags Flags, name, desc string) *Member {
+	m := &Member{
+		AccessFlags: flags,
+		NameIndex:   f.Pool.AddUtf8(name),
+		DescIndex:   f.Pool.AddUtf8(desc),
+	}
+	f.Fields = append(f.Fields, m)
+	return m
+}
+
+// AddMethod appends a new method (without a Code attribute) and returns it.
+func (f *File) AddMethod(flags Flags, name, desc string) *Member {
+	m := &Member{
+		AccessFlags: flags,
+		NameIndex:   f.Pool.AddUtf8(name),
+		DescIndex:   f.Pool.AddUtf8(desc),
+	}
+	f.Methods = append(f.Methods, m)
+	return m
+}
+
+// Clone returns a deep copy of the classfile so a mutation can be
+// applied without touching the original.
+func (f *File) Clone() *File {
+	out := &File{
+		Minor:       f.Minor,
+		Major:       f.Major,
+		Pool:        f.Pool.Clone(),
+		AccessFlags: f.AccessFlags,
+		ThisClass:   f.ThisClass,
+		SuperClass:  f.SuperClass,
+		Interfaces:  append([]uint16(nil), f.Interfaces...),
+	}
+	out.Fields = cloneMembers(f.Fields)
+	out.Methods = cloneMembers(f.Methods)
+	out.Attributes = cloneAttrs(f.Attributes)
+	return out
+}
+
+func cloneMembers(ms []*Member) []*Member {
+	out := make([]*Member, len(ms))
+	for i, m := range ms {
+		out[i] = &Member{
+			AccessFlags: m.AccessFlags,
+			NameIndex:   m.NameIndex,
+			DescIndex:   m.DescIndex,
+			Attributes:  cloneAttrs(m.Attributes),
+		}
+	}
+	return out
+}
+
+func cloneAttrs(as []Attribute) []Attribute {
+	out := make([]Attribute, len(as))
+	for i, a := range as {
+		out[i] = a.CloneAttr()
+	}
+	return out
+}
+
+// FormatError reports a structurally malformed classfile during parsing.
+type FormatError struct {
+	Offset int
+	Reason string
+}
+
+func (e *FormatError) Error() string {
+	return fmt.Sprintf("classfile: format error at offset %d: %s", e.Offset, e.Reason)
+}

@@ -1,0 +1,410 @@
+package classfile
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// buildSample constructs a small class resembling the paper's Figure 2:
+// a class with <clinit>, <init>, one field, and the standard main.
+func buildSample() *File {
+	f := New("M1436188543")
+	f.AddField(AccProtected|AccFinal, "MAP", "Ljava/util/Map;")
+	AttachDefaultInit(f)
+	AttachStandardMain(f, "Completed!")
+	clinit := f.AddMethod(AccStatic, "<clinit>", "()V")
+	cb := NewCodeBuilder(f.Pool)
+	cb.Op(0xb1) // return
+	cb.SetMaxStack(0).SetMaxLocals(0)
+	clinit.Attributes = append(clinit.Attributes, cb.Build())
+	f.Attributes = append(f.Attributes, &SourceFileAttr{NameIndex: f.Pool.AddUtf8("M1436188543.java")})
+	return f
+}
+
+func TestNewDefaults(t *testing.T) {
+	f := New("pkg/Cls")
+	if f.Name() != "pkg/Cls" {
+		t.Errorf("Name = %q", f.Name())
+	}
+	if f.SuperName() != "java/lang/Object" {
+		t.Errorf("Super = %q", f.SuperName())
+	}
+	if f.Major != MajorJava7 {
+		t.Errorf("Major = %d", f.Major)
+	}
+	if !f.AccessFlags.Has(AccPublic | AccSuper) {
+		t.Error("missing default flags")
+	}
+}
+
+func TestSerialiseParseRoundTrip(t *testing.T) {
+	f := buildSample()
+	data, err := f.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name() != f.Name() || g.SuperName() != f.SuperName() {
+		t.Error("identity lost in round trip")
+	}
+	if len(g.Fields) != 1 || len(g.Methods) != 3 {
+		t.Fatalf("members = %d fields, %d methods", len(g.Fields), len(g.Methods))
+	}
+	if g.Fields[0].Name(g.Pool) != "MAP" || g.Fields[0].Descriptor(g.Pool) != "Ljava/util/Map;" {
+		t.Error("field lost")
+	}
+	main := g.FindMethodExact("main", "([Ljava/lang/String;)V")
+	if main == nil {
+		t.Fatal("main missing")
+	}
+	if main.Code() == nil {
+		t.Fatal("main Code attribute missing")
+	}
+	if main.Code().MaxStack != 2 || main.Code().MaxLocals != 1 {
+		t.Error("code header lost")
+	}
+	// Second serialisation must be byte-identical (stability).
+	data2, err := g.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Error("serialisation not stable")
+	}
+}
+
+func TestParseRejectsBadMagic(t *testing.T) {
+	f := buildSample()
+	data, _ := f.Bytes()
+	data[0] = 0xDE
+	if _, err := Parse(data); err == nil {
+		t.Error("bad magic must be rejected")
+	}
+}
+
+func TestParseRejectsTruncation(t *testing.T) {
+	f := buildSample()
+	data, _ := f.Bytes()
+	for _, cut := range []int{1, 4, 9, 20, len(data) / 2, len(data) - 1} {
+		if _, err := Parse(data[:cut]); err == nil {
+			t.Errorf("truncation at %d must be rejected", cut)
+		}
+	}
+}
+
+func TestParseRejectsTrailingBytes(t *testing.T) {
+	f := buildSample()
+	data, _ := f.Bytes()
+	if _, err := Parse(append(data, 0x00)); err == nil {
+		t.Error("trailing bytes must be rejected")
+	}
+}
+
+func TestParseRejectsUnknownConstantTag(t *testing.T) {
+	f := buildSample()
+	data, _ := f.Bytes()
+	// First tag byte sits right after magic+versions+count = offset 10.
+	data[10] = 99
+	if _, err := Parse(data); err == nil {
+		t.Error("unknown constant tag must be rejected")
+	}
+}
+
+func TestWideConstantsOccupyTwoSlots(t *testing.T) {
+	f := New("C")
+	li := f.Pool.AddLong(1 << 40)
+	di := f.Pool.AddDouble(3.14)
+	if f.Pool.Get(li+1) != nil {
+		t.Error("slot after long must be nil")
+	}
+	if f.Pool.Get(di+1) != nil {
+		t.Error("slot after double must be nil")
+	}
+	data, err := f.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := g.Pool.Get(li); c == nil || c.Long != 1<<40 {
+		t.Error("long value lost")
+	}
+	if c := g.Pool.Get(di); c == nil || c.Double != 3.14 {
+		t.Error("double value lost")
+	}
+}
+
+func TestConstPoolInterning(t *testing.T) {
+	cp := NewConstPool()
+	a := cp.AddUtf8("hello")
+	b := cp.AddUtf8("hello")
+	if a != b {
+		t.Error("Utf8 not interned")
+	}
+	c1 := cp.AddClass("java/lang/Object")
+	c2 := cp.AddClass("java/lang/Object")
+	if c1 != c2 {
+		t.Error("Class not interned")
+	}
+	m1 := cp.AddMethodref("A", "m", "()V")
+	m2 := cp.AddMethodref("A", "m", "()V")
+	if m1 != m2 {
+		t.Error("Methodref not interned")
+	}
+	f1 := cp.AddFieldref("A", "m", "()V")
+	if f1 == m1 {
+		t.Error("Fieldref and Methodref must be distinct entries")
+	}
+}
+
+func TestMemberRefResolution(t *testing.T) {
+	cp := NewConstPool()
+	idx := cp.AddMethodref("java/io/PrintStream", "println", "(Ljava/lang/String;)V")
+	cls, name, desc, ok := cp.MemberRef(idx)
+	if !ok || cls != "java/io/PrintStream" || name != "println" || desc != "(Ljava/lang/String;)V" {
+		t.Errorf("MemberRef = %q %q %q %v", cls, name, desc, ok)
+	}
+	if _, _, _, ok := cp.MemberRef(0); ok {
+		t.Error("index 0 must not resolve")
+	}
+}
+
+func TestExceptionsAttrRoundTrip(t *testing.T) {
+	f := New("C")
+	m := f.AddMethod(AccPublic, "m", "()V")
+	ex := &ExceptionsAttr{Classes: []uint16{f.Pool.AddClass("java/lang/Exception"), f.Pool.AddClass("java/io/IOException")}}
+	m.Attributes = append(m.Attributes, ex)
+	data, err := f.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := g.Methods[0].Exceptions()
+	if got == nil || len(got.Classes) != 2 {
+		t.Fatal("Exceptions attribute lost")
+	}
+	n, _ := g.Pool.ClassName(got.Classes[1])
+	if n != "java/io/IOException" {
+		t.Errorf("second exception = %q", n)
+	}
+}
+
+func TestExceptionHandlersRoundTrip(t *testing.T) {
+	f := New("C")
+	cb := NewCodeBuilder(f.Pool)
+	cb.Op(0xb1)
+	cb.Handler(0, 1, 0, "java/lang/Throwable")
+	cb.Handler(0, 1, 0, "") // catch-all
+	m := f.AddMethod(AccPublic|AccStatic, "m", "()V")
+	m.Attributes = append(m.Attributes, cb.Build())
+	data, _ := f.Bytes()
+	g, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := g.Methods[0].Code().Handlers
+	if len(hs) != 2 {
+		t.Fatalf("handlers = %d", len(hs))
+	}
+	if hs[1].CatchType != 0 {
+		t.Error("catch-all type must stay 0")
+	}
+}
+
+func TestUnknownAttributePreserved(t *testing.T) {
+	f := New("C")
+	f.Attributes = append(f.Attributes, &RawAttr{Name: "MadeUpAttr", Data: []byte{1, 2, 3, 4}})
+	f.Pool.AddUtf8("MadeUpAttr")
+	data, _ := f.Bytes()
+	g, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found *RawAttr
+	for _, a := range g.Attributes {
+		if r, ok := a.(*RawAttr); ok && r.Name == "MadeUpAttr" {
+			found = r
+		}
+	}
+	if found == nil || !bytes.Equal(found.Data, []byte{1, 2, 3, 4}) {
+		t.Error("unknown attribute not preserved")
+	}
+}
+
+func TestModifiedUTF8(t *testing.T) {
+	cases := []string{"", "hello", "héllo", "日本語", "a\x00b", "ࠀ"}
+	for _, s := range cases {
+		enc := encodeModifiedUTF8(s)
+		dec, err := decodeModifiedUTF8(enc)
+		if err != nil {
+			t.Errorf("decode(%q): %v", s, err)
+			continue
+		}
+		if dec != s {
+			t.Errorf("round trip %q -> %q", s, dec)
+		}
+	}
+	// Embedded raw NUL is illegal in modified UTF-8.
+	if _, err := decodeModifiedUTF8([]byte{0x00}); err == nil {
+		t.Error("raw NUL must be rejected")
+	}
+	if _, err := decodeModifiedUTF8([]byte{0xC0}); err == nil {
+		t.Error("truncated sequence must be rejected")
+	}
+	if _, err := decodeModifiedUTF8([]byte{0xF0, 0x90, 0x80, 0x80}); err == nil {
+		t.Error("4-byte UTF-8 is not modified UTF-8")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	f := buildSample()
+	g := f.Clone()
+	g.SetSuper("java/lang/Thread")
+	g.Methods[0].AccessFlags |= AccStatic
+	g.Pool.AddUtf8("extra")
+	if f.SuperName() != "java/lang/Object" {
+		t.Error("clone shares superclass state")
+	}
+	if f.Methods[0].AccessFlags.Has(AccStatic) {
+		t.Error("clone shares member flags")
+	}
+}
+
+func TestFlagsHelpers(t *testing.T) {
+	f := AccPublic | AccStatic
+	if !f.Has(AccPublic) || f.Has(AccFinal) {
+		t.Error("Has wrong")
+	}
+	if !f.With(AccFinal).Has(AccFinal) {
+		t.Error("With wrong")
+	}
+	if f.Without(AccStatic).Has(AccStatic) {
+		t.Error("Without wrong")
+	}
+	if (AccPublic | AccPrivate).VisibilityCount() != 2 {
+		t.Error("VisibilityCount wrong")
+	}
+	if got := (AccPublic | AccAbstract).MethodFlagString(); got != "ACC_PUBLIC, ACC_ABSTRACT" {
+		t.Errorf("MethodFlagString = %q", got)
+	}
+	if got := (AccPublic | AccSuper).ClassFlagString(); got != "ACC_PUBLIC, ACC_SUPER" {
+		t.Errorf("ClassFlagString = %q", got)
+	}
+}
+
+func TestDumpContainsStructure(t *testing.T) {
+	f := buildSample()
+	d := f.Dump()
+	for _, want := range []string{"class M1436188543", "major version: 51", "Constant pool:", "main", "<clinit>", "invokevirtual"} {
+		if !bytes.Contains([]byte(d), []byte(want)) {
+			t.Errorf("dump missing %q", want)
+		}
+	}
+}
+
+// randomClass builds a structurally valid random class for property tests.
+func randomClass(rng *rand.Rand) *File {
+	f := New("R" + string(rune('A'+rng.Intn(26))))
+	nf := rng.Intn(5)
+	for i := 0; i < nf; i++ {
+		descs := []string{"I", "J", "Ljava/lang/String;", "[B", "D"}
+		f.AddField(Flags(rng.Intn(0x10)), "f"+string(rune('a'+i)), descs[rng.Intn(len(descs))])
+	}
+	nm := rng.Intn(4)
+	for i := 0; i < nm; i++ {
+		m := f.AddMethod(AccPublic, "m"+string(rune('a'+i)), "()V")
+		if rng.Intn(2) == 0 {
+			cb := NewCodeBuilder(f.Pool)
+			for j := 0; j < rng.Intn(5); j++ {
+				cb.LdcInt(int32(rng.Intn(1000) - 500)).Op(0x57) // pop
+			}
+			cb.Op(0xb1)
+			m.Attributes = append(m.Attributes, cb.Build())
+		}
+	}
+	if rng.Intn(2) == 0 {
+		AttachStandardMain(f, "ok")
+	}
+	if rng.Intn(2) == 0 {
+		f.AddInterface("java/io/Serializable")
+	}
+	f.Pool.AddLong(int64(rng.Uint64()))
+	f.Pool.AddDouble(rng.Float64())
+	return f
+}
+
+// TestPropertySerialiseParseIdentity: Parse∘Bytes preserves Bytes output.
+func TestPropertySerialiseParseIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cls := randomClass(rng)
+		data, err := cls.Bytes()
+		if err != nil {
+			return false
+		}
+		parsed, err := Parse(data)
+		if err != nil {
+			return false
+		}
+		data2, err := parsed.Bytes()
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(data, data2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyParseNeverPanics: arbitrary byte soup must produce an
+// error, never a panic or a hang.
+func TestPropertyParseNeverPanics(t *testing.T) {
+	f := func(data []byte) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+			}
+		}()
+		Parse(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyParseMutatedBytesNeverPanics: flip bytes of a valid class.
+func TestPropertyParseMutatedBytesNeverPanics(t *testing.T) {
+	base, err := buildSample().Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+			}
+		}()
+		rng := rand.New(rand.NewSource(seed))
+		data := append([]byte(nil), base...)
+		for i := 0; i < 1+rng.Intn(8); i++ {
+			data[rng.Intn(len(data))] = byte(rng.Intn(256))
+		}
+		Parse(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,137 @@
+package classfile
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bytecode"
+	"repro/internal/descriptor"
+)
+
+// Dump renders the classfile in a javap -v style for humans, matching
+// the shape of Figure 2 in the paper. It tolerates malformed classes
+// (dangling indices render as placeholders) because its main use is
+// inspecting fuzzing mutants.
+func (f *File) Dump() string {
+	var b strings.Builder
+	name := f.Name()
+	if name == "" {
+		name = fmt.Sprintf("<bad this_class #%d>", f.ThisClass)
+	}
+	kw := "class"
+	if f.IsInterface() {
+		kw = "interface"
+	}
+	fmt.Fprintf(&b, "%s %s", kw, strings.ReplaceAll(name, "/", "."))
+	if s := f.SuperName(); s != "" && s != "java/lang/Object" {
+		fmt.Fprintf(&b, " extends %s", strings.ReplaceAll(s, "/", "."))
+	}
+	if len(f.Interfaces) > 0 {
+		var ifs []string
+		for _, n := range f.InterfaceNames() {
+			if n == "" {
+				n = "<bad>"
+			}
+			ifs = append(ifs, strings.ReplaceAll(n, "/", "."))
+		}
+		fmt.Fprintf(&b, " implements %s", strings.Join(ifs, ", "))
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "  minor version: %d\n", f.Minor)
+	fmt.Fprintf(&b, "  major version: %d\n", f.Major)
+	fmt.Fprintf(&b, "  flags: %s\n", f.AccessFlags.ClassFlagString())
+	b.WriteString("Constant pool:\n")
+	for i := 1; i < f.Pool.Count(); i++ {
+		if f.Pool.Entries[i] == nil {
+			continue
+		}
+		fmt.Fprintf(&b, "  #%d = %s\n", i, f.Pool.Describe(uint16(i)))
+	}
+	b.WriteString("{\n")
+	for _, fl := range f.Fields {
+		fmt.Fprintf(&b, "  %s %s;\n", fieldDecl(f.Pool, fl), fl.Name(f.Pool))
+		fmt.Fprintf(&b, "    flags: %s\n", fl.AccessFlags.FieldFlagString())
+	}
+	for _, m := range f.Methods {
+		fmt.Fprintf(&b, "  %s;\n", methodDecl(f.Pool, m))
+		fmt.Fprintf(&b, "    flags: %s\n", m.AccessFlags.MethodFlagString())
+		if ex := m.Exceptions(); ex != nil && len(ex.Classes) > 0 {
+			var names []string
+			for _, c := range ex.Classes {
+				n, _ := f.Pool.ClassName(c)
+				if n == "" {
+					n = fmt.Sprintf("<bad #%d>", c)
+				}
+				names = append(names, strings.ReplaceAll(n, "/", "."))
+			}
+			fmt.Fprintf(&b, "    throws: %s\n", strings.Join(names, ", "))
+		}
+		if c := m.Code(); c != nil {
+			fmt.Fprintf(&b, "    Code:\n      stack=%d, locals=%d\n", c.MaxStack, c.MaxLocals)
+			ins, err := bytecode.Decode(c.Code)
+			if err != nil {
+				fmt.Fprintf(&b, "      <undecodable: %v>\n", err)
+			} else {
+				for _, in := range ins {
+					fmt.Fprintf(&b, "      %s%s\n", in.String(), cpComment(f.Pool, in))
+				}
+			}
+			for _, h := range c.Handlers {
+				ct := "any"
+				if h.CatchType != 0 {
+					ct, _ = f.Pool.ClassName(h.CatchType)
+				}
+				fmt.Fprintf(&b, "      handler: [%d,%d) -> %d catch %s\n", h.StartPC, h.EndPC, h.HandlerPC, ct)
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func fieldDecl(cp *ConstPool, m *Member) string {
+	d := m.Descriptor(cp)
+	t, err := descriptor.ParseField(d)
+	typ := d
+	if err == nil {
+		typ = t.Java()
+	}
+	mods := strings.ToLower(strings.ReplaceAll(m.AccessFlags.FieldFlagString(), "ACC_", ""))
+	mods = strings.ReplaceAll(mods, ",", "")
+	if mods != "" {
+		return mods + " " + typ
+	}
+	return typ
+}
+
+func methodDecl(cp *ConstPool, m *Member) string {
+	d := m.Descriptor(cp)
+	name := m.Name(cp)
+	md, err := descriptor.ParseMethod(d)
+	if err != nil {
+		return fmt.Sprintf("%s%s", name, d)
+	}
+	var params []string
+	for _, p := range md.Params {
+		params = append(params, p.Java())
+	}
+	mods := strings.ToLower(strings.ReplaceAll(m.AccessFlags.MethodFlagString(), "ACC_", ""))
+	mods = strings.ReplaceAll(mods, ",", "")
+	decl := fmt.Sprintf("%s %s(%s)", md.Return.Java(), name, strings.Join(params, ", "))
+	if mods != "" {
+		return mods + " " + decl
+	}
+	return decl
+}
+
+func cpComment(cp *ConstPool, in *bytecode.Instruction) string {
+	info, _ := bytecode.Lookup(in.Op)
+	switch info.Kind {
+	case bytecode.OpCPByte, bytecode.OpCPShort, bytecode.OpInvokeInterface, bytecode.OpInvokeDynamic, bytecode.OpMultianewarray:
+		if cp.Valid(in.CPIndex) {
+			return " // " + cp.Describe(in.CPIndex)
+		}
+		return " // <dangling>"
+	}
+	return ""
+}

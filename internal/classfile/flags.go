@@ -1,0 +1,92 @@
+package classfile
+
+import "strings"
+
+// Flags is an access_flags bitmask for classes, fields or methods.
+type Flags uint16
+
+// Access and property flags (JVMS Tables 4.1-A, 4.5-A, 4.6-A).
+const (
+	AccPublic       Flags = 0x0001
+	AccPrivate      Flags = 0x0002
+	AccProtected    Flags = 0x0004
+	AccStatic       Flags = 0x0008
+	AccFinal        Flags = 0x0010
+	AccSuper        Flags = 0x0020 // classes
+	AccSynchronized Flags = 0x0020 // methods
+	AccVolatile     Flags = 0x0040 // fields
+	AccBridge       Flags = 0x0040 // methods
+	AccTransient    Flags = 0x0080 // fields
+	AccVarargs      Flags = 0x0080 // methods
+	AccNative       Flags = 0x0100 // methods
+	AccInterface    Flags = 0x0200 // classes
+	AccAbstract     Flags = 0x0400
+	AccStrict       Flags = 0x0800 // methods
+	AccSynthetic    Flags = 0x1000
+	AccAnnotation   Flags = 0x2000 // classes
+	AccEnum         Flags = 0x4000
+)
+
+// Has reports whether all bits of f2 are set in f.
+func (f Flags) Has(f2 Flags) bool { return f&f2 == f2 }
+
+// With returns f with the bits of f2 set.
+func (f Flags) With(f2 Flags) Flags { return f | f2 }
+
+// Without returns f with the bits of f2 cleared.
+func (f Flags) Without(f2 Flags) Flags { return f &^ f2 }
+
+// VisibilityCount returns how many of public/private/protected are set
+// (at most one is legal).
+func (f Flags) VisibilityCount() int {
+	n := 0
+	for _, v := range []Flags{AccPublic, AccPrivate, AccProtected} {
+		if f.Has(v) {
+			n++
+		}
+	}
+	return n
+}
+
+type flagName struct {
+	bit  Flags
+	name string
+}
+
+var classFlagNames = []flagName{
+	{AccPublic, "ACC_PUBLIC"}, {AccFinal, "ACC_FINAL"}, {AccSuper, "ACC_SUPER"},
+	{AccInterface, "ACC_INTERFACE"}, {AccAbstract, "ACC_ABSTRACT"},
+	{AccSynthetic, "ACC_SYNTHETIC"}, {AccAnnotation, "ACC_ANNOTATION"}, {AccEnum, "ACC_ENUM"},
+}
+
+var fieldFlagNames = []flagName{
+	{AccPublic, "ACC_PUBLIC"}, {AccPrivate, "ACC_PRIVATE"}, {AccProtected, "ACC_PROTECTED"},
+	{AccStatic, "ACC_STATIC"}, {AccFinal, "ACC_FINAL"}, {AccVolatile, "ACC_VOLATILE"},
+	{AccTransient, "ACC_TRANSIENT"}, {AccSynthetic, "ACC_SYNTHETIC"}, {AccEnum, "ACC_ENUM"},
+}
+
+var methodFlagNames = []flagName{
+	{AccPublic, "ACC_PUBLIC"}, {AccPrivate, "ACC_PRIVATE"}, {AccProtected, "ACC_PROTECTED"},
+	{AccStatic, "ACC_STATIC"}, {AccFinal, "ACC_FINAL"}, {AccSynchronized, "ACC_SYNCHRONIZED"},
+	{AccBridge, "ACC_BRIDGE"}, {AccVarargs, "ACC_VARARGS"}, {AccNative, "ACC_NATIVE"},
+	{AccAbstract, "ACC_ABSTRACT"}, {AccStrict, "ACC_STRICT"}, {AccSynthetic, "ACC_SYNTHETIC"},
+}
+
+func describeFlags(f Flags, names []flagName) string {
+	var parts []string
+	for _, fn := range names {
+		if f.Has(fn.bit) {
+			parts = append(parts, fn.name)
+		}
+	}
+	return strings.Join(parts, ", ")
+}
+
+// ClassFlagString renders f using class-context names.
+func (f Flags) ClassFlagString() string { return describeFlags(f, classFlagNames) }
+
+// FieldFlagString renders f using field-context names.
+func (f Flags) FieldFlagString() string { return describeFlags(f, fieldFlagNames) }
+
+// MethodFlagString renders f using method-context names.
+func (f Flags) MethodFlagString() string { return describeFlags(f, methodFlagNames) }

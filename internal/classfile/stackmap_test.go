@@ -1,0 +1,186 @@
+package classfile
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestStackMapDecodeEncodeRoundTrip(t *testing.T) {
+	frames := []StackMapFrame{
+		{Kind: FrameSame, OffsetDelta: 5},
+		{Kind: FrameSameLocals1Stack, OffsetDelta: 10,
+			Stack: []VerificationTypeInfo{{Tag: VTInteger}}},
+		{Kind: FrameChop, OffsetDelta: 300, Chopped: 2},
+		{Kind: FrameSameExtended, OffsetDelta: 100},
+		{Kind: FrameAppend, OffsetDelta: 7,
+			Locals: []VerificationTypeInfo{{Tag: VTObject, CPoolIndex: 12}, {Tag: VTLong}}},
+		{Kind: FrameFull, OffsetDelta: 9,
+			Locals: []VerificationTypeInfo{{Tag: VTUninitializedThis}, {Tag: VTDouble}},
+			Stack:  []VerificationTypeInfo{{Tag: VTUninitialized, Offset: 4}, {Tag: VTNull}}},
+	}
+	attr := EncodeStackMap(frames)
+	got, err := DecodeStackMap(attr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(frames) {
+		t.Fatalf("%d frames, want %d", len(got), len(frames))
+	}
+	for i := range frames {
+		if got[i].Kind != frames[i].Kind || got[i].OffsetDelta != frames[i].OffsetDelta {
+			t.Errorf("frame %d: %+v vs %+v", i, got[i], frames[i])
+		}
+	}
+	if got[2].Chopped != 2 {
+		t.Error("chop count lost")
+	}
+	if got[4].Locals[0].CPoolIndex != 12 || got[4].Locals[1].Tag != VTLong {
+		t.Error("append locals lost")
+	}
+	if got[5].Stack[0].Offset != 4 {
+		t.Error("uninitialized offset lost")
+	}
+	// Byte-exactness of a second encode.
+	if !bytes.Equal(EncodeStackMap(got).Raw, attr.Raw) {
+		t.Error("re-encode not byte-exact")
+	}
+}
+
+func TestStackMapPromotionOnLargeDelta(t *testing.T) {
+	// A Same frame with delta > 63 must promote to same_frame_extended.
+	attr := EncodeStackMap([]StackMapFrame{{Kind: FrameSame, OffsetDelta: 200}})
+	got, err := DecodeStackMap(attr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Kind != FrameSameExtended || got[0].OffsetDelta != 200 {
+		t.Errorf("promotion lost: %+v", got[0])
+	}
+	attr2 := EncodeStackMap([]StackMapFrame{{Kind: FrameSameLocals1Stack, OffsetDelta: 100,
+		Stack: []VerificationTypeInfo{{Tag: VTFloat}}}})
+	got2, err := DecodeStackMap(attr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2[0].Kind != FrameSameLocals1StackExtended {
+		t.Errorf("1-stack promotion lost: %+v", got2[0])
+	}
+}
+
+func TestStackMapDecodeErrors(t *testing.T) {
+	bad := [][]byte{
+		{0x00, 0x01},                  // promised one frame, none present
+		{0x00, 0x01, 246},             // reserved frame type
+		{0x00, 0x01, 64, 99},          // invalid verification tag
+		{0x00, 0x01, 0x00, 0xFF},      // same frame then trailing byte
+		{0x00, 0x01, 255, 0x00, 0x01}, // truncated full frame
+	}
+	for _, raw := range bad {
+		if _, err := DecodeStackMap(&StackMapTableAttr{Raw: raw}); err == nil {
+			t.Errorf("DecodeStackMap(% x) should fail", raw)
+		}
+	}
+}
+
+func TestStackMapAttachedToMethod(t *testing.T) {
+	f := New("SMHost")
+	AttachDefaultInit(f)
+	code := f.Methods[0].Code()
+	frames := []StackMapFrame{
+		{Kind: FrameSame, OffsetDelta: 4},
+		{Kind: FrameAppend, OffsetDelta: 2, Locals: []VerificationTypeInfo{{Tag: VTInteger}}},
+	}
+	code.Attributes = append(code.Attributes, EncodeStackMap(frames))
+	data, err := f.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sm *StackMapTableAttr
+	for _, a := range g.Methods[0].Code().Attributes {
+		if s, ok := a.(*StackMapTableAttr); ok {
+			sm = s
+		}
+	}
+	if sm == nil {
+		t.Fatal("StackMapTable lost in round trip")
+	}
+	got, err := DecodeStackMap(sm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[1].Kind != FrameAppend {
+		t.Errorf("frames lost: %+v", got)
+	}
+}
+
+// TestPropertyStackMapRoundTrip generates random frame lists and checks
+// the encode/decode round trip preserves them structurally.
+func TestPropertyStackMapRoundTrip(t *testing.T) {
+	mkVTI := func(rng *rand.Rand) VerificationTypeInfo {
+		tags := []byte{VTTop, VTInteger, VTFloat, VTDouble, VTLong, VTNull, VTUninitializedThis, VTObject, VTUninitialized}
+		v := VerificationTypeInfo{Tag: tags[rng.Intn(len(tags))]}
+		if v.Tag == VTObject {
+			v.CPoolIndex = uint16(rng.Intn(100) + 1)
+		}
+		if v.Tag == VTUninitialized {
+			v.Offset = uint16(rng.Intn(1000))
+		}
+		return v
+	}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var frames []StackMapFrame
+		n := rng.Intn(8)
+		for i := 0; i < n; i++ {
+			switch rng.Intn(5) {
+			case 0:
+				frames = append(frames, StackMapFrame{Kind: FrameSame, OffsetDelta: uint16(rng.Intn(64))})
+			case 1:
+				frames = append(frames, StackMapFrame{Kind: FrameSameLocals1Stack,
+					OffsetDelta: uint16(rng.Intn(64)), Stack: []VerificationTypeInfo{mkVTI(rng)}})
+			case 2:
+				frames = append(frames, StackMapFrame{Kind: FrameChop,
+					OffsetDelta: uint16(rng.Intn(1000)), Chopped: 1 + rng.Intn(3)})
+			case 3:
+				nl := 1 + rng.Intn(3)
+				fr := StackMapFrame{Kind: FrameAppend, OffsetDelta: uint16(rng.Intn(1000))}
+				for k := 0; k < nl; k++ {
+					fr.Locals = append(fr.Locals, mkVTI(rng))
+				}
+				frames = append(frames, fr)
+			default:
+				fr := StackMapFrame{Kind: FrameFull, OffsetDelta: uint16(rng.Intn(1000))}
+				for k := 0; k < rng.Intn(4); k++ {
+					fr.Locals = append(fr.Locals, mkVTI(rng))
+				}
+				for k := 0; k < rng.Intn(3); k++ {
+					fr.Stack = append(fr.Stack, mkVTI(rng))
+				}
+				frames = append(frames, fr)
+			}
+		}
+		attr := EncodeStackMap(frames)
+		got, err := DecodeStackMap(attr)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(frames) {
+			return false
+		}
+		for i := range frames {
+			if got[i].OffsetDelta != frames[i].OffsetDelta {
+				return false
+			}
+		}
+		return bytes.Equal(EncodeStackMap(got).Raw, attr.Raw)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

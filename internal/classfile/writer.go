@@ -1,0 +1,217 @@
+package classfile
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// writer is a growing big-endian buffer.
+type writer struct {
+	buf []byte
+}
+
+func (w *writer) u1(v byte)    { w.buf = append(w.buf, v) }
+func (w *writer) u2(v uint16)  { w.buf = binary.BigEndian.AppendUint16(w.buf, v) }
+func (w *writer) u4(v uint32)  { w.buf = binary.BigEndian.AppendUint32(w.buf, v) }
+func (w *writer) raw(b []byte) { w.buf = append(w.buf, b...) }
+
+// Bytes serialises the classfile back into its binary form. Serialising
+// never validates semantics; a File holding illegal constructs produces
+// exactly the illegal classfile the fuzzer wants. Errors are only
+// returned for shapes the container format cannot express (e.g. more
+// than 65535 methods).
+func (f *File) Bytes() ([]byte, error) {
+	// Intern every attribute name before the pool is serialised, so the
+	// name indices written later point into the written pool.
+	internAttrNames(f.Pool, f.Attributes)
+	for _, m := range f.Fields {
+		internAttrNames(f.Pool, m.Attributes)
+	}
+	for _, m := range f.Methods {
+		internAttrNames(f.Pool, m.Attributes)
+	}
+
+	w := &writer{buf: make([]byte, 0, 1024)}
+	w.u4(Magic)
+	w.u2(f.Minor)
+	w.u2(f.Major)
+
+	if f.Pool.Count() > 0xFFFF {
+		return nil, fmt.Errorf("classfile: constant pool too large (%d entries)", f.Pool.Count())
+	}
+	w.u2(uint16(f.Pool.Count()))
+	for i := 1; i < len(f.Pool.Entries); i++ {
+		c := f.Pool.Entries[i]
+		if c == nil {
+			continue // trailing slot of a wide constant
+		}
+		w.u1(byte(c.Tag))
+		switch c.Tag {
+		case TagUtf8:
+			b := encodeModifiedUTF8(c.Str)
+			if len(b) > 0xFFFF {
+				return nil, fmt.Errorf("classfile: Utf8 constant longer than 65535 bytes")
+			}
+			w.u2(uint16(len(b)))
+			w.raw(b)
+		case TagInteger:
+			w.u4(uint32(c.Int))
+		case TagFloat:
+			w.u4(math.Float32bits(c.Float))
+		case TagLong:
+			w.u4(uint32(uint64(c.Long) >> 32))
+			w.u4(uint32(uint64(c.Long)))
+		case TagDouble:
+			bits := math.Float64bits(c.Double)
+			w.u4(uint32(bits >> 32))
+			w.u4(uint32(bits))
+		case TagClass, TagString, TagMethodType:
+			w.u2(c.Ref1)
+		case TagFieldref, TagMethodref, TagInterfaceMethodref, TagNameAndType, TagInvokeDynamic:
+			w.u2(c.Ref1)
+			w.u2(c.Ref2)
+		case TagMethodHandle:
+			w.u1(c.Kind)
+			w.u2(c.Ref1)
+		default:
+			return nil, fmt.Errorf("classfile: cannot serialise constant tag %d", c.Tag)
+		}
+	}
+
+	w.u2(uint16(f.AccessFlags))
+	w.u2(f.ThisClass)
+	w.u2(f.SuperClass)
+
+	if len(f.Interfaces) > 0xFFFF {
+		return nil, fmt.Errorf("classfile: too many interfaces (%d)", len(f.Interfaces))
+	}
+	w.u2(uint16(len(f.Interfaces)))
+	for _, idx := range f.Interfaces {
+		w.u2(idx)
+	}
+
+	if err := writeMembers(w, f.Pool, f.Fields); err != nil {
+		return nil, err
+	}
+	if err := writeMembers(w, f.Pool, f.Methods); err != nil {
+		return nil, err
+	}
+	if err := writeAttributes(w, f.Pool, f.Attributes); err != nil {
+		return nil, err
+	}
+	return w.buf, nil
+}
+
+func internAttrNames(cp *ConstPool, attrs []Attribute) {
+	for _, a := range attrs {
+		cp.AddUtf8(a.AttrName())
+		if c, ok := a.(*CodeAttr); ok {
+			internAttrNames(cp, c.Attributes)
+		}
+	}
+}
+
+func writeMembers(w *writer, cp *ConstPool, ms []*Member) error {
+	if len(ms) > 0xFFFF {
+		return fmt.Errorf("classfile: too many members (%d)", len(ms))
+	}
+	w.u2(uint16(len(ms)))
+	for _, m := range ms {
+		w.u2(uint16(m.AccessFlags))
+		w.u2(m.NameIndex)
+		w.u2(m.DescIndex)
+		if err := writeAttributes(w, cp, m.Attributes); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeAttributes(w *writer, cp *ConstPool, attrs []Attribute) error {
+	if len(attrs) > 0xFFFF {
+		return fmt.Errorf("classfile: too many attributes (%d)", len(attrs))
+	}
+	w.u2(uint16(len(attrs)))
+	for _, a := range attrs {
+		body, err := encodeAttribute(cp, a)
+		if err != nil {
+			return err
+		}
+		// Names were pre-interned before the pool was written, so this
+		// lookup always hits an existing entry.
+		nameIdx := cp.AddUtf8(a.AttrName())
+		w.u2(nameIdx)
+		w.u4(uint32(len(body)))
+		w.raw(body)
+	}
+	return nil
+}
+
+func encodeAttribute(cp *ConstPool, a Attribute) ([]byte, error) {
+	w := &writer{}
+	switch at := a.(type) {
+	case *CodeAttr:
+		w.u2(at.MaxStack)
+		w.u2(at.MaxLocals)
+		w.u4(uint32(len(at.Code)))
+		w.raw(at.Code)
+		w.u2(uint16(len(at.Handlers)))
+		for _, h := range at.Handlers {
+			w.u2(h.StartPC)
+			w.u2(h.EndPC)
+			w.u2(h.HandlerPC)
+			w.u2(h.CatchType)
+		}
+		if err := writeAttributes(w, cp, at.Attributes); err != nil {
+			return nil, err
+		}
+	case *ExceptionsAttr:
+		w.u2(uint16(len(at.Classes)))
+		for _, c := range at.Classes {
+			w.u2(c)
+		}
+	case *ConstantValueAttr:
+		w.u2(at.ValueIndex)
+	case *SourceFileAttr:
+		w.u2(at.NameIndex)
+	case *SignatureAttr:
+		w.u2(at.SigIndex)
+	case *InnerClassesAttr:
+		w.u2(uint16(len(at.Entries)))
+		for _, e := range at.Entries {
+			w.u2(e.InnerClass)
+			w.u2(e.OuterClass)
+			w.u2(e.InnerName)
+			w.u2(uint16(e.Flags))
+		}
+	case *LineNumberTableAttr:
+		w.u2(uint16(len(at.Entries)))
+		for _, e := range at.Entries {
+			w.u2(e.StartPC)
+			w.u2(e.Line)
+		}
+	case *LocalVariableTableAttr:
+		w.u2(uint16(len(at.Entries)))
+		for _, e := range at.Entries {
+			w.u2(e.StartPC)
+			w.u2(e.Length)
+			w.u2(e.NameIndex)
+			w.u2(e.DescIndex)
+			w.u2(e.Slot)
+		}
+	case *StackMapTableAttr:
+		w.raw(at.Raw)
+	case *AnnotationsAttr:
+		encodeAnnotationsAttr(w, at)
+	case *BootstrapMethodsAttr:
+		encodeBootstrapMethods(w, at)
+	case *SyntheticAttr, *DeprecatedAttr:
+		// zero-length bodies
+	case *RawAttr:
+		w.raw(at.Data)
+	default:
+		return nil, fmt.Errorf("classfile: cannot serialise attribute %T", a)
+	}
+	return w.buf, nil
+}

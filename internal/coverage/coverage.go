@@ -1,0 +1,244 @@
+// Package coverage implements the execution-trace machinery of the
+// paper's §2.2.3: recording which statements and branches of the
+// reference JVM a classfile exercises, comparing coverage statistics,
+// merging tracefiles (the ⊕ operator), and the three uniqueness
+// criteria [st], [stbr] and [tr] that decide whether a mutant is
+// "representative" with respect to an existing test suite.
+package coverage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Recorder collects probe hits during one execution of the reference
+// JVM. Probe identifiers are stable strings assigned at the check sites
+// inside internal/jvm (the analogue of GCOV line/branch counters over
+// hotspot/src/share/vm/classfile/).
+type Recorder struct {
+	stmts    map[string]uint32
+	branches map[string]uint32
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{
+		stmts:    make(map[string]uint32, 128),
+		branches: make(map[string]uint32, 128),
+	}
+}
+
+// Stmt records one execution of the statement probe id.
+func (r *Recorder) Stmt(id string) {
+	if r == nil {
+		return
+	}
+	r.stmts[id]++
+}
+
+// Branch records one execution of a two-way branch probe; the taken
+// direction distinguishes the two edges.
+func (r *Recorder) Branch(id string, taken bool) {
+	if r == nil {
+		return
+	}
+	if taken {
+		r.branches[id+":T"]++
+	} else {
+		r.branches[id+":F"]++
+	}
+}
+
+// Reset clears all recorded hits so the recorder can serve another run.
+func (r *Recorder) Reset() {
+	clear(r.stmts)
+	clear(r.branches)
+}
+
+// Trace snapshots the recorder into an immutable tracefile.
+func (r *Recorder) Trace() *Trace {
+	t := &Trace{
+		Stmts:    make(map[string]bool, len(r.stmts)),
+		Branches: make(map[string]bool, len(r.branches)),
+	}
+	for k := range r.stmts {
+		t.Stmts[k] = true
+	}
+	for k := range r.branches {
+		t.Branches[k] = true
+	}
+	return t
+}
+
+// Trace is a tracefile tr_cl: the sets of statement and branch probes a
+// classfile hit on the reference JVM. Execution order and frequencies
+// are deliberately omitted, exactly as the paper's [tr] criterion
+// specifies ("statically different").
+type Trace struct {
+	Stmts    map[string]bool
+	Branches map[string]bool
+}
+
+// Stats are the scalar coverage statistics tr.stmt / tr.br used by the
+// [st] and [stbr] criteria (e.g. "4,938/2,604" in the paper).
+type Stats struct {
+	Stmts    int
+	Branches int
+}
+
+// String renders stats in the paper's stmt/branch form.
+func (s Stats) String() string { return fmt.Sprintf("%d/%d", s.Stmts, s.Branches) }
+
+// Stats returns the trace's coverage statistics.
+func (t *Trace) Stats() Stats {
+	return Stats{Stmts: len(t.Stmts), Branches: len(t.Branches)}
+}
+
+// Merge implements the ⊕ operator: the union tracefile.
+func Merge(a, b *Trace) *Trace {
+	out := &Trace{
+		Stmts:    make(map[string]bool, len(a.Stmts)+len(b.Stmts)),
+		Branches: make(map[string]bool, len(a.Branches)+len(b.Branches)),
+	}
+	for k := range a.Stmts {
+		out.Stmts[k] = true
+	}
+	for k := range b.Stmts {
+		out.Stmts[k] = true
+	}
+	for k := range a.Branches {
+		out.Branches[k] = true
+	}
+	for k := range b.Branches {
+		out.Branches[k] = true
+	}
+	return out
+}
+
+// EqualSets reports whether two traces cover exactly the same statement
+// and branch sets. By the merge identities this is equivalent to
+// tr_a.stmt = tr_b.stmt = (tr_a ⊕ tr_b).stmt ∧ the same for br.
+func (t *Trace) EqualSets(o *Trace) bool {
+	if len(t.Stmts) != len(o.Stmts) || len(t.Branches) != len(o.Branches) {
+		return false
+	}
+	for k := range t.Stmts {
+		if !o.Stmts[k] {
+			return false
+		}
+	}
+	for k := range t.Branches {
+		if !o.Branches[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a canonical string fingerprint of the trace's probe sets,
+// used to bucket identical traces cheaply.
+func (t *Trace) Key() string {
+	ss := make([]string, 0, len(t.Stmts))
+	for k := range t.Stmts {
+		ss = append(ss, k)
+	}
+	sort.Strings(ss)
+	bs := make([]string, 0, len(t.Branches))
+	for k := range t.Branches {
+		bs = append(bs, k)
+	}
+	sort.Strings(bs)
+	return strings.Join(ss, "\x00") + "\x01" + strings.Join(bs, "\x00")
+}
+
+// Criterion selects which uniqueness discipline a Suite applies.
+type Criterion int
+
+// The three uniqueness criteria of §2.2.3.
+const (
+	// ST accepts a classfile whose statement-coverage statistic differs
+	// from every accepted test's.
+	ST Criterion = iota
+	// STBR accepts on a unique (statement, branch) statistic pair.
+	STBR
+	// TR accepts on a statically distinct tracefile (set comparison via
+	// the merge operator).
+	TR
+)
+
+// String returns the paper's bracketed criterion name.
+func (c Criterion) String() string {
+	switch c {
+	case ST:
+		return "[st]"
+	case STBR:
+		return "[stbr]"
+	case TR:
+		return "[tr]"
+	}
+	return "[?]"
+}
+
+// Suite tracks the coverage identities of an accepted test suite and
+// answers the representativeness question for candidates.
+type Suite struct {
+	criterion Criterion
+	stmtSeen  map[int]bool
+	pairSeen  map[Stats]bool
+	// byStats buckets full traces by their stats pair so the [tr]
+	// criterion only set-compares candidates against same-stats tests.
+	byStats map[Stats][]*Trace
+	size    int
+}
+
+// NewSuite returns an empty suite using the given criterion.
+func NewSuite(c Criterion) *Suite {
+	return &Suite{
+		criterion: c,
+		stmtSeen:  make(map[int]bool),
+		pairSeen:  make(map[Stats]bool),
+		byStats:   make(map[Stats][]*Trace),
+	}
+}
+
+// Criterion returns the suite's uniqueness discipline.
+func (s *Suite) Criterion() Criterion { return s.criterion }
+
+// Size returns how many traces have been accepted.
+func (s *Suite) Size() int { return s.size }
+
+// Unique reports whether tr is representative w.r.t. the accepted tests
+// under the suite's criterion, without modifying the suite.
+func (s *Suite) Unique(tr *Trace) bool {
+	st := tr.Stats()
+	switch s.criterion {
+	case ST:
+		return !s.stmtSeen[st.Stmts]
+	case STBR:
+		return !s.pairSeen[st]
+	case TR:
+		for _, prev := range s.byStats[st] {
+			if tr.EqualSets(prev) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// Add commits tr to the suite (callers normally Add only after Unique
+// returned true, but Add is idempotent in effect either way).
+func (s *Suite) Add(tr *Trace) {
+	st := tr.Stats()
+	s.stmtSeen[st.Stmts] = true
+	s.pairSeen[st] = true
+	s.byStats[st] = append(s.byStats[st], tr)
+	s.size++
+}
+
+// UniqueStatsCount returns how many distinct (stmt, branch) statistic
+// pairs the suite's traces exhibit — the metric the paper reports for
+// comparing GenClasses sets (e.g. "898 unique coverage statistics").
+func (s *Suite) UniqueStatsCount() int { return len(s.pairSeen) }

@@ -1,0 +1,280 @@
+package coverage
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mkTrace(stmts, branches []string) *Trace {
+	t := &Trace{Stmts: map[string]bool{}, Branches: map[string]bool{}}
+	for _, s := range stmts {
+		t.Stmts[s] = true
+	}
+	for _, b := range branches {
+		t.Branches[b] = true
+	}
+	return t
+}
+
+func TestRecorderBasics(t *testing.T) {
+	r := NewRecorder()
+	r.Stmt("a")
+	r.Stmt("a")
+	r.Stmt("b")
+	r.Branch("x", true)
+	r.Branch("x", false)
+	r.Branch("y", true)
+	tr := r.Trace()
+	if got := tr.Stats(); got.Stmts != 2 || got.Branches != 3 {
+		t.Errorf("stats = %v, want 2/3", got)
+	}
+	if !tr.Stmts["a"] || !tr.Branches["x:T"] || !tr.Branches["x:F"] || !tr.Branches["y:T"] {
+		t.Error("probe sets wrong")
+	}
+	r.Reset()
+	if got := r.Trace().Stats(); got.Stmts != 0 || got.Branches != 0 {
+		t.Error("reset did not clear")
+	}
+}
+
+func TestNilRecorderIsNoop(t *testing.T) {
+	var r *Recorder
+	r.Stmt("a")         // must not panic
+	r.Branch("b", true) // must not panic
+}
+
+func TestTraceSnapshotIsolation(t *testing.T) {
+	r := NewRecorder()
+	r.Stmt("a")
+	tr := r.Trace()
+	r.Stmt("b")
+	if tr.Stmts["b"] {
+		t.Error("trace must be a snapshot, not a live view")
+	}
+}
+
+func TestMergeIsUnion(t *testing.T) {
+	a := mkTrace([]string{"s1", "s2"}, []string{"b1:T"})
+	b := mkTrace([]string{"s2", "s3"}, []string{"b1:F", "b2:T"})
+	m := Merge(a, b)
+	if got := m.Stats(); got.Stmts != 3 || got.Branches != 3 {
+		t.Errorf("merge stats = %v", got)
+	}
+}
+
+func TestEqualSets(t *testing.T) {
+	a := mkTrace([]string{"s1", "s2"}, []string{"b1:T"})
+	b := mkTrace([]string{"s2", "s1"}, []string{"b1:T"})
+	c := mkTrace([]string{"s1", "s3"}, []string{"b1:T"})
+	d := mkTrace([]string{"s1", "s2"}, []string{"b1:F"})
+	if !a.EqualSets(b) {
+		t.Error("order must not matter")
+	}
+	if a.EqualSets(c) || a.EqualSets(d) {
+		t.Error("different sets must not be equal")
+	}
+}
+
+func TestMergeIdentityMatchesEqualSets(t *testing.T) {
+	// The [tr] definition: tr_a.stmt = tr_b.stmt = (tr_a ⊕ tr_b).stmt.
+	a := mkTrace([]string{"s1", "s2"}, []string{"b1:T"})
+	b := mkTrace([]string{"s1", "s2"}, []string{"b1:T"})
+	m := Merge(a, b)
+	same := a.Stats() == b.Stats() && b.Stats() == m.Stats()
+	if same != a.EqualSets(b) {
+		t.Error("merge-identity check disagrees with EqualSets on equal traces")
+	}
+	c := mkTrace([]string{"s1", "s3"}, []string{"b1:T"})
+	m2 := Merge(a, c)
+	same2 := a.Stats() == c.Stats() && c.Stats() == m2.Stats()
+	if same2 != a.EqualSets(c) {
+		t.Error("merge-identity check disagrees with EqualSets on distinct traces")
+	}
+}
+
+func TestCriterionST(t *testing.T) {
+	s := NewSuite(ST)
+	a := mkTrace([]string{"s1", "s2"}, []string{"b1:T"})
+	if !s.Unique(a) {
+		t.Error("first trace must be unique")
+	}
+	s.Add(a)
+	// Same stmt count, different branch count: [st] rejects.
+	b := mkTrace([]string{"x1", "x2"}, []string{"b1:T", "b2:T"})
+	if s.Unique(b) {
+		t.Error("[st] must reject same statement count")
+	}
+	c := mkTrace([]string{"s1", "s2", "s3"}, nil)
+	if !s.Unique(c) {
+		t.Error("[st] must accept new statement count")
+	}
+}
+
+func TestCriterionSTBR(t *testing.T) {
+	s := NewSuite(STBR)
+	// The paper's example: coverage 4938/2604 vs 4938/2655 — [st] takes
+	// one, [stbr] takes both.
+	a := mkTrace([]string{"s1", "s2"}, []string{"b1:T"})
+	s.Add(a)
+	b := mkTrace([]string{"x1", "x2"}, []string{"b1:T", "b2:T"})
+	if !s.Unique(b) {
+		t.Error("[stbr] must accept same stmts but different branches")
+	}
+	s.Add(b)
+	c := mkTrace([]string{"y1", "y2"}, []string{"z:T"})
+	if s.Unique(c) {
+		t.Error("[stbr] must reject duplicate stats pair")
+	}
+}
+
+func TestCriterionTR(t *testing.T) {
+	s := NewSuite(TR)
+	a := mkTrace([]string{"s1", "s2"}, []string{"b1:T"})
+	s.Add(a)
+	// Same stats pair but different set: [tr] accepts, [stbr] would not.
+	b := mkTrace([]string{"s1", "s3"}, []string{"b2:T"})
+	if !s.Unique(b) {
+		t.Error("[tr] must accept same stats with different sets")
+	}
+	s.Add(b)
+	dup := mkTrace([]string{"s2", "s1"}, []string{"b1:T"})
+	if s.Unique(dup) {
+		t.Error("[tr] must reject identical sets")
+	}
+}
+
+func TestCriterionStrengthOrdering(t *testing.T) {
+	// [tr] accepts a superset of [stbr], which accepts a superset of [st].
+	rng := rand.New(rand.NewSource(7))
+	st, stbr, tr := NewSuite(ST), NewSuite(STBR), NewSuite(TR)
+	accST, accSTBR, accTR := 0, 0, 0
+	for i := 0; i < 400; i++ {
+		var stmts, brs []string
+		for j := 0; j < 1+rng.Intn(10); j++ {
+			stmts = append(stmts, fmt.Sprintf("s%d", rng.Intn(12)))
+		}
+		for j := 0; j < rng.Intn(8); j++ {
+			brs = append(brs, fmt.Sprintf("b%d:T", rng.Intn(10)))
+		}
+		trc := mkTrace(stmts, brs)
+		if st.Unique(trc) {
+			st.Add(trc)
+			accST++
+		}
+		if stbr.Unique(trc) {
+			stbr.Add(trc)
+			accSTBR++
+		}
+		if tr.Unique(trc) {
+			tr.Add(trc)
+			accTR++
+		}
+	}
+	if !(accST <= accSTBR && accSTBR <= accTR) {
+		t.Errorf("acceptance ordering violated: st=%d stbr=%d tr=%d", accST, accSTBR, accTR)
+	}
+	if accST == 0 {
+		t.Error("no traces accepted at all")
+	}
+}
+
+func TestSuiteSizeAndUniqueStats(t *testing.T) {
+	s := NewSuite(TR)
+	a := mkTrace([]string{"s1"}, nil)
+	b := mkTrace([]string{"s2"}, nil) // same stats (1/0), different set
+	s.Add(a)
+	s.Add(b)
+	if s.Size() != 2 {
+		t.Errorf("size = %d", s.Size())
+	}
+	if s.UniqueStatsCount() != 1 {
+		t.Errorf("unique stats = %d, want 1", s.UniqueStatsCount())
+	}
+}
+
+func TestKeyCanonical(t *testing.T) {
+	a := mkTrace([]string{"s1", "s2"}, []string{"b:T"})
+	b := mkTrace([]string{"s2", "s1"}, []string{"b:T"})
+	if a.Key() != b.Key() {
+		t.Error("keys must be order-insensitive")
+	}
+	c := mkTrace([]string{"s1"}, []string{"s2", "b:T"})
+	if a.Key() == c.Key() {
+		t.Error("stmt/branch split must be part of the key")
+	}
+}
+
+func TestCriterionString(t *testing.T) {
+	if ST.String() != "[st]" || STBR.String() != "[stbr]" || TR.String() != "[tr]" {
+		t.Error("criterion names wrong")
+	}
+}
+
+// Property: a trace already in the suite is never unique again, under
+// any criterion.
+func TestPropertyAddedNeverUnique(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		for _, c := range []Criterion{ST, STBR, TR} {
+			s := NewSuite(c)
+			var stmts, brs []string
+			for j := 0; j < 1+rng.Intn(6); j++ {
+				stmts = append(stmts, fmt.Sprintf("s%d", rng.Intn(20)))
+			}
+			for j := 0; j < rng.Intn(6); j++ {
+				brs = append(brs, fmt.Sprintf("b%d:F", rng.Intn(20)))
+			}
+			tr := mkTrace(stmts, brs)
+			s.Add(tr)
+			if s.Unique(tr) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Merge is commutative and idempotent on stats.
+func TestPropertyMergeAlgebra(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func() *Trace {
+			var stmts, brs []string
+			for j := 0; j < rng.Intn(10); j++ {
+				stmts = append(stmts, fmt.Sprintf("s%d", rng.Intn(15)))
+			}
+			for j := 0; j < rng.Intn(10); j++ {
+				brs = append(brs, fmt.Sprintf("b%d:T", rng.Intn(15)))
+			}
+			return mkTrace(stmts, brs)
+		}
+		a, b := mk(), mk()
+		if !Merge(a, b).EqualSets(Merge(b, a)) {
+			return false
+		}
+		if !Merge(a, a).EqualSets(a) {
+			return false
+		}
+		// Union contains both operands.
+		m := Merge(a, b)
+		for k := range a.Stmts {
+			if !m.Stmts[k] {
+				return false
+			}
+		}
+		for k := range b.Branches {
+			if !m.Branches[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,263 @@
+// Package descriptor parses and manipulates JVM field and method
+// descriptors (JVMS §4.3), the compact type grammar used throughout
+// classfiles: B C D F I J S Z for primitives, Lname; for references,
+// and [ prefixes for array dimensions.
+package descriptor
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Type is one parsed descriptor component.
+type Type struct {
+	// Kind is the base kind character: one of 'B','C','D','F','I','J',
+	// 'S','Z','L','V'. Arrays keep the element kind here with Dims > 0.
+	Kind byte
+	// ClassName is the internal (slash-separated) class name when
+	// Kind == 'L'.
+	ClassName string
+	// Dims is the number of array dimensions.
+	Dims int
+}
+
+// Void is the V return type.
+var Void = Type{Kind: 'V'}
+
+// Primitive constructors for common types.
+var (
+	Int     = Type{Kind: 'I'}
+	Long    = Type{Kind: 'J'}
+	Float   = Type{Kind: 'F'}
+	Double  = Type{Kind: 'D'}
+	Boolean = Type{Kind: 'Z'}
+	Byte    = Type{Kind: 'B'}
+	Char    = Type{Kind: 'C'}
+	Short   = Type{Kind: 'S'}
+)
+
+// Object returns the reference type for an internal class name.
+func Object(internalName string) Type { return Type{Kind: 'L', ClassName: internalName} }
+
+// Array returns t with dims added array dimensions.
+func Array(t Type, dims int) Type {
+	t.Dims += dims
+	return t
+}
+
+// IsVoid reports whether t is the void pseudo-type.
+func (t Type) IsVoid() bool { return t.Kind == 'V' && t.Dims == 0 }
+
+// IsReference reports whether t is a class or array reference.
+func (t Type) IsReference() bool { return t.Dims > 0 || t.Kind == 'L' }
+
+// IsPrimitive reports whether t is a non-array primitive value type.
+func (t Type) IsPrimitive() bool { return t.Dims == 0 && t.Kind != 'L' && t.Kind != 'V' }
+
+// IsWide reports whether t occupies two stack/local slots.
+func (t Type) IsWide() bool { return t.Dims == 0 && (t.Kind == 'J' || t.Kind == 'D') }
+
+// Slots returns the number of operand-stack/local-variable slots the
+// type occupies: 0 for void, 2 for long/double, otherwise 1.
+func (t Type) Slots() int {
+	if t.IsVoid() {
+		return 0
+	}
+	if t.IsWide() {
+		return 2
+	}
+	return 1
+}
+
+// String renders t back into descriptor syntax.
+func (t Type) String() string {
+	var b strings.Builder
+	for i := 0; i < t.Dims; i++ {
+		b.WriteByte('[')
+	}
+	if t.Kind == 'L' {
+		b.WriteByte('L')
+		b.WriteString(t.ClassName)
+		b.WriteByte(';')
+	} else {
+		b.WriteByte(t.Kind)
+	}
+	return b.String()
+}
+
+// Java renders t in Java-source style ("java.lang.String[]", "int").
+func (t Type) Java() string {
+	var base string
+	switch t.Kind {
+	case 'B':
+		base = "byte"
+	case 'C':
+		base = "char"
+	case 'D':
+		base = "double"
+	case 'F':
+		base = "float"
+	case 'I':
+		base = "int"
+	case 'J':
+		base = "long"
+	case 'S':
+		base = "short"
+	case 'Z':
+		base = "boolean"
+	case 'V':
+		base = "void"
+	case 'L':
+		base = strings.ReplaceAll(t.ClassName, "/", ".")
+	default:
+		base = fmt.Sprintf("?%c", t.Kind)
+	}
+	return base + strings.Repeat("[]", t.Dims)
+}
+
+// Method is a parsed method descriptor.
+type Method struct {
+	Params []Type
+	Return Type
+}
+
+// String renders m back into descriptor syntax.
+func (m Method) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for _, p := range m.Params {
+		b.WriteString(p.String())
+	}
+	b.WriteByte(')')
+	b.WriteString(m.Return.String())
+	return b.String()
+}
+
+// ParamSlots returns the total argument slot count (not counting the
+// receiver).
+func (m Method) ParamSlots() int {
+	n := 0
+	for _, p := range m.Params {
+		n += p.Slots()
+	}
+	return n
+}
+
+// parseOne parses a single type starting at s[i], returning the type and
+// the index just past it.
+func parseOne(s string, i int) (Type, int, error) {
+	dims := 0
+	for i < len(s) && s[i] == '[' {
+		dims++
+		i++
+		if dims > 255 {
+			return Type{}, i, fmt.Errorf("descriptor: more than 255 array dimensions")
+		}
+	}
+	if i >= len(s) {
+		return Type{}, i, fmt.Errorf("descriptor: truncated after array prefix")
+	}
+	switch s[i] {
+	case 'B', 'C', 'D', 'F', 'I', 'J', 'S', 'Z':
+		return Type{Kind: s[i], Dims: dims}, i + 1, nil
+	case 'V':
+		if dims > 0 {
+			return Type{}, i, fmt.Errorf("descriptor: array of void")
+		}
+		return Type{Kind: 'V'}, i + 1, nil
+	case 'L':
+		end := strings.IndexByte(s[i:], ';')
+		if end < 0 {
+			return Type{}, i, fmt.Errorf("descriptor: unterminated class name")
+		}
+		name := s[i+1 : i+end]
+		if name == "" {
+			return Type{}, i, fmt.Errorf("descriptor: empty class name")
+		}
+		return Type{Kind: 'L', ClassName: name, Dims: dims}, i + end + 1, nil
+	default:
+		return Type{}, i, fmt.Errorf("descriptor: invalid type character %q", s[i])
+	}
+}
+
+// ParseField parses a field descriptor. Void is not a legal field type.
+func ParseField(s string) (Type, error) {
+	t, i, err := parseOne(s, 0)
+	if err != nil {
+		return Type{}, err
+	}
+	if i != len(s) {
+		return Type{}, fmt.Errorf("descriptor: trailing characters in field descriptor %q", s)
+	}
+	if t.IsVoid() {
+		return Type{}, fmt.Errorf("descriptor: void field descriptor")
+	}
+	return t, nil
+}
+
+// ParseMethod parses a method descriptor like (ILjava/lang/String;)V.
+func ParseMethod(s string) (Method, error) {
+	if len(s) == 0 || s[0] != '(' {
+		return Method{}, fmt.Errorf("descriptor: method descriptor %q must start with '('", s)
+	}
+	i := 1
+	var params []Type
+	for i < len(s) && s[i] != ')' {
+		t, next, err := parseOne(s, i)
+		if err != nil {
+			return Method{}, err
+		}
+		if t.IsVoid() {
+			return Method{}, fmt.Errorf("descriptor: void parameter in %q", s)
+		}
+		params = append(params, t)
+		i = next
+	}
+	if i >= len(s) {
+		return Method{}, fmt.Errorf("descriptor: missing ')' in %q", s)
+	}
+	i++ // consume ')'
+	ret, next, err := parseOne(s, i)
+	if err != nil {
+		return Method{}, err
+	}
+	if next != len(s) {
+		return Method{}, fmt.Errorf("descriptor: trailing characters in %q", s)
+	}
+	return Method{Params: params, Return: ret}, nil
+}
+
+// ValidField reports whether s is a syntactically legal field descriptor.
+func ValidField(s string) bool {
+	_, err := ParseField(s)
+	return err == nil
+}
+
+// ValidMethod reports whether s is a syntactically legal method descriptor.
+func ValidMethod(s string) bool {
+	_, err := ParseMethod(s)
+	return err == nil
+}
+
+// ValidClassName reports whether s is a plausible internal class name:
+// nonempty slash-separated segments without descriptor metacharacters.
+// The JVM spec is permissive here; we reject only what all real VMs
+// reject (empty names, stray ';', '[' in the middle).
+func ValidClassName(s string) bool {
+	if s == "" {
+		return false
+	}
+	if s[0] == '[' {
+		// Array type used in a class context: must be a valid field descriptor.
+		return ValidField(s)
+	}
+	for _, seg := range strings.Split(s, "/") {
+		if seg == "" {
+			return false
+		}
+		if strings.ContainsAny(seg, ";[.") {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,270 @@
+// Package difftest implements the differential-testing harness of §2.3:
+// a classfile runs on the five JVM simulators, each run is simplified
+// to its phase code 0–4 (normally invoked / rejected during loading,
+// linking, initialization, runtime), the five codes form an encoded
+// outcome vector (Figure 3), and a discrepancy is a non-constant
+// vector. Distinct discrepancies are distinct vectors.
+package difftest
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/jvm"
+	"repro/internal/rtlib"
+)
+
+// Runner owns an ordered set of VMs under differential test.
+type Runner struct {
+	VMs []*jvm.VM
+}
+
+// NewStandardRunner builds the Table 3 lineup — HotSpot 7/8/9, J9,
+// GIJ — each bound to its own library release (the configuration of the
+// paper's evaluation, where compatibility discrepancies are visible).
+func NewStandardRunner() *Runner {
+	r := &Runner{}
+	for _, spec := range jvm.StandardFive() {
+		r.VMs = append(r.VMs, jvm.New(spec))
+	}
+	return r
+}
+
+// NewSharedEnvRunner binds all five VMs to one library release —
+// Definition 2's e1 = e2 setting, which filters out compatibility
+// discrepancies and leaves defect-indicative ones.
+func NewSharedEnvRunner(release rtlib.Release) *Runner {
+	env := rtlib.NewEnv(release)
+	r := &Runner{}
+	for _, spec := range jvm.StandardFive() {
+		r.VMs = append(r.VMs, jvm.NewWithEnv(spec, env))
+	}
+	return r
+}
+
+// Names returns the VM display names in order.
+func (r *Runner) Names() []string {
+	out := make([]string, len(r.VMs))
+	for i, vm := range r.VMs {
+		out[i] = vm.Name()
+	}
+	return out
+}
+
+// Vector is one classfile's encoded outcome sequence.
+type Vector struct {
+	Codes    []int
+	Outcomes []jvm.Outcome
+}
+
+// Discrepant reports whether the VMs disagree: the phase sequence is
+// not constant, or (Definition 1's "diverging output") two VMs both
+// invoke the class normally yet print different lines.
+func (v Vector) Discrepant() bool {
+	for i := 1; i < len(v.Codes); i++ {
+		if v.Codes[i] != v.Codes[0] {
+			return true
+		}
+	}
+	return v.OutputDivergent()
+}
+
+// OutputDivergent reports whether two normally-invoking VMs produced
+// different output lines.
+func (v Vector) OutputDivergent() bool {
+	first := -1
+	for i, o := range v.Outcomes {
+		if !o.OK() {
+			continue
+		}
+		if first < 0 {
+			first = i
+			continue
+		}
+		if !sameOutput(v.Outcomes[first].Output, o.Output) {
+			return true
+		}
+	}
+	return false
+}
+
+func sameOutput(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// AllInvoked reports whether every VM ran the class normally.
+func (v Vector) AllInvoked() bool {
+	for _, c := range v.Codes {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Key renders the encoded sequence, e.g. "00012" for Figure 3's
+// example.
+func (v Vector) Key() string {
+	var b strings.Builder
+	for _, c := range v.Codes {
+		fmt.Fprintf(&b, "%d", c)
+	}
+	return b.String()
+}
+
+// Run executes one classfile on every VM.
+func (r *Runner) Run(data []byte) Vector {
+	v := Vector{
+		Codes:    make([]int, len(r.VMs)),
+		Outcomes: make([]jvm.Outcome, len(r.VMs)),
+	}
+	for i, vm := range r.VMs {
+		o := vm.Run(data)
+		v.Outcomes[i] = o
+		v.Codes[i] = o.Code()
+	}
+	return v
+}
+
+// Summary aggregates a differential-testing session over a class set —
+// the rows of Tables 6 and 7.
+type Summary struct {
+	Total int
+	// AllInvoked counts classes every VM ran normally.
+	AllInvoked int
+	// AllRejectedSameStage counts classes every VM rejected in the same
+	// phase.
+	AllRejectedSameStage int
+	// Discrepancies counts discrepancy-triggering classes.
+	Discrepancies int
+	// DistinctVectors maps encoded vectors of discrepancy-triggering
+	// classes to their multiplicity.
+	DistinctVectors map[string]int
+	// PhaseHistogram[vm][phase] counts outcomes per VM per phase code —
+	// Table 7's layout.
+	PhaseHistogram [][]int
+	// VMNames labels the histogram rows.
+	VMNames []string
+}
+
+// DistinctCount returns |Distinct_Discrepancies|.
+func (s *Summary) DistinctCount() int { return len(s.DistinctVectors) }
+
+// DiffRate returns diff = |Discrepancies| / |Classes| (0 on empty sets).
+func (s *Summary) DiffRate() float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return float64(s.Discrepancies) / float64(s.Total)
+}
+
+// SortedVectors returns the distinct discrepancy vectors in
+// lexicographic order with counts.
+func (s *Summary) SortedVectors() []struct {
+	Key   string
+	Count int
+} {
+	keys := make([]string, 0, len(s.DistinctVectors))
+	for k := range s.DistinctVectors {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]struct {
+		Key   string
+		Count int
+	}, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, struct {
+			Key   string
+			Count int
+		}{k, s.DistinctVectors[k]})
+	}
+	return out
+}
+
+// Evaluate runs every classfile through the VMs and aggregates.
+func (r *Runner) Evaluate(classes [][]byte) *Summary {
+	s := newSummary(r)
+	for _, data := range classes {
+		s.absorb(r.Run(data))
+	}
+	return s
+}
+
+// EvaluateParallel distributes the class set over a worker pool. The VM
+// simulators keep no cross-run state (when no coverage recorder is
+// attached), so the same Runner serves every worker; the aggregate is
+// identical to Evaluate's. workers ≤ 0 selects GOMAXPROCS.
+func (r *Runner) EvaluateParallel(classes [][]byte, workers int) *Summary {
+	for _, vm := range r.VMs {
+		_ = vm // recorders are never attached by the difftest constructors
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 || len(classes) < 2 {
+		return r.Evaluate(classes)
+	}
+	s := newSummary(r)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	jobs := make(chan []byte)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for data := range jobs {
+				v := r.Run(data)
+				mu.Lock()
+				s.absorb(v)
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, data := range classes {
+		jobs <- data
+	}
+	close(jobs)
+	wg.Wait()
+	return s
+}
+
+func newSummary(r *Runner) *Summary {
+	s := &Summary{
+		DistinctVectors: map[string]int{},
+		VMNames:         r.Names(),
+		PhaseHistogram:  make([][]int, len(r.VMs)),
+	}
+	for i := range s.PhaseHistogram {
+		s.PhaseHistogram[i] = make([]int, 5)
+	}
+	return s
+}
+
+// absorb folds one vector into the summary.
+func (s *Summary) absorb(v Vector) {
+	s.Total++
+	for i, c := range v.Codes {
+		s.PhaseHistogram[i][c]++
+	}
+	switch {
+	case v.AllInvoked():
+		s.AllInvoked++
+	case v.Discrepant():
+		s.Discrepancies++
+		s.DistinctVectors[v.Key()]++
+	default:
+		s.AllRejectedSameStage++
+	}
+}

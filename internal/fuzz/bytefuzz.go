@@ -1,0 +1,87 @@
+package fuzz
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/jimple"
+)
+
+// runBytefuzz implements the binary blind fuzzer: a seed classfile's
+// serialized bytes with a single random one-byte change per iteration.
+// Every mutant is kept (there is no acceptance discipline to apply —
+// the fuzzer sees only bytes), matching how the paper characterises the
+// Sirer & Bershad / Dex-fuzzing style of VM testing. Byte mutants are
+// recycled into the pool like Algorithm 1 recycles classes, so changes
+// accumulate over a campaign.
+func runBytefuzz(cfg Config) (*Result, error) {
+	start := time.Now()
+	rng := rand.New(rand.NewSource(cfg.Rand))
+
+	// Serialise the seed corpus once.
+	var pool [][]byte
+	for _, s := range cfg.Seeds {
+		f, err := jimple.Lower(s)
+		if err != nil {
+			continue
+		}
+		data, err := f.Bytes()
+		if err != nil {
+			continue
+		}
+		pool = append(pool, data)
+	}
+	if len(pool) == 0 {
+		return nil, errNoSerializableSeeds
+	}
+
+	res := &Result{
+		Algorithm:  cfg.Algorithm,
+		Criterion:  cfg.Criterion,
+		Iterations: cfg.Iterations,
+	}
+	for it := 0; it < cfg.Iterations; it++ {
+		seed := pool[rng.Intn(len(pool))]
+		mutant := append([]byte(nil), seed...)
+		mutant[rng.Intn(len(mutant))] = byte(rng.Intn(256))
+		gc := &GenClass{
+			Name:      nameOf(it),
+			MutatorID: -1, // no structured mutator
+			Data:      mutant,
+			Accepted:  true,
+		}
+		res.Gen = append(res.Gen, gc)
+		res.Test = append(res.Test, gc)
+		if !cfg.NoSeedRecycling {
+			pool = append(pool, mutant)
+		}
+	}
+	res.Elapsed = time.Since(start)
+	res.MutatorStats = []MutatorStat{} // bytefuzz never selects mutators
+	return res, nil
+}
+
+func nameOf(it int) string {
+	return "B" + itoa(1430000000+it)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// errNoSerializableSeeds is returned when no seed lowers to bytes.
+var errNoSerializableSeeds = errString("fuzz: no serializable seeds for bytefuzz")
+
+type errString string
+
+func (e errString) Error() string { return string(e) }

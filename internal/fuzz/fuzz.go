@@ -1,0 +1,342 @@
+// Package fuzz implements the fuzzing campaigns of the evaluation:
+// classfuzz (Algorithm 1 — coverage-directed mutation with MCMC mutator
+// selection), and the three comparison algorithms randfuzz, greedyfuzz
+// and uniquefuzz (§3.1.2). All campaigns share the same seeds, mutator
+// set, reference VM and iteration budget, differing only in how they
+// select mutators and which mutants they accept into the test suite.
+package fuzz
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/coverage"
+	"repro/internal/jimple"
+	"repro/internal/jvm"
+	"repro/internal/mcmc"
+	"repro/internal/mutation"
+)
+
+// Algorithm names the campaign strategy.
+type Algorithm string
+
+// The four algorithms of §3.1.2, plus the byte-level blind fuzzer of
+// the related work (Sirer & Bershad's "single one-byte value change at
+// a random offset in a base classfile", §4) — the baseline whose
+// overwhelmingly invalid mutants motivate coverage direction in §1.
+const (
+	Classfuzz  Algorithm = "classfuzz"
+	Randfuzz   Algorithm = "randfuzz"
+	Greedyfuzz Algorithm = "greedyfuzz"
+	Uniquefuzz Algorithm = "uniquefuzz"
+	Bytefuzz   Algorithm = "bytefuzz"
+)
+
+// Config parameterises a campaign.
+type Config struct {
+	Algorithm Algorithm
+	// Criterion selects the uniqueness discipline for classfuzz
+	// ([st]/[stbr]/[tr]); uniquefuzz always uses [stbr] (§3.1.2).
+	Criterion coverage.Criterion
+	// Seeds is the initial corpus (cloned before mutation).
+	Seeds []*jimple.Class
+	// Iterations is the campaign budget (the stand-in for the paper's
+	// three-day wall clock).
+	Iterations int
+	// Rand seeds the campaign RNG.
+	Rand int64
+	// RefSpec is the instrumented reference VM (HotSpot 9 in the paper).
+	RefSpec jvm.Spec
+	// P is the geometric parameter for MCMC selection; 0 means the
+	// paper's default 3/129.
+	P float64
+	// NoSeedRecycling disables adding accepted mutants back into the
+	// seed pool (ablation of Algorithm 1 lines 5/14).
+	NoSeedRecycling bool
+	// KeepClasses retains every generated mutant's model and bytes in
+	// the result (needed for differential testing of GenClasses).
+	KeepClasses bool
+}
+
+// GenClass is one generated mutant.
+type GenClass struct {
+	Name      string
+	MutatorID int
+	// Class and Data are populated when Config.KeepClasses is set (Data
+	// always is for accepted classes).
+	Class *jimple.Class
+	Data  []byte
+	// Stats is the mutant's coverage statistic on the reference VM
+	// (zero for randfuzz, which never runs the reference VM).
+	Stats coverage.Stats
+	// Accepted marks membership in TestClasses.
+	Accepted bool
+}
+
+// MutatorStat aggregates one mutator's campaign statistics.
+type MutatorStat struct {
+	ID       int
+	Name     string
+	Selected int
+	Success  int
+}
+
+// Rate returns the success rate (0 when never selected).
+func (m MutatorStat) Rate() float64 {
+	if m.Selected == 0 {
+		return 0
+	}
+	return float64(m.Success) / float64(m.Selected)
+}
+
+// Frequency returns the selection frequency given total selections.
+func (m MutatorStat) Frequency(total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(m.Selected) / float64(total)
+}
+
+// Result summarises a campaign.
+type Result struct {
+	Algorithm  Algorithm
+	Criterion  coverage.Criterion
+	Iterations int
+	// Gen holds every generated classfile; Test the accepted subset.
+	Gen  []*GenClass
+	Test []*GenClass
+	// GenUniqueStats counts distinct (stmt, branch) coverage statistics
+	// among generated classes (the paper's representativeness metric for
+	// GenClasses; zero for randfuzz).
+	GenUniqueStats int
+	// MutatorStats is indexed by mutator ID.
+	MutatorStats []MutatorStat
+	Elapsed      time.Duration
+}
+
+// Succ returns the campaign success rate |TestClasses| / #iterations.
+func (r *Result) Succ() float64 {
+	if r.Iterations == 0 {
+		return 0
+	}
+	return float64(len(r.Test)) / float64(r.Iterations)
+}
+
+// TimePerGen returns the average time per generated class.
+func (r *Result) TimePerGen() time.Duration {
+	if len(r.Gen) == 0 {
+		return 0
+	}
+	return r.Elapsed / time.Duration(len(r.Gen))
+}
+
+// TimePerTest returns the average time per accepted test class.
+func (r *Result) TimePerTest() time.Duration {
+	if len(r.Test) == 0 {
+		return 0
+	}
+	return r.Elapsed / time.Duration(len(r.Test))
+}
+
+// Run executes a campaign.
+func Run(cfg Config) (*Result, error) {
+	if len(cfg.Seeds) == 0 {
+		return nil, fmt.Errorf("fuzz: no seeds")
+	}
+	if cfg.Iterations <= 0 {
+		return nil, fmt.Errorf("fuzz: non-positive iteration budget")
+	}
+	switch cfg.Algorithm {
+	case Classfuzz, Randfuzz, Greedyfuzz, Uniquefuzz:
+	case Bytefuzz:
+		return runBytefuzz(cfg)
+	default:
+		return nil, fmt.Errorf("fuzz: unknown algorithm %q", cfg.Algorithm)
+	}
+
+	start := time.Now()
+	rng := rand.New(rand.NewSource(cfg.Rand))
+	muts := mutation.Registry()
+
+	// Mutator selector: classfuzz uses the MCMC chain; everything else
+	// selects uniformly.
+	var selector mcmc.Selector
+	if cfg.Algorithm == Classfuzz {
+		p := cfg.P
+		if p == 0 {
+			p = mcmc.DefaultP(len(muts))
+		}
+		selector = mcmc.NewSampler(len(muts), p, rng)
+	} else {
+		selector = mcmc.NewUniformSampler(len(muts), rng)
+	}
+
+	// Reference VM with coverage instrumentation (not used by randfuzz).
+	refVM := jvm.New(cfg.RefSpec)
+	rec := coverage.NewRecorder()
+	refVM.SetRecorder(rec)
+
+	coverageDirected := cfg.Algorithm != Randfuzz
+
+	// Acceptance state.
+	suite := coverage.NewSuite(cfg.Criterion)
+	if cfg.Algorithm == Uniquefuzz {
+		suite = coverage.NewSuite(coverage.STBR)
+	}
+	greedyUnion := &coverage.Trace{Stmts: map[string]bool{}, Branches: map[string]bool{}}
+	genStats := coverage.NewSuite(coverage.STBR) // counts unique stats over Gen
+
+	// Seed pool: Algorithm 1 line 1 initialises TestClasses with the
+	// seeds, so seed traces participate in uniqueness checks.
+	pool := make([]*jimple.Class, 0, len(cfg.Seeds))
+	pool = append(pool, cfg.Seeds...)
+	if coverageDirected {
+		for _, s := range cfg.Seeds {
+			tr, _, err := runOnRef(refVM, rec, s)
+			if err != nil {
+				continue // unlowerable seed: skip its trace
+			}
+			switch cfg.Algorithm {
+			case Greedyfuzz:
+				greedyUnion = coverage.Merge(greedyUnion, tr)
+			default:
+				if suite.Unique(tr) {
+					suite.Add(tr)
+				}
+			}
+		}
+	}
+
+	res := &Result{
+		Algorithm:  cfg.Algorithm,
+		Criterion:  cfg.Criterion,
+		Iterations: cfg.Iterations,
+	}
+
+	for it := 0; it < cfg.Iterations; it++ {
+		seed := pool[rng.Intn(len(pool))]
+		muID := selector.Next()
+		mutant := seed.Clone()
+		if !muts[muID].Apply(mutant, rng) {
+			// Soot-style failure: no classfile generated this iteration.
+			selector.Record(muID, false)
+			continue
+		}
+		mutant.Name = fmt.Sprintf("M%d", 1430000000+it)
+		mutant.Major = 51 // every mutant is pinned to version 51 (§3.1.1)
+		// §2.2.1: each mutant is supplemented with a simple main that
+		// prints a completion message, so the mutant observably either
+		// runs or fails earlier in the startup pipeline. (Interfaces are
+		// left alone; a main inside an interface is itself a mutation the
+		// interface-member mutators produce deliberately.)
+		if !mutant.IsInterface() && mutant.FindMethod("main") == nil {
+			mutant.AddStandardMain("Completed!")
+		}
+
+		gc := &GenClass{Name: mutant.Name, MutatorID: muID}
+		var tr *coverage.Trace
+		if coverageDirected {
+			var err error
+			var data []byte
+			tr, data, err = runOnRef(refVM, rec, mutant)
+			if err != nil {
+				selector.Record(muID, false)
+				continue
+			}
+			gc.Stats = tr.Stats()
+			gc.Data = data
+			genStats.Add(tr)
+		} else {
+			data, err := lower(mutant)
+			if err != nil {
+				selector.Record(muID, false)
+				continue
+			}
+			gc.Data = data
+		}
+		if cfg.KeepClasses {
+			gc.Class = mutant
+		}
+		res.Gen = append(res.Gen, gc)
+
+		// Acceptance decision.
+		accepted := false
+		switch cfg.Algorithm {
+		case Randfuzz:
+			accepted = true // every generated classfile is a test
+		case Greedyfuzz:
+			merged := coverage.Merge(greedyUnion, tr)
+			if merged.Stats() != greedyUnion.Stats() {
+				greedyUnion = merged
+				accepted = true
+			}
+		default: // classfuzz, uniquefuzz
+			if suite.Unique(tr) {
+				suite.Add(tr)
+				accepted = true
+			}
+		}
+		if accepted {
+			gc.Accepted = true
+			res.Test = append(res.Test, gc)
+			if !cfg.NoSeedRecycling {
+				pool = append(pool, mutant)
+			}
+		}
+		selector.Record(muID, accepted)
+	}
+
+	res.GenUniqueStats = genStats.UniqueStatsCount()
+	res.Elapsed = time.Since(start)
+	res.MutatorStats = make([]MutatorStat, len(muts))
+	for i, m := range muts {
+		st := MutatorStat{ID: i, Name: m.Name}
+		switch sel := selector.(type) {
+		case *mcmc.Sampler:
+			st.Selected = sel.Selected(i)
+			st.Success = sel.Succeeded(i)
+		case *mcmc.UniformSampler:
+			st.Selected = int(sel.Frequency(i) * float64(totalSelections(res)))
+		}
+		res.MutatorStats[i] = st
+	}
+	// For uniform selectors, recover exact per-mutator tallies from the
+	// generated classes instead of the frequency approximation above.
+	if cfg.Algorithm != Classfuzz {
+		for i := range res.MutatorStats {
+			res.MutatorStats[i].Selected = 0
+			res.MutatorStats[i].Success = 0
+		}
+		for _, g := range res.Gen {
+			res.MutatorStats[g.MutatorID].Selected++
+			if g.Accepted {
+				res.MutatorStats[g.MutatorID].Success++
+			}
+		}
+	}
+	return res, nil
+}
+
+func totalSelections(r *Result) int { return r.Iterations }
+
+// lower compiles a mutant to classfile bytes.
+func lower(c *jimple.Class) ([]byte, error) {
+	f, err := jimple.Lower(c)
+	if err != nil {
+		return nil, err
+	}
+	return f.Bytes()
+}
+
+// runOnRef lowers the class and executes it on the instrumented
+// reference VM, returning the coverage trace and the bytes.
+func runOnRef(vm *jvm.VM, rec *coverage.Recorder, c *jimple.Class) (*coverage.Trace, []byte, error) {
+	data, err := lower(c)
+	if err != nil {
+		return nil, nil, err
+	}
+	rec.Reset()
+	vm.Run(data)
+	return rec.Trace(), data, nil
+}

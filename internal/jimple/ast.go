@@ -1,0 +1,567 @@
+// Package jimple is the repository's Soot substitute: a typed,
+// statement-level intermediate representation of Java classes (modelled
+// on Soot's Jimple) with lowering to real classfiles and lifting back.
+// The mutation operators of internal/mutation rewrite this IR — exactly
+// the level at which the paper's 129 mutators operate — and the
+// hierarchical reducer of internal/reduce deletes its statements,
+// fields and methods.
+package jimple
+
+import (
+	"fmt"
+
+	"repro/internal/bytecode"
+	"repro/internal/classfile"
+	"repro/internal/descriptor"
+)
+
+// Class is the mutable class model (the SootClass analogue).
+type Class struct {
+	Name       string // internal name
+	Super      string // internal name; "" only for java/lang/Object
+	Interfaces []string
+	Modifiers  classfile.Flags
+	Major      uint16
+	Minor      uint16
+	SourceFile string
+	Fields     []*Field
+	Methods    []*Method
+	// OrigPool is the constant pool of the classfile this model was
+	// lifted from, if any. Raw statements keep indices into it; lowering
+	// re-interns those constants into the fresh pool.
+	OrigPool *classfile.ConstPool
+}
+
+// Field is one declared field.
+type Field struct {
+	Name      string
+	Type      descriptor.Type
+	Modifiers classfile.Flags
+}
+
+// Method is one declared method. Params excludes the receiver. Body is
+// nil for abstract/native methods; a non-nil empty body is an
+// (illegal) empty code array, which the fuzzer may want.
+type Method struct {
+	Name      string
+	Params    []descriptor.Type
+	Return    descriptor.Type
+	Modifiers classfile.Flags
+	Throws    []string
+	Locals    []*Local
+	Body      []Stmt
+	// RawHandlers/RawMaxStack/RawMaxLocals carry the exception table and
+	// frame sizes of a body lifted as a single Raw statement (the only
+	// form in which traps round-trip). CatchType indices refer to the
+	// owning Class's OrigPool.
+	RawHandlers  []classfile.ExceptionHandler
+	RawMaxStack  uint16
+	RawMaxLocals uint16
+}
+
+// Descriptor renders the method descriptor.
+func (m *Method) Descriptor() string {
+	return descriptor.Method{Params: m.Params, Return: m.Return}.String()
+}
+
+// IsStatic reports whether the method is static.
+func (m *Method) IsStatic() bool { return m.Modifiers.Has(classfile.AccStatic) }
+
+// Local is one method-local variable (including receiver/parameters,
+// which are bound by Identity statements).
+type Local struct {
+	Name string
+	Type descriptor.Type
+}
+
+// NewLocal appends a fresh local to the method and returns it.
+func (m *Method) NewLocal(name string, t descriptor.Type) *Local {
+	l := &Local{Name: name, Type: t}
+	m.Locals = append(m.Locals, l)
+	return l
+}
+
+// --- expressions ------------------------------------------------------------
+
+// Expr is a Jimple expression (right-hand side value).
+type Expr interface{ isExpr() }
+
+// IntConst is an int or long constant (Kind 'I' or 'J').
+type IntConst struct {
+	V    int64
+	Kind byte
+}
+
+// FloatConst is a float or double constant (Kind 'F' or 'D').
+type FloatConst struct {
+	V    float64
+	Kind byte
+}
+
+// StringConst is a string literal.
+type StringConst struct{ V string }
+
+// NullConst is the null literal.
+type NullConst struct{}
+
+// ClassConst is a class literal (ldc of a Class constant).
+type ClassConst struct{ Name string }
+
+// UseLocal reads a local variable.
+type UseLocal struct{ L *Local }
+
+// StaticFieldRef names a static field (readable and assignable).
+type StaticFieldRef struct {
+	Class string
+	Name  string
+	Type  descriptor.Type
+}
+
+// InstanceFieldRef names an instance field of a local's object.
+type InstanceFieldRef struct {
+	Base  *Local
+	Class string
+	Name  string
+	Type  descriptor.Type
+}
+
+// ArrayRef indexes an array held in a local.
+type ArrayRef struct {
+	Base  *Local
+	Index Expr
+	Elem  descriptor.Type
+}
+
+// BinOp operators.
+type BinOpKind string
+
+// Binary operators. Cmp* are the long/float comparison operators that
+// produce an int.
+const (
+	OpAdd  BinOpKind = "+"
+	OpSub  BinOpKind = "-"
+	OpMul  BinOpKind = "*"
+	OpDiv  BinOpKind = "/"
+	OpRem  BinOpKind = "%"
+	OpAnd  BinOpKind = "&"
+	OpOr   BinOpKind = "|"
+	OpXor  BinOpKind = "^"
+	OpShl  BinOpKind = "<<"
+	OpShr  BinOpKind = ">>"
+	OpUshr BinOpKind = ">>>"
+	OpCmp  BinOpKind = "cmp"
+)
+
+// BinOp combines two values of the same primitive kind.
+type BinOp struct {
+	Op   BinOpKind
+	L, R Expr
+	Kind byte // 'I','J','F','D'
+}
+
+// Neg negates a primitive value.
+type Neg struct {
+	X    Expr
+	Kind byte
+}
+
+// Cast is a checkcast (reference To) or primitive conversion.
+type Cast struct {
+	X  Expr
+	To descriptor.Type
+}
+
+// InstanceOf tests a reference against a class.
+type InstanceOf struct {
+	X  Expr
+	Of string
+}
+
+// NewExpr allocates an object (without constructing it; pair with a
+// SpecialInvoke of <init>).
+type NewExpr struct{ Class string }
+
+// NewArrayExpr allocates a one-dimensional array.
+type NewArrayExpr struct {
+	Elem descriptor.Type
+	Size Expr
+}
+
+// ArrayLen reads an array's length.
+type ArrayLen struct{ X Expr }
+
+// InvokeKind distinguishes the invocation instructions.
+type InvokeKind int
+
+// Invocation kinds.
+const (
+	InvokeStatic InvokeKind = iota
+	InvokeVirtual
+	InvokeSpecial
+	InvokeInterface
+)
+
+// Invoke calls a method; Base is nil for static calls.
+type Invoke struct {
+	Kind  InvokeKind
+	Class string
+	Name  string
+	Sig   descriptor.Method
+	Base  *Local
+	Args  []Expr
+}
+
+func (*IntConst) isExpr()         {}
+func (*FloatConst) isExpr()       {}
+func (*StringConst) isExpr()      {}
+func (*NullConst) isExpr()        {}
+func (*ClassConst) isExpr()       {}
+func (*UseLocal) isExpr()         {}
+func (*StaticFieldRef) isExpr()   {}
+func (*InstanceFieldRef) isExpr() {}
+func (*ArrayRef) isExpr()         {}
+func (*BinOp) isExpr()            {}
+func (*Neg) isExpr()              {}
+func (*Cast) isExpr()             {}
+func (*InstanceOf) isExpr()       {}
+func (*NewExpr) isExpr()          {}
+func (*NewArrayExpr) isExpr()     {}
+func (*ArrayLen) isExpr()         {}
+func (*Invoke) isExpr()           {}
+
+// LValue is an assignable location.
+type LValue interface{ isLValue() }
+
+func (*UseLocal) isLValue()         {}
+func (*StaticFieldRef) isLValue()   {}
+func (*InstanceFieldRef) isLValue() {}
+func (*ArrayRef) isLValue()         {}
+
+// --- statements --------------------------------------------------------------
+
+// Stmt is one Jimple statement. Branch targets are statement indices
+// within the owning method's Body.
+type Stmt interface{ isStmt() }
+
+// Identity binds a local to the receiver or a parameter:
+// r0 := @this / r1 := @parameter0: type.
+type Identity struct {
+	Target *Local
+	// Param is the parameter index, or -1 for @this.
+	Param int
+}
+
+// Assign stores RHS into LHS.
+type Assign struct {
+	LHS LValue
+	RHS Expr
+}
+
+// InvokeStmt evaluates a call for effect.
+type InvokeStmt struct{ Call *Invoke }
+
+// Return leaves the method; Value is nil for void.
+type Return struct{ Value Expr }
+
+// CondOp is a comparison operator for If statements.
+type CondOp string
+
+// Comparison operators.
+const (
+	CondEq CondOp = "=="
+	CondNe CondOp = "!="
+	CondLt CondOp = "<"
+	CondGe CondOp = ">="
+	CondGt CondOp = ">"
+	CondLe CondOp = "<="
+)
+
+// If conditionally branches to the statement at index Target.
+type If struct {
+	Op     CondOp
+	L, R   Expr
+	Target int
+}
+
+// Goto unconditionally branches to the statement at index Target.
+type Goto struct{ Target int }
+
+// Throw raises a throwable value.
+type Throw struct{ Value Expr }
+
+// Nop does nothing.
+type Nop struct{}
+
+// EnterMonitor / ExitMonitor are the synchronization statements.
+type EnterMonitor struct{ X Expr }
+
+// ExitMonitor releases a monitor.
+type ExitMonitor struct{ X Expr }
+
+// Raw is an opaque instruction sequence that lifting could not type.
+// Its branches must stay inside the sequence; lowering re-emits it
+// verbatim (re-assembled at its new position).
+type Raw struct{ Ins []*bytecode.Instruction }
+
+func (*Identity) isStmt()     {}
+func (*Assign) isStmt()       {}
+func (*InvokeStmt) isStmt()   {}
+func (*Return) isStmt()       {}
+func (*If) isStmt()           {}
+func (*Goto) isStmt()         {}
+func (*Throw) isStmt()        {}
+func (*Nop) isStmt()          {}
+func (*EnterMonitor) isStmt() {}
+func (*ExitMonitor) isStmt()  {}
+func (*Raw) isStmt()          {}
+
+// --- construction helpers ----------------------------------------------------
+
+// NewClass starts an empty public class extending Object at version 51
+// (the fixed major version of the evaluation, §3.1.1).
+func NewClass(name string) *Class {
+	return &Class{
+		Name:      name,
+		Super:     "java/lang/Object",
+		Modifiers: classfile.AccPublic | classfile.AccSuper,
+		Major:     classfile.MajorJava7,
+	}
+}
+
+// AddField appends a field.
+func (c *Class) AddField(flags classfile.Flags, name string, t descriptor.Type) *Field {
+	f := &Field{Name: name, Type: t, Modifiers: flags}
+	c.Fields = append(c.Fields, f)
+	return f
+}
+
+// AddMethod appends an empty-bodied method.
+func (c *Class) AddMethod(flags classfile.Flags, name string, params []descriptor.Type, ret descriptor.Type) *Method {
+	m := &Method{Name: name, Params: params, Return: ret, Modifiers: flags}
+	c.Methods = append(c.Methods, m)
+	return m
+}
+
+// FindMethod returns the first method with the given name, or nil.
+func (c *Class) FindMethod(name string) *Method {
+	for _, m := range c.Methods {
+		if m.Name == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// MethodIndex returns the index of m in c.Methods, or -1.
+func (c *Class) MethodIndex(m *Method) int {
+	for i, x := range c.Methods {
+		if x == m {
+			return i
+		}
+	}
+	return -1
+}
+
+// IsInterface reports whether the class is declared as an interface.
+func (c *Class) IsInterface() bool { return c.Modifiers.Has(classfile.AccInterface) }
+
+// Clone returns a deep copy (locals and statements are re-created so the
+// copy can be mutated independently).
+func (c *Class) Clone() *Class {
+	out := &Class{
+		Name:       c.Name,
+		Super:      c.Super,
+		Interfaces: append([]string(nil), c.Interfaces...),
+		Modifiers:  c.Modifiers,
+		Major:      c.Major,
+		Minor:      c.Minor,
+		SourceFile: c.SourceFile,
+		OrigPool:   c.OrigPool,
+	}
+	for _, f := range c.Fields {
+		ff := *f
+		out.Fields = append(out.Fields, &ff)
+	}
+	for _, m := range c.Methods {
+		out.Methods = append(out.Methods, m.Clone())
+	}
+	return out
+}
+
+// Clone deep-copies a method, remapping locals.
+func (m *Method) Clone() *Method {
+	out := &Method{
+		Name:         m.Name,
+		Params:       append([]descriptor.Type(nil), m.Params...),
+		Return:       m.Return,
+		Modifiers:    m.Modifiers,
+		Throws:       append([]string(nil), m.Throws...),
+		RawHandlers:  append([]classfile.ExceptionHandler(nil), m.RawHandlers...),
+		RawMaxStack:  m.RawMaxStack,
+		RawMaxLocals: m.RawMaxLocals,
+	}
+	lm := make(map[*Local]*Local, len(m.Locals))
+	for _, l := range m.Locals {
+		nl := &Local{Name: l.Name, Type: l.Type}
+		lm[l] = nl
+		out.Locals = append(out.Locals, nl)
+	}
+	if m.Body != nil {
+		out.Body = make([]Stmt, len(m.Body))
+		for i, s := range m.Body {
+			out.Body[i] = cloneStmt(s, lm)
+		}
+	}
+	return out
+}
+
+func cloneLocal(l *Local, lm map[*Local]*Local) *Local {
+	if l == nil {
+		return nil
+	}
+	if nl, ok := lm[l]; ok {
+		return nl
+	}
+	// A statement can reference a local not in the declared list (a
+	// mutation may have removed the declaration); keep the alias.
+	nl := &Local{Name: l.Name, Type: l.Type}
+	lm[l] = nl
+	return nl
+}
+
+func cloneExpr(e Expr, lm map[*Local]*Local) Expr {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *IntConst:
+		c := *x
+		return &c
+	case *FloatConst:
+		c := *x
+		return &c
+	case *StringConst:
+		c := *x
+		return &c
+	case *NullConst:
+		return &NullConst{}
+	case *ClassConst:
+		c := *x
+		return &c
+	case *UseLocal:
+		return &UseLocal{L: cloneLocal(x.L, lm)}
+	case *StaticFieldRef:
+		c := *x
+		return &c
+	case *InstanceFieldRef:
+		c := *x
+		c.Base = cloneLocal(x.Base, lm)
+		return &c
+	case *ArrayRef:
+		return &ArrayRef{Base: cloneLocal(x.Base, lm), Index: cloneExpr(x.Index, lm), Elem: x.Elem}
+	case *BinOp:
+		return &BinOp{Op: x.Op, L: cloneExpr(x.L, lm), R: cloneExpr(x.R, lm), Kind: x.Kind}
+	case *Neg:
+		return &Neg{X: cloneExpr(x.X, lm), Kind: x.Kind}
+	case *Cast:
+		return &Cast{X: cloneExpr(x.X, lm), To: x.To}
+	case *InstanceOf:
+		return &InstanceOf{X: cloneExpr(x.X, lm), Of: x.Of}
+	case *NewExpr:
+		c := *x
+		return &c
+	case *NewArrayExpr:
+		return &NewArrayExpr{Elem: x.Elem, Size: cloneExpr(x.Size, lm)}
+	case *ArrayLen:
+		return &ArrayLen{X: cloneExpr(x.X, lm)}
+	case *Invoke:
+		return cloneInvoke(x, lm)
+	}
+	panic(fmt.Sprintf("jimple: cloneExpr of unknown %T", e))
+}
+
+func cloneInvoke(x *Invoke, lm map[*Local]*Local) *Invoke {
+	ni := &Invoke{Kind: x.Kind, Class: x.Class, Name: x.Name, Sig: x.Sig, Base: cloneLocal(x.Base, lm)}
+	ni.Sig.Params = append([]descriptor.Type(nil), x.Sig.Params...)
+	for _, a := range x.Args {
+		ni.Args = append(ni.Args, cloneExpr(a, lm))
+	}
+	return ni
+}
+
+func cloneStmt(s Stmt, lm map[*Local]*Local) Stmt {
+	switch x := s.(type) {
+	case *Identity:
+		return &Identity{Target: cloneLocal(x.Target, lm), Param: x.Param}
+	case *Assign:
+		return &Assign{LHS: cloneExpr(x.LHS.(Expr), lm).(LValue), RHS: cloneExpr(x.RHS, lm)}
+	case *InvokeStmt:
+		return &InvokeStmt{Call: cloneInvoke(x.Call, lm)}
+	case *Return:
+		return &Return{Value: cloneExpr(x.Value, lm)}
+	case *If:
+		return &If{Op: x.Op, L: cloneExpr(x.L, lm), R: cloneExpr(x.R, lm), Target: x.Target}
+	case *Goto:
+		return &Goto{Target: x.Target}
+	case *Throw:
+		return &Throw{Value: cloneExpr(x.Value, lm)}
+	case *Nop:
+		return &Nop{}
+	case *EnterMonitor:
+		return &EnterMonitor{X: cloneExpr(x.X, lm)}
+	case *ExitMonitor:
+		return &ExitMonitor{X: cloneExpr(x.X, lm)}
+	case *Raw:
+		ins := make([]*bytecode.Instruction, len(x.Ins))
+		for i, in := range x.Ins {
+			cp := *in
+			cp.SwitchKeys = append([]int32(nil), in.SwitchKeys...)
+			cp.SwitchOffsets = append([]int32(nil), in.SwitchOffsets...)
+			ins[i] = &cp
+		}
+		return &Raw{Ins: ins}
+	}
+	panic(fmt.Sprintf("jimple: cloneStmt of unknown %T", s))
+}
+
+// RetargetAfterRemoval rewrites branch targets in body after the
+// statement at index idx was removed: targets past idx shift down by
+// one; targets equal to idx now point at the statement that followed it
+// (clamped to the last statement).
+func RetargetAfterRemoval(body []Stmt, idx int) {
+	adjust := func(t int) int {
+		if t > idx {
+			return t - 1
+		}
+		if t == idx {
+			if t >= len(body) {
+				return len(body) - 1
+			}
+		}
+		return t
+	}
+	for _, s := range body {
+		switch x := s.(type) {
+		case *If:
+			x.Target = adjust(x.Target)
+		case *Goto:
+			x.Target = adjust(x.Target)
+		}
+	}
+}
+
+// RetargetAfterInsertion shifts branch targets at or past idx up by one
+// after a statement was inserted at idx.
+func RetargetAfterInsertion(body []Stmt, idx int) {
+	for _, s := range body {
+		switch x := s.(type) {
+		case *If:
+			if x.Target >= idx {
+				x.Target++
+			}
+		case *Goto:
+			if x.Target >= idx {
+				x.Target++
+			}
+		}
+	}
+}

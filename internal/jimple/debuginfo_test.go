@@ -1,0 +1,52 @@
+package jimple
+
+import (
+	"testing"
+
+	"repro/internal/classfile"
+)
+
+func TestLoweringEmitsLineNumberTable(t *testing.T) {
+	c := hello("JDebug")
+	f, err := Lower(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := f.FindMethod("main").Code()
+	var lnt *classfile.LineNumberTableAttr
+	for _, a := range code.Attributes {
+		if l, ok := a.(*classfile.LineNumberTableAttr); ok {
+			lnt = l
+		}
+	}
+	if lnt == nil || len(lnt.Entries) == 0 {
+		t.Fatal("LineNumberTable missing from lowered code")
+	}
+	// Entries must be strictly increasing in pc and line.
+	for i := 1; i < len(lnt.Entries); i++ {
+		if lnt.Entries[i].StartPC <= lnt.Entries[i-1].StartPC {
+			t.Error("line table pcs not increasing")
+		}
+		if lnt.Entries[i].Line <= lnt.Entries[i-1].Line {
+			t.Error("line table lines not increasing")
+		}
+	}
+	// And it round-trips through serialisation.
+	data, err := f.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := classfile.Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, a := range g.FindMethod("main").Code().Attributes {
+		if _, ok := a.(*classfile.LineNumberTableAttr); ok {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("LineNumberTable lost in round trip")
+	}
+}

@@ -1,0 +1,100 @@
+package jimple
+
+import (
+	"testing"
+
+	"repro/internal/classfile"
+	"repro/internal/descriptor"
+)
+
+// TestGoldenPrint pins the exact textual Jimple rendering — the format
+// is part of the toolchain contract (jimpleasm parses it, the paper's
+// figures use it), so any drift must be deliberate.
+func TestGoldenPrint(t *testing.T) {
+	c := NewClass("M1437185190")
+	c.Interfaces = []string{"java/security/PrivilegedAction"}
+	c.AddField(classfile.AccProtected|classfile.AccFinal, "MAP", descriptor.Object("java/util/Map"))
+	c.AddDefaultInit()
+	m := c.AddMethod(classfile.AccPublic|classfile.AccStatic, "main",
+		[]descriptor.Type{descriptor.Array(descriptor.Object("java/lang/String"), 1)}, descriptor.Void)
+	args := m.NewLocal("r0", descriptor.Array(descriptor.Object("java/lang/String"), 1))
+	i := m.NewLocal("$i0", descriptor.Int)
+	m.Body = []Stmt{
+		&Identity{Target: args, Param: 0},
+		&Assign{LHS: &UseLocal{L: i}, RHS: &IntConst{V: 3, Kind: 'I'}},
+		&If{Op: CondGe, L: &UseLocal{L: i}, R: &IntConst{V: 0, Kind: 'I'}, Target: 4},
+		&Assign{LHS: &UseLocal{L: i}, RHS: &Neg{X: &UseLocal{L: i}, Kind: 'I'}},
+		&Return{},
+	}
+
+	want := `public class M1437185190 extends java.lang.Object implements java.security.PrivilegedAction
+{
+    protected final java.util.Map MAP;
+
+    public void <init>()
+    {
+        M1437185190 r0;
+
+        r0 := @this: M1437185190;
+        specialinvoke r0.<java.lang.Object: void <init>()>();
+        return;
+    }
+
+    public static void main(java.lang.String[])
+    {
+        java.lang.String[] r0;
+        int $i0;
+
+        r0 := @parameter0: java.lang.String[];
+        $i0 = 3;
+        if $i0 >= 0 goto label1;
+        $i0 = neg $i0;
+     label1:
+        return;
+    }
+}
+`
+	got := Print(c)
+	if got != want {
+		t.Errorf("Print drifted.\n--- got\n%s\n--- want\n%s", got, want)
+	}
+
+	// And the golden text must parse back into an equivalent class.
+	parsed, err := ParseClass(want)
+	if err != nil {
+		t.Fatalf("golden text does not parse: %v", err)
+	}
+	if Print(parsed) != want {
+		t.Error("golden text is not a Print fixpoint")
+	}
+}
+
+// TestGoldenExprForms pins the rendering of each expression node.
+func TestGoldenExprForms(t *testing.T) {
+	l := &Local{Name: "r1", Type: descriptor.Object("java/lang/String")}
+	arr := &Local{Name: "a0", Type: descriptor.Array(descriptor.Int, 1)}
+	cases := map[string]Expr{
+		"42":                          &IntConst{V: 42, Kind: 'I'},
+		"42L":                         &IntConst{V: 42, Kind: 'J'},
+		"1.5F":                        &FloatConst{V: 1.5, Kind: 'F'},
+		"2.5":                         &FloatConst{V: 2.5, Kind: 'D'},
+		`"hi"`:                        &StringConst{V: "hi"},
+		"null":                        &NullConst{},
+		"class java.lang.Thread":      &ClassConst{Name: "java/lang/Thread"},
+		"r1":                          &UseLocal{L: l},
+		"new java.util.HashMap":       &NewExpr{Class: "java/util/HashMap"},
+		"lengthof a0":                 &ArrayLen{X: &UseLocal{L: arr}},
+		"a0[3]":                       &ArrayRef{Base: arr, Index: &IntConst{V: 3, Kind: 'I'}, Elem: descriptor.Int},
+		"neg r1":                      &Neg{X: &UseLocal{L: l}, Kind: 'I'},
+		"(java.util.Map) r1":          &Cast{X: &UseLocal{L: l}, To: descriptor.Object("java/util/Map")},
+		"r1 instanceof java.util.Map": &InstanceOf{X: &UseLocal{L: l}, Of: "java/util/Map"},
+		"newarray (int)[5]":           &NewArrayExpr{Elem: descriptor.Int, Size: &IntConst{V: 5, Kind: 'I'}},
+		"<java.lang.System: java.io.PrintStream out>": &StaticFieldRef{
+			Class: "java/lang/System", Name: "out", Type: descriptor.Object("java/io/PrintStream")},
+	}
+	for want, e := range cases {
+		if got := ExprString(e); got != want {
+			t.Errorf("ExprString(%T) = %q, want %q", e, got, want)
+		}
+	}
+}

@@ -1,0 +1,865 @@
+package jimple
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/classfile"
+	"repro/internal/descriptor"
+)
+
+// ParseClass parses the textual Jimple form produced by Print back into
+// a Class — the analogue of Soot reading .jimple files. The grammar is
+// exactly Print's output language: three-address statements whose
+// binary operators take immediate operands (constants, locals, field
+// refs), labels for branch targets, and Java-style type names. Raw
+// statements (opaque bytecode blocks) have no textual form and are
+// rejected.
+func ParseClass(src string) (*Class, error) {
+	p := &parser{lines: splitLines(src)}
+	c, err := p.parseClass()
+	if err != nil {
+		return nil, fmt.Errorf("jimple: parse error at line %d: %w", p.pos+1, err)
+	}
+	return c, nil
+}
+
+func splitLines(src string) []string {
+	raw := strings.Split(src, "\n")
+	out := make([]string, 0, len(raw))
+	for _, l := range raw {
+		out = append(out, strings.TrimSpace(l))
+	}
+	return out
+}
+
+type parser struct {
+	lines []string
+	pos   int
+}
+
+func (p *parser) cur() string {
+	for p.pos < len(p.lines) && p.lines[p.pos] == "" {
+		p.pos++
+	}
+	if p.pos >= len(p.lines) {
+		return ""
+	}
+	return p.lines[p.pos]
+}
+
+func (p *parser) next() string {
+	l := p.cur()
+	p.pos++
+	return l
+}
+
+func (p *parser) expect(tok string) error {
+	l := p.next()
+	if l != tok {
+		return fmt.Errorf("expected %q, found %q", tok, l)
+	}
+	return nil
+}
+
+// --- class level ---------------------------------------------------------------
+
+var modifierBits = map[string]classfile.Flags{
+	"public":       classfile.AccPublic,
+	"private":      classfile.AccPrivate,
+	"protected":    classfile.AccProtected,
+	"static":       classfile.AccStatic,
+	"final":        classfile.AccFinal,
+	"synchronized": classfile.AccSynchronized,
+	"volatile":     classfile.AccVolatile,
+	"transient":    classfile.AccTransient,
+	"native":       classfile.AccNative,
+	"abstract":     classfile.AccAbstract,
+}
+
+// takeModifiers strips leading modifier keywords from fields.
+func takeModifiers(fields []string) (classfile.Flags, []string) {
+	var flags classfile.Flags
+	for len(fields) > 0 {
+		bit, ok := modifierBits[fields[0]]
+		if !ok {
+			break
+		}
+		flags |= bit
+		fields = fields[1:]
+	}
+	return flags, fields
+}
+
+func (p *parser) parseClass() (*Class, error) {
+	header := p.next()
+	if header == "" {
+		return nil, fmt.Errorf("empty input")
+	}
+	fields := strings.Fields(header)
+	flags, fields := takeModifiers(fields)
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("missing class/interface keyword")
+	}
+	c := &Class{Modifiers: flags | classfile.AccSuper, Major: classfile.MajorJava7}
+	switch fields[0] {
+	case "class":
+	case "interface":
+		c.Modifiers |= classfile.AccInterface | classfile.AccAbstract
+		c.Modifiers &^= classfile.AccSuper
+	default:
+		return nil, fmt.Errorf("expected class or interface, found %q", fields[0])
+	}
+	fields = fields[1:]
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("missing class name")
+	}
+	c.Name = slashes(fields[0])
+	fields = fields[1:]
+
+	for len(fields) > 0 {
+		switch fields[0] {
+		case "extends":
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("extends without a superclass")
+			}
+			c.Super = slashes(fields[1])
+			fields = fields[2:]
+		case "implements":
+			for _, n := range fields[1:] {
+				c.Interfaces = append(c.Interfaces, slashes(strings.TrimSuffix(n, ",")))
+			}
+			fields = nil
+		default:
+			return nil, fmt.Errorf("unexpected token %q in class header", fields[0])
+		}
+	}
+
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	for {
+		l := p.cur()
+		if l == "" {
+			return nil, fmt.Errorf("unterminated class body")
+		}
+		if l == "}" {
+			p.next()
+			return c, nil
+		}
+		if err := p.parseMember(c); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// parseMember parses one field or method declaration.
+func (p *parser) parseMember(c *Class) error {
+	l := p.next()
+	if strings.Contains(l, "(") {
+		return p.parseMethod(c, l)
+	}
+	// Field: `mods type name;`
+	decl := strings.TrimSuffix(l, ";")
+	if decl == l {
+		return fmt.Errorf("field declaration %q missing ';'", l)
+	}
+	fields := strings.Fields(decl)
+	flags, fields := takeModifiers(fields)
+	if len(fields) != 2 {
+		return fmt.Errorf("malformed field declaration %q", l)
+	}
+	t, err := javaType(fields[0])
+	if err != nil {
+		return err
+	}
+	c.Fields = append(c.Fields, &Field{Name: fields[1], Type: t, Modifiers: flags})
+	return nil
+}
+
+// parseMethod parses `mods ret name(params) [throws ...]` and an
+// optional body.
+func (p *parser) parseMethod(c *Class, header string) error {
+	bodyless := strings.HasSuffix(header, ";")
+	header = strings.TrimSuffix(header, ";")
+
+	open := strings.IndexByte(header, '(')
+	close := strings.IndexByte(header, ')')
+	if open < 0 || close < open {
+		return fmt.Errorf("malformed method header %q", header)
+	}
+	pre := strings.Fields(header[:open])
+	flags, pre := takeModifiers(pre)
+	if len(pre) != 2 {
+		return fmt.Errorf("malformed method signature %q", header)
+	}
+	ret, err := javaType(pre[0])
+	if err != nil {
+		return err
+	}
+	m := &Method{Name: pre[1], Return: ret, Modifiers: flags}
+
+	if params := strings.TrimSpace(header[open+1 : close]); params != "" {
+		for _, ps := range strings.Split(params, ",") {
+			t, err := javaType(strings.TrimSpace(ps))
+			if err != nil {
+				return err
+			}
+			m.Params = append(m.Params, t)
+		}
+	}
+	if rest := strings.TrimSpace(header[close+1:]); rest != "" {
+		if !strings.HasPrefix(rest, "throws ") {
+			return fmt.Errorf("unexpected trailer %q", rest)
+		}
+		for _, tn := range strings.Split(strings.TrimPrefix(rest, "throws "), ",") {
+			m.Throws = append(m.Throws, slashes(strings.TrimSpace(tn)))
+		}
+	}
+	c.Methods = append(c.Methods, m)
+	if bodyless {
+		return nil
+	}
+	return p.parseBody(c, m)
+}
+
+func (p *parser) parseBody(c *Class, m *Method) error {
+	if err := p.expect("{"); err != nil {
+		return err
+	}
+	locals := map[string]*Local{}
+	mkLocal := func(name string, t descriptor.Type) *Local {
+		if l, ok := locals[name]; ok {
+			return l
+		}
+		l := &Local{Name: name, Type: t}
+		locals[name] = l
+		m.Locals = append(m.Locals, l)
+		return l
+	}
+
+	// Local declarations come first: `type name;` without '='.
+	for {
+		l := p.cur()
+		if l == "}" || l == "" || strings.Contains(l, ":") || strings.Contains(l, "=") ||
+			isStmtKeyword(l) {
+			break
+		}
+		decl := strings.TrimSuffix(p.next(), ";")
+		fields := strings.Fields(decl)
+		if len(fields) != 2 {
+			return fmt.Errorf("malformed local declaration %q", decl)
+		}
+		t, err := javaType(fields[0])
+		if err != nil {
+			return err
+		}
+		mkLocal(fields[1], t)
+	}
+
+	// Statements, with labels mapping to statement indices.
+	labelIdx := map[string]int{}
+	type pending struct {
+		stmt  Stmt
+		label string
+	}
+	var stmts []pending
+	for {
+		l := p.cur()
+		if l == "" {
+			return fmt.Errorf("unterminated method body")
+		}
+		if l == "}" {
+			p.next()
+			break
+		}
+		if strings.HasSuffix(l, ":") && !strings.Contains(l, " ") {
+			labelIdx[strings.TrimSuffix(l, ":")] = len(stmts)
+			p.next()
+			continue
+		}
+		line := strings.TrimSuffix(p.next(), ";")
+		st, label, err := parseStmt(line, c, m, mkLocal)
+		if err != nil {
+			return err
+		}
+		stmts = append(stmts, pending{stmt: st, label: label})
+	}
+
+	m.Body = make([]Stmt, len(stmts))
+	for i, ps := range stmts {
+		if ps.label != "" {
+			idx, ok := labelIdx[ps.label]
+			if !ok {
+				return fmt.Errorf("undefined label %q", ps.label)
+			}
+			switch s := ps.stmt.(type) {
+			case *Goto:
+				s.Target = idx
+			case *If:
+				s.Target = idx
+			}
+		}
+		m.Body[i] = ps.stmt
+	}
+	return nil
+}
+
+func isStmtKeyword(l string) bool {
+	for _, kw := range []string{"return", "goto ", "if ", "throw ", "nop", "entermonitor ", "exitmonitor ",
+		"staticinvoke ", "virtualinvoke ", "specialinvoke ", "interfaceinvoke "} {
+		if l == strings.TrimSpace(kw) || strings.HasPrefix(l, kw) {
+			return true
+		}
+	}
+	return false
+}
+
+// parseStmt parses one statement line; the returned label (if any) is
+// resolved to an index by the caller.
+func parseStmt(line string, c *Class, m *Method, mkLocal func(string, descriptor.Type) *Local) (Stmt, string, error) {
+	switch {
+	case line == "nop":
+		return &Nop{}, "", nil
+	case line == "return":
+		return &Return{}, "", nil
+	case strings.HasPrefix(line, "return "):
+		e, err := parseExpr(strings.TrimPrefix(line, "return "), mkLocal)
+		if err != nil {
+			return nil, "", err
+		}
+		return &Return{Value: e}, "", nil
+	case strings.HasPrefix(line, "goto "):
+		return &Goto{}, strings.TrimSpace(strings.TrimPrefix(line, "goto ")), nil
+	case strings.HasPrefix(line, "throw "):
+		e, err := parseExpr(strings.TrimPrefix(line, "throw "), mkLocal)
+		if err != nil {
+			return nil, "", err
+		}
+		return &Throw{Value: e}, "", nil
+	case strings.HasPrefix(line, "entermonitor "):
+		e, err := parseExpr(strings.TrimPrefix(line, "entermonitor "), mkLocal)
+		if err != nil {
+			return nil, "", err
+		}
+		return &EnterMonitor{X: e}, "", nil
+	case strings.HasPrefix(line, "exitmonitor "):
+		e, err := parseExpr(strings.TrimPrefix(line, "exitmonitor "), mkLocal)
+		if err != nil {
+			return nil, "", err
+		}
+		return &ExitMonitor{X: e}, "", nil
+	case strings.HasPrefix(line, "if "):
+		// if <L> <op> <R> goto label
+		rest := strings.TrimPrefix(line, "if ")
+		gi := strings.LastIndex(rest, " goto ")
+		if gi < 0 {
+			return nil, "", fmt.Errorf("if without goto in %q", line)
+		}
+		label := strings.TrimSpace(rest[gi+6:])
+		cond := rest[:gi]
+		op, li, ri, err := splitCond(cond)
+		if err != nil {
+			return nil, "", err
+		}
+		le, err := parseExpr(li, mkLocal)
+		if err != nil {
+			return nil, "", err
+		}
+		re, err := parseExpr(ri, mkLocal)
+		if err != nil {
+			return nil, "", err
+		}
+		return &If{Op: op, L: le, R: re}, label, nil
+	case strings.Contains(line, " := @this:"):
+		name := strings.TrimSpace(line[:strings.Index(line, " :=")])
+		l := mkLocal(name, descriptor.Object(c.Name))
+		return &Identity{Target: l, Param: -1}, "", nil
+	case strings.Contains(line, " := @parameter"):
+		name := strings.TrimSpace(line[:strings.Index(line, " :=")])
+		rest := line[strings.Index(line, "@parameter")+len("@parameter"):]
+		colon := strings.IndexByte(rest, ':')
+		if colon < 0 {
+			return nil, "", fmt.Errorf("malformed identity %q", line)
+		}
+		idx, err := strconv.Atoi(rest[:colon])
+		if err != nil {
+			return nil, "", fmt.Errorf("malformed parameter index in %q", line)
+		}
+		t, err := javaType(strings.TrimSpace(rest[colon+1:]))
+		if err != nil {
+			return nil, "", err
+		}
+		l := mkLocal(name, t)
+		return &Identity{Target: l, Param: idx}, "", nil
+	}
+
+	// Invoke statements.
+	for _, kw := range []string{"staticinvoke ", "virtualinvoke ", "specialinvoke ", "interfaceinvoke "} {
+		if strings.HasPrefix(line, kw) {
+			e, err := parseExpr(line, mkLocal)
+			if err != nil {
+				return nil, "", err
+			}
+			inv, ok := e.(*Invoke)
+			if !ok {
+				return nil, "", fmt.Errorf("expected an invocation in %q", line)
+			}
+			return &InvokeStmt{Call: inv}, "", nil
+		}
+	}
+
+	// Assignment: lhs = rhs, splitting on the first top-level " = ".
+	eq := topLevelIndex(line, " = ")
+	if eq < 0 {
+		return nil, "", fmt.Errorf("unrecognised statement %q", line)
+	}
+	lhsE, err := parseExpr(line[:eq], mkLocal)
+	if err != nil {
+		return nil, "", err
+	}
+	lhs, ok := lhsE.(LValue)
+	if !ok {
+		return nil, "", fmt.Errorf("%q is not assignable", line[:eq])
+	}
+	rhs, err := parseExpr(line[eq+3:], mkLocal)
+	if err != nil {
+		return nil, "", err
+	}
+	return &Assign{LHS: lhs, RHS: rhs}, "", nil
+}
+
+// splitCond splits "a >= b" on the comparison operator.
+func splitCond(s string) (CondOp, string, string, error) {
+	for _, op := range []CondOp{CondEq, CondNe, CondGe, CondLe, CondLt, CondGt} {
+		needle := " " + string(op) + " "
+		if i := topLevelIndex(s, needle); i >= 0 {
+			return op, s[:i], s[i+len(needle):], nil
+		}
+	}
+	return "", "", "", fmt.Errorf("no comparison operator in %q", s)
+}
+
+// topLevelIndex finds needle outside quotes, angle brackets and parens.
+func topLevelIndex(s, needle string) int {
+	depth := 0
+	inStr := false
+	for i := 0; i+len(needle) <= len(s); i++ {
+		ch := s[i]
+		switch {
+		case inStr:
+			if ch == '\\' {
+				i++
+			} else if ch == '"' {
+				inStr = false
+			}
+			continue
+		case ch == '"':
+			inStr = true
+			continue
+		case ch == '(' || ch == '<' || ch == '[':
+			depth++
+			continue
+		case ch == ')' || ch == '>' || ch == ']':
+			depth--
+			continue
+		}
+		if depth == 0 && s[i:i+len(needle)] == needle {
+			return i
+		}
+	}
+	return -1
+}
+
+// --- expressions -----------------------------------------------------------------
+
+var binOps = []BinOpKind{OpUshr, OpShr, OpShl, OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor, OpCmp}
+
+func parseExpr(s string, mkLocal func(string, descriptor.Type) *Local) (Expr, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, fmt.Errorf("empty expression")
+	}
+
+	// Prefix forms.
+	switch {
+	case s == "null":
+		return &NullConst{}, nil
+	case strings.HasPrefix(s, "class "):
+		return &ClassConst{Name: slashes(strings.TrimPrefix(s, "class "))}, nil
+	case strings.HasPrefix(s, "new "):
+		return &NewExpr{Class: slashes(strings.TrimPrefix(s, "new "))}, nil
+	case strings.HasPrefix(s, "neg "):
+		x, err := parseExpr(strings.TrimPrefix(s, "neg "), mkLocal)
+		if err != nil {
+			return nil, err
+		}
+		return &Neg{X: x, Kind: kindOfImmediate(x)}, nil
+	case strings.HasPrefix(s, "lengthof "):
+		x, err := parseExpr(strings.TrimPrefix(s, "lengthof "), mkLocal)
+		if err != nil {
+			return nil, err
+		}
+		return &ArrayLen{X: x}, nil
+	case strings.HasPrefix(s, "newarray "):
+		// newarray (elem)[size]
+		rest := strings.TrimPrefix(s, "newarray ")
+		if !strings.HasPrefix(rest, "(") {
+			return nil, fmt.Errorf("malformed newarray %q", s)
+		}
+		close := strings.IndexByte(rest, ')')
+		if close < 0 {
+			return nil, fmt.Errorf("malformed newarray %q", s)
+		}
+		elem, err := javaType(rest[1:close])
+		if err != nil {
+			return nil, err
+		}
+		sz := strings.TrimSpace(rest[close+1:])
+		if !strings.HasPrefix(sz, "[") || !strings.HasSuffix(sz, "]") {
+			return nil, fmt.Errorf("malformed newarray size %q", s)
+		}
+		size, err := parseExpr(sz[1:len(sz)-1], mkLocal)
+		if err != nil {
+			return nil, err
+		}
+		return &NewArrayExpr{Elem: elem, Size: size}, nil
+	}
+
+	// Invocations.
+	for kw, kind := range map[string]InvokeKind{
+		"staticinvoke ":    InvokeStatic,
+		"virtualinvoke ":   InvokeVirtual,
+		"specialinvoke ":   InvokeSpecial,
+		"interfaceinvoke ": InvokeInterface,
+	} {
+		if strings.HasPrefix(s, kw) {
+			return parseInvoke(strings.TrimPrefix(s, kw), kind, mkLocal)
+		}
+	}
+
+	// instanceof.
+	if i := topLevelIndex(s, " instanceof "); i >= 0 {
+		x, err := parseExpr(s[:i], mkLocal)
+		if err != nil {
+			return nil, err
+		}
+		return &InstanceOf{X: x, Of: slashes(strings.TrimSpace(s[i+12:]))}, nil
+	}
+
+	// Cast: (type) expr.
+	if strings.HasPrefix(s, "(") {
+		close := strings.IndexByte(s, ')')
+		if close > 0 {
+			if t, err := javaType(strings.TrimSpace(s[1:close])); err == nil {
+				x, err := parseExpr(s[close+1:], mkLocal)
+				if err != nil {
+					return nil, err
+				}
+				return &Cast{X: x, To: t}, nil
+			}
+		}
+	}
+
+	// Binary operators (single level; operands are immediates).
+	for _, op := range binOps {
+		needle := " " + string(op) + " "
+		if i := topLevelIndex(s, needle); i >= 0 {
+			l, err := parseExpr(s[:i], mkLocal)
+			if err != nil {
+				return nil, err
+			}
+			r, err := parseExpr(s[i+len(needle):], mkLocal)
+			if err != nil {
+				return nil, err
+			}
+			return &BinOp{Op: op, L: l, R: r, Kind: kindOfImmediate(l)}, nil
+		}
+	}
+
+	// Field references: `<C: T f>` (static), `base.<C: T f>` (instance).
+	if strings.HasPrefix(s, "<") && strings.HasSuffix(s, ">") {
+		return parseFieldRef(s[1:len(s)-1], nil, mkLocal)
+	}
+	if dot := strings.Index(s, ".<"); dot > 0 && strings.HasSuffix(s, ">") {
+		base := mkLocal(s[:dot], descriptor.Object("java/lang/Object"))
+		return parseFieldRef(s[dot+2:len(s)-1], base, mkLocal)
+	}
+
+	// Array ref: base[idx].
+	if br := strings.IndexByte(s, '['); br > 0 && strings.HasSuffix(s, "]") && !strings.Contains(s[:br], " ") {
+		base := mkLocal(s[:br], descriptor.Object("java/lang/Object"))
+		idx, err := parseExpr(s[br+1:len(s)-1], mkLocal)
+		if err != nil {
+			return nil, err
+		}
+		elem := descriptor.Object("java/lang/Object")
+		if base.Type.Dims > 0 {
+			elem = base.Type
+			elem.Dims--
+		}
+		return &ArrayRef{Base: base, Index: idx, Elem: elem}, nil
+	}
+
+	// String literal.
+	if strings.HasPrefix(s, "\"") {
+		v, err := strconv.Unquote(s)
+		if err != nil {
+			return nil, fmt.Errorf("bad string literal %s", s)
+		}
+		return &StringConst{V: v}, nil
+	}
+
+	// Numeric literals.
+	if v, err := strconv.ParseInt(strings.TrimSuffix(s, "L"), 10, 64); err == nil {
+		kind := byte('I')
+		if strings.HasSuffix(s, "L") {
+			kind = 'J'
+		}
+		return &IntConst{V: v, Kind: kind}, nil
+	}
+	if v, err := strconv.ParseFloat(strings.TrimSuffix(s, "F"), 64); err == nil {
+		kind := byte('D')
+		if strings.HasSuffix(s, "F") {
+			kind = 'F'
+		}
+		return &FloatConst{V: v, Kind: kind}, nil
+	}
+
+	// A plain identifier is a local.
+	if isIdent(s) {
+		return &UseLocal{L: mkLocal(s, descriptor.Object("java/lang/Object"))}, nil
+	}
+	return nil, fmt.Errorf("unparseable expression %q", s)
+}
+
+// parseFieldRef parses `a.b.C: T name` (the inside of <...>).
+func parseFieldRef(s string, base *Local, mkLocal func(string, descriptor.Type) *Local) (Expr, error) {
+	colon := strings.IndexByte(s, ':')
+	if colon < 0 {
+		return nil, fmt.Errorf("malformed field reference <%s>", s)
+	}
+	cls := slashes(strings.TrimSpace(s[:colon]))
+	rest := strings.Fields(strings.TrimSpace(s[colon+1:]))
+	if len(rest) != 2 {
+		return nil, fmt.Errorf("malformed field reference <%s>", s)
+	}
+	t, err := javaType(rest[0])
+	if err != nil {
+		return nil, err
+	}
+	if base == nil {
+		return &StaticFieldRef{Class: cls, Name: rest[1], Type: t}, nil
+	}
+	return &InstanceFieldRef{Base: base, Class: cls, Name: rest[1], Type: t}, nil
+}
+
+// parseInvoke parses `[base.]<C: R m(p1,p2)>(a1, a2)`.
+func parseInvoke(s string, kind InvokeKind, mkLocal func(string, descriptor.Type) *Local) (Expr, error) {
+	inv := &Invoke{Kind: kind}
+	if kind != InvokeStatic {
+		dot := strings.Index(s, ".<")
+		if dot < 0 {
+			return nil, fmt.Errorf("instance invocation without a base in %q", s)
+		}
+		inv.Base = mkLocal(s[:dot], descriptor.Object("java/lang/Object"))
+		s = s[dot+1:]
+	}
+	if !strings.HasPrefix(s, "<") {
+		return nil, fmt.Errorf("malformed invocation %q", s)
+	}
+	// Method names like <init>/<clinit> nest angle brackets inside the
+	// signature; find the matching closer by depth.
+	sigEnd := matchAngle(s)
+	if sigEnd < 0 {
+		return nil, fmt.Errorf("unterminated signature in %q", s)
+	}
+	sig := s[1:sigEnd]
+	colon := strings.IndexByte(sig, ':')
+	if colon < 0 {
+		return nil, fmt.Errorf("malformed signature %q", sig)
+	}
+	inv.Class = slashes(strings.TrimSpace(sig[:colon]))
+	decl := strings.TrimSpace(sig[colon+1:])
+	open := strings.IndexByte(decl, '(')
+	closeP := strings.LastIndexByte(decl, ')')
+	if open < 0 || closeP < open {
+		return nil, fmt.Errorf("malformed method declaration %q", decl)
+	}
+	pre := strings.Fields(decl[:open])
+	if len(pre) != 2 {
+		return nil, fmt.Errorf("malformed method declaration %q", decl)
+	}
+	ret, err := javaType(pre[0])
+	if err != nil {
+		return nil, err
+	}
+	inv.Name = pre[1]
+	inv.Sig = descriptor.Method{Return: ret}
+	if ps := strings.TrimSpace(decl[open+1 : closeP]); ps != "" {
+		for _, pt := range strings.Split(ps, ",") {
+			t, err := javaType(strings.TrimSpace(pt))
+			if err != nil {
+				return nil, err
+			}
+			inv.Sig.Params = append(inv.Sig.Params, t)
+		}
+	}
+	// Arguments after the signature.
+	args := strings.TrimSpace(s[sigEnd+1:])
+	if !strings.HasPrefix(args, "(") || !strings.HasSuffix(args, ")") {
+		return nil, fmt.Errorf("malformed argument list %q", args)
+	}
+	for _, as := range splitTopLevel(args[1 : len(args)-1]) {
+		a, err := parseExpr(as, mkLocal)
+		if err != nil {
+			return nil, err
+		}
+		inv.Args = append(inv.Args, a)
+	}
+	return inv, nil
+}
+
+// matchAngle returns the index of the '>' matching s[0] == '<', or -1.
+func matchAngle(s string) int {
+	depth := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '<':
+			depth++
+		case '>':
+			depth--
+			if depth == 0 {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// splitTopLevel splits a comma-separated list respecting nesting.
+func splitTopLevel(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	var out []string
+	depth := 0
+	inStr := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		ch := s[i]
+		switch {
+		case inStr:
+			if ch == '\\' {
+				i++
+			} else if ch == '"' {
+				inStr = false
+			}
+		case ch == '"':
+			inStr = true
+		case ch == '(' || ch == '<' || ch == '[':
+			depth++
+		case ch == ')' || ch == '>' || ch == ']':
+			depth--
+		case ch == ',' && depth == 0:
+			out = append(out, strings.TrimSpace(s[start:i]))
+			start = i + 1
+		}
+	}
+	out = append(out, strings.TrimSpace(s[start:]))
+	return out
+}
+
+// kindOfImmediate guesses the computational kind of a parsed immediate.
+func kindOfImmediate(e Expr) byte {
+	switch x := e.(type) {
+	case *IntConst:
+		return x.Kind
+	case *FloatConst:
+		return x.Kind
+	case *UseLocal:
+		if x.L.Type.IsReference() {
+			return 'A'
+		}
+		switch x.L.Type.Kind {
+		case 'J', 'F', 'D':
+			return x.L.Type.Kind
+		}
+		return 'I'
+	case *StaticFieldRef:
+		if x.Type.IsReference() {
+			return 'A'
+		}
+		return x.Type.Kind
+	case *InstanceFieldRef:
+		if x.Type.IsReference() {
+			return 'A'
+		}
+		return x.Type.Kind
+	}
+	return 'I'
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == '$':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func slashes(dotted string) string { return strings.ReplaceAll(dotted, ".", "/") }
+
+// javaType parses a Java-style type name ("int", "java.lang.String[]").
+func javaType(s string) (descriptor.Type, error) {
+	dims := 0
+	for strings.HasSuffix(s, "[]") {
+		dims++
+		s = s[:len(s)-2]
+	}
+	var t descriptor.Type
+	switch s {
+	case "byte":
+		t = descriptor.Byte
+	case "char":
+		t = descriptor.Char
+	case "double":
+		t = descriptor.Double
+	case "float":
+		t = descriptor.Float
+	case "int":
+		t = descriptor.Int
+	case "long":
+		t = descriptor.Long
+	case "short":
+		t = descriptor.Short
+	case "boolean":
+		t = descriptor.Boolean
+	case "void":
+		if dims > 0 {
+			return t, fmt.Errorf("array of void")
+		}
+		return descriptor.Void, nil
+	case "":
+		return t, fmt.Errorf("empty type name")
+	default:
+		if strings.ContainsAny(s, "(){};=") {
+			return t, fmt.Errorf("invalid type name %q", s)
+		}
+		t = descriptor.Object(slashes(s))
+	}
+	t.Dims = dims
+	return t, nil
+}

@@ -1,0 +1,257 @@
+package jimple
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/classfile"
+)
+
+// Print renders the class in the textual Jimple style the paper's
+// figures use (e.g. Figure in Table 2: `r0 := @parameter0: ...`,
+// `virtualinvoke $r1.<java.io.PrintStream: void println(...)>("x")`).
+func Print(c *Class) string {
+	var b strings.Builder
+	mods := modifierWords(c.Modifiers, true)
+	kw := "class"
+	if c.IsInterface() {
+		kw = "interface"
+	}
+	fmt.Fprintf(&b, "%s%s %s", mods, kw, dots(c.Name))
+	if c.Super != "" {
+		fmt.Fprintf(&b, " extends %s", dots(c.Super))
+	}
+	if len(c.Interfaces) > 0 {
+		var is []string
+		for _, i := range c.Interfaces {
+			is = append(is, dots(i))
+		}
+		fmt.Fprintf(&b, " implements %s", strings.Join(is, ", "))
+	}
+	b.WriteString("\n{\n")
+	for _, f := range c.Fields {
+		fmt.Fprintf(&b, "    %s%s %s;\n", modifierWords(f.Modifiers, false), f.Type.Java(), f.Name)
+	}
+	if len(c.Fields) > 0 && len(c.Methods) > 0 {
+		b.WriteString("\n")
+	}
+	for i, m := range c.Methods {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		printMethod(&b, m)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func printMethod(b *strings.Builder, m *Method) {
+	var params []string
+	for _, p := range m.Params {
+		params = append(params, p.Java())
+	}
+	fmt.Fprintf(b, "    %s%s %s(%s)", modifierWords(m.Modifiers, false), m.Return.Java(), m.Name, strings.Join(params, ", "))
+	if len(m.Throws) > 0 {
+		var ts []string
+		for _, t := range m.Throws {
+			ts = append(ts, dots(t))
+		}
+		fmt.Fprintf(b, " throws %s", strings.Join(ts, ", "))
+	}
+	if m.Body == nil {
+		b.WriteString(";\n")
+		return
+	}
+	b.WriteString("\n    {\n")
+	for _, l := range m.Locals {
+		fmt.Fprintf(b, "        %s %s;\n", l.Type.Java(), l.Name)
+	}
+	if len(m.Locals) > 0 {
+		b.WriteString("\n")
+	}
+	// Label any statement that is a branch target.
+	labels := map[int]string{}
+	for _, s := range m.Body {
+		switch x := s.(type) {
+		case *If:
+			if _, ok := labels[x.Target]; !ok {
+				labels[x.Target] = fmt.Sprintf("label%d", len(labels)+1)
+			}
+		case *Goto:
+			if _, ok := labels[x.Target]; !ok {
+				labels[x.Target] = fmt.Sprintf("label%d", len(labels)+1)
+			}
+		}
+	}
+	for i, s := range m.Body {
+		if lbl, ok := labels[i]; ok {
+			fmt.Fprintf(b, "     %s:\n", lbl)
+		}
+		fmt.Fprintf(b, "        %s;\n", StmtString(s, labels))
+	}
+	b.WriteString("    }\n")
+}
+
+// StmtString renders one statement; labels maps branch-target indices
+// to label names (pass nil to print raw indices).
+func StmtString(s Stmt, labels map[int]string) string {
+	target := func(t int) string {
+		if labels != nil {
+			if l, ok := labels[t]; ok {
+				return l
+			}
+		}
+		return fmt.Sprintf("[%d]", t)
+	}
+	switch x := s.(type) {
+	case *Identity:
+		if x.Param < 0 {
+			return fmt.Sprintf("%s := @this: %s", x.Target.Name, x.Target.Type.Java())
+		}
+		return fmt.Sprintf("%s := @parameter%d: %s", x.Target.Name, x.Param, x.Target.Type.Java())
+	case *Assign:
+		return fmt.Sprintf("%s = %s", ExprString(x.LHS.(Expr)), ExprString(x.RHS))
+	case *InvokeStmt:
+		return ExprString(x.Call)
+	case *Return:
+		if x.Value == nil {
+			return "return"
+		}
+		return "return " + ExprString(x.Value)
+	case *If:
+		return fmt.Sprintf("if %s %s %s goto %s", ExprString(x.L), x.Op, ExprString(x.R), target(x.Target))
+	case *Goto:
+		return "goto " + target(x.Target)
+	case *Throw:
+		return "throw " + ExprString(x.Value)
+	case *Nop:
+		return "nop"
+	case *EnterMonitor:
+		return "entermonitor " + ExprString(x.X)
+	case *ExitMonitor:
+		return "exitmonitor " + ExprString(x.X)
+	case *Raw:
+		var ops []string
+		for _, in := range x.Ins {
+			ops = append(ops, in.Op.Mnemonic())
+		}
+		return fmt.Sprintf("raw {%s}", strings.Join(ops, " "))
+	}
+	return fmt.Sprintf("<unknown stmt %T>", s)
+}
+
+// ExprString renders one expression in Jimple syntax.
+func ExprString(e Expr) string {
+	switch x := e.(type) {
+	case nil:
+		return "<nil>"
+	case *IntConst:
+		if x.Kind == 'J' {
+			return fmt.Sprintf("%dL", x.V)
+		}
+		return fmt.Sprintf("%d", x.V)
+	case *FloatConst:
+		if x.Kind == 'F' {
+			return fmt.Sprintf("%gF", x.V)
+		}
+		return fmt.Sprintf("%g", x.V)
+	case *StringConst:
+		return fmt.Sprintf("%q", x.V)
+	case *NullConst:
+		return "null"
+	case *ClassConst:
+		return "class " + dots(x.Name)
+	case *UseLocal:
+		return x.L.Name
+	case *StaticFieldRef:
+		return fmt.Sprintf("<%s: %s %s>", dots(x.Class), x.Type.Java(), x.Name)
+	case *InstanceFieldRef:
+		return fmt.Sprintf("%s.<%s: %s %s>", x.Base.Name, dots(x.Class), x.Type.Java(), x.Name)
+	case *ArrayRef:
+		return fmt.Sprintf("%s[%s]", x.Base.Name, ExprString(x.Index))
+	case *BinOp:
+		return fmt.Sprintf("%s %s %s", ExprString(x.L), x.Op, ExprString(x.R))
+	case *Neg:
+		return "neg " + ExprString(x.X)
+	case *Cast:
+		return fmt.Sprintf("(%s) %s", x.To.Java(), ExprString(x.X))
+	case *InstanceOf:
+		return fmt.Sprintf("%s instanceof %s", ExprString(x.X), dots(x.Of))
+	case *NewExpr:
+		return "new " + dots(x.Class)
+	case *NewArrayExpr:
+		return fmt.Sprintf("newarray (%s)[%s]", x.Elem.Java(), ExprString(x.Size))
+	case *ArrayLen:
+		return "lengthof " + ExprString(x.X)
+	case *Invoke:
+		return invokeString(x)
+	}
+	return fmt.Sprintf("<unknown expr %T>", e)
+}
+
+func invokeString(x *Invoke) string {
+	var args []string
+	for _, a := range x.Args {
+		args = append(args, ExprString(a))
+	}
+	var params []string
+	for _, p := range x.Sig.Params {
+		params = append(params, p.Java())
+	}
+	sig := fmt.Sprintf("<%s: %s %s(%s)>", dots(x.Class), x.Sig.Return.Java(), x.Name, strings.Join(params, ","))
+	switch x.Kind {
+	case InvokeStatic:
+		return fmt.Sprintf("staticinvoke %s(%s)", sig, strings.Join(args, ", "))
+	case InvokeVirtual:
+		return fmt.Sprintf("virtualinvoke %s.%s(%s)", x.Base.Name, sig, strings.Join(args, ", "))
+	case InvokeSpecial:
+		return fmt.Sprintf("specialinvoke %s.%s(%s)", x.Base.Name, sig, strings.Join(args, ", "))
+	case InvokeInterface:
+		return fmt.Sprintf("interfaceinvoke %s.%s(%s)", x.Base.Name, sig, strings.Join(args, ", "))
+	}
+	return "<invoke?>"
+}
+
+func dots(internal string) string { return strings.ReplaceAll(internal, "/", ".") }
+
+// modifierWords renders access flags as Java-source modifier keywords
+// with a trailing space (empty for no flags).
+func modifierWords(f classfile.Flags, classCtx bool) string {
+	var w []string
+	if f.Has(classfile.AccPublic) {
+		w = append(w, "public")
+	}
+	if f.Has(classfile.AccPrivate) {
+		w = append(w, "private")
+	}
+	if f.Has(classfile.AccProtected) {
+		w = append(w, "protected")
+	}
+	if f.Has(classfile.AccStatic) {
+		w = append(w, "static")
+	}
+	if f.Has(classfile.AccFinal) {
+		w = append(w, "final")
+	}
+	if !classCtx {
+		if f.Has(classfile.AccSynchronized) {
+			w = append(w, "synchronized")
+		}
+		if f.Has(classfile.AccVolatile) {
+			w = append(w, "volatile")
+		}
+		if f.Has(classfile.AccTransient) {
+			w = append(w, "transient")
+		}
+		if f.Has(classfile.AccNative) {
+			w = append(w, "native")
+		}
+	}
+	if f.Has(classfile.AccAbstract) {
+		w = append(w, "abstract")
+	}
+	if len(w) == 0 {
+		return ""
+	}
+	return strings.Join(w, " ") + " "
+}

@@ -1,0 +1,136 @@
+package jvm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/classfile"
+)
+
+// TestPropertyRandomCodeNeverPanics feeds methods whose code arrays are
+// uniform random bytes through every VM: the verifier (eager VMs) or
+// the interpreter's dynamic checks (lazy VMs) must reject or survive
+// them, never panic and never loop forever.
+func TestPropertyRandomCodeNeverPanics(t *testing.T) {
+	vms := make([]*VM, 0, 5)
+	for _, spec := range StandardFive() {
+		vms = append(vms, New(spec))
+	}
+	prop := func(seed int64) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("panic for seed %d: %v", seed, r)
+				ok = false
+			}
+		}()
+		rng := rand.New(rand.NewSource(seed))
+		f := classfile.New("FRand")
+		classfile.AttachDefaultInit(f)
+		m := f.AddMethod(classfile.AccPublic|classfile.AccStatic, "main", "([Ljava/lang/String;)V")
+		code := make([]byte, 1+rng.Intn(60))
+		for i := range code {
+			code[i] = byte(rng.Intn(256))
+		}
+		m.Attributes = append(m.Attributes, &classfile.CodeAttr{
+			MaxStack:  uint16(rng.Intn(8)),
+			MaxLocals: uint16(rng.Intn(8)),
+			Code:      code,
+		})
+		data, err := f.Bytes()
+		if err != nil {
+			return true
+		}
+		for _, vm := range vms {
+			vm.Run(data)
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyRandomPoolSurgeryNeverPanics rewires random constant-pool
+// entries of a valid class to random targets and runs the result
+// everywhere — modelling the cp damage byte-level fuzzers cause.
+func TestPropertyRandomPoolSurgeryNeverPanics(t *testing.T) {
+	vms := make([]*VM, 0, 5)
+	for _, spec := range StandardFive() {
+		vms = append(vms, New(spec))
+	}
+	prop := func(seed int64) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("panic for seed %d: %v", seed, r)
+				ok = false
+			}
+		}()
+		rng := rand.New(rand.NewSource(seed))
+		f := helloClass("FPool")
+		// Rewire a few Ref1/Ref2 fields of live constants.
+		n := 1 + rng.Intn(4)
+		for i := 0; i < n; i++ {
+			idx := uint16(1 + rng.Intn(f.Pool.Count()-1))
+			c := f.Pool.Get(idx)
+			if c == nil {
+				continue
+			}
+			switch rng.Intn(3) {
+			case 0:
+				c.Ref1 = uint16(rng.Intn(f.Pool.Count() + 8))
+			case 1:
+				c.Ref2 = uint16(rng.Intn(f.Pool.Count() + 8))
+			default:
+				c.Tag = classfile.ConstTag(rng.Intn(20))
+			}
+		}
+		data, err := f.Bytes()
+		if err != nil {
+			return true
+		}
+		for _, vm := range vms {
+			vm.Run(data)
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyRandomFlagSoupNeverPanics randomizes every access-flag
+// word in the class.
+func TestPropertyRandomFlagSoupNeverPanics(t *testing.T) {
+	vms := make([]*VM, 0, 5)
+	for _, spec := range StandardFive() {
+		vms = append(vms, New(spec))
+	}
+	prop := func(seed int64) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+			}
+		}()
+		rng := rand.New(rand.NewSource(seed))
+		f := helloClass("FFlags")
+		f.AccessFlags = classfile.Flags(rng.Intn(0x10000))
+		for _, m := range f.Methods {
+			m.AccessFlags = classfile.Flags(rng.Intn(0x10000))
+		}
+		data, err := f.Bytes()
+		if err != nil {
+			return true
+		}
+		for _, vm := range vms {
+			o := vm.Run(data)
+			if o.Phase < PhaseInvoked || o.Phase > PhaseRuntime {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,690 @@
+package jvm
+
+import (
+	"testing"
+
+	"repro/internal/bytecode"
+	"repro/internal/classfile"
+	"repro/internal/coverage"
+)
+
+// helloClass builds the canonical valid test class: public class with
+// default <init> and the standard println main.
+func helloClass(name string) *classfile.File {
+	f := classfile.New(name)
+	classfile.AttachDefaultInit(f)
+	classfile.AttachStandardMain(f, "Completed!")
+	return f
+}
+
+func allVMs() []*VM {
+	var vms []*VM
+	for _, spec := range StandardFive() {
+		vms = append(vms, New(spec))
+	}
+	return vms
+}
+
+func runAll(t *testing.T, f *classfile.File) map[string]Outcome {
+	t.Helper()
+	data, err := f.Bytes()
+	if err != nil {
+		t.Fatalf("serialise: %v", err)
+	}
+	out := map[string]Outcome{}
+	for _, vm := range allVMs() {
+		out[vm.Name()] = vm.Run(data)
+	}
+	return out
+}
+
+func TestValidClassInvokedOnAllVMs(t *testing.T) {
+	f := helloClass("M1")
+	for name, o := range runAll(t, f) {
+		if !o.OK() {
+			t.Errorf("%s: %s", name, o)
+		}
+		if len(o.Output) != 1 || o.Output[0] != "Completed!" {
+			t.Errorf("%s: output = %v", name, o.Output)
+		}
+	}
+}
+
+func TestStandardFiveOrder(t *testing.T) {
+	specs := StandardFive()
+	want := []string{"HotSpot-Java7", "HotSpot-Java8", "HotSpot-Java9", "J9-SDK8", "GIJ-5.1.0"}
+	if len(specs) != 5 {
+		t.Fatalf("got %d specs", len(specs))
+	}
+	for i, s := range specs {
+		if s.Name != want[i] {
+			t.Errorf("spec %d = %s, want %s", i, s.Name, want[i])
+		}
+	}
+}
+
+func TestGarbageBytesRejectedAtLoading(t *testing.T) {
+	for _, vm := range allVMs() {
+		o := vm.Run([]byte{0xCA, 0xFE, 0xBA, 0xBE, 0x00})
+		if o.Phase != PhaseLoading || o.Error != ErrClassFormat {
+			t.Errorf("%s: %s", vm.Name(), o)
+		}
+	}
+}
+
+// --- Problem 1: public abstract <clinit> ------------------------------
+
+func TestProblem1AbstractClinitDiscrepancy(t *testing.T) {
+	// Figure 2's class: <clinit> is public abstract, non-static, no code.
+	f := helloClass("M1436188543")
+	f.AddMethod(classfile.AccPublic|classfile.AccAbstract, "<clinit>", "()V")
+	out := runAll(t, f)
+
+	// HotSpot treats it as an ordinary method -> but an ordinary abstract
+	// method on a non-abstract class is still fine at startup; the class
+	// runs normally.
+	for _, hs := range []string{"HotSpot-Java7", "HotSpot-Java8", "HotSpot-Java9"} {
+		if !out[hs].OK() {
+			t.Errorf("%s should invoke normally, got %s", hs, out[hs])
+		}
+	}
+	// J9 treats any <clinit> as the initializer and demands Code.
+	j9 := out["J9-SDK8"]
+	if j9.Phase != PhaseLoading || j9.Error != ErrClassFormat {
+		t.Errorf("J9 should throw ClassFormatError at loading, got %s", j9)
+	}
+	// GIJ ignores the oddity.
+	if !out["GIJ-5.1.0"].OK() {
+		t.Errorf("GIJ should invoke normally, got %s", out["GIJ-5.1.0"])
+	}
+}
+
+func TestStaticClinitRunsOnAll(t *testing.T) {
+	f := helloClass("MC")
+	clinit := f.AddMethod(classfile.AccStatic, "<clinit>", "()V")
+	cb := classfile.NewCodeBuilder(f.Pool)
+	cb.Getstatic("java/lang/System", "out", "Ljava/io/PrintStream;").
+		Ldc("from clinit").
+		Invokevirtual("java/io/PrintStream", "println", "(Ljava/lang/String;)V").
+		Op(bytecode.Return)
+	cb.SetMaxStack(2).SetMaxLocals(0)
+	clinit.Attributes = append(clinit.Attributes, cb.Build())
+	for name, o := range runAll(t, f) {
+		if !o.OK() {
+			t.Errorf("%s: %s", name, o)
+			continue
+		}
+		if len(o.Output) != 2 || o.Output[0] != "from clinit" {
+			t.Errorf("%s: output %v", name, o.Output)
+		}
+	}
+}
+
+func TestClinitThrowingWrappedInInitializerError(t *testing.T) {
+	f := helloClass("MT")
+	clinit := f.AddMethod(classfile.AccStatic, "<clinit>", "()V")
+	cb := classfile.NewCodeBuilder(f.Pool)
+	// new ArithmeticException; dup; invokespecial <init>; athrow
+	cb.New("java/lang/ArithmeticException").
+		Op(bytecode.Dup).
+		Invokespecial("java/lang/ArithmeticException", "<init>", "()V").
+		Op(bytecode.Athrow)
+	cb.SetMaxStack(2).SetMaxLocals(0)
+	clinit.Attributes = append(clinit.Attributes, cb.Build())
+	for name, o := range runAll(t, f) {
+		if o.Phase != PhaseInit || o.Error != ErrExceptionInInitializer {
+			t.Errorf("%s: want ExceptionInInitializerError at init, got %s", name, o)
+		}
+	}
+}
+
+// --- Problem 2: verification dialect differences ----------------------
+
+func TestProblem2LazyVerificationDiscrepancy(t *testing.T) {
+	// A broken method that is never invoked: HotSpot's eager verifier
+	// rejects the class at linking; J9 and GIJ never verify it and run
+	// the class normally.
+	f := helloClass("M2")
+	m := f.AddMethod(classfile.AccPublic|classfile.AccStatic, "broken", "()I")
+	cb := classfile.NewCodeBuilder(f.Pool)
+	cb.Op(bytecode.Return) // void return in an int-returning method
+	cb.SetMaxStack(1).SetMaxLocals(0)
+	m.Attributes = append(m.Attributes, cb.Build())
+
+	out := runAll(t, f)
+	for _, hs := range []string{"HotSpot-Java7", "HotSpot-Java8", "HotSpot-Java9"} {
+		if out[hs].Phase != PhaseLinking || out[hs].Error != ErrVerify {
+			t.Errorf("%s: want VerifyError at linking, got %s", hs, out[hs])
+		}
+	}
+	if !out["J9-SDK8"].OK() {
+		t.Errorf("J9 (lazy verification) should run normally, got %s", out["J9-SDK8"])
+	}
+	if !out["GIJ-5.1.0"].OK() {
+		t.Errorf("GIJ (lazy) should run normally, got %s", out["GIJ-5.1.0"])
+	}
+}
+
+func TestProblem2ParamAssignabilityDiscrepancy(t *testing.T) {
+	// The internalTransform case: a parameter declared as String is used
+	// where a Map is required. GIJ's strict dialect reports a
+	// VerifyError; HotSpot and J9 accept it. The broken method must be
+	// invoked for GIJ's lazy verifier to see it, so main calls it.
+	f := classfile.New("M1433982529")
+	classfile.AttachDefaultInit(f)
+
+	m := f.AddMethod(classfile.AccProtected|classfile.AccStatic, "internalTransform", "(Ljava/lang/String;)V")
+	cb := classfile.NewCodeBuilder(f.Pool)
+	cb.Op(bytecode.Aload0). // the String parameter
+				Invokestatic("java/lang/Object", "getBoolean", "(Ljava/util/Map;)Z").
+				Op(bytecode.Pop).
+				Op(bytecode.Return)
+	cb.SetMaxStack(1).SetMaxLocals(1)
+	m.Attributes = append(m.Attributes, cb.Build())
+
+	mainM := f.AddMethod(classfile.AccPublic|classfile.AccStatic, "main", "([Ljava/lang/String;)V")
+	mb := classfile.NewCodeBuilder(f.Pool)
+	mb.Ldc("x").
+		Invokestatic("M1433982529", "internalTransform", "(Ljava/lang/String;)V").
+		Op(bytecode.Return)
+	mb.SetMaxStack(1).SetMaxLocals(1)
+	mainM.Attributes = append(mainM.Attributes, mb.Build())
+
+	out := runAll(t, f)
+	for _, lenient := range []string{"HotSpot-Java7", "HotSpot-Java8", "HotSpot-Java9", "J9-SDK8"} {
+		if !out[lenient].OK() {
+			t.Errorf("%s should miss the incompatible cast, got %s", lenient, out[lenient])
+		}
+	}
+	gij := out["GIJ-5.1.0"]
+	if gij.OK() || gij.Error != ErrVerify {
+		t.Errorf("GIJ should report a VerifyError, got %s", gij)
+	}
+}
+
+// --- Problem 3: throws-clause accessibility ----------------------------
+
+func TestProblem3ThrowsAccessibilityDiscrepancy(t *testing.T) {
+	// main declares `throws sun.java2d.pisces.PiscesRenderingEngine$2`.
+	f := classfile.New("M1437121261")
+	classfile.AttachDefaultInit(f)
+	classfile.AttachStandardMain(f, "ok")
+	main := f.FindMethod("main")
+	main.Attributes = append(main.Attributes, &classfile.ExceptionsAttr{
+		Classes: []uint16{f.Pool.AddClass("sun/java2d/pisces/PiscesRenderingEngine$2")},
+	})
+
+	out := runAll(t, f)
+	// HotSpot checks throws clauses at link: IllegalAccessError.
+	for _, hs := range []string{"HotSpot-Java7", "HotSpot-Java8", "HotSpot-Java9"} {
+		if out[hs].Error != ErrIllegalAccess {
+			t.Errorf("%s: want IllegalAccessError, got %s", hs, out[hs])
+		}
+	}
+	// J9 and GIJ do not check throws clauses.
+	if !out["J9-SDK8"].OK() {
+		t.Errorf("J9 should run normally, got %s", out["J9-SDK8"])
+	}
+	if !out["GIJ-5.1.0"].OK() {
+		t.Errorf("GIJ should run normally, got %s", out["GIJ-5.1.0"])
+	}
+}
+
+// --- Problem 4: GIJ's leniency ------------------------------------------
+
+func TestProblem4InterfaceExtendingClass(t *testing.T) {
+	f := classfile.New("I1")
+	f.AccessFlags = classfile.AccPublic | classfile.AccInterface | classfile.AccAbstract
+	f.SetSuper("java/lang/Exception")
+	out := runAll(t, f)
+	for _, strict := range []string{"HotSpot-Java7", "HotSpot-Java8", "HotSpot-Java9", "J9-SDK8"} {
+		if out[strict].Error != ErrClassFormat {
+			t.Errorf("%s: want ClassFormatError, got %s", strict, out[strict])
+		}
+	}
+	// GIJ fails to catch the illegal inheritance; without a main method
+	// the run ends at the invocation phase, not with a format error.
+	gij := out["GIJ-5.1.0"]
+	if gij.Error == ErrClassFormat {
+		t.Errorf("GIJ should not report ClassFormatError, got %s", gij)
+	}
+}
+
+func TestProblem4InterfaceWithMain(t *testing.T) {
+	f := classfile.New("IMain")
+	f.AccessFlags = classfile.AccPublic | classfile.AccInterface | classfile.AccAbstract
+	classfile.AttachStandardMain(f, "interface main!")
+	out := runAll(t, f)
+	// Strict VMs reject the static non-abstract interface method at load.
+	for _, strict := range []string{"HotSpot-Java7", "HotSpot-Java8", "HotSpot-Java9", "J9-SDK8"} {
+		if out[strict].Phase != PhaseLoading || out[strict].Error != ErrClassFormat {
+			t.Errorf("%s: want ClassFormatError at loading, got %s", strict, out[strict])
+		}
+	}
+	gij := out["GIJ-5.1.0"]
+	if !gij.OK() || len(gij.Output) != 1 || gij.Output[0] != "interface main!" {
+		t.Errorf("GIJ should execute the interface main, got %s", gij)
+	}
+}
+
+func TestProblem4AbstractInit(t *testing.T) {
+	// public abstract void <init>(int,int,int,boolean) — rejected by all
+	// but GIJ.
+	f := helloClass("MInit")
+	f.AddMethod(classfile.AccPublic|classfile.AccAbstract, "<init>", "(IIIZ)V")
+	out := runAll(t, f)
+	for _, strict := range []string{"HotSpot-Java7", "HotSpot-Java8", "HotSpot-Java9", "J9-SDK8"} {
+		if out[strict].Error != ErrClassFormat {
+			t.Errorf("%s: want ClassFormatError, got %s", strict, out[strict])
+		}
+	}
+	if !out["GIJ-5.1.0"].OK() {
+		t.Errorf("GIJ should accept the abstract <init>, got %s", out["GIJ-5.1.0"])
+	}
+}
+
+func TestProblem4InitReturningValue(t *testing.T) {
+	// public Thread <init>() — allowed by GIJ, forbidden by the others.
+	f := helloClass("MInitRet")
+	m := f.AddMethod(classfile.AccPublic, "<init>", "()Ljava/lang/Thread;")
+	cb := classfile.NewCodeBuilder(f.Pool)
+	cb.Op(bytecode.AconstNull).Op(bytecode.Areturn)
+	cb.SetMaxStack(1).SetMaxLocals(1)
+	m.Attributes = append(m.Attributes, cb.Build())
+	out := runAll(t, f)
+	for _, strict := range []string{"HotSpot-Java7", "HotSpot-Java8", "HotSpot-Java9", "J9-SDK8"} {
+		if out[strict].Error != ErrClassFormat {
+			t.Errorf("%s: want ClassFormatError, got %s", strict, out[strict])
+		}
+	}
+	if !out["GIJ-5.1.0"].OK() {
+		t.Errorf("GIJ should accept <init> returning Thread, got %s", out["GIJ-5.1.0"])
+	}
+}
+
+func TestProblem4DuplicateFields(t *testing.T) {
+	f := helloClass("MDup")
+	f.AddField(classfile.AccPublic, "x", "I")
+	f.AddField(classfile.AccPublic, "x", "I")
+	out := runAll(t, f)
+	for _, strict := range []string{"HotSpot-Java7", "HotSpot-Java8", "HotSpot-Java9", "J9-SDK8"} {
+		if out[strict].Phase != PhaseLoading || out[strict].Error != ErrClassFormat {
+			t.Errorf("%s: want ClassFormatError at loading, got %s", strict, out[strict])
+		}
+	}
+	if !out["GIJ-5.1.0"].OK() {
+		t.Errorf("GIJ should accept duplicate fields, got %s", out["GIJ-5.1.0"])
+	}
+}
+
+// --- environment-skew (compatibility) discrepancies ----------------------
+
+func TestFinalSuperclassSkewAcrossReleases(t *testing.T) {
+	// Subclassing com.sun.beans.editors.EnumEditor: fine on JRE7
+	// (non-final), VerifyError on HotSpot 8 (final), inaccessible or
+	// missing later.
+	f := helloClass("MEnumEd")
+	f.SetSuper("com/sun/beans/editors/EnumEditor")
+	// <init> calls the matching super constructor; rebuild it.
+	f.Methods = f.Methods[1:] // drop the Object-based <init>
+	out := runAll(t, f)
+	if !out["HotSpot-Java7"].OK() {
+		t.Errorf("HotSpot7 should run (EnumEditor non-final in JRE7), got %s", out["HotSpot-Java7"])
+	}
+	hs8 := out["HotSpot-Java8"]
+	if hs8.Phase != PhaseLinking || hs8.Error != ErrVerify {
+		t.Errorf("HotSpot8 should throw VerifyError (final superclass), got %s", hs8)
+	}
+	gij := out["GIJ-5.1.0"]
+	if gij.Error != ErrNoClassDef {
+		t.Errorf("GIJ (Classpath) lacks EnumEditor: want NoClassDefFoundError, got %s", gij)
+	}
+}
+
+func TestMissingClassSkew(t *testing.T) {
+	f := helloClass("MLegacy")
+	f.SetSuper("com/sun/legacy/Jre7Only")
+	f.Methods = f.Methods[1:]
+	out := runAll(t, f)
+	if !out["HotSpot-Java7"].OK() {
+		t.Errorf("HotSpot7 should run, got %s", out["HotSpot-Java7"])
+	}
+	for _, newer := range []string{"HotSpot-Java8", "HotSpot-Java9", "J9-SDK8"} {
+		if out[newer].Phase != PhaseLoading || out[newer].Error != ErrNoClassDef {
+			t.Errorf("%s: want NoClassDefFoundError at loading, got %s", newer, out[newer])
+		}
+	}
+}
+
+// --- structural rejections -------------------------------------------------
+
+func TestSelfSuperclassCircularity(t *testing.T) {
+	f := helloClass("MSelf")
+	f.SetSuper("MSelf")
+	for name, o := range runAll(t, f) {
+		if o.Error != ErrClassCircularity {
+			t.Errorf("%s: want ClassCircularityError, got %s", name, o)
+		}
+	}
+}
+
+func TestExtendingFinalPlatformClass(t *testing.T) {
+	f := helloClass("MStr")
+	f.SetSuper("java/lang/String")
+	f.Methods = f.Methods[1:]
+	out := runAll(t, f)
+	for _, strict := range []string{"HotSpot-Java7", "HotSpot-Java8", "HotSpot-Java9", "J9-SDK8"} {
+		if out[strict].Phase != PhaseLinking || out[strict].Error != ErrVerify {
+			t.Errorf("%s: want VerifyError at linking, got %s", strict, out[strict])
+		}
+	}
+	if !out["GIJ-5.1.0"].OK() {
+		t.Errorf("GIJ skips the final-superclass check, got %s", out["GIJ-5.1.0"])
+	}
+}
+
+func TestExtendingInterface(t *testing.T) {
+	f := helloClass("MIface")
+	f.SetSuper("java/util/Map")
+	f.Methods = f.Methods[1:]
+	out := runAll(t, f)
+	for _, name := range []string{"HotSpot-Java7", "J9-SDK8", "GIJ-5.1.0"} {
+		if out[name].Phase != PhaseLinking || out[name].Error != ErrIncompatibleChange {
+			t.Errorf("%s: want IncompatibleClassChangeError, got %s", name, out[name])
+		}
+	}
+}
+
+func TestImplementingAClass(t *testing.T) {
+	f := helloClass("MImplClass")
+	f.AddInterface("java/lang/Thread")
+	out := runAll(t, f)
+	for _, name := range []string{"HotSpot-Java8", "J9-SDK8"} {
+		if out[name].Error != ErrIncompatibleChange {
+			t.Errorf("%s: want IncompatibleClassChangeError, got %s", name, out[name])
+		}
+	}
+}
+
+func TestUnknownSuperclass(t *testing.T) {
+	f := helloClass("MNoSuper")
+	f.SetSuper("does/not/Exist")
+	f.Methods = f.Methods[1:]
+	for name, o := range runAll(t, f) {
+		if o.Phase != PhaseLoading || o.Error != ErrNoClassDef {
+			t.Errorf("%s: want NoClassDefFoundError at loading, got %s", name, o)
+		}
+	}
+}
+
+func TestRenamedMethodBreaksResolution(t *testing.T) {
+	// main invokes helper; renaming the declaration leaves the call site
+	// dangling. Eager VMs: NoSuchMethodError at link. GIJ: at runtime.
+	f := classfile.New("MRen")
+	classfile.AttachDefaultInit(f)
+	helper := f.AddMethod(classfile.AccPublic|classfile.AccStatic, "helper", "()V")
+	cb := classfile.NewCodeBuilder(f.Pool)
+	cb.Op(bytecode.Return)
+	cb.SetMaxStack(0).SetMaxLocals(0)
+	helper.Attributes = append(helper.Attributes, cb.Build())
+	mainM := f.AddMethod(classfile.AccPublic|classfile.AccStatic, "main", "([Ljava/lang/String;)V")
+	mb := classfile.NewCodeBuilder(f.Pool)
+	mb.Invokestatic("MRen", "helper", "()V").Op(bytecode.Return)
+	mb.SetMaxStack(0).SetMaxLocals(1)
+	mainM.Attributes = append(mainM.Attributes, mb.Build())
+
+	// Rename the declaration only (what the Soot-style mutator does).
+	helper.NameIndex = f.Pool.AddUtf8("renamed")
+
+	out := runAll(t, f)
+	for _, eager := range []string{"HotSpot-Java7", "HotSpot-Java8", "HotSpot-Java9", "J9-SDK8"} {
+		if out[eager].Phase != PhaseLinking || out[eager].Error != ErrNoSuchMethod {
+			t.Errorf("%s: want NoSuchMethodError at linking, got %s", eager, out[eager])
+		}
+	}
+	gij := out["GIJ-5.1.0"]
+	if gij.Phase != PhaseRuntime || gij.Error != ErrNoSuchMethod {
+		t.Errorf("GIJ: want NoSuchMethodError at runtime, got %s", gij)
+	}
+}
+
+func TestMissingMainIsRuntimePhase(t *testing.T) {
+	f := classfile.New("MNoMain")
+	classfile.AttachDefaultInit(f)
+	for name, o := range runAll(t, f) {
+		if o.Phase != PhaseRuntime || o.Error != ErrMainNotFound {
+			t.Errorf("%s: want main-not-found at runtime, got %s", name, o)
+		}
+	}
+}
+
+func TestNonStaticMainPolicySplit(t *testing.T) {
+	f := classfile.New("MNsm")
+	classfile.AttachDefaultInit(f)
+	m := f.AddMethod(classfile.AccPublic, "main", "([Ljava/lang/String;)V")
+	cb := classfile.NewCodeBuilder(f.Pool)
+	cb.Getstatic("java/lang/System", "out", "Ljava/io/PrintStream;").
+		Ldc("instance main").
+		Invokevirtual("java/io/PrintStream", "println", "(Ljava/lang/String;)V").
+		Op(bytecode.Return)
+	cb.SetMaxStack(2).SetMaxLocals(2)
+	m.Attributes = append(m.Attributes, cb.Build())
+	out := runAll(t, f)
+	for _, strict := range []string{"HotSpot-Java7", "J9-SDK8"} {
+		if out[strict].Error != ErrMainNotFound {
+			t.Errorf("%s: want main-not-found, got %s", strict, out[strict])
+		}
+	}
+	if !out["GIJ-5.1.0"].OK() {
+		t.Errorf("GIJ should run the instance main, got %s", out["GIJ-5.1.0"])
+	}
+}
+
+func TestUnsupportedVersionGate(t *testing.T) {
+	f := helloClass("MVer")
+	f.Major = 60
+	out := runAll(t, f)
+	for _, strict := range []string{"HotSpot-Java7", "HotSpot-Java8", "HotSpot-Java9", "J9-SDK8"} {
+		if out[strict].Phase != PhaseLoading || out[strict].Error != ErrUnsupportedVersion {
+			t.Errorf("%s: want UnsupportedClassVersionError, got %s", strict, out[strict])
+		}
+	}
+	// GIJ accepts newer versions (Problem 4 context).
+	if !out["GIJ-5.1.0"].OK() {
+		t.Errorf("GIJ should tolerate version 60, got %s", out["GIJ-5.1.0"])
+	}
+}
+
+func TestRuntimeArithmeticException(t *testing.T) {
+	f := classfile.New("MDiv")
+	classfile.AttachDefaultInit(f)
+	m := f.AddMethod(classfile.AccPublic|classfile.AccStatic, "main", "([Ljava/lang/String;)V")
+	cb := classfile.NewCodeBuilder(f.Pool)
+	cb.LdcInt(1).LdcInt(0).Op(bytecode.Idiv).Op(bytecode.Pop).Op(bytecode.Return)
+	cb.SetMaxStack(2).SetMaxLocals(1)
+	m.Attributes = append(m.Attributes, cb.Build())
+	for name, o := range runAll(t, f) {
+		if o.Phase != PhaseRuntime || o.Error != "java.lang.ArithmeticException" {
+			t.Errorf("%s: want ArithmeticException at runtime, got %s", name, o)
+		}
+	}
+}
+
+func TestExceptionHandlerCatches(t *testing.T) {
+	f := classfile.New("MCatch")
+	classfile.AttachDefaultInit(f)
+	m := f.AddMethod(classfile.AccPublic|classfile.AccStatic, "main", "([Ljava/lang/String;)V")
+	cb := classfile.NewCodeBuilder(f.Pool)
+	// try { 1/0 } catch (ArithmeticException e) { println("caught") }
+	// The handler sits after the main-path return, so no goto is needed.
+	cb.LdcInt(1).LdcInt(0).Op(bytecode.Idiv).Op(bytecode.Pop)
+	end := cb.PC()
+	cb.Op(bytecode.Return)
+	handlerPC := cb.PC()
+	cb.Op(bytecode.Pop). // discard the exception
+				Getstatic("java/lang/System", "out", "Ljava/io/PrintStream;").
+				Ldc("caught").
+				Invokevirtual("java/io/PrintStream", "println", "(Ljava/lang/String;)V")
+	cb.Op(bytecode.Return)
+	cb.Handler(0, end, handlerPC, "java/lang/ArithmeticException")
+	cb.SetMaxStack(2).SetMaxLocals(1)
+	m.Attributes = append(m.Attributes, cb.Build())
+	for name, o := range runAll(t, f) {
+		if !o.OK() {
+			t.Errorf("%s: %s", name, o)
+			continue
+		}
+		if len(o.Output) != 1 || o.Output[0] != "caught" {
+			t.Errorf("%s: output %v", name, o.Output)
+		}
+	}
+}
+
+func TestStepBudgetOnInfiniteLoop(t *testing.T) {
+	f := classfile.New("MLoop")
+	classfile.AttachDefaultInit(f)
+	m := f.AddMethod(classfile.AccPublic|classfile.AccStatic, "main", "([Ljava/lang/String;)V")
+	cb := classfile.NewCodeBuilder(f.Pool)
+	cb.U2(bytecode.Goto, 0) // goto self
+	cb.SetMaxStack(0).SetMaxLocals(1)
+	m.Attributes = append(m.Attributes, cb.Build())
+	vm := New(HotSpot8())
+	data, _ := f.Bytes()
+	o := vm.Run(data)
+	if o.Phase != PhaseRuntime {
+		t.Errorf("infinite loop should exhaust the budget at runtime, got %s", o)
+	}
+}
+
+func TestJ9StrictStackShape(t *testing.T) {
+	// Merge String and HashMap on the stack, then pass the merged value
+	// to println(Object). J9's strict merge rejects it when invoked; the
+	// others compute the common supertype (Object) and run.
+	f := classfile.New("MShape")
+	classfile.AttachDefaultInit(f)
+	m := f.AddMethod(classfile.AccPublic|classfile.AccStatic, "main", "([Ljava/lang/String;)V")
+	cb := classfile.NewCodeBuilder(f.Pool)
+	// aload_0; arraylength; ifeq +L1: push "s"; goto L2; L1: new HashMap;dup;init; L2: pop; return
+	cb.Op(bytecode.Aload0).Op(bytecode.Arraylength)
+	cb.U2(bytecode.Ifeq, 8) // to the HashMap branch
+	cb.Ldc("s")
+	cb.U2(bytecode.Goto, 10) // over the HashMap branch to pop (pc 7 -> 17)
+	cb.New("java/util/HashMap").
+		Op(bytecode.Dup).
+		Invokespecial("java/util/HashMap", "<init>", "()V")
+	cb.Op(bytecode.Pop)
+	cb.Op(bytecode.Return)
+	cb.SetMaxStack(2).SetMaxLocals(1)
+	m.Attributes = append(m.Attributes, cb.Build())
+
+	out := runAll(t, f)
+	if !out["HotSpot-Java8"].OK() {
+		t.Errorf("HotSpot should merge to Object and run, got %s", out["HotSpot-Java8"])
+	}
+	j9 := out["J9-SDK8"]
+	if j9.OK() || j9.Error != ErrVerify {
+		t.Errorf("J9 should report stack shape inconsistency, got %s", j9)
+	}
+}
+
+func TestHotSpot9InitAccessCheck(t *testing.T) {
+	// A class constant naming an encapsulated sun.* type: HotSpot 9
+	// rejects at initialization; HotSpot 7/8 run it.
+	f := helloClass("MSun")
+	f.Pool.AddClass("sun/java2d/pisces/PiscesRenderingEngine")
+	out := runAll(t, f)
+	if !out["HotSpot-Java7"].OK() || !out["HotSpot-Java8"].OK() {
+		t.Errorf("HotSpot 7/8 should run, got %s / %s", out["HotSpot-Java7"], out["HotSpot-Java8"])
+	}
+	hs9 := out["HotSpot-Java9"]
+	if hs9.Phase != PhaseInit || hs9.Error != ErrIllegalAccess {
+		t.Errorf("HotSpot9 should reject at initialization, got %s", hs9)
+	}
+}
+
+func TestCoverageRecorderProducesTraces(t *testing.T) {
+	spec := HotSpot9()
+	vm := New(spec)
+	rec := coverage.NewRecorder()
+	vm.SetRecorder(rec)
+
+	dataA, _ := helloClass("MA").Bytes()
+	vm.Run(dataA)
+	trA := rec.Trace()
+	rec.Reset()
+
+	bad := helloClass("MB")
+	bad.SetSuper("does/not/Exist")
+	bad.Methods = bad.Methods[1:]
+	dataB, _ := bad.Bytes()
+	vm.Run(dataB)
+	trB := rec.Trace()
+
+	if trA.Stats().Stmts == 0 || trB.Stats().Stmts == 0 {
+		t.Fatal("recorder captured nothing")
+	}
+	if trA.EqualSets(trB) {
+		t.Error("a passing and a failing class must produce different traces")
+	}
+	if trA.Stats() == trB.Stats() {
+		t.Error("stats should differ between pass and early loading failure")
+	}
+}
+
+func TestDeterministicOutcomes(t *testing.T) {
+	// The same class must produce identical outcomes and traces across
+	// repeated runs (map-iteration nondeterminism would break the
+	// fuzzing loop).
+	f := helloClass("MDet")
+	f.AddField(classfile.AccPublic|classfile.AccStatic, "a", "I")
+	f.AddField(classfile.AccPrivate, "b", "Ljava/lang/String;")
+	data, _ := f.Bytes()
+	vm := New(HotSpot9())
+	rec := coverage.NewRecorder()
+	vm.SetRecorder(rec)
+	vm.Run(data)
+	first := rec.Trace()
+	for i := 0; i < 5; i++ {
+		rec.Reset()
+		o := vm.Run(data)
+		if !o.OK() {
+			t.Fatalf("run %d: %s", i, o)
+		}
+		if !rec.Trace().EqualSets(first) {
+			t.Fatalf("run %d produced a different trace", i)
+		}
+	}
+}
+
+func TestOutcomeEncoding(t *testing.T) {
+	if (Outcome{Phase: PhaseInvoked}).Code() != 0 {
+		t.Error("invoked must encode as 0")
+	}
+	if (Outcome{Phase: PhaseLinking}).Code() != 2 {
+		t.Error("linking must encode as 2")
+	}
+	o := reject(PhaseLoading, ErrClassFormat, "x %d", 7)
+	if o.Error != ErrClassFormat || o.Message != "x 7" || o.OK() {
+		t.Errorf("reject built %+v", o)
+	}
+	if (Outcome{Phase: PhaseInvoked}).String() != "invoked normally" {
+		t.Error("String for invoked")
+	}
+}
+
+func TestSharedEnvironmentMode(t *testing.T) {
+	// Definition 2: running HotSpot 7 and HotSpot 8 against the *same*
+	// environment removes the EnumEditor compatibility discrepancy.
+	f := helloClass("MEnv")
+	f.SetSuper("com/sun/beans/editors/EnumEditor")
+	f.Methods = f.Methods[1:]
+	data, _ := f.Bytes()
+
+	env7 := New(HotSpot7()).Env
+	vm7 := NewWithEnv(HotSpot7(), env7)
+	vm8 := NewWithEnv(HotSpot8(), env7)
+	o7, o8 := vm7.Run(data), vm8.Run(data)
+	if o7.Code() != o8.Code() {
+		t.Errorf("same environment should agree: %s vs %s", o7, o8)
+	}
+}

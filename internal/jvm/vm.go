@@ -1,0 +1,74 @@
+package jvm
+
+import (
+	"repro/internal/classfile"
+	"repro/internal/coverage"
+	"repro/internal/rtlib"
+)
+
+// VM is one simulated JVM implementation bound to a runtime library
+// environment. A VM is stateless across runs; Run creates fresh
+// per-execution state, so one VM may be reused for many classfiles.
+type VM struct {
+	Spec Spec
+	Env  *rtlib.Env
+	cov  *coverage.Recorder
+}
+
+// New builds a VM from a spec, constructing the matching library
+// environment (the e of jvm(e, c, i)).
+func New(spec Spec) *VM {
+	return &VM{Spec: spec, Env: rtlib.NewEnv(spec.Release)}
+}
+
+// NewWithEnv builds a VM bound to an explicit environment. Running two
+// VMs against the same environment is how Definition 2 separates JVM
+// defects from compatibility discrepancies.
+func NewWithEnv(spec Spec, env *rtlib.Env) *VM {
+	return &VM{Spec: spec, Env: env}
+}
+
+// Name returns the VM's display name.
+func (vm *VM) Name() string { return vm.Spec.Name }
+
+// SetRecorder attaches a coverage recorder; pass nil to detach. The
+// recorder is only attached to the reference VM during fuzzing.
+func (vm *VM) SetRecorder(r *coverage.Recorder) { vm.cov = r }
+
+// st fires a statement probe.
+func (vm *VM) st(id string) { vm.cov.Stmt(id) }
+
+// br fires a statement probe plus a branch probe for cond, and returns
+// cond so checks read naturally: if vm.br("load.x", bad) { ... }.
+func (vm *VM) br(id string, cond bool) bool {
+	vm.cov.Stmt(id)
+	vm.cov.Branch(id, cond)
+	return cond
+}
+
+// Run parses and executes raw classfile bytes through the full startup
+// pipeline, returning the observable outcome.
+func (vm *VM) Run(data []byte) Outcome {
+	vm.st("parse.enter")
+	f, err := classfile.Parse(data)
+	if vm.br("parse.wellformed", err != nil) {
+		return reject(PhaseLoading, ErrClassFormat, "%v", err)
+	}
+	return vm.RunFile(f)
+}
+
+// RunFile executes an already-parsed classfile. The file is not
+// modified.
+func (vm *VM) RunFile(f *classfile.File) Outcome {
+	if out, bad := vm.load(f); bad {
+		return out
+	}
+	ex := newExecState(vm, f)
+	if out, bad := vm.link(ex); bad {
+		return out
+	}
+	if out, bad := vm.initialize(ex); bad {
+		return out
+	}
+	return vm.invoke(ex)
+}

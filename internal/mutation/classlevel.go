@@ -1,0 +1,212 @@
+package mutation
+
+import (
+	"math/rand"
+
+	"repro/internal/classfile"
+	"repro/internal/descriptor"
+	"repro/internal/jimple"
+)
+
+// Candidate pools. They deliberately mix ordinary platform classes,
+// final classes, abstract classes, interfaces, release-skewed classes
+// (present or final only in some JRE versions) and names that do not
+// exist anywhere — each pool entry feeds a different checking path in
+// the VMs.
+var (
+	superclassPool = []string{
+		"java/lang/Object",
+		"java/lang/Thread",
+		"java/lang/Exception",
+		"java/lang/RuntimeException",
+		"java/util/AbstractMap",
+		"java/util/HashMap",
+		"java/lang/String",                  // final
+		"java/lang/Enum",                    // abstract
+		"java/lang/Number",                  // abstract
+		"com/sun/beans/editors/EnumEditor",  // final only from JRE8
+		"com/sun/legacy/Jre7Only",           // exists only in JRE7
+		"java/util/Optional",                // exists only from JRE8, final
+		"sun/misc/Unsafe",                   // final, JRE7/8, encapsulated in 9
+		"java/util/Map",                     // an interface
+		"org/fuzz/DoesNotExist",             // missing everywhere
+		"sun/java2d/pisces/RenderingEngine", // abstract, encapsulated in 9
+	}
+
+	interfacePool = []string{
+		"java/io/Serializable",
+		"java/lang/Cloneable",
+		"java/lang/Runnable",
+		"java/security/PrivilegedAction",
+		"java/util/EventListener",
+		"java/util/Map",
+		"java/util/Observer",
+		"java/util/function/Function", // JRE8+ only
+		"java/lang/Comparable",
+		"java/lang/Thread",     // a class, not an interface
+		"org/fuzz/NoSuchIface", // missing
+	}
+
+	throwablePool = []string{
+		"java/lang/Exception",
+		"java/lang/RuntimeException",
+		"java/lang/Error",
+		"java/io/IOException",
+		"java/lang/InterruptedException",
+		"java/util/MissingResourceException",
+	}
+
+	fieldTypePool = []descriptor.Type{
+		descriptor.Int,
+		descriptor.Long,
+		descriptor.Boolean,
+		descriptor.Double,
+		descriptor.Object("java/lang/String"),
+		descriptor.Object("java/lang/Object"),
+		descriptor.Object("java/util/Map"),
+		descriptor.Array(descriptor.Int, 1),
+		descriptor.Array(descriptor.Object("java/lang/String"), 1),
+	}
+)
+
+func setClassFlag(flag classfile.Flags) func(*jimple.Class, *rand.Rand) bool {
+	return func(c *jimple.Class, _ *rand.Rand) bool {
+		if c.Modifiers.Has(flag) {
+			return false
+		}
+		c.Modifiers = c.Modifiers.With(flag)
+		return true
+	}
+}
+
+func clearClassFlag(flag classfile.Flags) func(*jimple.Class, *rand.Rand) bool {
+	return func(c *jimple.Class, _ *rand.Rand) bool {
+		if !c.Modifiers.Has(flag) {
+			return false
+		}
+		c.Modifiers = c.Modifiers.Without(flag)
+		return true
+	}
+}
+
+func setSuperTo(name string) func(*jimple.Class, *rand.Rand) bool {
+	return func(c *jimple.Class, _ *rand.Rand) bool {
+		if c.Super == name {
+			return false
+		}
+		c.Super = name
+		return true
+	}
+}
+
+func registerClassMutators() {
+	// Flag rewrites (the "private class M1437185190" example of Table 2).
+	register(CatClass, "class.set_public", "set ACC_PUBLIC on the class", setClassFlag(classfile.AccPublic))
+	register(CatClass, "class.clear_public", "clear ACC_PUBLIC from the class", clearClassFlag(classfile.AccPublic))
+	register(CatClass, "class.set_private", "set the (illegal for top-level) ACC_PRIVATE bit", setClassFlag(classfile.AccPrivate))
+	register(CatClass, "class.set_protected", "set the (illegal for top-level) ACC_PROTECTED bit", setClassFlag(classfile.AccProtected))
+	register(CatClass, "class.set_final", "set ACC_FINAL on the class", setClassFlag(classfile.AccFinal))
+	register(CatClass, "class.clear_final", "clear ACC_FINAL from the class", clearClassFlag(classfile.AccFinal))
+	register(CatClass, "class.set_abstract", "set ACC_ABSTRACT on the class", setClassFlag(classfile.AccAbstract))
+	register(CatClass, "class.clear_abstract", "clear ACC_ABSTRACT from the class", clearClassFlag(classfile.AccAbstract))
+	register(CatClass, "class.set_interface", "turn the class into an interface by flag alone", setClassFlag(classfile.AccInterface))
+	register(CatClass, "class.clear_interface", "clear ACC_INTERFACE", clearClassFlag(classfile.AccInterface))
+	register(CatClass, "class.set_super_flag", "set the ACC_SUPER bit", setClassFlag(classfile.AccSuper))
+	register(CatClass, "class.clear_super_flag", "clear the ACC_SUPER bit", clearClassFlag(classfile.AccSuper))
+	register(CatClass, "class.set_synthetic", "mark the class synthetic", setClassFlag(classfile.AccSynthetic))
+	register(CatClass, "class.set_annotation", "set ACC_ANNOTATION (without interface)", setClassFlag(classfile.AccAnnotation))
+	register(CatClass, "class.set_enum", "set ACC_ENUM on the class", setClassFlag(classfile.AccEnum))
+
+	// Name rewrites.
+	register(CatClass, "class.rename", "rename the class (references keep the old name)",
+		func(c *jimple.Class, rng *rand.Rand) bool {
+			c.Name = freshName("M", rng)
+			return true
+		})
+	register(CatClass, "class.move_package", "move the class into a package",
+		func(c *jimple.Class, rng *rand.Rand) bool {
+			c.Name = "fuzz/pkg/" + c.Name
+			return true
+		})
+
+	// Superclass rewrites.
+	register(CatClass, "class.super_thread", "set java.lang.Thread as the superclass", setSuperTo("java/lang/Thread"))
+	register(CatClass, "class.super_exception", "set java.lang.Exception as the superclass", setSuperTo("java/lang/Exception"))
+	register(CatClass, "class.super_string", "set the final class java.lang.String as the superclass", setSuperTo("java/lang/String"))
+	register(CatClass, "class.super_object", "reset the superclass to java.lang.Object", setSuperTo("java/lang/Object"))
+	register(CatClass, "class.super_enum_editor", "set the release-skewed com.sun.beans.editors.EnumEditor as superclass", setSuperTo("com/sun/beans/editors/EnumEditor"))
+	register(CatClass, "class.super_jre7_only", "set a JRE7-only class as the superclass", setSuperTo("com/sun/legacy/Jre7Only"))
+	register(CatClass, "class.super_missing", "set a nonexistent superclass", setSuperTo("org/fuzz/DoesNotExist"))
+	register(CatClass, "class.super_interface", "set an interface (java.util.Map) as the superclass", setSuperTo("java/util/Map"))
+	register(CatClass, "class.super_self", "make the class its own superclass",
+		func(c *jimple.Class, _ *rand.Rand) bool {
+			c.Super = c.Name
+			return true
+		})
+	register(CatClass, "class.super_random", "set a superclass randomly selected from a class list (Table 5 row 8)",
+		func(c *jimple.Class, rng *rand.Rand) bool {
+			c.Super = superclassPool[rng.Intn(len(superclassPool))]
+			return true
+		})
+	register(CatClass, "class.drop_super", "remove the superclass entirely",
+		func(c *jimple.Class, _ *rand.Rand) bool {
+			if c.Super == "" {
+				return false
+			}
+			c.Super = ""
+			return true
+		})
+}
+
+func registerInterfaceMutators() {
+	register(CatInterface, "iface.add_privileged_action", "implement java.security.PrivilegedAction (Table 2 example)",
+		func(c *jimple.Class, _ *rand.Rand) bool {
+			c.Interfaces = append(c.Interfaces, "java/security/PrivilegedAction")
+			return true
+		})
+	register(CatInterface, "iface.add_random", "implement an interface from the candidate pool",
+		func(c *jimple.Class, rng *rand.Rand) bool {
+			c.Interfaces = append(c.Interfaces, interfacePool[rng.Intn(len(interfacePool))])
+			return true
+		})
+	register(CatInterface, "iface.add_class", "implement a class (java.lang.Thread) as if it were an interface",
+		func(c *jimple.Class, _ *rand.Rand) bool {
+			c.Interfaces = append(c.Interfaces, "java/lang/Thread")
+			return true
+		})
+	register(CatInterface, "iface.add_missing", "implement a nonexistent interface",
+		func(c *jimple.Class, _ *rand.Rand) bool {
+			c.Interfaces = append(c.Interfaces, "org/fuzz/NoSuchIface")
+			return true
+		})
+	register(CatInterface, "iface.add_self", "make the class implement itself",
+		func(c *jimple.Class, _ *rand.Rand) bool {
+			c.Interfaces = append(c.Interfaces, c.Name)
+			return true
+		})
+	register(CatInterface, "iface.remove_one", "delete one implemented interface",
+		func(c *jimple.Class, rng *rand.Rand) bool {
+			if len(c.Interfaces) == 0 {
+				return false
+			}
+			i := rng.Intn(len(c.Interfaces))
+			c.Interfaces = append(c.Interfaces[:i], c.Interfaces[i+1:]...)
+			return true
+		})
+	register(CatInterface, "iface.remove_all", "delete every implemented interface",
+		func(c *jimple.Class, _ *rand.Rand) bool {
+			if len(c.Interfaces) == 0 {
+				return false
+			}
+			c.Interfaces = nil
+			return true
+		})
+	register(CatInterface, "iface.duplicate", "list one implemented interface twice",
+		func(c *jimple.Class, rng *rand.Rand) bool {
+			if len(c.Interfaces) == 0 {
+				return false
+			}
+			c.Interfaces = append(c.Interfaces, c.Interfaces[rng.Intn(len(c.Interfaces))])
+			return true
+		})
+}

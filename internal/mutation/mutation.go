@@ -1,0 +1,144 @@
+// Package mutation defines the 129 mutation operators (mutators) of
+// §2.2.1: syntactic rewrites of a class's structure (modifiers,
+// hierarchy, fields, methods, exceptions, parameters, local variables)
+// plus the six Jimple statement-level mutators. Mutators operate on the
+// jimple.Class model — the SootClass analogue — so a mutant is produced
+// by cloning a seed, applying one mutator, and lowering the result to a
+// classfile.
+package mutation
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/jimple"
+)
+
+// Category groups mutators the way Table 2 of the paper does.
+type Category string
+
+// Mutator categories.
+const (
+	CatClass     Category = "class"
+	CatInterface Category = "interface"
+	CatField     Category = "field"
+	CatMethod    Category = "method"
+	CatException Category = "exception"
+	CatParameter Category = "parameter"
+	CatLocalVar  Category = "localvar"
+	CatJimple    Category = "jimple"
+)
+
+// Mutator is one mutation operator.
+type Mutator struct {
+	// ID is the stable index of the mutator in the registry (0..128).
+	ID int
+	// Name is a short unique slug like "method.rename".
+	Name string
+	// Category is the Table 2 family.
+	Category Category
+	// Doc describes the rewrite.
+	Doc string
+	// apply rewrites c in place. It reports whether the mutator was
+	// applicable (e.g. deleting a field requires a field). Callers clone
+	// the seed first.
+	apply func(c *jimple.Class, rng *rand.Rand) bool
+}
+
+// Apply runs the mutator on c (in place), reporting applicability.
+// It never panics: a mutator that trips on an exotic model shape counts
+// as inapplicable, mirroring Soot transformations that fail to dump.
+func (m *Mutator) Apply(c *jimple.Class, rng *rand.Rand) (applied bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			applied = false
+		}
+	}()
+	return m.apply(c, rng)
+}
+
+// TotalMutators is the number of mutation operators, matching the
+// paper's 129.
+const TotalMutators = 129
+
+var registry []*Mutator
+
+// Registry returns the full mutator list in stable ID order. The
+// returned slice is shared; do not modify it.
+func Registry() []*Mutator { return registry }
+
+// ByName finds a mutator by its slug.
+func ByName(name string) *Mutator {
+	for _, m := range registry {
+		if m.Name == name {
+			return m
+		}
+	}
+	return nil
+}
+
+func register(cat Category, name, doc string, apply func(*jimple.Class, *rand.Rand) bool) {
+	registry = append(registry, &Mutator{
+		ID:       len(registry),
+		Name:     name,
+		Category: cat,
+		Doc:      doc,
+		apply:    apply,
+	})
+}
+
+func init() {
+	registerClassMutators()
+	registerInterfaceMutators()
+	registerFieldMutators()
+	registerMethodMutators()
+	registerExceptionMutators()
+	registerParameterMutators()
+	registerLocalVarMutators()
+	registerJimpleMutators()
+	if len(registry) != TotalMutators {
+		panic(fmt.Sprintf("mutation: registry holds %d mutators, want %d", len(registry), TotalMutators))
+	}
+}
+
+// --- shared random pick helpers ---------------------------------------------
+
+func pickMethod(c *jimple.Class, rng *rand.Rand) *jimple.Method {
+	if len(c.Methods) == 0 {
+		return nil
+	}
+	return c.Methods[rng.Intn(len(c.Methods))]
+}
+
+// pickBodiedMethod picks a method that has a body.
+func pickBodiedMethod(c *jimple.Class, rng *rand.Rand) *jimple.Method {
+	var with []*jimple.Method
+	for _, m := range c.Methods {
+		if len(m.Body) > 0 {
+			with = append(with, m)
+		}
+	}
+	if len(with) == 0 {
+		return nil
+	}
+	return with[rng.Intn(len(with))]
+}
+
+func pickField(c *jimple.Class, rng *rand.Rand) *jimple.Field {
+	if len(c.Fields) == 0 {
+		return nil
+	}
+	return c.Fields[rng.Intn(len(c.Fields))]
+}
+
+func pickLocal(m *jimple.Method, rng *rand.Rand) *jimple.Local {
+	if m == nil || len(m.Locals) == 0 {
+		return nil
+	}
+	return m.Locals[rng.Intn(len(m.Locals))]
+}
+
+// freshName derives a new identifier.
+func freshName(prefix string, rng *rand.Rand) string {
+	return fmt.Sprintf("%s%d", prefix, rng.Intn(100000))
+}

@@ -1,0 +1,325 @@
+package mutation
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/classfile"
+	"repro/internal/descriptor"
+	"repro/internal/jimple"
+	"repro/internal/jvm"
+)
+
+func seedClass() *jimple.Class {
+	c := jimple.NewClass("MSeed")
+	c.Interfaces = []string{"java/io/Serializable"}
+	c.AddField(classfile.AccProtected|classfile.AccFinal, "MAP", descriptor.Object("java/util/Map"))
+	c.AddField(classfile.AccPrivate, "count", descriptor.Int)
+	c.AddDefaultInit()
+	helper := c.AddMethod(classfile.AccPublic, "helper",
+		[]descriptor.Type{descriptor.Int, descriptor.Object("java/lang/String")}, descriptor.Int)
+	helper.Throws = []string{"java/io/IOException"}
+	this := helper.NewLocal("r0", descriptor.Object("MSeed"))
+	arg := helper.NewLocal("i0", descriptor.Int)
+	s := helper.NewLocal("s0", descriptor.Object("java/lang/String"))
+	helper.Body = []jimple.Stmt{
+		&jimple.Identity{Target: this, Param: -1},
+		&jimple.Identity{Target: arg, Param: 0},
+		&jimple.Identity{Target: s, Param: 1},
+		&jimple.Return{Value: &jimple.UseLocal{L: arg}},
+	}
+	c.AddStandardMain("Completed!")
+	return c
+}
+
+func TestRegistryHas129Mutators(t *testing.T) {
+	reg := Registry()
+	if len(reg) != TotalMutators || TotalMutators != 129 {
+		t.Fatalf("registry has %d mutators, want 129", len(reg))
+	}
+	seen := map[string]bool{}
+	for i, m := range reg {
+		if m.ID != i {
+			t.Errorf("mutator %s has ID %d at index %d", m.Name, m.ID, i)
+		}
+		if seen[m.Name] {
+			t.Errorf("duplicate mutator name %s", m.Name)
+		}
+		seen[m.Name] = true
+		if m.Doc == "" {
+			t.Errorf("mutator %s lacks documentation", m.Name)
+		}
+	}
+}
+
+func TestCategorySplit(t *testing.T) {
+	// The paper: 123 syntactic mutators + 6 Jimple-file mutators.
+	counts := map[Category]int{}
+	for _, m := range Registry() {
+		counts[m.Category]++
+	}
+	if counts[CatJimple] != 6 {
+		t.Errorf("jimple mutators = %d, want 6", counts[CatJimple])
+	}
+	syntactic := 0
+	for cat, n := range counts {
+		if cat != CatJimple {
+			syntactic += n
+		}
+		if n == 0 {
+			t.Errorf("category %s is empty", cat)
+		}
+	}
+	if syntactic != 123 {
+		t.Errorf("syntactic mutators = %d, want 123", syntactic)
+	}
+}
+
+func TestEveryMutatorApplicableOnRichSeed(t *testing.T) {
+	// On a seed exercising every structural feature, nearly all mutators
+	// must be applicable; the few conditional ones are listed explicitly.
+	conditional := map[string]bool{
+		"method.clear_abstract":     true, // seed has no abstract method
+		"method.give_abstract_code": true,
+		"class.set_public":          true, // seed is already public
+		"class.set_super_flag":      true, // seed already has ACC_SUPER
+		"class.clear_final":         true,
+		"class.clear_abstract":      true,
+		"class.clear_interface":     true,
+		"class.super_object":        true, // already Object
+		"field.clear_static":        true,
+		"method.set_public":         true, // random pick may already be public
+		"field.set_public":          true,
+		"field.set_private":         true,
+		"field.set_protected":       true,
+		"method.set_private":        true,
+		"method.set_protected":      true,
+		"method.set_static":         true,
+		"method.clear_static":       true,
+	}
+	for _, m := range Registry() {
+		applied := false
+		for try := 0; try < 20 && !applied; try++ {
+			c := seedClass().Clone()
+			applied = m.Apply(c, rand.New(rand.NewSource(int64(try))))
+		}
+		if !applied && !conditional[m.Name] {
+			t.Errorf("mutator %s never applied on the rich seed", m.Name)
+		}
+	}
+}
+
+func TestMutantsLowerAndSerialise(t *testing.T) {
+	// Every mutator's output must survive lowering + serialisation
+	// (possibly as an illegal class, but always as bytes) — Soot-style
+	// dump failures are allowed only via Apply returning false.
+	for _, m := range Registry() {
+		for try := 0; try < 5; try++ {
+			c := seedClass().Clone()
+			if !m.Apply(c, rand.New(rand.NewSource(int64(try)))) {
+				continue
+			}
+			f, err := jimple.Lower(c)
+			if err != nil {
+				t.Errorf("%s: lower failed: %v", m.Name, err)
+				continue
+			}
+			if _, err := f.Bytes(); err != nil {
+				t.Errorf("%s: serialise failed: %v", m.Name, err)
+			}
+		}
+	}
+}
+
+func TestMutantsRunOnAllVMsWithoutPanic(t *testing.T) {
+	vms := make([]*jvm.VM, 0, 5)
+	for _, spec := range jvm.StandardFive() {
+		vms = append(vms, jvm.New(spec))
+	}
+	rng := rand.New(rand.NewSource(42))
+	for _, m := range Registry() {
+		c := seedClass().Clone()
+		if !m.Apply(c, rng) {
+			continue
+		}
+		f, err := jimple.Lower(c)
+		if err != nil {
+			continue
+		}
+		data, err := f.Bytes()
+		if err != nil {
+			continue
+		}
+		for _, vm := range vms {
+			o := vm.Run(data) // must not panic or hang
+			_ = o
+		}
+	}
+}
+
+func TestDeterministicApplication(t *testing.T) {
+	for _, m := range Registry() {
+		c1 := seedClass().Clone()
+		c2 := seedClass().Clone()
+		a1 := m.Apply(c1, rand.New(rand.NewSource(7)))
+		a2 := m.Apply(c2, rand.New(rand.NewSource(7)))
+		if a1 != a2 {
+			t.Errorf("%s: applicability differs across identical runs", m.Name)
+			continue
+		}
+		if !a1 {
+			continue
+		}
+		f1, err1 := jimple.Lower(c1)
+		f2, err2 := jimple.Lower(c2)
+		if (err1 == nil) != (err2 == nil) {
+			t.Errorf("%s: lowering determinism lost", m.Name)
+			continue
+		}
+		if err1 != nil {
+			continue
+		}
+		d1, _ := f1.Bytes()
+		d2, _ := f2.Bytes()
+		if string(d1) != string(d2) {
+			t.Errorf("%s: same seed produced different mutants", m.Name)
+		}
+	}
+}
+
+func TestApplyNeverMutatesOnFalse(t *testing.T) {
+	// When a mutator reports inapplicable, the class must be unchanged.
+	empty := jimple.NewClass("MEmpty") // no fields, no methods
+	for _, m := range Registry() {
+		c := empty.Clone()
+		if m.Apply(c, rand.New(rand.NewSource(1))) {
+			continue
+		}
+		f1, _ := jimple.Lower(empty)
+		f2, _ := jimple.Lower(c)
+		d1, _ := f1.Bytes()
+		d2, _ := f2.Bytes()
+		if string(d1) != string(d2) {
+			t.Errorf("%s: reported inapplicable but changed the class", m.Name)
+		}
+	}
+}
+
+func TestAbstractClinitMutatorBuildsProblem1(t *testing.T) {
+	// method.abstract_clinit must reproduce Figure 2's discrepancy:
+	// HotSpot runs the class, J9 rejects it with ClassFormatError.
+	m := ByName("method.abstract_clinit")
+	if m == nil {
+		t.Fatal("method.abstract_clinit missing")
+	}
+	c := jimple.NewClass("MFig2")
+	c.AddDefaultInit()
+	c.AddStandardMain("Completed!")
+	extra := c.AddMethod(classfile.AccPublic, "victim", nil, descriptor.Void)
+	extra.Body = []jimple.Stmt{&jimple.Return{}}
+	// Deterministically pick the victim: apply with seeds until <clinit>
+	// lands on a non-essential method.
+	var data []byte
+	for seed := int64(0); seed < 50; seed++ {
+		cc := c.Clone()
+		if !m.Apply(cc, rand.New(rand.NewSource(seed))) {
+			continue
+		}
+		if cc.FindMethod("main") == nil || cc.FindMethod("<init>") == nil {
+			continue
+		}
+		f, err := jimple.Lower(cc)
+		if err != nil {
+			continue
+		}
+		data, _ = f.Bytes()
+		break
+	}
+	if data == nil {
+		t.Fatal("could not build the Figure 2 mutant")
+	}
+	hs := jvm.New(jvm.HotSpot8()).Run(data)
+	j9 := jvm.New(jvm.J9()).Run(data)
+	if !hs.OK() {
+		t.Errorf("HotSpot should run the mutant, got %s", hs)
+	}
+	if j9.OK() || j9.Error != jvm.ErrClassFormat {
+		t.Errorf("J9 should reject with ClassFormatError, got %s", j9)
+	}
+}
+
+func TestRenameMethodCreatesResolutionDiscrepancy(t *testing.T) {
+	// Renaming a method that main invokes must split eager and lazy VMs.
+	c := jimple.NewClass("MRenFuzz")
+	c.AddDefaultInit()
+	callee := c.AddMethod(classfile.AccPublic|classfile.AccStatic, "callee", nil, descriptor.Void)
+	callee.Body = []jimple.Stmt{&jimple.Return{}}
+	mm := c.AddMethod(classfile.AccPublic|classfile.AccStatic, "main",
+		[]descriptor.Type{descriptor.Array(descriptor.Object("java/lang/String"), 1)}, descriptor.Void)
+	args := mm.NewLocal("r0", descriptor.Array(descriptor.Object("java/lang/String"), 1))
+	mm.Body = []jimple.Stmt{
+		&jimple.Identity{Target: args, Param: 0},
+		&jimple.InvokeStmt{Call: &jimple.Invoke{Kind: jimple.InvokeStatic, Class: "MRenFuzz", Name: "callee",
+			Sig: descriptor.Method{Return: descriptor.Void}}},
+		&jimple.Return{},
+	}
+	// Rename callee directly (what method.rename does when it picks it).
+	callee.Name = "renamed"
+	f, err := jimple.Lower(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := f.Bytes()
+	hs := jvm.New(jvm.HotSpot8()).Run(data)
+	gij := jvm.New(jvm.GIJ()).Run(data)
+	if hs.Error != jvm.ErrNoSuchMethod || hs.Phase != jvm.PhaseLinking {
+		t.Errorf("HotSpot: want NoSuchMethodError at linking, got %s", hs)
+	}
+	if gij.Error != jvm.ErrNoSuchMethod || gij.Phase != jvm.PhaseRuntime {
+		t.Errorf("GIJ: want NoSuchMethodError at runtime, got %s", gij)
+	}
+}
+
+func TestByName(t *testing.T) {
+	if ByName("method.rename") == nil {
+		t.Error("method.rename should exist")
+	}
+	if ByName("no.such.mutator") != nil {
+		t.Error("unknown name should return nil")
+	}
+}
+
+// TestMutatorDiversityOfOutcomes sanity-checks that applying each
+// mutator to the seed and running the mutant on the reference VM
+// produces a healthy split between still-running and rejected classes.
+func TestMutatorDiversityOfOutcomes(t *testing.T) {
+	vm := jvm.New(jvm.HotSpot9())
+	rng := rand.New(rand.NewSource(3))
+	invoked, rejected := 0, 0
+	for _, m := range Registry() {
+		c := seedClass().Clone()
+		if !m.Apply(c, rng) {
+			continue
+		}
+		f, err := jimple.Lower(c)
+		if err != nil {
+			continue
+		}
+		data, err := f.Bytes()
+		if err != nil {
+			continue
+		}
+		if vm.Run(data).OK() {
+			invoked++
+		} else {
+			rejected++
+		}
+	}
+	if invoked == 0 {
+		t.Error("no mutant ran: mutators are too destructive")
+	}
+	if rejected == 0 {
+		t.Error("no mutant was rejected: mutators are too tame")
+	}
+	t.Logf("mutant outcomes on reference VM: %d invoked, %d rejected", invoked, rejected)
+}

@@ -1,0 +1,183 @@
+// Package reduce adapts hierarchical delta debugging (§2.3) to
+// discrepancy-triggering classfiles: starting from a mutant's Jimple
+// model, it repeatedly deletes methods, fields, interfaces, throws
+// entries and statements, keeping a deletion only when the encoded
+// five-VM outcome vector is preserved. The result is the smallest class
+// this greedy hierarchy descent can find that still triggers the same
+// discrepancy.
+package reduce
+
+import (
+	"fmt"
+
+	"repro/internal/difftest"
+	"repro/internal/jimple"
+)
+
+// Options bound the reduction loop.
+type Options struct {
+	// MaxRounds caps full passes over the hierarchy (default 8).
+	MaxRounds int
+}
+
+// Result reports the reduction.
+type Result struct {
+	Reduced *jimple.Class
+	// Vector is the preserved outcome vector key.
+	Vector string
+	// Tests counts differential executions spent.
+	Tests int
+	// Deleted counts accepted deletions.
+	Deleted int
+}
+
+// vectorOf lowers and runs the class, returning the encoded vector.
+func vectorOf(r *difftest.Runner, c *jimple.Class) (string, bool) {
+	f, err := jimple.Lower(c)
+	if err != nil {
+		return "", false
+	}
+	data, err := f.Bytes()
+	if err != nil {
+		return "", false
+	}
+	return r.Run(data).Key(), true
+}
+
+// Reduce shrinks c while preserving its outcome vector on the runner's
+// VMs. The input class is not modified.
+func Reduce(c *jimple.Class, runner *difftest.Runner, opts Options) (*Result, error) {
+	if opts.MaxRounds <= 0 {
+		opts.MaxRounds = 8
+	}
+	cur := c.Clone()
+	want, ok := vectorOf(runner, cur)
+	if !ok {
+		return nil, fmt.Errorf("reduce: class does not lower to a classfile")
+	}
+	res := &Result{Vector: want, Tests: 1}
+
+	// try applies del to a clone; on vector preservation it commits.
+	try := func(del func(*jimple.Class) bool) bool {
+		cand := cur.Clone()
+		if !del(cand) {
+			return false
+		}
+		got, ok := vectorOf(runner, cand)
+		res.Tests++
+		if ok && got == want {
+			cur = cand
+			res.Deleted++
+			return true
+		}
+		return false
+	}
+
+	for round := 0; round < opts.MaxRounds; round++ {
+		changed := false
+
+		// Step 1 of §2.3: delete methods (largest units first).
+		for i := len(cur.Methods) - 1; i >= 0; i-- {
+			i := i
+			if try(func(c *jimple.Class) bool {
+				if i >= len(c.Methods) {
+					return false
+				}
+				c.Methods = append(c.Methods[:i], c.Methods[i+1:]...)
+				return true
+			}) {
+				changed = true
+			}
+		}
+		// Fields.
+		for i := len(cur.Fields) - 1; i >= 0; i-- {
+			i := i
+			if try(func(c *jimple.Class) bool {
+				if i >= len(c.Fields) {
+					return false
+				}
+				c.Fields = append(c.Fields[:i], c.Fields[i+1:]...)
+				return true
+			}) {
+				changed = true
+			}
+		}
+		// Interfaces.
+		for i := len(cur.Interfaces) - 1; i >= 0; i-- {
+			i := i
+			if try(func(c *jimple.Class) bool {
+				if i >= len(c.Interfaces) {
+					return false
+				}
+				c.Interfaces = append(c.Interfaces[:i], c.Interfaces[i+1:]...)
+				return true
+			}) {
+				changed = true
+			}
+		}
+		// Throws entries.
+		for mi := range cur.Methods {
+			for ti := len(cur.Methods[mi].Throws) - 1; ti >= 0; ti-- {
+				mi, ti := mi, ti
+				if try(func(c *jimple.Class) bool {
+					if mi >= len(c.Methods) || ti >= len(c.Methods[mi].Throws) {
+						return false
+					}
+					m := c.Methods[mi]
+					m.Throws = append(m.Throws[:ti], m.Throws[ti+1:]...)
+					return true
+				}) {
+					changed = true
+				}
+			}
+		}
+		// Statements (from the end, preserving branch targets).
+		for mi := range cur.Methods {
+			for si := len(cur.Methods[mi].Body) - 1; si >= 0; si-- {
+				mi, si := mi, si
+				if try(func(c *jimple.Class) bool {
+					if mi >= len(c.Methods) || si >= len(c.Methods[mi].Body) {
+						return false
+					}
+					m := c.Methods[mi]
+					m.Body = append(m.Body[:si], m.Body[si+1:]...)
+					jimple.RetargetAfterRemoval(m.Body, si)
+					return true
+				}) {
+					changed = true
+				}
+			}
+		}
+		// Unused locals.
+		for mi := range cur.Methods {
+			for li := len(cur.Methods[mi].Locals) - 1; li >= 0; li-- {
+				mi, li := mi, li
+				if try(func(c *jimple.Class) bool {
+					if mi >= len(c.Methods) || li >= len(c.Methods[mi].Locals) {
+						return false
+					}
+					m := c.Methods[mi]
+					m.Locals = append(m.Locals[:li], m.Locals[li+1:]...)
+					return true
+				}) {
+					changed = true
+				}
+			}
+		}
+
+		if !changed {
+			break
+		}
+	}
+	res.Reduced = cur
+	return res, nil
+}
+
+// Size is the reduction metric: structural element count.
+func Size(c *jimple.Class) int {
+	n := 1 + len(c.Interfaces) + len(c.Fields)
+	for _, m := range c.Methods {
+		n += 1 + len(m.Throws) + len(m.Body) + len(m.Locals)
+	}
+	return n
+}

@@ -1,0 +1,218 @@
+// Package triage automates the discrepancy analysis the paper performed
+// manually (§2.3, §3.3): given a discrepancy-triggering classfile, it
+// separates *compatibility* discrepancies from *implementation-caused*
+// ones by re-running the class with every VM bound to the same library
+// release (Definition 2: a discrepancy under e1 = e2 indicates a JVM
+// defect or policy difference, not an environment mismatch), then
+// refines the implementation-caused ones with error-class heuristics
+// mirroring the paper's defect-vs-checking-strategy discussion.
+package triage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/difftest"
+	"repro/internal/jvm"
+	"repro/internal/rtlib"
+)
+
+// Verdict is the triage outcome for one classfile.
+type Verdict string
+
+// Triage verdicts.
+const (
+	// NotDiscrepant: the five VMs agree; nothing to triage.
+	NotDiscrepant Verdict = "not-discrepant"
+	// CompatibilityIssue: the discrepancy disappears once all VMs share
+	// one library release — fix the environment, not a JVM.
+	CompatibilityIssue Verdict = "compatibility"
+	// DefectIndicative: the discrepancy persists under a shared
+	// environment and involves an outcome pattern the paper associates
+	// with implementation defects (a lenient VM accepting what the
+	// specification forbids, or a strict VM rejecting what it allows).
+	DefectIndicative Verdict = "defect-indicative"
+	// PolicyDifference: persists under a shared environment but matches
+	// the latitude the specification grants (verification timing,
+	// resolution eagerness, accessibility checking).
+	PolicyDifference Verdict = "policy-difference"
+)
+
+// Report is the full triage result for one classfile.
+type Report struct {
+	Verdict Verdict
+	// Standard is the outcome vector under per-VM environments.
+	Standard difftest.Vector
+	// Shared maps release names to vectors under that shared release.
+	Shared map[string]difftest.Vector
+	// Notes explains the decision, one line per signal.
+	Notes []string
+}
+
+// Key returns the standard-environment vector key.
+func (r *Report) Key() string { return r.Standard.Key() }
+
+// Triager owns the runners needed for repeated triage.
+type Triager struct {
+	standard *difftest.Runner
+	shared   map[string]*difftest.Runner
+}
+
+// New builds a triager with the standard lineup plus shared-environment
+// lineups for every release.
+func New() *Triager {
+	return &Triager{
+		standard: difftest.NewStandardRunner(),
+		shared: map[string]*difftest.Runner{
+			"JRE7": difftest.NewSharedEnvRunner(rtlib.JRE7),
+			"JRE8": difftest.NewSharedEnvRunner(rtlib.JRE8),
+		},
+	}
+}
+
+// Triage classifies one classfile.
+func (t *Triager) Triage(data []byte) *Report {
+	rep := &Report{Shared: map[string]difftest.Vector{}}
+	rep.Standard = t.standard.Run(data)
+	if !rep.Standard.Discrepant() {
+		rep.Verdict = NotDiscrepant
+		rep.Notes = append(rep.Notes, "all five VMs agree under their own environments")
+		return rep
+	}
+
+	// Definition 2: re-run under shared environments. When some shared
+	// release makes the five VMs agree, the split was environmental —
+	// it can be eliminated by enforcing the VMs against that release
+	// rather than by fixing any VM.
+	var constantUnder []string
+	releases := make([]string, 0, len(t.shared))
+	for rel := range t.shared {
+		releases = append(releases, rel)
+	}
+	sort.Strings(releases)
+	for _, rel := range releases {
+		v := t.shared[rel].Run(data)
+		rep.Shared[rel] = v
+		if !v.Discrepant() {
+			constantUnder = append(constantUnder, rel)
+		}
+	}
+	if len(constantUnder) > 0 {
+		rep.Verdict = CompatibilityIssue
+		rep.Notes = append(rep.Notes,
+			fmt.Sprintf("vector %s becomes constant when every VM shares the %s library",
+				rep.Standard.Key(), strings.Join(constantUnder, "/")))
+		return rep
+	}
+	rep.Notes = append(rep.Notes, "discrepancy persists under every shared library release (Definition 2: implementation-caused)")
+
+	// Heuristic refinement on the persisting vector.
+	rep.Verdict = classifyImplementation(rep, t.standard.Names())
+	return rep
+}
+
+// classifyImplementation applies the paper's defect-vs-policy heuristics.
+func classifyImplementation(rep *Report, names []string) Verdict {
+	v := rep.Standard
+
+	// Signal 1: a single lenient VM invokes a class every other VM
+	// rejects with a format error — the paper's "obvious JVM defects"
+	// pattern (GIJ accepting illegal constructs, J9's <clinit> bug).
+	invoked, rejectedFormat := 0, 0
+	invoker := -1
+	for i, o := range v.Outcomes {
+		if o.OK() {
+			invoked++
+			invoker = i
+		} else if o.Error == jvm.ErrClassFormat || o.Error == jvm.ErrVerify {
+			rejectedFormat++
+		}
+	}
+	if invoked == 1 && rejectedFormat >= 3 {
+		rep.Notes = append(rep.Notes,
+			fmt.Sprintf("only %s accepts a class the others reject as malformed", names[invoker]))
+		return DefectIndicative
+	}
+	if invoked == 4 && rejectedFormat == 1 {
+		for i, o := range v.Outcomes {
+			if !o.OK() {
+				rep.Notes = append(rep.Notes,
+					fmt.Sprintf("only %s rejects (%s) a class the others run", names[i], o.Error))
+			}
+		}
+		return DefectIndicative
+	}
+
+	// Signal 2: same error class, different phases — the timing latitude
+	// the specification grants (lazy vs eager verification/resolution).
+	errs := map[string]bool{}
+	for _, o := range v.Outcomes {
+		if !o.OK() {
+			errs[o.Error] = true
+		}
+	}
+	phases := map[int]bool{}
+	for _, c := range v.Codes {
+		phases[c] = true
+	}
+	if len(errs) == 1 && len(phases) > 1 {
+		for e := range errs {
+			rep.Notes = append(rep.Notes,
+				fmt.Sprintf("every rejecting VM throws %s, only the phase differs (verification/resolution timing)", e))
+		}
+		return PolicyDifference
+	}
+
+	// Signal 3: a strictness split where some VMs run the class and the
+	// rejecting side uses access/linkage errors — checking-policy
+	// differences (throws-clause checks, module accessibility, eager
+	// resolution).
+	policyErrs := 0
+	for _, o := range v.Outcomes {
+		switch o.Error {
+		case jvm.ErrIllegalAccess, jvm.ErrNoClassDef, jvm.ErrNoSuchMethod,
+			jvm.ErrNoSuchField, jvm.ErrIncompatibleChange:
+			policyErrs++
+		}
+	}
+	if policyErrs > 0 && invoked > 0 {
+		rep.Notes = append(rep.Notes,
+			"rejecting VMs use linkage/access errors while others run the class (checking-policy split)")
+		return PolicyDifference
+	}
+
+	// Signal 4: mixed error classes at the same phase — strict/lenient
+	// verification dialect differences.
+	rep.Notes = append(rep.Notes, "mixed error classes across VMs (verification dialect difference)")
+	if invoked >= 1 && strings.Contains(v.Key(), "0") {
+		return DefectIndicative
+	}
+	return PolicyDifference
+}
+
+// Summary aggregates triage over a class set.
+type Summary struct {
+	Total   int
+	Counts  map[Verdict]int
+	Reports []*Report
+}
+
+// TriageAll triages every classfile and aggregates.
+func (t *Triager) TriageAll(classes [][]byte) *Summary {
+	s := &Summary{Counts: map[Verdict]int{}}
+	for _, data := range classes {
+		r := t.Triage(data)
+		s.Total++
+		s.Counts[r.Verdict]++
+		s.Reports = append(s.Reports, r)
+	}
+	return s
+}
+
+// String renders the aggregate in the paper's §3.3 style.
+func (s *Summary) String() string {
+	return fmt.Sprintf("triage: %d classes -> %d defect-indicative, %d policy-difference, %d compatibility, %d not discrepant",
+		s.Total, s.Counts[DefectIndicative], s.Counts[PolicyDifference],
+		s.Counts[CompatibilityIssue], s.Counts[NotDiscrepant])
+}
