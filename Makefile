@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench race experiments catalog report clean
+.PHONY: all build test vet lint bench race experiments catalog report clean
 
 all: build vet test
 
@@ -11,6 +11,11 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Static-analysis passes over the generated seed corpus. Seeds must be
+# clean — only mutants may lint dirty.
+lint:
+	$(GO) run ./cmd/classlint -gen 500 -q
 
 test:
 	$(GO) test ./...

@@ -1,0 +1,145 @@
+// Command classlint runs the internal/analysis passes over classfiles
+// and reports the diagnostics some VM preset would act on.
+//
+// Usage:
+//
+//	classlint [flags] [file.class | dir]...
+//	classlint -gen N [-genseed S]          # lint a generated seed corpus
+//
+// A diagnostic is "live" when it is an error some preset in the
+// standard five-VM lineup enforces; live diagnostics fail the run
+// (exit 1). Warnings and policy-gated errors no preset enables are
+// advisory and printed only with -all. The make lint target runs this
+// over the seed corpus, which must be clean — only mutants may lint
+// dirty.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/classfile"
+	"repro/internal/jvm"
+	"repro/internal/seedgen"
+)
+
+func main() {
+	genCount := flag.Int("gen", 0, "lint a freshly generated seed corpus of this size instead of files")
+	genSeed := flag.Int64("genseed", 1, "RNG seed for -gen")
+	all := flag.Bool("all", false, "also print advisory diagnostics (warnings and errors no preset enforces)")
+	quiet := flag.Bool("q", false, "print only the per-input verdict lines")
+	flag.Parse()
+	if *genCount == 0 && flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: classlint [-all] [-q] [file.class | dir]...  |  classlint -gen N [-genseed S]")
+		os.Exit(2)
+	}
+
+	specs := jvm.StandardFive()
+	dirty := 0
+	lintOne := func(label string, f *classfile.File) {
+		live, advisory := split(analysis.Run(f, analysis.DefaultAnalyzers()), specs)
+		if len(live) > 0 {
+			dirty++
+			fmt.Printf("%s: %d live diagnostic(s)\n", label, len(live))
+		} else if *all && len(advisory) > 0 {
+			fmt.Printf("%s: clean (%d advisory)\n", label, len(advisory))
+		} else if !*quiet {
+			fmt.Printf("%s: clean\n", label)
+		}
+		if *quiet {
+			return
+		}
+		for _, d := range live {
+			fmt.Printf("  %s [presets: %s]\n", d, strings.Join(enforcers(d, specs), ","))
+		}
+		if *all {
+			for _, d := range advisory {
+				fmt.Printf("  advisory: %s\n", d)
+			}
+		}
+	}
+
+	if *genCount > 0 {
+		files, err := seedgen.GenerateFiles(seedgen.DefaultOptions(*genCount, *genSeed))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "classlint: %v\n", err)
+			os.Exit(1)
+		}
+		for i, data := range files {
+			f, err := classfile.Parse(data)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "seed[%d]: parse: %v\n", i, err)
+				os.Exit(1)
+			}
+			lintOne(fmt.Sprintf("seed[%d] %s", i, f.Name()), f)
+		}
+		fmt.Printf("linted %d generated seeds, %d dirty\n", len(files), dirty)
+	} else {
+		paths := expand(flag.Args())
+		for _, path := range paths {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+				os.Exit(1)
+			}
+			f, err := classfile.Parse(data)
+			if err != nil {
+				dirty++
+				fmt.Printf("%s: unparseable: %v\n", path, err)
+				continue
+			}
+			lintOne(path, f)
+		}
+		fmt.Printf("linted %d file(s), %d dirty\n", len(paths), dirty)
+	}
+	if dirty > 0 {
+		os.Exit(1)
+	}
+}
+
+// split partitions diagnostics into live (an error some standard preset
+// enforces) and advisory (everything else).
+func split(diags []analysis.Diagnostic, specs []jvm.Spec) (live, advisory []analysis.Diagnostic) {
+	for _, d := range diags {
+		if d.Severity == analysis.SevError && len(enforcers(d, specs)) > 0 {
+			live = append(live, d)
+		} else {
+			advisory = append(advisory, d)
+		}
+	}
+	return
+}
+
+// enforcers names the presets whose policy enables the diagnostic's gate.
+func enforcers(d analysis.Diagnostic, specs []jvm.Spec) []string {
+	var out []string
+	for i := range specs {
+		if d.Gate.Enabled(&specs[i].Policy) {
+			out = append(out, specs[i].Name)
+		}
+	}
+	return out
+}
+
+// expand resolves directory arguments to the .class files inside them.
+func expand(args []string) []string {
+	var out []string
+	for _, a := range args {
+		st, err := os.Stat(a)
+		if err != nil || !st.IsDir() {
+			out = append(out, a)
+			continue
+		}
+		filepath.Walk(a, func(p string, info os.FileInfo, err error) error {
+			if err == nil && !info.IsDir() && strings.HasSuffix(p, ".class") {
+				out = append(out, p)
+			}
+			return nil
+		})
+	}
+	return out
+}

@@ -34,13 +34,14 @@ func main() {
 	flag.Parse()
 
 	cfg := fuzz.Config{
-		Algorithm:   fuzz.Classfuzz,
-		Criterion:   coverage.STBR,
-		Seeds:       seedgen.Generate(seedgen.DefaultOptions(*seedCount, *seed)),
-		Iterations:  *iters,
-		Rand:        *seed,
-		RefSpec:     jvm.HotSpot9(),
-		KeepClasses: true,
+		Algorithm:       fuzz.Classfuzz,
+		Criterion:       coverage.STBR,
+		Seeds:           seedgen.Generate(seedgen.DefaultOptions(*seedCount, *seed)),
+		Iterations:      *iters,
+		Rand:            *seed,
+		RefSpec:         jvm.HotSpot9(),
+		KeepClasses:     true,
+		StaticPrefilter: true,
 	}
 	res, err := fuzz.Run(cfg)
 	if err != nil {
@@ -53,7 +54,7 @@ func main() {
 	for _, g := range res.Test {
 		classes = append(classes, g.Data)
 	}
-	sum := runner.EvaluateParallel(classes, 0)
+	sum := runner.EvaluateChecked(classes, 0)
 	tr := triage.New()
 
 	fmt.Printf("# classfuzz session report\n\n")
@@ -70,24 +71,39 @@ func main() {
 	fmt.Printf("| success rate | %.1f%% |\n", res.Succ()*100)
 	fmt.Printf("| wall clock | %s |\n\n", res.Elapsed.Round(1000000))
 
+	if pf := res.Prefilter; pf != nil {
+		fmt.Printf("## Static prefilter savings\n\n")
+		fmt.Printf("Statically-doomed mutants whose load-phase coverage trace was\n")
+		fmt.Printf("already cached skip reference-VM execution; the accepted suite is\n")
+		fmt.Printf("identical either way.\n\n")
+		fmt.Printf("| metric (%s%s) | value |\n|---|---|\n", res.Algorithm, res.Criterion)
+		fmt.Printf("| mutants checked | %d |\n", pf.Checked)
+		fmt.Printf("| statically doomed | %d |\n", pf.Doomed)
+		fmt.Printf("| executions skipped | %d |\n", pf.Skipped)
+		fmt.Printf("| doomed but executed (cache miss) | %d |\n\n", pf.Executed)
+	}
+
 	fmt.Printf("## Differential testing\n\n")
 	fmt.Printf("| metric | value |\n|---|---|\n")
 	fmt.Printf("| suite size | %d |\n", sum.Total)
 	fmt.Printf("| invoked by all five VMs | %d |\n", sum.AllInvoked)
 	fmt.Printf("| rejected by all at the same stage | %d |\n", sum.AllRejectedSameStage)
 	fmt.Printf("| discrepancy-triggering | %d (%.1f%%) |\n", sum.Discrepancies, sum.DiffRate()*100)
-	fmt.Printf("| distinct discrepancies | %d |\n\n", sum.DistinctCount())
+	fmt.Printf("| distinct discrepancies | %d |\n", sum.DistinctCount())
+	fmt.Printf("| static-oracle mismatches (sanitizer) | %d |\n\n", sum.OracleMismatches)
+	for _, s := range sum.MismatchSamples {
+		fmt.Printf("- oracle mismatch: %s\n", s)
+	}
 
 	fmt.Printf("### Per-VM phase histogram\n\n")
 	fmt.Printf("| phase | %s |\n", strings.Join(sum.VMNames, " | "))
 	fmt.Printf("|---|%s\n", strings.Repeat("---|", len(sum.VMNames)))
-	labels := []string{"invoked", "loading", "linking", "initialization", "runtime"}
-	for p, label := range labels {
+	for _, ph := range jvm.AllPhases() {
 		row := make([]string, len(sum.VMNames))
 		for v := range sum.VMNames {
-			row[v] = fmt.Sprintf("%d", sum.PhaseHistogram[v][p])
+			row[v] = fmt.Sprintf("%d", sum.PhaseHistogram[v][int(ph)])
 		}
-		fmt.Printf("| %s | %s |\n", label, strings.Join(row, " | "))
+		fmt.Printf("| %s | %s |\n", ph, strings.Join(row, " | "))
 	}
 
 	fmt.Printf("\n## Top mutators\n\n")

@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/classfile"
+	"repro/internal/jvm"
+)
+
+// Mismatch records one disagreement between the static oracle and a
+// live VM run — by Definition 2's logic, evidence of a bug in either
+// the oracle's reading of JVMS §4 or the VM simulation itself.
+type Mismatch struct {
+	// Spec names the VM preset.
+	Spec string
+	// Predicted is the oracle's definite claim.
+	Predicted jvm.Outcome
+	// Actual is the interpreter's observed outcome.
+	Actual jvm.Outcome
+	// Waived names the waiver covering this disagreement, "" if none.
+	Waived string
+}
+
+// String renders the mismatch for sanitizer notes and test failures.
+func (m Mismatch) String() string {
+	s := fmt.Sprintf("%s: oracle predicted %s, VM observed %s", m.Spec, m.Predicted, m.Actual)
+	if m.Waived != "" {
+		s += " (waived: " + m.Waived + ")"
+	}
+	return s
+}
+
+// Hard reports whether the mismatch is unwaived.
+func (m Mismatch) Hard() bool { return m.Waived == "" }
+
+// Waiver documents a point where the oracle and the simulation are
+// allowed to disagree, with the JVMS citation granting the latitude.
+type Waiver struct {
+	Name   string
+	JVMS   string
+	Reason string
+	// Applies reports whether the waiver covers this disagreement.
+	Applies func(spec jvm.Spec, predicted, actual jvm.Outcome) bool
+}
+
+// Waivers is the explicit list of tolerated oracle/VM disagreements.
+// An empty list is the goal state: every mirror is exact. Entries must
+// cite the JVMS passage that makes both behaviours conforming.
+var Waivers = []Waiver{}
+
+// agrees compares phase and error class; messages and output are
+// informational.
+func agrees(pred, act jvm.Outcome) bool {
+	return pred.Phase == act.Phase && pred.Error == act.Error
+}
+
+func waiverFor(spec jvm.Spec, pred, act jvm.Outcome) string {
+	for _, w := range Waivers {
+		if w.Applies(spec, pred, act) {
+			return w.Name
+		}
+	}
+	return ""
+}
+
+// CrossCheck runs the oracle's definite predictions for f against live
+// executions on each spec and returns every disagreement (waived ones
+// included, marked). Indefinite predictions are vacuously consistent.
+func CrossCheck(f *classfile.File, specs []jvm.Spec) []Mismatch {
+	var out []Mismatch
+	for _, spec := range specs {
+		pred := StaticVerdict(f, spec)
+		if !pred.Definite {
+			continue
+		}
+		act := jvm.NewWithEnv(spec, envFor(spec.Release)).RunFile(f)
+		if agrees(pred.Outcome, act) {
+			continue
+		}
+		out = append(out, Mismatch{
+			Spec: spec.Name, Predicted: pred.Outcome, Actual: act,
+			Waived: waiverFor(spec, pred.Outcome, act),
+		})
+	}
+	return out
+}
+
+// CheckVM compares one already-observed outcome against the oracle's
+// prediction for the same file on the given VM (using the VM's own
+// environment), for the differential runner's sanitizer where
+// executions already happened. It returns nil when the prediction is
+// indefinite or agrees.
+func CheckVM(f *classfile.File, vm *jvm.VM, actual jvm.Outcome) *Mismatch {
+	pred := StaticVerdictEnv(f, vm.Spec, vm.Env)
+	if !pred.Definite || agrees(pred.Outcome, actual) {
+		return nil
+	}
+	return &Mismatch{
+		Spec: vm.Spec.Name, Predicted: pred.Outcome, Actual: actual,
+		Waived: waiverFor(vm.Spec, pred.Outcome, actual),
+	}
+}

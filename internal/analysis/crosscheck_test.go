@@ -1,0 +1,105 @@
+package analysis_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/catalog"
+	"repro/internal/classfile"
+	"repro/internal/jimple"
+	"repro/internal/jvm"
+	"repro/internal/mutation"
+	"repro/internal/seedgen"
+)
+
+// TestCatalogCrossCheck runs every curated discrepancy entry (the 62
+// reported cases) through the static oracle on all five presets. Every
+// definite prediction must match the live VM, or be covered by an
+// explicit waiver citing the JVMS latitude.
+func TestCatalogCrossCheck(t *testing.T) {
+	specs := jvm.StandardFive()
+	definite := 0
+	phases := map[jvm.Phase]bool{}
+	for _, e := range catalog.Entries() {
+		data, err := e.Data()
+		if err != nil {
+			t.Fatalf("%s: build: %v", e.ID, err)
+		}
+		f, err := classfile.Parse(data)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", e.ID, err)
+		}
+		for _, sp := range specs {
+			if p := analysis.StaticVerdict(f, sp); p.Definite {
+				definite++
+				phases[p.Outcome.Phase] = true
+			}
+		}
+		for _, m := range analysis.CrossCheck(f, specs) {
+			if m.Hard() {
+				t.Errorf("%s (%s): %s", e.ID, e.Title, m)
+			}
+		}
+	}
+	// Guard against the check becoming vacuous: the oracle currently
+	// commits on ~200 of the 310 entry×preset combinations, across every
+	// startup phase.
+	if definite < 150 {
+		t.Errorf("oracle made only %d definite predictions over the catalog; cross-check is nearly vacuous", definite)
+	}
+	if len(phases) < jvm.PhaseCount {
+		t.Errorf("definite predictions cover only phases %v", phases)
+	}
+}
+
+// TestMutationFamilyCrossCheck pushes mutants from every Table 2
+// mutation family through the oracle on all five presets. Each family
+// must yield checkable mutants, and no definite prediction may
+// disagree with the live VM unless waived.
+func TestMutationFamilyCrossCheck(t *testing.T) {
+	specs := jvm.StandardFive()
+	seeds := seedgen.Generate(seedgen.DefaultOptions(10, 7))
+	rng := rand.New(rand.NewSource(7))
+
+	byFamily := map[mutation.Category][]*mutation.Mutator{}
+	for _, m := range mutation.Registry() {
+		byFamily[m.Category] = append(byFamily[m.Category], m)
+	}
+	for fam, muts := range byFamily {
+		checked := 0
+		for _, mu := range muts {
+			for _, s := range seeds {
+				c := s.Clone()
+				if !mu.Apply(c, rng) {
+					continue
+				}
+				f, err := jimple.Lower(c)
+				if err != nil {
+					// Soot-style dump failure; the fuzz loop discards these
+					// mutants before any VM sees them.
+					continue
+				}
+				for _, m := range analysis.CrossCheck(f, specs) {
+					if m.Hard() {
+						t.Errorf("family %s, mutator %s: %s", fam, mu.Name, m)
+					}
+				}
+				checked++
+				break
+			}
+		}
+		if checked == 0 {
+			t.Errorf("family %s produced no checkable mutant", fam)
+		}
+	}
+}
+
+// TestWaiversCited asserts every waiver entry documents its JVMS basis.
+func TestWaiversCited(t *testing.T) {
+	for _, w := range analysis.Waivers {
+		if w.Name == "" || w.JVMS == "" || w.Reason == "" || w.Applies == nil {
+			t.Errorf("waiver %+v lacks a name, citation, reason or predicate", w)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package analysis
+
+import "repro/internal/jvm"
+
+// GateKind selects which jvm.Policy knob controls a diagnostic.
+type GateKind int
+
+// Gate kinds. Each value names the policy condition under which the
+// five VM presets enforce the associated rule.
+const (
+	// GateAlways: every conforming VM enforces the rule.
+	GateAlways GateKind = iota
+	// GateNever: no simulated VM enforces the rule (advisory lint).
+	GateNever
+	// GateVersionMin fires when Gate.Major < Policy.MinMajorVersion.
+	GateVersionMin
+	// GateVersionMax fires when Gate.Major > Policy.MaxMajorVersion and
+	// the VM does not tolerate newer versions.
+	GateVersionMax
+	// GateStrictPool requires Policy.StrictConstantPool.
+	GateStrictPool
+	// GateStrictPoolNames requires StrictConstantPool and
+	// CheckNameValidity (the Class-entry array-name check).
+	GateStrictPoolNames
+	// GateNameValidity requires Policy.CheckNameValidity.
+	GateNameValidity
+	// GateClassFlags requires Policy.CheckClassFlags.
+	GateClassFlags
+	// GateInterfaceSuperObject requires Policy.CheckInterfaceSuperObject.
+	GateInterfaceSuperObject
+	// GateDuplicateFields requires Policy.CheckDuplicateFields.
+	GateDuplicateFields
+	// GateDuplicateMethods requires Policy.CheckDuplicateMethods.
+	GateDuplicateMethods
+	// GateMemberFlags requires Policy.CheckMemberFlags.
+	GateMemberFlags
+	// GateInterfaceMemberRules requires Policy.CheckInterfaceMemberRules.
+	GateInterfaceMemberRules
+	// GateInitSignature requires Policy.CheckInitSignature.
+	GateInitSignature
+	// GateCodePresence requires Policy.CheckCodePresence.
+	GateCodePresence
+	// GateClinitInitializerCode fires when the policy classifies the
+	// flagged <clinit> (whose static-()V shape is in Gate.StaticV) as
+	// the class initializer, which must then carry a Code attribute.
+	GateClinitInitializerCode
+	// GateJsrRet fires when Policy.ForbidJsrRet and Gate.Major >= 51.
+	GateJsrRet
+)
+
+// ClinitCond optionally restricts a gate to policies that classify a
+// method named <clinit> a particular way (Problem 1: the SE 9
+// clarification versus J9's always-initializer versus GIJ's ignore).
+type ClinitCond int
+
+// Clinit conditions.
+const (
+	// ClinitAny: the gate does not depend on <clinit> classification.
+	ClinitAny ClinitCond = iota
+	// ClinitAsOrdinary: the gate applies only when the policy treats the
+	// flagged <clinit> as an ordinary method (initializers are exempt
+	// from the ordinary-method format rules).
+	ClinitAsOrdinary
+)
+
+// Gate maps a diagnostic onto the policy condition enforcing it.
+type Gate struct {
+	Kind GateKind
+	// Major carries the classfile major version for version-sensitive
+	// gates (GateVersionMin/GateVersionMax/GateJsrRet).
+	Major uint16
+	// StaticV records, for <clinit>-sensitive gates, whether the method
+	// is static with descriptor ()V.
+	StaticV bool
+	// Clinit optionally restricts the gate by <clinit> classification.
+	Clinit ClinitCond
+}
+
+// clinitInitializer reports whether p classifies a <clinit> of the
+// given static-()V shape as the class initializer.
+func clinitInitializer(p *jvm.Policy, staticV bool) bool {
+	switch p.ClinitRule {
+	case jvm.ClinitAlwaysInitializer:
+		return true
+	case jvm.ClinitOrdinaryIfNonStatic:
+		return staticV
+	}
+	return false
+}
+
+// Enabled reports whether a VM running policy p enforces the gated
+// rule.
+func (g Gate) Enabled(p *jvm.Policy) bool {
+	if g.Clinit == ClinitAsOrdinary && clinitInitializer(p, g.StaticV) {
+		return false
+	}
+	switch g.Kind {
+	case GateAlways:
+		return true
+	case GateNever:
+		return false
+	case GateVersionMin:
+		return g.Major < p.MinMajorVersion
+	case GateVersionMax:
+		return g.Major > p.MaxMajorVersion && !p.AcceptNewerVersions
+	case GateStrictPool:
+		return p.StrictConstantPool
+	case GateStrictPoolNames:
+		return p.StrictConstantPool && p.CheckNameValidity
+	case GateNameValidity:
+		return p.CheckNameValidity
+	case GateClassFlags:
+		return p.CheckClassFlags
+	case GateInterfaceSuperObject:
+		return p.CheckInterfaceSuperObject
+	case GateDuplicateFields:
+		return p.CheckDuplicateFields
+	case GateDuplicateMethods:
+		return p.CheckDuplicateMethods
+	case GateMemberFlags:
+		return p.CheckMemberFlags
+	case GateInterfaceMemberRules:
+		return p.CheckInterfaceMemberRules
+	case GateInitSignature:
+		return p.CheckInitSignature
+	case GateCodePresence:
+		return p.CheckCodePresence
+	case GateClinitInitializerCode:
+		return clinitInitializer(p, g.StaticV)
+	case GateJsrRet:
+		return p.ForbidJsrRet && g.Major >= 51
+	}
+	return false
+}

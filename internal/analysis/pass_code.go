@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/bytecode"
+	"repro/internal/classfile"
+	"repro/internal/descriptor"
+	"repro/internal/jvm"
+)
+
+// Per-method sub-check ordinals within stagePost, spread so the three
+// code-level passes interleave deterministically per method.
+const (
+	subCodeEmpty = iota
+	subCodeDesc
+	subCodeDecode
+	subCodeBranchTarget
+	subCodeJsrRet
+	subCodeHandlerRange
+	subCodeHandlerCatch
+	subCodeLocals
+	subCodeFallsOff  = 16
+	subCodeDead      = 17
+	subCodeStackMap0 = 24 // stackmap sub-checks occupy 24..
+)
+
+// CodeAnalyzer mirrors the structural pre-dataflow checks of the
+// bytecode verifier (JVMS §4.8, §4.9): empty code arrays, undecodable
+// bytecode, branch targets on instruction boundaries, jsr/ret in
+// modern classfiles, exception-handler ranges, and max_locals
+// accounting for the parameters. Findings are pinned to the linking
+// phase — the earliest point a conforming VM may reject — but lazily
+// verifying VMs only reach them when the method is actually verified,
+// which the verdict logic accounts for.
+var CodeAnalyzer = &Analyzer{
+	Name: "code",
+	Doc:  "bytecode decodability, branch targets, handler ranges, jsr/ret (JVMS §4.8, §4.9)",
+	Run:  runCode,
+}
+
+func runCode(p *Pass) {
+	for i, m := range p.File.Methods {
+		codeMethod(p, i, m)
+	}
+}
+
+func codeMethod(p *Pass, i int, m *classfile.Member) {
+	code := m.Code()
+	if code == nil {
+		return
+	}
+	label := p.MethodLabel(m)
+	mname := m.Name(p.File.Pool)
+	mdesc := m.Descriptor(p.File.Pool)
+	diag := func(sub int, rule, errName, jvms, format string, args ...any) {
+		p.report(Diagnostic{
+			Rule: rule, Severity: SevError,
+			Phase: jvm.PhaseLinking, Err: errName, JVMS: jvms,
+			Message: fmt.Sprintf(format, args...), Method: label,
+			Gate: Gate{Kind: GateAlways}, Seq: seqOf(stagePost, i, sub),
+		})
+	}
+
+	if len(code.Code) == 0 {
+		diag(subCodeEmpty, "empty-code", jvm.ErrClassFormat, "§4.7.3",
+			"method %s has an empty code array", mname)
+		return
+	}
+	md, derr := descriptor.ParseMethod(mdesc)
+	if derr != nil {
+		// The verifier re-rejects malformed descriptors unconditionally,
+		// so even name-lenient VMs fail here once the method is verified.
+		diag(subCodeDesc, "desc-unparseable", jvm.ErrClassFormat, "§4.3.3",
+			"method %s has malformed descriptor", mname)
+	}
+	cfg, err := p.CFG(m)
+	if err != nil {
+		diag(subCodeDecode, "undecodable", jvm.ErrVerify, "§4.8",
+			"method %s: %v", mname, err)
+		return
+	}
+	for _, bt := range cfg.BadTargets {
+		diag(subCodeBranchTarget, "bad-branch-target", jvm.ErrVerify, "§4.8",
+			"method %s: branch into the middle of an instruction (pc %d)", mname, bt.Target)
+	}
+	for _, in := range cfg.Ins {
+		if in.Op == bytecode.Jsr || in.Op == bytecode.JsrW || in.Op == bytecode.Ret ||
+			(in.Op == bytecode.Wide && in.WideOp == bytecode.Ret) {
+			p.report(Diagnostic{
+				Rule: "jsr-ret", Severity: SevError,
+				Phase: jvm.PhaseLinking, Err: jvm.ErrVerify, JVMS: "§4.9.1",
+				Message: fmt.Sprintf("method %s uses jsr/ret in a version %d classfile", mname, p.File.Major),
+				Method:  label,
+				Gate:    Gate{Kind: GateJsrRet, Major: p.File.Major}, Seq: seqOf(stagePost, i, subCodeJsrRet),
+			})
+			break
+		}
+	}
+	for _, h := range code.Handlers {
+		_, okS := cfg.PCIndex[int(h.StartPC)]
+		_, okH := cfg.PCIndex[int(h.HandlerPC)]
+		_, okE := cfg.PCIndex[int(h.EndPC)]
+		endOK := int(h.EndPC) == len(code.Code) || okE
+		if !okS || !okH || !endOK || h.StartPC >= h.EndPC {
+			diag(subCodeHandlerRange, "handler-range", jvm.ErrClassFormat, "§4.7.3",
+				"method %s has an invalid exception handler range", mname)
+		}
+		if h.CatchType != 0 {
+			if _, ok := p.File.Pool.ClassName(h.CatchType); !ok {
+				diag(subCodeHandlerCatch, "handler-catch-type", jvm.ErrClassFormat, "§4.7.3",
+					"method %s catch type #%d is not a class", mname, h.CatchType)
+			}
+		}
+	}
+	if derr == nil {
+		slots := 0
+		if !m.AccessFlags.Has(classfile.AccStatic) {
+			slots++
+		}
+		for _, pt := range md.Params {
+			slots += pt.Slots()
+		}
+		if slots > int(code.MaxLocals) {
+			diag(subCodeLocals, "locals-overflow", jvm.ErrVerify, "§4.7.3",
+				"max_locals %d too small for parameters of %s%s", code.MaxLocals, mname, mdesc)
+		}
+	}
+}

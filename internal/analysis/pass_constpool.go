@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/classfile"
+	"repro/internal/descriptor"
+	"repro/internal/jvm"
+)
+
+// ConstPoolAnalyzer re-derives the constant-pool integrity rules of
+// JVMS §4.4: cross-reference kinds, member-ref descriptor shapes,
+// MethodHandle kinds, and array-class-name plausibility. Strict VMs
+// (the HotSpot family) enforce these at load; lenient ones (J9, GIJ)
+// only walk the structures.
+var ConstPoolAnalyzer = &Analyzer{
+	Name: "constpool",
+	Doc:  "constant pool integrity: reference kinds, bounds, descriptor shapes (JVMS §4.4)",
+	Run:  runConstPool,
+}
+
+func runConstPool(p *Pass) {
+	cp := p.File.Pool
+	for i := 1; i < cp.Count(); i++ {
+		c := cp.Get(uint16(i))
+		if c == nil {
+			continue
+		}
+		switch c.Tag {
+		case classfile.TagClass, classfile.TagString, classfile.TagMethodType:
+			if t := cp.Get(c.Ref1); t == nil || t.Tag != classfile.TagUtf8 {
+				p.report(Diagnostic{
+					Rule: "ref-utf8", Severity: SevError,
+					Phase: jvm.PhaseLoading, Err: jvm.ErrClassFormat, JVMS: "§4.4",
+					Message: fmt.Sprintf("constant #%d (%s) references non-Utf8 #%d", i, c.Tag, c.Ref1),
+					Gate:    Gate{Kind: GateStrictPool}, Seq: seqOf(stagePool, i, 0),
+				})
+			}
+		case classfile.TagNameAndType:
+			t1, t2 := cp.Get(c.Ref1), cp.Get(c.Ref2)
+			if t1 == nil || t1.Tag != classfile.TagUtf8 || t2 == nil || t2.Tag != classfile.TagUtf8 {
+				p.report(Diagnostic{
+					Rule: "nat-refs", Severity: SevError,
+					Phase: jvm.PhaseLoading, Err: jvm.ErrClassFormat, JVMS: "§4.4.6",
+					Message: fmt.Sprintf("NameAndType #%d has dangling references", i),
+					Gate:    Gate{Kind: GateStrictPool}, Seq: seqOf(stagePool, i, 0),
+				})
+			}
+		case classfile.TagFieldref, classfile.TagMethodref, classfile.TagInterfaceMethodref:
+			t1, t2 := cp.Get(c.Ref1), cp.Get(c.Ref2)
+			if t1 == nil || t1.Tag != classfile.TagClass || t2 == nil || t2.Tag != classfile.TagNameAndType {
+				p.report(Diagnostic{
+					Rule: "member-refs", Severity: SevError,
+					Phase: jvm.PhaseLoading, Err: jvm.ErrClassFormat, JVMS: "§4.4.2",
+					Message: fmt.Sprintf("%s #%d has dangling references", c.Tag, i),
+					Gate:    Gate{Kind: GateStrictPool}, Seq: seqOf(stagePool, i, 0),
+				})
+				continue // the loader rejects here before looking at the descriptor
+			}
+			_, desc, _ := cp.NameAndType(c.Ref2)
+			if c.Tag == classfile.TagFieldref {
+				if !descriptor.ValidField(desc) {
+					p.report(Diagnostic{
+						Rule: "fieldref-desc", Severity: SevError,
+						Phase: jvm.PhaseLoading, Err: jvm.ErrClassFormat, JVMS: "§4.3.2",
+						Message: fmt.Sprintf("Fieldref #%d has non-field descriptor %q", i, desc),
+						Gate:    Gate{Kind: GateStrictPool}, Seq: seqOf(stagePool, i, 1),
+					})
+				}
+			} else if !descriptor.ValidMethod(desc) {
+				p.report(Diagnostic{
+					Rule: "methodref-desc", Severity: SevError,
+					Phase: jvm.PhaseLoading, Err: jvm.ErrClassFormat, JVMS: "§4.3.3",
+					Message: fmt.Sprintf("%s #%d has non-method descriptor %q", c.Tag, i, desc),
+					Gate:    Gate{Kind: GateStrictPool}, Seq: seqOf(stagePool, i, 1),
+				})
+			}
+		case classfile.TagMethodHandle:
+			if c.Kind < 1 || c.Kind > 9 {
+				p.report(Diagnostic{
+					Rule: "mh-kind", Severity: SevError,
+					Phase: jvm.PhaseLoading, Err: jvm.ErrClassFormat, JVMS: "§4.4.8",
+					Message: fmt.Sprintf("MethodHandle #%d has kind %d", i, c.Kind),
+					Gate:    Gate{Kind: GateStrictPool}, Seq: seqOf(stagePool, i, 0),
+				})
+			}
+		}
+	}
+
+	// Array-typed Class constants must spell a valid field descriptor
+	// (the loader's second, name-validity sweep).
+	for i := 1; i < cp.Count(); i++ {
+		c := cp.Get(uint16(i))
+		if c == nil || c.Tag != classfile.TagClass {
+			continue
+		}
+		n, _ := cp.Utf8(c.Ref1)
+		if strings.HasPrefix(n, "[") && !descriptor.ValidField(n) {
+			p.report(Diagnostic{
+				Rule: "class-array-name", Severity: SevError,
+				Phase: jvm.PhaseLoading, Err: jvm.ErrClassFormat, JVMS: "§4.4.1",
+				Message: fmt.Sprintf("Class constant #%d has malformed array name %q", i, n),
+				Gate:    Gate{Kind: GateStrictPoolNames}, Seq: seqOf(stagePoolNames, i, 0),
+			})
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/jvm"
+)
+
+// DeadCodeAnalyzer reports instructions the dataflow verifier never
+// visits (advisory — every simulated VM simply skips them, JVMS
+// §4.10.2.1 note on unreachable code) and the one hard consequence of
+// reachability: control reaching the end of the code array without a
+// return or throw, which every verifier rejects (JVMS §4.8).
+var DeadCodeAnalyzer = &Analyzer{
+	Name: "deadcode",
+	Doc:  "unreachable instructions and fallthrough off the end of code (JVMS §4.8, §4.10)",
+	Run:  runDeadCode,
+}
+
+func runDeadCode(p *Pass) {
+	for i, m := range p.File.Methods {
+		cfg, err := p.CFG(m)
+		if cfg == nil || err != nil {
+			continue // no Code, or reported as undecodable by the code pass
+		}
+		label := p.MethodLabel(m)
+		if n := cfg.UnreachableCount(); n > 0 {
+			first := -1
+			for idx, r := range cfg.Reachable {
+				if !r {
+					first = cfg.Ins[idx].PC
+					break
+				}
+			}
+			p.report(Diagnostic{
+				Rule: "unreachable", Severity: SevWarn,
+				Phase: jvm.PhaseLinking, JVMS: "§4.10.2.1",
+				Message: fmt.Sprintf("%d unreachable instruction(s), first at pc %d", n, first),
+				Method:  label,
+				Gate:    Gate{Kind: GateNever}, Seq: seqOf(stagePost, i, subCodeDead),
+			})
+		}
+		for _, idx := range cfg.FallsOff {
+			if !cfg.Reachable[idx] {
+				continue // dead tails never execute, so no VM objects
+			}
+			p.report(Diagnostic{
+				Rule: "falls-off-end", Severity: SevError,
+				Phase: jvm.PhaseLinking, Err: jvm.ErrVerify, JVMS: "§4.8",
+				Message: fmt.Sprintf("execution can fall off the end of the code array (pc %d)", cfg.Ins[idx].PC),
+				Method:  label,
+				Gate:    Gate{Kind: GateAlways}, Seq: seqOf(stagePost, i, subCodeFallsOff),
+			})
+		}
+	}
+}

@@ -1,0 +1,330 @@
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/classfile"
+	"repro/internal/descriptor"
+	"repro/internal/jvm"
+)
+
+// MembersAnalyzer re-derives the per-class and per-member format rules
+// the loader applies in sequence: the version gate, this_class/super
+// naming, class access flags, and field/method descriptor and flag
+// consistency including the <clinit>/<init> special rules (JVMS §4.1,
+// §4.5, §4.6, §2.9).
+var MembersAnalyzer = &Analyzer{
+	Name: "members",
+	Doc:  "class/field/method descriptor and access-flag consistency (JVMS §4.1, §4.5, §4.6)",
+	Run:  runMembers,
+}
+
+func runMembers(p *Pass) {
+	f := p.File
+	cp := f.Pool
+
+	// Version gates: the structural fact is just the major version; the
+	// gate decides per-policy whether it lies outside the accepted band.
+	p.report(Diagnostic{
+		Rule: "version-min", Severity: SevError,
+		Phase: jvm.PhaseLoading, Err: jvm.ErrClassFormat, JVMS: "§4.1",
+		Message: fmt.Sprintf("major version %d below an implementation's minimum", f.Major),
+		Gate:    Gate{Kind: GateVersionMin, Major: f.Major}, Seq: seqOf(stageVersion, 0, 0),
+	})
+	p.report(Diagnostic{
+		Rule: "version-max", Severity: SevError,
+		Phase: jvm.PhaseLoading, Err: jvm.ErrUnsupportedVersion, JVMS: "§4.1",
+		Message: fmt.Sprintf("major version %d above an implementation's maximum", f.Major),
+		Gate:    Gate{Kind: GateVersionMax, Major: f.Major}, Seq: seqOf(stageVersion, 0, 1),
+	})
+
+	name, ok := cp.ClassName(f.ThisClass)
+	if !ok {
+		p.report(Diagnostic{
+			Rule: "this-class-index", Severity: SevError,
+			Phase: jvm.PhaseLoading, Err: jvm.ErrClassFormat, JVMS: "§4.1",
+			Message: fmt.Sprintf("bad this_class index %d", f.ThisClass),
+			Gate:    Gate{Kind: GateAlways}, Seq: seqOf(stageThisClass, 0, 0),
+		})
+	} else if !descriptor.ValidClassName(name) {
+		p.report(Diagnostic{
+			Rule: "this-class-name", Severity: SevError,
+			Phase: jvm.PhaseLoading, Err: jvm.ErrClassFormat, JVMS: "§4.2.1",
+			Message: fmt.Sprintf("illegal class name %q", name),
+			Gate:    Gate{Kind: GateNameValidity}, Seq: seqOf(stageThisClass, 0, 1),
+		})
+	}
+
+	if f.SuperClass == 0 {
+		if name != "java/lang/Object" {
+			p.report(Diagnostic{
+				Rule: "missing-super", Severity: SevError,
+				Phase: jvm.PhaseLoading, Err: jvm.ErrClassFormat, JVMS: "§4.1",
+				Message: fmt.Sprintf("class %s has no superclass", name),
+				Gate:    Gate{Kind: GateAlways}, Seq: seqOf(stageSuper, 0, 0),
+			})
+		}
+	} else if _, ok := cp.ClassName(f.SuperClass); !ok {
+		p.report(Diagnostic{
+			Rule: "super-index", Severity: SevError,
+			Phase: jvm.PhaseLoading, Err: jvm.ErrClassFormat, JVMS: "§4.1",
+			Message: fmt.Sprintf("bad super_class index %d", f.SuperClass),
+			Gate:    Gate{Kind: GateAlways}, Seq: seqOf(stageSuper, 0, 1),
+		})
+	}
+
+	for j, idx := range f.Interfaces {
+		if _, ok := cp.ClassName(idx); !ok {
+			p.report(Diagnostic{
+				Rule: "interface-index", Severity: SevError,
+				Phase: jvm.PhaseLoading, Err: jvm.ErrClassFormat, JVMS: "§4.1",
+				Message: fmt.Sprintf("bad interface index %d", idx),
+				Gate:    Gate{Kind: GateAlways}, Seq: seqOf(stageInterfaces, j, 0),
+			})
+		}
+	}
+
+	classFlags(p, name)
+
+	for i, fl := range f.Fields {
+		fieldShape(p, i, fl)
+	}
+	for i, m := range f.Methods {
+		methodShape(p, i, m)
+	}
+}
+
+// classFlags mirrors the CheckClassFlags block (JVMS §4.1 Table 4.1-B).
+func classFlags(p *Pass, name string) {
+	flags := p.File.AccessFlags
+	g := Gate{Kind: GateClassFlags}
+	if flags.Has(classfile.AccFinal | classfile.AccAbstract) {
+		p.report(Diagnostic{
+			Rule: "class-final-abstract", Severity: SevError,
+			Phase: jvm.PhaseLoading, Err: jvm.ErrClassFormat, JVMS: "§4.1",
+			Message: fmt.Sprintf("class %s is both final and abstract", name),
+			Gate:    g, Seq: seqOf(stageClassFlags, 0, 0),
+		})
+	}
+	if flags.Has(classfile.AccInterface) {
+		if !flags.Has(classfile.AccAbstract) {
+			p.report(Diagnostic{
+				Rule: "interface-not-abstract", Severity: SevError,
+				Phase: jvm.PhaseLoading, Err: jvm.ErrClassFormat, JVMS: "§4.1",
+				Message: fmt.Sprintf("interface %s missing ACC_ABSTRACT", name),
+				Gate:    g, Seq: seqOf(stageClassFlags, 0, 1),
+			})
+		}
+		if flags.Has(classfile.AccFinal) {
+			p.report(Diagnostic{
+				Rule: "interface-final", Severity: SevError,
+				Phase: jvm.PhaseLoading, Err: jvm.ErrClassFormat, JVMS: "§4.1",
+				Message: fmt.Sprintf("interface %s is final", name),
+				Gate:    g, Seq: seqOf(stageClassFlags, 0, 2),
+			})
+		}
+	}
+	if flags.Has(classfile.AccAnnotation) && !flags.Has(classfile.AccInterface) {
+		p.report(Diagnostic{
+			Rule: "annotation-not-interface", Severity: SevError,
+			Phase: jvm.PhaseLoading, Err: jvm.ErrClassFormat, JVMS: "§4.1",
+			Message: fmt.Sprintf("annotation %s is not an interface", name),
+			Gate:    g, Seq: seqOf(stageClassFlags, 0, 3),
+		})
+	}
+}
+
+// Per-member sub-check ordinals within stageFields/stageMethods, fixed
+// to match the loader's per-member check order. Duplicate and
+// interface-rule sub-checks (2, 5, 6) are reported by the structure
+// pass into the same sequence space.
+const (
+	subMemberCPValid       = 0
+	subMemberDesc          = 1
+	subMemberDup           = 2
+	subFieldVis            = 3
+	subFieldFinalVolatile  = 4
+	subFieldIfaceRules     = 5
+	subMethodClinitCode    = 3
+	subMethodVis           = 4
+	subMethodAbstractCombo = 5
+	subMethodIfaceRules    = 6
+	subInitFlags           = 7
+	subInitReturns         = 8
+	subInitOnInterface     = 9
+	subMethodCodeAbsent    = 10
+	subMethodCodePresent   = 11
+)
+
+func fieldShape(p *Pass, i int, fl *classfile.Member) {
+	cp := p.File.Pool
+	fname := fl.Name(cp)
+	fdesc := fl.Descriptor(cp)
+	if fname == "" || fdesc == "" {
+		p.report(Diagnostic{
+			Rule: "field-dangling", Severity: SevError,
+			Phase: jvm.PhaseLoading, Err: jvm.ErrClassFormat, JVMS: "§4.5",
+			Message: "field with dangling name/descriptor index",
+			Gate:    Gate{Kind: GateAlways}, Seq: seqOf(stageFields, i, subMemberCPValid),
+		})
+		return
+	}
+	if !descriptor.ValidField(fdesc) {
+		p.report(Diagnostic{
+			Rule: "field-descriptor", Severity: SevError,
+			Phase: jvm.PhaseLoading, Err: jvm.ErrClassFormat, JVMS: "§4.3.2",
+			Message: fmt.Sprintf("field %s has malformed descriptor %q", fname, fdesc),
+			Method:  fname,
+			Gate:    Gate{Kind: GateNameValidity}, Seq: seqOf(stageFields, i, subMemberDesc),
+		})
+	}
+	if fl.AccessFlags.VisibilityCount() > 1 {
+		p.report(Diagnostic{
+			Rule: "field-visibility", Severity: SevError,
+			Phase: jvm.PhaseLoading, Err: jvm.ErrClassFormat, JVMS: "§4.5",
+			Message: fmt.Sprintf("field %s has conflicting visibility flags", fname),
+			Method:  fname,
+			Gate:    Gate{Kind: GateMemberFlags}, Seq: seqOf(stageFields, i, subFieldVis),
+		})
+	}
+	if fl.AccessFlags.Has(classfile.AccFinal | classfile.AccVolatile) {
+		p.report(Diagnostic{
+			Rule: "field-final-volatile", Severity: SevError,
+			Phase: jvm.PhaseLoading, Err: jvm.ErrClassFormat, JVMS: "§4.5",
+			Message: fmt.Sprintf("field %s is both final and volatile", fname),
+			Method:  fname,
+			Gate:    Gate{Kind: GateMemberFlags}, Seq: seqOf(stageFields, i, subFieldFinalVolatile),
+		})
+	}
+}
+
+func methodShape(p *Pass, i int, m *classfile.Member) {
+	f := p.File
+	cp := f.Pool
+	mname := m.Name(cp)
+	mdesc := m.Descriptor(cp)
+	flags := m.AccessFlags
+	hasCode := m.Code() != nil
+	label := mname + mdesc
+
+	if mname == "" || mdesc == "" {
+		p.report(Diagnostic{
+			Rule: "method-dangling", Severity: SevError,
+			Phase: jvm.PhaseLoading, Err: jvm.ErrClassFormat, JVMS: "§4.6",
+			Message: "method with dangling name/descriptor index",
+			Gate:    Gate{Kind: GateAlways}, Seq: seqOf(stageMethods, i, subMemberCPValid),
+		})
+		return
+	}
+	if !descriptor.ValidMethod(mdesc) {
+		p.report(Diagnostic{
+			Rule: "method-descriptor", Severity: SevError,
+			Phase: jvm.PhaseLoading, Err: jvm.ErrClassFormat, JVMS: "§4.3.3",
+			Message: fmt.Sprintf("method %s has malformed descriptor %q", mname, mdesc),
+			Method:  label,
+			Gate:    Gate{Kind: GateNameValidity}, Seq: seqOf(stageMethods, i, subMemberDesc),
+		})
+	}
+
+	// <clinit> classification (Problem 1): when the policy classifies
+	// this method as the class initializer, it must carry Code and is
+	// exempt from the ordinary-method rules below; both sides of that
+	// fork are expressed through the Gate so the verdict stays
+	// per-policy while the diagnostics are policy-free.
+	isClinit := mname == "<clinit>"
+	staticV := flags.Has(classfile.AccStatic) && mdesc == "()V"
+	ordinary := func(kind GateKind) Gate {
+		g := Gate{Kind: kind}
+		if isClinit {
+			g.Clinit = ClinitAsOrdinary
+			g.StaticV = staticV
+		}
+		return g
+	}
+	if isClinit && !hasCode {
+		p.report(Diagnostic{
+			Rule: "clinit-no-code", Severity: SevError,
+			Phase: jvm.PhaseLoading, Err: jvm.ErrClassFormat, JVMS: "§2.9",
+			Message: fmt.Sprintf("no Code attribute specified; method=<clinit>%s, pc=0", mdesc),
+			Method:  label,
+			Gate:    Gate{Kind: GateClinitInitializerCode, StaticV: staticV},
+			Seq:     seqOf(stageMethods, i, subMethodClinitCode),
+		})
+	}
+
+	if flags.VisibilityCount() > 1 {
+		p.report(Diagnostic{
+			Rule: "method-visibility", Severity: SevError,
+			Phase: jvm.PhaseLoading, Err: jvm.ErrClassFormat, JVMS: "§4.6",
+			Message: fmt.Sprintf("method %s has conflicting visibility flags", mname),
+			Method:  label,
+			Gate:    ordinary(GateMemberFlags), Seq: seqOf(stageMethods, i, subMethodVis),
+		})
+	}
+	abstractCombo := flags.Has(classfile.AccAbstract) &&
+		(flags.Has(classfile.AccFinal) || flags.Has(classfile.AccStatic) ||
+			flags.Has(classfile.AccNative) || flags.Has(classfile.AccPrivate) ||
+			flags.Has(classfile.AccSynchronized) || flags.Has(classfile.AccStrict))
+	if abstractCombo {
+		p.report(Diagnostic{
+			Rule: "abstract-flags", Severity: SevError,
+			Phase: jvm.PhaseLoading, Err: jvm.ErrClassFormat, JVMS: "§4.6",
+			Message: fmt.Sprintf("abstract method %s has conflicting flags", mname),
+			Method:  label,
+			Gate:    ordinary(GateMemberFlags), Seq: seqOf(stageMethods, i, subMethodAbstractCombo),
+		})
+	}
+
+	// <init> rules (Problem 4: GIJ accepts abstract/static/returning <init>).
+	if mname == "<init>" {
+		banned := classfile.AccStatic | classfile.AccFinal | classfile.AccSynchronized |
+			classfile.AccNative | classfile.AccAbstract
+		if flags&banned != 0 {
+			p.report(Diagnostic{
+				Rule: "init-flags", Severity: SevError,
+				Phase: jvm.PhaseLoading, Err: jvm.ErrClassFormat, JVMS: "§2.9",
+				Message: fmt.Sprintf("<init> has illegal flags %s", flags.MethodFlagString()),
+				Method:  label,
+				Gate:    Gate{Kind: GateInitSignature}, Seq: seqOf(stageMethods, i, subInitFlags),
+			})
+		}
+		if md, err := descriptor.ParseMethod(mdesc); err == nil && !md.Return.IsVoid() {
+			p.report(Diagnostic{
+				Rule: "init-returns", Severity: SevError,
+				Phase: jvm.PhaseLoading, Err: jvm.ErrClassFormat, JVMS: "§4.3.3",
+				Message: fmt.Sprintf("<init> must return void, not %s", md.Return.Java()),
+				Method:  label,
+				Gate:    Gate{Kind: GateInitSignature}, Seq: seqOf(stageMethods, i, subInitReturns),
+			})
+		}
+		if f.IsInterface() {
+			p.report(Diagnostic{
+				Rule: "init-on-interface", Severity: SevError,
+				Phase: jvm.PhaseLoading, Err: jvm.ErrClassFormat, JVMS: "§2.9",
+				Message: "interface declares <init>",
+				Method:  label,
+				Gate:    Gate{Kind: GateInitSignature}, Seq: seqOf(stageMethods, i, subInitOnInterface),
+			})
+		}
+	}
+
+	abstractOrNative := flags.Has(classfile.AccAbstract) || flags.Has(classfile.AccNative)
+	if !abstractOrNative && !hasCode {
+		p.report(Diagnostic{
+			Rule: "missing-code", Severity: SevError,
+			Phase: jvm.PhaseLoading, Err: jvm.ErrClassFormat, JVMS: "§4.7.3",
+			Message: fmt.Sprintf("concrete method %s%s lacks a Code attribute", mname, mdesc),
+			Method:  label,
+			Gate:    ordinary(GateCodePresence), Seq: seqOf(stageMethods, i, subMethodCodeAbsent),
+		})
+	}
+	if abstractOrNative && hasCode {
+		p.report(Diagnostic{
+			Rule: "unexpected-code", Severity: SevError,
+			Phase: jvm.PhaseLoading, Err: jvm.ErrClassFormat, JVMS: "§4.7.3",
+			Message: fmt.Sprintf("abstract/native method %s%s has a Code attribute", mname, mdesc),
+			Method:  label,
+			Gate:    ordinary(GateCodePresence), Seq: seqOf(stageMethods, i, subMethodCodePresent),
+		})
+	}
+}

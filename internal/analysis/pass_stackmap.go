@@ -1,0 +1,157 @@
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/bytecode"
+	"repro/internal/classfile"
+	"repro/internal/descriptor"
+	"repro/internal/jvm"
+)
+
+// StackMapAnalyzer checks StackMapTable frames for internal
+// consistency (JVMS §4.7.4): decodability, frame offsets landing on
+// instruction boundaries, Object entries naming Class constants,
+// Uninitialized entries pointing at a `new`, and locals/stack sizes
+// within max_locals/max_stack. All findings are advisory: every
+// simulated VM verifies by type inference and never consults the
+// table, so a split-verifier's VerifyError here never materialises.
+var StackMapAnalyzer = &Analyzer{
+	Name: "stackmap",
+	Doc:  "StackMapTable frame consistency (JVMS §4.7.4; advisory under inference verification)",
+	Run:  runStackMap,
+}
+
+// Sub-check ordinals within a method's stackmap band (stagePost).
+const (
+	subSMDecode = subCodeStackMap0 + iota
+	subSMOffset
+	subSMObject
+	subSMUninit
+	subSMLocals
+	subSMStack
+)
+
+func runStackMap(p *Pass) {
+	for i, m := range p.File.Methods {
+		code := m.Code()
+		if code == nil {
+			continue
+		}
+		var table *classfile.StackMapTableAttr
+		for _, a := range code.Attributes {
+			if t, ok := a.(*classfile.StackMapTableAttr); ok {
+				table = t
+				break
+			}
+		}
+		if table == nil {
+			continue
+		}
+		stackMapMethod(p, i, m, code, table)
+	}
+}
+
+func stackMapMethod(p *Pass, i int, m *classfile.Member, code *classfile.CodeAttr, table *classfile.StackMapTableAttr) {
+	label := p.MethodLabel(m)
+	warn := func(sub int, rule, format string, args ...any) {
+		p.report(Diagnostic{
+			Rule: rule, Severity: SevWarn,
+			Phase: jvm.PhaseLinking, JVMS: "§4.7.4",
+			Message: fmt.Sprintf(format, args...), Method: label,
+			Gate: Gate{Kind: GateNever}, Seq: seqOf(stagePost, i, sub),
+		})
+	}
+
+	frames, err := classfile.DecodeStackMap(table)
+	if err != nil {
+		warn(subSMDecode, "stackmap-undecodable", "StackMapTable does not decode: %v", err)
+		return
+	}
+	cfg, cfgErr := p.CFG(m)
+	onBoundary := func(pc int) bool {
+		if cfg == nil || cfgErr != nil {
+			return true // undecodable code is the code pass's finding
+		}
+		_, ok := cfg.PCIndex[pc]
+		return ok
+	}
+	isNewAt := func(pc int) bool {
+		if cfg == nil || cfgErr != nil {
+			return true
+		}
+		idx, ok := cfg.PCIndex[pc]
+		return ok && cfg.Ins[idx].Op == bytecode.New
+	}
+
+	// Running locals-slot estimate: the implicit frame 0 holds the
+	// receiver plus parameters; append adds, chop removes.
+	slots := 0
+	if !m.AccessFlags.Has(classfile.AccStatic) {
+		slots++
+	}
+	if md, err := descriptor.ParseMethod(m.Descriptor(p.File.Pool)); err == nil {
+		for _, pt := range md.Params {
+			slots += pt.Slots()
+		}
+	}
+
+	vtiSlots := func(vs []classfile.VerificationTypeInfo) int {
+		n := 0
+		for _, v := range vs {
+			if v.Tag == classfile.VTLong || v.Tag == classfile.VTDouble {
+				n += 2
+			} else {
+				n++
+			}
+		}
+		return n
+	}
+	checkVTIs := func(fi int, vs []classfile.VerificationTypeInfo) {
+		for _, v := range vs {
+			switch v.Tag {
+			case classfile.VTObject:
+				if _, ok := p.File.Pool.ClassName(v.CPoolIndex); !ok {
+					warn(subSMObject, "stackmap-object-cp",
+						"frame %d: Object entry #%d is not a Class constant", fi, v.CPoolIndex)
+				}
+			case classfile.VTUninitialized:
+				if !isNewAt(int(v.Offset)) {
+					warn(subSMUninit, "stackmap-uninit-offset",
+						"frame %d: Uninitialized offset %d is not a `new` instruction", fi, v.Offset)
+				}
+			}
+		}
+	}
+
+	pc := -1
+	for fi, fr := range frames {
+		if pc < 0 {
+			pc = int(fr.OffsetDelta)
+		} else {
+			pc += int(fr.OffsetDelta) + 1
+		}
+		if pc >= len(code.Code) || !onBoundary(pc) {
+			warn(subSMOffset, "stackmap-offset",
+				"frame %d: offset %d is not an instruction boundary", fi, pc)
+		}
+		checkVTIs(fi, fr.Locals)
+		checkVTIs(fi, fr.Stack)
+		switch fr.Kind {
+		case classfile.FrameAppend:
+			slots += vtiSlots(fr.Locals)
+		case classfile.FrameChop:
+			slots -= fr.Chopped
+		case classfile.FrameFull:
+			slots = vtiSlots(fr.Locals)
+		}
+		if slots > int(code.MaxLocals) {
+			warn(subSMLocals, "stackmap-locals-overflow",
+				"frame %d: %d local slots exceed max_locals %d", fi, slots, code.MaxLocals)
+		}
+		if n := vtiSlots(fr.Stack); n > int(code.MaxStack) {
+			warn(subSMStack, "stackmap-stack-overflow",
+				"frame %d: %d stack slots exceed max_stack %d", fi, n, code.MaxStack)
+		}
+	}
+}

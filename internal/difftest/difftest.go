@@ -13,6 +13,8 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/analysis"
+	"repro/internal/classfile"
 	"repro/internal/jvm"
 	"repro/internal/rtlib"
 )
@@ -137,6 +139,32 @@ func (r *Runner) Run(data []byte) Vector {
 	return v
 }
 
+// RunChecked executes one classfile on every VM like Run, and
+// additionally cross-checks each observed outcome against the static
+// oracle's prediction for that VM (a self-differential sanitizer:
+// oracle-vs-interpreter disagreement is a bug in this reproduction, not
+// a VM discrepancy). When the bytes do not parse, no oracle applies and
+// the mismatch list is empty.
+func (r *Runner) RunChecked(data []byte) (Vector, []analysis.Mismatch) {
+	v := Vector{
+		Codes:    make([]int, len(r.VMs)),
+		Outcomes: make([]jvm.Outcome, len(r.VMs)),
+	}
+	f, perr := classfile.Parse(data)
+	var mm []analysis.Mismatch
+	for i, vm := range r.VMs {
+		o := vm.Run(data)
+		v.Outcomes[i] = o
+		v.Codes[i] = o.Code()
+		if perr == nil {
+			if m := analysis.CheckVM(f, vm, o); m != nil {
+				mm = append(mm, *m)
+			}
+		}
+	}
+	return v, mm
+}
+
 // Summary aggregates a differential-testing session over a class set —
 // the rows of Tables 6 and 7.
 type Summary struct {
@@ -156,6 +184,12 @@ type Summary struct {
 	PhaseHistogram [][]int
 	// VMNames labels the histogram rows.
 	VMNames []string
+	// OracleMismatches counts unwaived static-oracle disagreements seen
+	// by checked evaluation (always 0 under Evaluate/EvaluateParallel).
+	OracleMismatches int
+	// MismatchSamples holds the first few rendered mismatches for
+	// reporting.
+	MismatchSamples []string
 }
 
 // DistinctCount returns |Distinct_Discrepancies|.
@@ -240,6 +274,47 @@ func (r *Runner) EvaluateParallel(classes [][]byte, workers int) *Summary {
 	return s
 }
 
+// EvaluateChecked is EvaluateParallel with the static-oracle sanitizer
+// enabled: every class goes through RunChecked and unwaived mismatches
+// are counted (and sampled) in the summary. workers ≤ 0 selects
+// GOMAXPROCS.
+func (r *Runner) EvaluateChecked(classes [][]byte, workers int) *Summary {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	s := newSummary(r)
+	if workers == 1 || len(classes) < 2 {
+		for _, data := range classes {
+			v, mm := r.RunChecked(data)
+			s.absorb(v)
+			s.absorbMismatches(mm)
+		}
+		return s
+	}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	jobs := make(chan []byte)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for data := range jobs {
+				v, mm := r.RunChecked(data)
+				mu.Lock()
+				s.absorb(v)
+				s.absorbMismatches(mm)
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, data := range classes {
+		jobs <- data
+	}
+	close(jobs)
+	wg.Wait()
+	return s
+}
+
 func newSummary(r *Runner) *Summary {
 	s := &Summary{
 		DistinctVectors: map[string]int{},
@@ -247,7 +322,7 @@ func newSummary(r *Runner) *Summary {
 		PhaseHistogram:  make([][]int, len(r.VMs)),
 	}
 	for i := range s.PhaseHistogram {
-		s.PhaseHistogram[i] = make([]int, 5)
+		s.PhaseHistogram[i] = make([]int, jvm.PhaseCount)
 	}
 	return s
 }
@@ -266,5 +341,19 @@ func (s *Summary) absorb(v Vector) {
 		s.DistinctVectors[v.Key()]++
 	default:
 		s.AllRejectedSameStage++
+	}
+}
+
+// absorbMismatches folds oracle disagreements into the summary; waived
+// ones are tolerated by design and not counted.
+func (s *Summary) absorbMismatches(mm []analysis.Mismatch) {
+	for _, m := range mm {
+		if !m.Hard() {
+			continue
+		}
+		s.OracleMismatches++
+		if len(s.MismatchSamples) < 10 {
+			s.MismatchSamples = append(s.MismatchSamples, m.String())
+		}
 	}
 }

@@ -11,6 +11,8 @@ import (
 	"math/rand"
 	"time"
 
+	"repro/internal/analysis"
+	"repro/internal/classfile"
 	"repro/internal/coverage"
 	"repro/internal/jimple"
 	"repro/internal/jvm"
@@ -57,6 +59,26 @@ type Config struct {
 	// KeepClasses retains every generated mutant's model and bytes in
 	// the result (needed for differential testing of GenClasses).
 	KeepClasses bool
+	// StaticPrefilter short-circuits reference-VM execution of mutants
+	// the static analyzer proves the reference loader rejects. The first
+	// mutant of each structural fingerprint still executes (its trace
+	// seeds a cache); fingerprint-equal repeats reuse that trace, so the
+	// coverage-driven acceptance decisions — and the accepted suite —
+	// are bit-identical to an unfiltered campaign.
+	StaticPrefilter bool
+}
+
+// PrefilterStats counts the static prefilter's work in one campaign.
+type PrefilterStats struct {
+	// Checked is the number of mutants the prefilter inspected.
+	Checked int
+	// Doomed is how many were statically certain loading-phase rejects.
+	Doomed int
+	// Skipped is how many reference-VM executions the trace cache
+	// avoided.
+	Skipped int
+	// Executed is how many doomed mutants ran anyway to seed the cache.
+	Executed int
 }
 
 // GenClass is one generated mutant.
@@ -110,6 +132,9 @@ type Result struct {
 	// among generated classes (the paper's representativeness metric for
 	// GenClasses; zero for randfuzz).
 	GenUniqueStats int
+	// Prefilter holds the static prefilter's counters when
+	// Config.StaticPrefilter was set.
+	Prefilter *PrefilterStats
 	// MutatorStats is indexed by mutator ID.
 	MutatorStats []MutatorStat
 	Elapsed      time.Duration
@@ -214,6 +239,12 @@ func Run(cfg Config) (*Result, error) {
 		Iterations: cfg.Iterations,
 	}
 
+	var pf *prefilter
+	if cfg.StaticPrefilter && coverageDirected {
+		pf = newPrefilter(&cfg.RefSpec.Policy)
+		res.Prefilter = &pf.stats
+	}
+
 	for it := 0; it < cfg.Iterations; it++ {
 		seed := pool[rng.Intn(len(pool))]
 		muID := selector.Next()
@@ -239,7 +270,7 @@ func Run(cfg Config) (*Result, error) {
 		if coverageDirected {
 			var err error
 			var data []byte
-			tr, data, err = runOnRef(refVM, rec, mutant)
+			tr, data, err = pf.runOnRef(refVM, rec, mutant)
 			if err != nil {
 				selector.Record(muID, false)
 				continue
@@ -335,6 +366,53 @@ func runOnRef(vm *jvm.VM, rec *coverage.Recorder, c *jimple.Class) (*coverage.Tr
 	data, err := lower(c)
 	if err != nil {
 		return nil, nil, err
+	}
+	rec.Reset()
+	vm.Run(data)
+	return rec.Trace(), data, nil
+}
+
+// prefilter caches load-phase coverage traces by structural
+// fingerprint. Skipping is sound because the loading phase reads only
+// the structural skeleton Fingerprint hashes and never consults the
+// library environment, the RNG or interpreter state: fingerprint-equal
+// files produce byte-identical load traces.
+type prefilter struct {
+	policy *jvm.Policy
+	cache  map[uint64]*coverage.Trace
+	stats  PrefilterStats
+}
+
+func newPrefilter(p *jvm.Policy) *prefilter {
+	return &prefilter{policy: p, cache: make(map[uint64]*coverage.Trace)}
+}
+
+// runOnRef is runOnRef with the static short-circuit; a nil receiver
+// degrades to plain execution.
+func (pf *prefilter) runOnRef(vm *jvm.VM, rec *coverage.Recorder, c *jimple.Class) (*coverage.Trace, []byte, error) {
+	if pf == nil {
+		return runOnRef(vm, rec, c)
+	}
+	data, err := lower(c)
+	if err != nil {
+		return nil, nil, err
+	}
+	pf.stats.Checked++
+	if f, perr := classfile.Parse(data); perr == nil {
+		if d := analysis.LoadReject(f, pf.policy); d != nil {
+			pf.stats.Doomed++
+			fp := analysis.Fingerprint(f)
+			if tr, ok := pf.cache[fp]; ok {
+				pf.stats.Skipped++
+				return tr, data, nil
+			}
+			rec.Reset()
+			vm.Run(data)
+			tr := rec.Trace()
+			pf.cache[fp] = tr
+			pf.stats.Executed++
+			return tr, data, nil
+		}
 	}
 	rec.Reset()
 	vm.Run(data)

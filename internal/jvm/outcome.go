@@ -25,21 +25,44 @@ const (
 	PhaseRuntime Phase = 4 // rejected at runtime (including "main not found")
 )
 
+// PhaseCount is the number of phase codes (0–4).
+const PhaseCount = 5
+
+// phaseNames is the single source of the phase vocabulary shared by
+// jvm, analysis, difftest and triage; nothing should hand-roll these
+// strings.
+var phaseNames = [PhaseCount]string{
+	PhaseInvoked: "invoked",
+	PhaseLoading: "loading",
+	PhaseLinking: "linking",
+	PhaseInit:    "initialization",
+	PhaseRuntime: "runtime",
+}
+
 // String names the phase.
 func (p Phase) String() string {
-	switch p {
-	case PhaseInvoked:
-		return "invoked"
-	case PhaseLoading:
-		return "loading"
-	case PhaseLinking:
-		return "linking"
-	case PhaseInit:
-		return "initialization"
-	case PhaseRuntime:
-		return "runtime"
+	if p >= 0 && int(p) < len(phaseNames) {
+		return phaseNames[p]
 	}
 	return fmt.Sprintf("phase(%d)", int(p))
+}
+
+// Valid reports whether p is one of the five defined phase codes.
+func (p Phase) Valid() bool { return p >= 0 && int(p) < PhaseCount }
+
+// AllPhases returns the five phases in pipeline order.
+func AllPhases() []Phase {
+	return []Phase{PhaseInvoked, PhaseLoading, PhaseLinking, PhaseInit, PhaseRuntime}
+}
+
+// ParsePhase maps a phase name back to its constant.
+func ParsePhase(s string) (Phase, bool) {
+	for i, n := range phaseNames {
+		if n == s {
+			return Phase(i), true
+		}
+	}
+	return 0, false
 }
 
 // JVM error and exception class names thrown by the pipeline.

@@ -1,0 +1,22 @@
+package jvm
+
+import (
+	"repro/internal/classfile"
+	"repro/internal/rtlib"
+)
+
+// VerifyMethodStatic runs spec's dataflow verifier over one method of f
+// without executing anything, for internal/analysis's static oracle.
+// The oracle deliberately shares the real verifier rather than
+// re-deriving the ~1k-line dataflow rules: verification has no side
+// effects, so predicted and actual outcomes can only diverge if the
+// surrounding phase logic disagrees — which is exactly what the
+// cross-check is meant to catch. No recorder is attached, so coverage
+// probes are no-ops and the call cannot perturb a fuzzing campaign.
+// The result is nil when the method verifies, or the linking-phase
+// rejection (callers re-phase it for lazy verification points).
+func VerifyMethodStatic(spec Spec, env *rtlib.Env, f *classfile.File, m *classfile.Member) *Outcome {
+	vm := NewWithEnv(spec, env)
+	ex := newExecState(vm, f)
+	return vm.verifyMethod(ex, m)
+}

@@ -13,6 +13,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/analysis"
 	"repro/internal/difftest"
 	"repro/internal/jvm"
 	"repro/internal/rtlib"
@@ -48,6 +49,21 @@ type Report struct {
 	Shared map[string]difftest.Vector
 	// Notes explains the decision, one line per signal.
 	Notes []string
+	// Oracle holds static-oracle disagreements with the standard-lineup
+	// outcomes (sanitizer: a non-empty unwaived list means this
+	// reproduction's oracle or a VM simulation is wrong, so the triage
+	// verdict itself is suspect).
+	Oracle []analysis.Mismatch
+}
+
+// OracleClean reports whether no unwaived oracle mismatch was seen.
+func (r *Report) OracleClean() bool {
+	for _, m := range r.Oracle {
+		if m.Hard() {
+			return false
+		}
+	}
+	return true
 }
 
 // Key returns the standard-environment vector key.
@@ -74,7 +90,14 @@ func New() *Triager {
 // Triage classifies one classfile.
 func (t *Triager) Triage(data []byte) *Report {
 	rep := &Report{Shared: map[string]difftest.Vector{}}
-	rep.Standard = t.standard.Run(data)
+	rep.Standard, rep.Oracle = t.standard.RunChecked(data)
+	if !rep.OracleClean() {
+		for _, m := range rep.Oracle {
+			if m.Hard() {
+				rep.Notes = append(rep.Notes, "oracle mismatch: "+m.String())
+			}
+		}
+	}
 	if !rep.Standard.Discrepant() {
 		rep.Verdict = NotDiscrepant
 		rep.Notes = append(rep.Notes, "all five VMs agree under their own environments")
