@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint bench race experiments catalog report clean
+.PHONY: all build test vet lint bench bench-tables race experiments catalog report clean
 
 all: build vet test
 
@@ -27,7 +27,13 @@ test-short:
 race:
 	$(GO) test -race ./...
 
+# Campaign-engine throughput sweep (workers 1/4/8) -> BENCH_campaign.json
+# with iters/sec and time-per-test per worker count.
 bench:
+	$(GO) run ./cmd/campaignbench -out BENCH_campaign.json
+
+# The original micro/meso benchmark tables over the whole pipeline.
+bench-tables:
 	$(GO) test -bench=. -benchmem -run=NONE .
 
 # Regenerate every paper table/figure (quick scale).

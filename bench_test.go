@@ -312,7 +312,7 @@ func BenchmarkMCMCStep(b *testing.B) {
 	s := mcmc.NewSampler(mutation.TotalMutators, mcmc.DefaultP(mutation.TotalMutators), rng)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		id := s.Next()
+		id := s.Next(rng)
 		s.Record(id, i%7 == 0)
 	}
 }

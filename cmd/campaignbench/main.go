@@ -1,0 +1,142 @@
+// Command campaignbench measures campaign-engine throughput at several
+// worker counts and writes the results as JSON (the `make bench`
+// artifact BENCH_campaign.json). The workload is classfuzz[stbr] at the
+// experiments package's default scale; because the engine is
+// deterministic in everything but wall clock, every row of the sweep
+// fuzzes the identical campaign.
+//
+// Usage:
+//
+//	campaignbench [-seeds N] [-iters N] [-seed N] [-workers 1,4,8]
+//	              [-repeat N] [-out BENCH_campaign.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/coverage"
+	"repro/internal/jvm"
+	"repro/internal/seedgen"
+)
+
+type row struct {
+	Workers      int     `json:"workers"`
+	Iterations   int     `json:"iterations"`
+	Tests        int     `json:"tests"`
+	MillisTotal  float64 `json:"millis_total"`
+	ItersPerSec  float64 `json:"iters_per_sec"`
+	MicrosPerGen float64 `json:"micros_per_gen"`
+	MicrosTest   float64 `json:"micros_per_test"`
+	Speedup      float64 `json:"speedup_vs_1"`
+}
+
+type report struct {
+	Benchmark  string `json:"benchmark"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"numcpu"`
+	Seeds      int    `json:"seeds"`
+	Iterations int    `json:"iterations"`
+	Repeat     int    `json:"repeat"`
+	Rows       []row  `json:"rows"`
+}
+
+func main() {
+	seedCount := flag.Int("seeds", 60, "seed corpus size")
+	iters := flag.Int("iters", 400, "campaign iterations")
+	seed := flag.Int64("seed", 1, "random seed")
+	workersList := flag.String("workers", "1,4,8", "comma-separated worker counts to sweep")
+	repeat := flag.Int("repeat", 3, "campaigns per worker count (best time wins)")
+	out := flag.String("out", "BENCH_campaign.json", "output file")
+	flag.Parse()
+
+	var sweep []int
+	for _, s := range strings.Split(*workersList, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "bad -workers entry %q\n", s)
+			os.Exit(2)
+		}
+		sweep = append(sweep, n)
+	}
+
+	seeds := seedgen.Generate(seedgen.DefaultOptions(*seedCount, *seed))
+	rep := report{
+		Benchmark:  "campaign/classfuzz[stbr]+prefilter",
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Seeds:      *seedCount,
+		Iterations: *iters,
+		Repeat:     *repeat,
+	}
+
+	var base float64
+	for _, w := range sweep {
+		cfg := campaign.Config{
+			Algorithm:       campaign.Classfuzz,
+			Criterion:       coverage.STBR,
+			Seeds:           seeds,
+			Iterations:      *iters,
+			Rand:            *seed,
+			RefSpec:         jvm.HotSpot9(),
+			StaticPrefilter: true,
+			Workers:         w,
+		}
+		best := time.Duration(0)
+		var last *campaign.Result
+		for r := 0; r < *repeat; r++ {
+			start := time.Now()
+			res, err := campaign.Run(cfg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "campaign (workers=%d): %v\n", w, err)
+				os.Exit(1)
+			}
+			el := time.Since(start)
+			if best == 0 || el < best {
+				best = el
+			}
+			last = res
+		}
+		r := row{
+			Workers:     w,
+			Iterations:  *iters,
+			Tests:       len(last.Test),
+			MillisTotal: float64(best.Microseconds()) / 1000,
+			ItersPerSec: float64(*iters) / best.Seconds(),
+		}
+		if n := len(last.Gen); n > 0 {
+			r.MicrosPerGen = best.Seconds() / float64(n) * 1e6
+		}
+		if n := len(last.Test); n > 0 {
+			r.MicrosTest = best.Seconds() / float64(n) * 1e6
+		}
+		if w == sweep[0] {
+			base = r.ItersPerSec
+		}
+		if base > 0 {
+			r.Speedup = r.ItersPerSec / base
+		}
+		rep.Rows = append(rep.Rows, r)
+		fmt.Fprintf(os.Stderr, "workers=%d: %s, %.0f iters/sec, %d tests (%.2fx)\n",
+			w, best.Round(time.Millisecond), r.ItersPerSec, r.Tests, r.Speedup)
+	}
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "marshal: %v\n", err)
+		os.Exit(1)
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "write %s: %v\n", *out, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

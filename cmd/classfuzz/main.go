@@ -5,17 +5,25 @@
 //
 //	classfuzz [-alg classfuzz|randfuzz|greedyfuzz|uniquefuzz]
 //	          [-criterion stbr|st|tr] [-seeds N] [-iters N]
-//	          [-seed N] [-out DIR] [-difftest]
+//	          [-seed N] [-workers N] [-out DIR] [-difftest] [-progress]
+//	          [-replay ITER]
+//
+// With -replay ITER the command reproduces iteration ITER of the
+// campaign the other flags describe — re-deriving the iteration's RNG
+// stream and rebuilding its mutant in isolation — instead of running a
+// full campaign.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
+	"repro/internal/campaign"
 	"repro/internal/coverage"
 	"repro/internal/difftest"
-	"repro/internal/fuzz"
+	"repro/internal/jimple"
 	"repro/internal/jvm"
 	"repro/internal/seedgen"
 )
@@ -26,8 +34,11 @@ func main() {
 	seedCount := flag.Int("seeds", 100, "number of generated seed classes")
 	iters := flag.Int("iters", 1000, "iteration budget")
 	seed := flag.Int64("seed", 1, "random seed")
+	workers := flag.Int("workers", 1, "worker pool size for the mutate/execute stages (results are identical at any value)")
 	out := flag.String("out", "", "directory to write accepted .class files (omit to skip)")
 	runDiff := flag.Bool("difftest", false, "differentially test the accepted suite on the five VMs")
+	progress := flag.Bool("progress", false, "print live campaign progress")
+	replay := flag.Int("replay", -1, "reproduce this single campaign iteration instead of fuzzing")
 	flag.Parse()
 
 	var crit coverage.Criterion
@@ -43,15 +54,25 @@ func main() {
 		os.Exit(2)
 	}
 
-	cfg := fuzz.Config{
-		Algorithm:  fuzz.Algorithm(*alg),
+	cfg := campaign.Config{
+		Algorithm:  campaign.Algorithm(*alg),
 		Criterion:  crit,
 		Seeds:      seedgen.Generate(seedgen.DefaultOptions(*seedCount, *seed)),
 		Iterations: *iters,
 		Rand:       *seed,
 		RefSpec:    jvm.HotSpot9(),
+		Workers:    *workers,
 	}
-	res, err := fuzz.Run(cfg)
+
+	if *replay >= 0 {
+		doReplay(cfg, *replay, *out)
+		return
+	}
+
+	if *progress {
+		cfg.Observer = campaign.NewProgress(os.Stderr, cfg.Iterations, 0)
+	}
+	res, err := campaign.Run(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "campaign failed: %v\n", err)
 		os.Exit(1)
@@ -84,8 +105,38 @@ func main() {
 	}
 }
 
-func critLabel(r *fuzz.Result) string {
-	if r.Algorithm == fuzz.Classfuzz {
+// doReplay reproduces one iteration of the campaign cfg describes and
+// reports (and optionally writes) the rebuilt mutant.
+func doReplay(cfg campaign.Config, iter int, out string) {
+	info, err := campaign.Replay(cfg, iter)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "replay failed: %v\n", err)
+		os.Exit(1)
+	}
+	rec := info.Record
+	parent := "seed"
+	if rec.Parent >= 0 {
+		parent = fmt.Sprintf("mutant of iteration %d", rec.Parent)
+	}
+	fmt.Printf("replayed iteration %d: %s (%d bytes), parent = pool[%d] (%s), mutator %d, bytes verified against campaign: %v\n",
+		iter, info.Class.Name, len(info.Data), rec.PoolIndex, parent, rec.MutatorID, info.Verified)
+	if out != "" {
+		if err := os.MkdirAll(out, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "replay out: %v\n", err)
+			os.Exit(1)
+		}
+		file := filepath.Join(out, info.Class.Name+".class")
+		if err := os.WriteFile(file, info.Data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "replay out: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", file)
+	}
+	fmt.Printf("\n%s", jimple.Print(info.Class))
+}
+
+func critLabel(r *campaign.Result) string {
+	if r.Algorithm == campaign.Classfuzz {
 		return r.Criterion.String()
 	}
 	return ""

@@ -18,6 +18,7 @@ func main() {
 	scaleFlag := flag.String("scale", "default", "campaign scale: default or paper")
 	runFlag := flag.String("run", "all", "experiment to run: all, prelim, table4, table5, table6, table7, figure4, pestimate, mcmcgain")
 	seed := flag.Int64("seed", 1, "random seed")
+	workers := flag.Int("workers", 1, "per-campaign worker pool size (results are identical at any value)")
 	flag.Parse()
 
 	var scale experiments.Scale
@@ -31,6 +32,7 @@ func main() {
 		os.Exit(2)
 	}
 	scale.Seed = *seed
+	scale.Workers = *workers
 
 	needSession := map[string]bool{
 		"all": true, "table4": true, "table5": true, "table6": true,
@@ -39,8 +41,8 @@ func main() {
 
 	var sess *experiments.Session
 	if needSession[*runFlag] {
-		fmt.Fprintf(os.Stderr, "running campaigns (%d seeds, %d iterations per directed algorithm)...\n",
-			scale.SeedCount, scale.Iterations)
+		fmt.Fprintf(os.Stderr, "running campaigns (%d seeds, %d iterations per directed algorithm, %d workers each)...\n",
+			scale.SeedCount, scale.Iterations, scale.Workers)
 		var err error
 		sess, err = experiments.NewSession(scale)
 		if err != nil {

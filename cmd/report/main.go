@@ -16,6 +16,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/campaign"
 	"repro/internal/coverage"
 	"repro/internal/difftest"
 	"repro/internal/fuzz"
@@ -30,9 +31,11 @@ func main() {
 	seedCount := flag.Int("seeds", 100, "seed corpus size")
 	iters := flag.Int("iters", 1000, "campaign iterations")
 	seed := flag.Int64("seed", 1, "random seed")
+	workers := flag.Int("workers", 1, "campaign worker pool size (results are identical at any value)")
 	reduceN := flag.Int("reduce", 3, "number of discrepancy witnesses to reduce")
 	flag.Parse()
 
+	counters := &campaign.Counters{}
 	cfg := fuzz.Config{
 		Algorithm:       fuzz.Classfuzz,
 		Criterion:       coverage.STBR,
@@ -42,6 +45,8 @@ func main() {
 		RefSpec:         jvm.HotSpot9(),
 		KeepClasses:     true,
 		StaticPrefilter: true,
+		Workers:         *workers,
+		Observer:        counters,
 	}
 	res, err := fuzz.Run(cfg)
 	if err != nil {
@@ -70,6 +75,18 @@ func main() {
 	fmt.Printf("| representative tests | %d |\n", len(res.Test))
 	fmt.Printf("| success rate | %.1f%% |\n", res.Succ()*100)
 	fmt.Printf("| wall clock | %s |\n\n", res.Elapsed.Round(1000000))
+
+	fmt.Printf("## Engine events\n\n")
+	fmt.Printf("Tallied by the campaign engine's observer; the event stream fires\n")
+	fmt.Printf("from the sequential draw/commit stages, so these counts are\n")
+	fmt.Printf("deterministic at any worker count.\n\n")
+	fmt.Printf("| event | count |\n|---|---|\n")
+	fmt.Printf("| iterations drawn | %d |\n", counters.Iterations)
+	fmt.Printf("| mutants generated | %d |\n", counters.Applied)
+	fmt.Printf("| mutator failures | %d |\n", counters.Failed)
+	fmt.Printf("| reference-VM executions | %d |\n", counters.Executions)
+	fmt.Printf("| prefilter cache hits | %d |\n", counters.PrefilterHits)
+	fmt.Printf("| accepted tests | %d |\n\n", counters.Accepts)
 
 	if pf := res.Prefilter; pf != nil {
 		fmt.Printf("## Static prefilter savings\n\n")

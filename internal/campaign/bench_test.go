@@ -1,0 +1,50 @@
+package campaign
+
+import (
+	"testing"
+
+	"repro/internal/coverage"
+	"repro/internal/jvm"
+	"repro/internal/seedgen"
+)
+
+// benchConfig mirrors experiments.DefaultScale: 60 seeds, 400
+// iterations of classfuzz[stbr] with the static prefilter on — the
+// workload whose wall clock the worker pool is meant to cut.
+func benchConfig(workers int) Config {
+	return Config{
+		Algorithm:       Classfuzz,
+		Criterion:       coverage.STBR,
+		Seeds:           seedgen.Generate(seedgen.DefaultOptions(60, 1)),
+		Iterations:      400,
+		Rand:            1,
+		RefSpec:         jvm.HotSpot9(),
+		StaticPrefilter: true,
+		Workers:         workers,
+	}
+}
+
+func benchCampaign(b *testing.B, workers int) {
+	cfg := benchConfig(workers)
+	b.ResetTimer()
+	var last *Result
+	for i := 0; i < b.N; i++ {
+		res, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.StopTimer()
+	if last != nil {
+		perIter := b.Elapsed().Seconds() / float64(b.N) / float64(cfg.Iterations)
+		b.ReportMetric(1/perIter, "iters/sec")
+		if n := len(last.Test); n > 0 {
+			b.ReportMetric(b.Elapsed().Seconds()/float64(b.N)/float64(n)*1e6, "µs/test")
+		}
+	}
+}
+
+func BenchmarkCampaign1Worker(b *testing.B)  { benchCampaign(b, 1) }
+func BenchmarkCampaign4Workers(b *testing.B) { benchCampaign(b, 4) }
+func BenchmarkCampaign8Workers(b *testing.B) { benchCampaign(b, 8) }

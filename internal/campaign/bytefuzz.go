@@ -1,7 +1,6 @@
-package fuzz
+package campaign
 
 import (
-	"math/rand"
 	"time"
 
 	"repro/internal/jimple"
@@ -14,9 +13,13 @@ import (
 // Sirer & Bershad / Dex-fuzzing style of VM testing. Byte mutants are
 // recycled into the pool like Algorithm 1 recycles classes, so changes
 // accumulate over a campaign.
+//
+// Like the staged engine, each iteration draws the pool index from its
+// own drawRNG stream and the byte flip from its own DeriveRNG stream;
+// there is no reference-VM work to parallelise, so the loop stays
+// sequential.
 func runBytefuzz(cfg Config) (*Result, error) {
 	start := time.Now()
-	rng := rand.New(rand.NewSource(cfg.Rand))
 
 	// Serialise the seed corpus once.
 	var pool [][]byte
@@ -35,26 +38,35 @@ func runBytefuzz(cfg Config) (*Result, error) {
 		return nil, errNoSerializableSeeds
 	}
 
+	o := obs{cfg.Observer}
 	res := &Result{
 		Algorithm:  cfg.Algorithm,
 		Criterion:  cfg.Criterion,
 		Iterations: cfg.Iterations,
+		Workers:    1,
+		Lookahead:  cfg.lookahead(),
 	}
 	for it := 0; it < cfg.Iterations; it++ {
-		seed := pool[rng.Intn(len(pool))]
-		mutant := append([]byte(nil), seed...)
+		idx := drawRNG(cfg.Rand, it).Intn(len(pool))
+		o.iterationStarted(it, idx, -1)
+		rng := DeriveRNG(cfg.Rand, it)
+		mutant := append([]byte(nil), pool[idx]...)
 		mutant[rng.Intn(len(mutant))] = byte(rng.Intn(256))
 		gc := &GenClass{
+			Iter:      it,
 			Name:      nameOf(it),
 			MutatorID: -1, // no structured mutator
 			Data:      mutant,
 			Accepted:  true,
 		}
+		o.mutated(it, -1, true)
 		res.Gen = append(res.Gen, gc)
 		res.Test = append(res.Test, gc)
 		if !cfg.NoSeedRecycling {
 			pool = append(pool, mutant)
 		}
+		o.accepted(it, gc.Name, gc.Stats)
+		o.selectorUpdated(it, -1, true)
 	}
 	res.Elapsed = time.Since(start)
 	res.MutatorStats = []MutatorStat{} // bytefuzz never selects mutators
@@ -80,7 +92,7 @@ func itoa(v int) string {
 }
 
 // errNoSerializableSeeds is returned when no seed lowers to bytes.
-var errNoSerializableSeeds = errString("fuzz: no serializable seeds for bytefuzz")
+var errNoSerializableSeeds = errString("campaign: no serializable seeds for bytefuzz")
 
 type errString string
 

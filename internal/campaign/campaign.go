@@ -1,0 +1,140 @@
+// Package campaign is the staged, deterministic campaign engine behind
+// the fuzzing algorithms of the evaluation (§3.1.2): classfuzz
+// (Algorithm 1 — coverage-directed mutation with MCMC mutator
+// selection), the comparison algorithms randfuzz, greedyfuzz and
+// uniquefuzz, and the byte-level blind baseline bytefuzz.
+//
+// One iteration decomposes into explicit stages:
+//
+//	draw    — seed pick + mutator selection (sequential, iteration order)
+//	mutate  — clone seed, apply mutator, lower to classfile bytes
+//	filter  — static prefilter: doomed-mutant detection + trace cache
+//	execute — run the mutant on an instrumented reference VM
+//	commit  — coverage uniqueness, suite/pool update, selector feedback
+//	          (sequential, iteration order)
+//
+// The expensive middle stages run on a worker pool with per-worker
+// VM+recorder instances; draw and commit stay sequential, so the MCMC
+// chain, the seed-recycling pool and the accepted suite evolve in a
+// fixed order and campaign results are bit-identical at any worker
+// count. Randomness comes from splittable per-iteration streams
+// (DeriveRNG), never from a shared generator, so no stage's scheduling
+// can perturb another iteration's draws and any single iteration can be
+// re-derived in isolation (Rebuild/Replay). See DESIGN.md ("Campaign
+// engine") for the full determinism argument.
+package campaign
+
+import (
+	"fmt"
+
+	"repro/internal/coverage"
+	"repro/internal/jimple"
+	"repro/internal/jvm"
+)
+
+// Algorithm names the campaign strategy.
+type Algorithm string
+
+// The four algorithms of §3.1.2, plus the byte-level blind fuzzer of
+// the related work (Sirer & Bershad's "single one-byte value change at
+// a random offset in a base classfile", §4) — the baseline whose
+// overwhelmingly invalid mutants motivate coverage direction in §1.
+const (
+	Classfuzz  Algorithm = "classfuzz"
+	Randfuzz   Algorithm = "randfuzz"
+	Greedyfuzz Algorithm = "greedyfuzz"
+	Uniquefuzz Algorithm = "uniquefuzz"
+	Bytefuzz   Algorithm = "bytefuzz"
+)
+
+// DefaultLookahead is the pipeline window: how many iterations may be
+// drawn ahead of the oldest uncommitted one. The window is a *semantic*
+// parameter — mutator-selection feedback and pool growth reach a draw
+// only after the commit that is Lookahead iterations behind it — so two
+// campaigns compare bit-identically iff their seeds, budgets and
+// lookaheads are equal. Worker count never affects results; it only
+// decides how much of the window executes concurrently.
+const DefaultLookahead = 16
+
+// Config parameterises a campaign.
+type Config struct {
+	Algorithm Algorithm
+	// Criterion selects the uniqueness discipline for classfuzz
+	// ([st]/[stbr]/[tr]); uniquefuzz always uses [stbr] (§3.1.2).
+	Criterion coverage.Criterion
+	// Seeds is the initial corpus (cloned before mutation).
+	Seeds []*jimple.Class
+	// Iterations is the campaign budget (the stand-in for the paper's
+	// three-day wall clock).
+	Iterations int
+	// Rand seeds the campaign's splittable RNG; every iteration derives
+	// its own independent streams from it.
+	Rand int64
+	// RefSpec is the instrumented reference VM (HotSpot 9 in the paper).
+	RefSpec jvm.Spec
+	// P is the geometric parameter for MCMC selection; 0 means the
+	// paper's default 3/129.
+	P float64
+	// NoSeedRecycling disables adding accepted mutants back into the
+	// seed pool (ablation of Algorithm 1 lines 5/14).
+	NoSeedRecycling bool
+	// KeepClasses retains every generated mutant's model and bytes in
+	// the result (needed for reduction of arbitrary GenClasses).
+	KeepClasses bool
+	// KeepGenBytes retains classfile bytes (but not models) for every
+	// generated mutant, accepted or not — what differential testing of
+	// the GenClasses block needs. Without it (and without KeepClasses)
+	// only accepted mutants keep their bytes, which is what bounds
+	// campaign RSS at paper scale.
+	KeepGenBytes bool
+	// StaticPrefilter short-circuits reference-VM execution of mutants
+	// the static analyzer proves the reference loader rejects. The first
+	// mutant of each structural fingerprint still executes (its trace
+	// seeds a cache); fingerprint-equal repeats reuse that trace, so the
+	// coverage-driven acceptance decisions — and the accepted suite —
+	// are bit-identical to an unfiltered campaign.
+	StaticPrefilter bool
+	// Workers sizes the pool running the mutate/filter/execute stages;
+	// 0 or 1 means single-threaded. Results are identical at any value.
+	Workers int
+	// Lookahead overrides DefaultLookahead (values < 1 select the
+	// default). Unlike Workers it is part of the campaign's semantics.
+	Lookahead int
+	// Observer receives engine events (may be nil). Events fire from the
+	// sequential draw/commit stages, so their order is deterministic.
+	Observer Observer
+}
+
+// workers returns the effective worker count.
+func (c *Config) workers() int {
+	if c.Workers < 1 {
+		return 1
+	}
+	return c.Workers
+}
+
+// lookahead returns the effective pipeline window.
+func (c *Config) lookahead() int {
+	if c.Lookahead < 1 {
+		return DefaultLookahead
+	}
+	return c.Lookahead
+}
+
+// Run executes a campaign.
+func Run(cfg Config) (*Result, error) {
+	if len(cfg.Seeds) == 0 {
+		return nil, fmt.Errorf("campaign: no seeds")
+	}
+	if cfg.Iterations <= 0 {
+		return nil, fmt.Errorf("campaign: non-positive iteration budget")
+	}
+	switch cfg.Algorithm {
+	case Classfuzz, Randfuzz, Greedyfuzz, Uniquefuzz:
+		return newEngine(cfg).run()
+	case Bytefuzz:
+		return runBytefuzz(cfg)
+	default:
+		return nil, fmt.Errorf("campaign: unknown algorithm %q", cfg.Algorithm)
+	}
+}

@@ -1,0 +1,390 @@
+package campaign
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/classfile"
+	"repro/internal/coverage"
+	"repro/internal/jimple"
+	"repro/internal/jvm"
+	"repro/internal/mcmc"
+	"repro/internal/mutation"
+)
+
+// poolEntry is one seed-pool member: an original seed (iter == -1) or
+// an accepted mutant tagged with the iteration that produced it.
+type poolEntry struct {
+	class *jimple.Class
+	iter  int
+}
+
+// task carries one iteration through the pipeline. The draw stage fills
+// the input fields on the coordinator; a worker fills the output fields
+// and closes done; the commit stage reads them back on the coordinator
+// (the channel close orders the accesses).
+type task struct {
+	iter   int
+	parent *jimple.Class
+	rec    DrawRecord
+
+	// outputs of the mutate/filter/execute stages
+	applied  bool // mutator applicable
+	lowered  bool // classfile bytes produced
+	mutant   *jimple.Class
+	data     []byte
+	trace    *coverage.Trace
+	checked  bool // prefilter inspected the mutant
+	doomed   bool // statically certain loading-phase reject
+	cacheHit bool // trace served from the prefilter cache
+	fp       uint64
+
+	done chan struct{}
+}
+
+type engine struct {
+	cfg  Config
+	obs  obs
+	muts []*mutation.Mutator
+
+	selector         mcmc.Selector
+	coverageDirected bool
+	suite            *coverage.Suite
+	greedyUnion      *coverage.Trace
+	genStats         *coverage.Suite
+	pool             []poolEntry
+	pf               *prefilter
+
+	lookahead int
+	res       *Result
+}
+
+func newEngine(cfg Config) *engine {
+	e := &engine{
+		cfg:              cfg,
+		obs:              obs{cfg.Observer},
+		muts:             mutation.Registry(),
+		coverageDirected: cfg.Algorithm != Randfuzz,
+		lookahead:        cfg.lookahead(),
+	}
+
+	// Mutator selector: classfuzz uses the MCMC chain; everything else
+	// selects uniformly. The chain's initial state comes from the
+	// campaign's setup stream (Algorithm 1 line 3).
+	if cfg.Algorithm == Classfuzz {
+		p := cfg.P
+		if p == 0 {
+			p = mcmc.DefaultP(len(e.muts))
+		}
+		e.selector = mcmc.NewSampler(len(e.muts), p, initRNG(cfg.Rand))
+	} else {
+		e.selector = mcmc.NewUniformSampler(len(e.muts))
+	}
+
+	// Acceptance state.
+	e.suite = coverage.NewSuite(cfg.Criterion)
+	if cfg.Algorithm == Uniquefuzz {
+		e.suite = coverage.NewSuite(coverage.STBR)
+	}
+	e.greedyUnion = &coverage.Trace{Stmts: map[string]bool{}, Branches: map[string]bool{}}
+	e.genStats = coverage.NewSuite(coverage.STBR) // counts unique stats over Gen
+
+	if cfg.StaticPrefilter && e.coverageDirected {
+		e.pf = newPrefilter(&e.cfg.RefSpec.Policy)
+	}
+	return e
+}
+
+func (e *engine) run() (*Result, error) {
+	cfg := &e.cfg
+	start := time.Now()
+
+	// Seed pool: Algorithm 1 line 1 initialises TestClasses with the
+	// seeds, so seed traces participate in uniqueness checks.
+	e.pool = make([]poolEntry, 0, len(cfg.Seeds))
+	for _, s := range cfg.Seeds {
+		e.pool = append(e.pool, poolEntry{class: s, iter: -1})
+	}
+	if e.coverageDirected {
+		vm := jvm.New(cfg.RefSpec)
+		rec := coverage.NewRecorder()
+		vm.SetRecorder(rec)
+		for _, s := range cfg.Seeds {
+			tr, _, err := runOnRef(vm, rec, s)
+			if err != nil {
+				continue // unlowerable seed: skip its trace
+			}
+			switch cfg.Algorithm {
+			case Greedyfuzz:
+				e.greedyUnion = coverage.Merge(e.greedyUnion, tr)
+			default:
+				if e.suite.Unique(tr) {
+					e.suite.Add(tr)
+				}
+			}
+		}
+	}
+
+	e.res = &Result{
+		Algorithm:  cfg.Algorithm,
+		Criterion:  cfg.Criterion,
+		Iterations: cfg.Iterations,
+		Draws:      make([]DrawRecord, 0, cfg.Iterations),
+		Workers:    cfg.workers(),
+		Lookahead:  e.lookahead,
+	}
+	if e.pf != nil {
+		e.res.Prefilter = &e.pf.stats
+	}
+
+	// The pipeline. The coordinator (this goroutine) performs draws and
+	// commits in a fixed interleaving — draw(0..D-1), then
+	// commit(i−D); draw(i) for each subsequent i — so every draw
+	// observes exactly the commits of iterations ≤ i−D regardless of
+	// how the worker pool schedules the stages in between. At most D
+	// tasks are in flight, hence the ring and the channel bound.
+	D := e.lookahead
+	N := cfg.Iterations
+	tasks := make(chan *task, D)
+	ring := make([]*task, D)
+
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.workers(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Per-worker VM + recorder: the reference VM is stateless
+			// across runs, so one instance serves the worker's stream of
+			// mutants without sharing anything with its peers.
+			vm := jvm.New(cfg.RefSpec)
+			rec := coverage.NewRecorder()
+			vm.SetRecorder(rec)
+			for t := range tasks {
+				e.process(t, vm, rec)
+				close(t.done)
+			}
+		}()
+	}
+
+	for i := 0; i < N; i++ {
+		if i >= D {
+			e.commit(ring[(i-D)%D])
+		}
+		t := e.draw(i)
+		ring[i%D] = t
+		tasks <- t
+	}
+	close(tasks)
+	tail := N - D
+	if tail < 0 {
+		tail = 0
+	}
+	for i := tail; i < N; i++ {
+		e.commit(ring[i%D])
+	}
+	wg.Wait()
+
+	e.finalize()
+	e.res.Elapsed = time.Since(start)
+	return e.res, nil
+}
+
+// draw runs the sequential draw stage for iteration i: pick a seed from
+// the pool, propose a mutator, log the DrawRecord. State read here
+// (pool, selector chain) was last written by commit(i−D).
+func (e *engine) draw(i int) *task {
+	rng := drawRNG(e.cfg.Rand, i)
+	idx := rng.Intn(len(e.pool))
+	pe := e.pool[idx]
+	muID := e.selector.Next(rng)
+	rec := DrawRecord{Iter: i, PoolIndex: idx, Parent: pe.iter, MutatorID: muID}
+	e.res.Draws = append(e.res.Draws, rec)
+	e.obs.iterationStarted(i, idx, muID)
+	return &task{iter: i, parent: pe.class, rec: rec, done: make(chan struct{})}
+}
+
+// process runs the mutate/filter/execute stages for one task on a
+// worker. It touches no engine state except the (versioned, locked)
+// prefilter cache; everything else flows through the task.
+func (e *engine) process(t *task, vm *jvm.VM, rec *coverage.Recorder) {
+	rng := DeriveRNG(e.cfg.Rand, t.iter)
+	mutant := t.parent.Clone()
+	if !e.muts[t.rec.MutatorID].Apply(mutant, rng) {
+		// Soot-style failure: no classfile generated this iteration.
+		return
+	}
+	t.applied = true
+	finishMutant(mutant, t.iter)
+	t.mutant = mutant
+
+	data, err := lower(mutant)
+	if err != nil {
+		return
+	}
+	t.lowered = true
+	t.data = data
+
+	if !e.coverageDirected {
+		return // randfuzz never runs the reference VM
+	}
+	if e.pf != nil {
+		t.checked = true
+		if f, perr := classfile.Parse(data); perr == nil {
+			if d := analysis.LoadReject(f, e.pf.policy); d != nil {
+				t.doomed = true
+				t.fp = analysis.Fingerprint(f)
+				// Only cache entries committed at least Lookahead
+				// iterations ago are visible — see prefilter.
+				if tr, ok := e.pf.lookup(t.fp, t.iter-e.lookahead); ok {
+					t.cacheHit = true
+					t.trace = tr
+					return
+				}
+			}
+		}
+	}
+	rec.Reset()
+	vm.Run(data)
+	t.trace = rec.Trace()
+}
+
+// commit runs the sequential commit stage for one task, in iteration
+// order: prefilter bookkeeping, the acceptance decision against the
+// suite, pool recycling and selector feedback.
+func (e *engine) commit(t *task) {
+	<-t.done
+
+	generated := t.applied && t.lowered
+	e.obs.mutated(t.iter, t.rec.MutatorID, generated)
+	if !generated {
+		e.selector.Record(t.rec.MutatorID, false)
+		e.obs.selectorUpdated(t.iter, t.rec.MutatorID, false)
+		return
+	}
+	e.res.Draws[t.iter].Generated = true
+
+	if t.checked {
+		e.pf.stats.Checked++
+		if t.doomed {
+			e.pf.stats.Doomed++
+			if t.cacheHit {
+				e.pf.stats.Skipped++
+				e.obs.prefilterHit(t.iter)
+			} else {
+				e.pf.stats.Executed++
+				e.pf.insert(t.fp, t.trace, t.iter)
+			}
+		}
+	}
+	if e.coverageDirected {
+		e.obs.executed(t.iter, t.cacheHit)
+	}
+
+	gc := &GenClass{Iter: t.iter, Name: t.mutant.Name, MutatorID: t.rec.MutatorID}
+	if e.coverageDirected {
+		gc.Stats = t.trace.Stats()
+		e.genStats.Add(t.trace)
+	}
+	if e.cfg.KeepClasses {
+		gc.Class = t.mutant
+	}
+	e.res.Gen = append(e.res.Gen, gc)
+
+	// Acceptance decision.
+	accepted := false
+	switch e.cfg.Algorithm {
+	case Randfuzz:
+		accepted = true // every generated classfile is a test
+	case Greedyfuzz:
+		merged := coverage.Merge(e.greedyUnion, t.trace)
+		if merged.Stats() != e.greedyUnion.Stats() {
+			e.greedyUnion = merged
+			accepted = true
+		}
+	default: // classfuzz, uniquefuzz
+		if e.suite.Unique(t.trace) {
+			e.suite.Add(t.trace)
+			accepted = true
+		}
+	}
+	if accepted {
+		gc.Accepted = true
+		gc.Data = t.data
+		e.res.Test = append(e.res.Test, gc)
+		if !e.cfg.NoSeedRecycling {
+			e.pool = append(e.pool, poolEntry{class: t.mutant, iter: t.iter})
+		}
+		e.obs.accepted(t.iter, gc.Name, gc.Stats)
+	} else if e.cfg.KeepClasses || e.cfg.KeepGenBytes {
+		// Unaccepted mutants keep their bytes only on request: dropping
+		// them is what bounds campaign RSS at paper scale.
+		gc.Data = t.data
+	}
+	e.selector.Record(t.rec.MutatorID, accepted)
+	e.obs.selectorUpdated(t.iter, t.rec.MutatorID, accepted)
+}
+
+// finalize derives the summary statistics.
+func (e *engine) finalize() {
+	res := e.res
+	res.GenUniqueStats = e.genStats.UniqueStatsCount()
+	res.MutatorStats = make([]MutatorStat, len(e.muts))
+	for i, m := range e.muts {
+		res.MutatorStats[i] = MutatorStat{ID: i, Name: m.Name}
+	}
+	if sel, ok := e.selector.(*mcmc.Sampler); ok {
+		for i := range res.MutatorStats {
+			res.MutatorStats[i].Selected = sel.Selected(i)
+			res.MutatorStats[i].Success = sel.Succeeded(i)
+		}
+		return
+	}
+	// Uniform selectors: exact per-mutator tallies from the generated
+	// classes (draws whose mutator was inapplicable are not counted,
+	// matching how the evaluation attributes frequencies for the
+	// unguided algorithms).
+	for _, g := range res.Gen {
+		res.MutatorStats[g.MutatorID].Selected++
+		if g.Accepted {
+			res.MutatorStats[g.MutatorID].Success++
+		}
+	}
+}
+
+// finishMutant applies the deterministic post-mutation fixups: the
+// iteration-derived name, the version pin, and the observable main.
+func finishMutant(c *jimple.Class, iter int) {
+	c.Name = fmt.Sprintf("M%d", 1430000000+iter)
+	c.Major = 51 // every mutant is pinned to version 51 (§3.1.1)
+	// §2.2.1: each mutant is supplemented with a simple main that
+	// prints a completion message, so the mutant observably either
+	// runs or fails earlier in the startup pipeline. (Interfaces are
+	// left alone; a main inside an interface is itself a mutation the
+	// interface-member mutators produce deliberately.)
+	if !c.IsInterface() && c.FindMethod("main") == nil {
+		c.AddStandardMain("Completed!")
+	}
+}
+
+// lower compiles a mutant to classfile bytes.
+func lower(c *jimple.Class) ([]byte, error) {
+	f, err := jimple.Lower(c)
+	if err != nil {
+		return nil, err
+	}
+	return f.Bytes()
+}
+
+// runOnRef lowers the class and executes it on the instrumented
+// reference VM, returning the coverage trace and the bytes.
+func runOnRef(vm *jvm.VM, rec *coverage.Recorder, c *jimple.Class) (*coverage.Trace, []byte, error) {
+	data, err := lower(c)
+	if err != nil {
+		return nil, nil, err
+	}
+	rec.Reset()
+	vm.Run(data)
+	return rec.Trace(), data, nil
+}

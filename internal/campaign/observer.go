@@ -1,0 +1,196 @@
+package campaign
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/coverage"
+)
+
+// Observer is the engine's event sink. All events fire from the
+// sequential draw/commit stages — never from workers — so for a fixed
+// campaign configuration the event sequence is identical at any worker
+// count. Implementations therefore need no locking when driven by a
+// single engine; an observer shared across concurrent campaigns must
+// synchronise itself.
+type Observer interface {
+	// IterationStarted fires at the draw stage, before the iteration's
+	// work is dispatched.
+	IterationStarted(iter, poolIndex, mutatorID int)
+	// Mutated fires at commit with the mutator-application outcome.
+	// applied is false when the mutator was inapplicable to the drawn
+	// seed or the mutant failed to lower (the Soot-style dump failure).
+	Mutated(iter, mutatorID int, applied bool)
+	// Executed fires at commit for every coverage-directed iteration
+	// that produced a classfile; skipped reports that the prefilter's
+	// trace cache stood in for the reference-VM run.
+	Executed(iter int, skipped bool)
+	// PrefilterHit fires at commit when the static prefilter's cache
+	// avoided a reference-VM execution.
+	PrefilterHit(iter int)
+	// Accepted fires at commit when the mutant joined TestClasses.
+	Accepted(iter int, name string, stats coverage.Stats)
+	// SelectorUpdated fires once per committed iteration, after the
+	// selector received its feedback.
+	SelectorUpdated(iter, mutatorID int, success bool)
+}
+
+// Counters is an Observer tallying every event class; cmd/report and
+// the cmd progress lines read campaigns off it.
+type Counters struct {
+	Iterations    int // draws performed
+	Applied       int // mutants that produced a classfile
+	Failed        int // inapplicable mutators / unlowerable mutants
+	Executions    int // reference-VM runs
+	PrefilterHits int // executions the trace cache absorbed
+	Accepts       int // mutants accepted into TestClasses
+	Committed     int // iterations fully committed
+}
+
+// IterationStarted implements Observer.
+func (c *Counters) IterationStarted(int, int, int) { c.Iterations++ }
+
+// Mutated implements Observer.
+func (c *Counters) Mutated(_, _ int, applied bool) {
+	if applied {
+		c.Applied++
+	} else {
+		c.Failed++
+	}
+}
+
+// Executed implements Observer.
+func (c *Counters) Executed(_ int, skipped bool) {
+	if !skipped {
+		c.Executions++
+	}
+}
+
+// PrefilterHit implements Observer.
+func (c *Counters) PrefilterHit(int) { c.PrefilterHits++ }
+
+// Accepted implements Observer.
+func (c *Counters) Accepted(int, string, coverage.Stats) { c.Accepts++ }
+
+// SelectorUpdated implements Observer.
+func (c *Counters) SelectorUpdated(int, int, bool) { c.Committed++ }
+
+// String renders the tallies on one line.
+func (c *Counters) String() string {
+	return fmt.Sprintf("iterations=%d applied=%d failed=%d executions=%d prefilter-hits=%d accepted=%d",
+		c.Iterations, c.Applied, c.Failed, c.Executions, c.PrefilterHits, c.Accepts)
+}
+
+// Progress is an Observer printing a live line every Every committed
+// iterations — the -progress flag of cmd/classfuzz and
+// cmd/experiments.
+type Progress struct {
+	W     io.Writer
+	Total int // campaign budget, for the x/N prefix
+	Every int // commit interval between lines (≤0 → Total/20)
+	Counters
+}
+
+// NewProgress builds a progress printer over w.
+func NewProgress(w io.Writer, total, every int) *Progress {
+	if every <= 0 {
+		every = total / 20
+		if every == 0 {
+			every = 1
+		}
+	}
+	return &Progress{W: w, Total: total, Every: every}
+}
+
+// SelectorUpdated implements Observer, emitting the periodic line.
+func (p *Progress) SelectorUpdated(iter, mutatorID int, success bool) {
+	p.Counters.SelectorUpdated(iter, mutatorID, success)
+	if p.Committed%p.Every == 0 || p.Committed == p.Total {
+		fmt.Fprintf(p.W, "[campaign] %d/%d committed: %d generated, %d accepted, %d prefilter hits\n",
+			p.Committed, p.Total, p.Applied, p.Accepts, p.PrefilterHits)
+	}
+}
+
+// Multi fans events out to several observers in order.
+type Multi []Observer
+
+// IterationStarted implements Observer.
+func (m Multi) IterationStarted(iter, poolIndex, mutatorID int) {
+	for _, o := range m {
+		o.IterationStarted(iter, poolIndex, mutatorID)
+	}
+}
+
+// Mutated implements Observer.
+func (m Multi) Mutated(iter, mutatorID int, applied bool) {
+	for _, o := range m {
+		o.Mutated(iter, mutatorID, applied)
+	}
+}
+
+// Executed implements Observer.
+func (m Multi) Executed(iter int, skipped bool) {
+	for _, o := range m {
+		o.Executed(iter, skipped)
+	}
+}
+
+// PrefilterHit implements Observer.
+func (m Multi) PrefilterHit(iter int) {
+	for _, o := range m {
+		o.PrefilterHit(iter)
+	}
+}
+
+// Accepted implements Observer.
+func (m Multi) Accepted(iter int, name string, stats coverage.Stats) {
+	for _, o := range m {
+		o.Accepted(iter, name, stats)
+	}
+}
+
+// SelectorUpdated implements Observer.
+func (m Multi) SelectorUpdated(iter, mutatorID int, success bool) {
+	for _, o := range m {
+		o.SelectorUpdated(iter, mutatorID, success)
+	}
+}
+
+// The engine calls observers through this nil-tolerant shim.
+type obs struct{ o Observer }
+
+func (s obs) iterationStarted(iter, poolIndex, mutatorID int) {
+	if s.o != nil {
+		s.o.IterationStarted(iter, poolIndex, mutatorID)
+	}
+}
+
+func (s obs) mutated(iter, mutatorID int, applied bool) {
+	if s.o != nil {
+		s.o.Mutated(iter, mutatorID, applied)
+	}
+}
+
+func (s obs) executed(iter int, skipped bool) {
+	if s.o != nil {
+		s.o.Executed(iter, skipped)
+	}
+}
+
+func (s obs) prefilterHit(iter int) {
+	if s.o != nil {
+		s.o.PrefilterHit(iter)
+	}
+}
+
+func (s obs) accepted(iter int, name string, stats coverage.Stats) {
+	if s.o != nil {
+		s.o.Accepted(iter, name, stats)
+	}
+}
+
+func (s obs) selectorUpdated(iter, mutatorID int, success bool) {
+	if s.o != nil {
+		s.o.SelectorUpdated(iter, mutatorID, success)
+	}
+}

@@ -1,4 +1,4 @@
-package fuzz
+package campaign
 
 import (
 	"encoding/json"
@@ -29,6 +29,7 @@ type Manifest struct {
 type ManifestClass struct {
 	Name     string `json:"name"`
 	File     string `json:"file"`
+	Iter     int    `json:"iter"`
 	Mutator  string `json:"mutator"`
 	Stmts    int    `json:"stmts"`
 	Branches int    `json:"branches"`
@@ -64,6 +65,7 @@ func (r *Result) Save(dir string) error {
 		mc := ManifestClass{
 			Name:     g.Name,
 			File:     file,
+			Iter:     g.Iter,
 			Stmts:    g.Stats.Stmts,
 			Branches: g.Stats.Branches,
 		}
@@ -102,7 +104,7 @@ func LoadCorpus(dir string) (*Manifest, [][]byte, error) {
 	}
 	var man Manifest
 	if err := json.Unmarshal(blob, &man); err != nil {
-		return nil, nil, fmt.Errorf("fuzz: corrupt manifest: %w", err)
+		return nil, nil, fmt.Errorf("campaign: corrupt manifest: %w", err)
 	}
 	classes := make([][]byte, 0, len(man.Classes))
 	for _, mc := range man.Classes {

@@ -1,0 +1,64 @@
+package campaign
+
+import (
+	"sync"
+
+	"repro/internal/coverage"
+	"repro/internal/jvm"
+)
+
+// prefilter caches load-phase coverage traces by structural
+// fingerprint. Skipping is sound because the loading phase reads only
+// the structural skeleton Fingerprint hashes and never consults the
+// library environment, the RNG or interpreter state: fingerprint-equal
+// files produce byte-identical load traces.
+//
+// The cache is *versioned* so its behaviour is deterministic under the
+// worker pool: an entry inserted by iteration j's commit is visible
+// only to iterations i with j ≤ i−Lookahead. Those commits happen
+// before draw(i) on the sequential coordinator, so visibility depends
+// only on iteration numbers — never on which worker ran what when. A
+// doomed mutant whose fingerprint was seeded inside the window executes
+// redundantly (exactly as it would at workers=1), which costs a little
+// throughput but keeps the Skipped/Executed counters bit-identical at
+// any worker count.
+type prefilter struct {
+	policy *jvm.Policy
+
+	mu    sync.RWMutex
+	cache map[uint64]prefilterEntry
+
+	stats PrefilterStats
+}
+
+type prefilterEntry struct {
+	trace *coverage.Trace
+	iter  int // iteration whose commit inserted the entry
+}
+
+func newPrefilter(p *jvm.Policy) *prefilter {
+	return &prefilter{policy: p, cache: make(map[uint64]prefilterEntry)}
+}
+
+// lookup returns the cached load trace for fp if it was committed by an
+// iteration ≤ maxIter. Called from workers.
+func (pf *prefilter) lookup(fp uint64, maxIter int) (*coverage.Trace, bool) {
+	pf.mu.RLock()
+	defer pf.mu.RUnlock()
+	e, ok := pf.cache[fp]
+	if !ok || e.iter > maxIter {
+		return nil, false
+	}
+	return e.trace, true
+}
+
+// insert records iteration iter's executed trace for fp. Called from
+// the sequential commit stage, in iteration order, so the first
+// executor of a fingerprint wins deterministically.
+func (pf *prefilter) insert(fp uint64, tr *coverage.Trace, iter int) {
+	pf.mu.Lock()
+	defer pf.mu.Unlock()
+	if _, ok := pf.cache[fp]; !ok {
+		pf.cache[fp] = prefilterEntry{trace: tr, iter: iter}
+	}
+}

@@ -1,0 +1,108 @@
+package campaign
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/jimple"
+	"repro/internal/mutation"
+)
+
+// ReplayInfo is the outcome of reproducing a single campaign iteration
+// in isolation.
+type ReplayInfo struct {
+	// Record is the iteration's draw-log entry.
+	Record DrawRecord
+	// Class is the rebuilt mutant model; Data its classfile bytes.
+	Class *jimple.Class
+	Data  []byte
+	// Verified reports that Data is byte-identical to what the campaign
+	// produced at this iteration (checked when Replay re-ran the prefix;
+	// Rebuild alone leaves it false).
+	Verified bool
+}
+
+// Rebuild reconstructs iteration iter's mutant from the campaign seed
+// and the draw log alone, with no reference-VM execution. The draw log
+// pins the lineage: the parent is either an original seed
+// (Parent == -1, addressed by PoolIndex) or the mutant another
+// iteration accepted (rebuilt recursively — accepted mutants are the
+// only classes recycled into the pool). The mutator itself re-runs
+// under DeriveRNG(seed, iter), whose stream is independent of the draw
+// stage, so the rebuild consumes exactly the random values the
+// campaign's worker did.
+func Rebuild(cfg Config, draws []DrawRecord, iter int) (*ReplayInfo, error) {
+	if iter < 0 || iter >= len(draws) {
+		return nil, fmt.Errorf("campaign: replay iteration %d outside draw log (0..%d)", iter, len(draws)-1)
+	}
+	rec := draws[iter]
+	if !rec.Generated {
+		return nil, fmt.Errorf("campaign: iteration %d generated no classfile (mutator %d inapplicable or mutant unlowerable)", iter, rec.MutatorID)
+	}
+
+	var parent *jimple.Class
+	if rec.Parent < 0 {
+		if rec.PoolIndex >= len(cfg.Seeds) {
+			return nil, fmt.Errorf("campaign: draw log pool index %d exceeds seed corpus (%d seeds)", rec.PoolIndex, len(cfg.Seeds))
+		}
+		parent = cfg.Seeds[rec.PoolIndex]
+	} else {
+		pi, err := Rebuild(cfg, draws, rec.Parent)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: rebuilding parent of iteration %d: %w", iter, err)
+		}
+		parent = pi.Class
+	}
+
+	muts := mutation.Registry()
+	if rec.MutatorID < 0 || rec.MutatorID >= len(muts) {
+		return nil, fmt.Errorf("campaign: draw log mutator id %d out of range", rec.MutatorID)
+	}
+	mutant := parent.Clone()
+	if !muts[rec.MutatorID].Apply(mutant, DeriveRNG(cfg.Rand, iter)) {
+		return nil, fmt.Errorf("campaign: mutator %d no longer applies at iteration %d — replay config diverges from the campaign", rec.MutatorID, iter)
+	}
+	finishMutant(mutant, iter)
+	data, err := lower(mutant)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: rebuilt mutant of iteration %d fails to lower: %w", iter, err)
+	}
+	return &ReplayInfo{Record: rec, Class: mutant, Data: data}, nil
+}
+
+// Replay reproduces iteration iter of the campaign cfg describes: it
+// re-runs the campaign prefix up to and including iter to recover the
+// draw log and the original bytes, rebuilds the mutant in isolation via
+// Rebuild, and cross-checks the two byte-for-byte. Draw/mutate stream
+// separation makes the rebuild independent of worker count and of the
+// selector's rejection-loop behaviour.
+func Replay(cfg Config, iter int) (*ReplayInfo, error) {
+	if cfg.Algorithm == Bytefuzz {
+		return nil, fmt.Errorf("campaign: replay is not supported for bytefuzz (its pool holds raw bytes, not models)")
+	}
+	if iter < 0 || iter >= cfg.Iterations {
+		return nil, fmt.Errorf("campaign: replay iteration %d outside budget 0..%d", iter, cfg.Iterations-1)
+	}
+	prefix := cfg
+	prefix.Iterations = iter + 1
+	prefix.KeepGenBytes = true // keep the campaign's bytes for the cross-check
+	prefix.Observer = nil
+	res, err := Run(prefix)
+	if err != nil {
+		return nil, err
+	}
+	info, err := Rebuild(prefix, res.Draws, iter)
+	if err != nil {
+		return nil, err
+	}
+	for _, g := range res.Gen {
+		if g.Iter == iter {
+			info.Verified = bytes.Equal(info.Data, g.Data)
+			if !info.Verified {
+				return info, fmt.Errorf("campaign: replayed bytes of iteration %d differ from the campaign's", iter)
+			}
+			return info, nil
+		}
+	}
+	return nil, fmt.Errorf("campaign: iteration %d missing from campaign prefix", iter)
+}

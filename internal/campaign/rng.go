@@ -1,0 +1,41 @@
+package campaign
+
+import (
+	"math/rand"
+
+	"repro/internal/prng"
+)
+
+// Stream labels keep the engine's RNG uses statistically independent.
+// drawStream feeds the sequential draw stage (seed pick + selector
+// proposals); mutateStream feeds the mutator inside the worker stage;
+// initStream seeds one-off campaign setup (the MCMC chain's initial
+// state). Separating draw from mutate matters for replay: the mutator's
+// stream never depends on how many proposals the Metropolis–Hastings
+// rejection loop consumed, so a mutant can be rebuilt from
+// (parent, mutator, DeriveRNG) alone.
+const (
+	drawStream   uint64 = 0xD4A7_0001
+	mutateStream uint64 = 0xD4A7_0002
+	initStream   uint64 = 0xD4A7_0003
+)
+
+// DeriveRNG returns iteration iter's mutation stream: the generator the
+// worker stage hands to the selected mutator (and, for bytefuzz, to the
+// byte flip). It is the public replay hook — cmd/classfuzz -replay
+// re-derives exactly this stream to reproduce a single mutant without
+// the campaign's shared state.
+func DeriveRNG(campaignSeed int64, iter int) *rand.Rand {
+	return prng.Derive(campaignSeed, mutateStream, uint64(iter))
+}
+
+// drawRNG returns iteration iter's draw stream (seed-pool index, then
+// selector proposals, in that order).
+func drawRNG(campaignSeed int64, iter int) *rand.Rand {
+	return prng.Derive(campaignSeed, drawStream, uint64(iter))
+}
+
+// initRNG returns the campaign's setup stream.
+func initRNG(campaignSeed int64) *rand.Rand {
+	return prng.Derive(campaignSeed, initStream, 0)
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/coverage"
 	"repro/internal/difftest"
@@ -41,6 +42,10 @@ type Scale struct {
 	CorpusCount int
 	// Seed drives all randomness.
 	Seed int64
+	// Workers sizes each campaign's mutate/execute worker pool (0 → 1).
+	// Campaign results are identical at any value; this only trades CPU
+	// for wall clock.
+	Workers int
 }
 
 // DefaultScale is the quick configuration used by tests and benches.
@@ -102,6 +107,11 @@ func NewSession(s Scale) (*Session, error) {
 			Rand:        s.Seed + 100,
 			RefSpec:     jvm.HotSpot9(),
 			KeepClasses: false,
+			// Table 6's GenClasses block differential-tests every
+			// generated mutant, so the session keeps bytes the engine
+			// would otherwise drop for unaccepted mutants.
+			KeepGenBytes: true,
+			Workers:      s.Workers,
 		})
 	}
 
@@ -120,12 +130,31 @@ func NewSession(s Scale) (*Session, error) {
 		{KeyGreedyfuzz, fuzz.Greedyfuzz, coverage.STBR, s.Iterations},
 		{KeyRandfuzz, fuzz.Randfuzz, coverage.STBR, s.Iterations * s.RandfuzzFactor},
 	}
+	// The six campaigns share nothing but the (read-only) seed corpus,
+	// so the session fans them out concurrently; each campaign's own
+	// worker pool handles intra-campaign parallelism.
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
 	for _, j := range jobs {
-		res, err := mk(j.alg, j.crit, j.iters)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: %s: %w", j.key, err)
-		}
-		sess.Campaigns[j.key] = res
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			res, err := mk(j.alg, j.crit, j.iters)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("experiments: %s: %w", j.key, err)
+				}
+				return
+			}
+			sess.Campaigns[j.key] = res
+		}(j)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	return sess, nil
 }

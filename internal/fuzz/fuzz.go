@@ -1,420 +1,57 @@
-// Package fuzz implements the fuzzing campaigns of the evaluation:
-// classfuzz (Algorithm 1 — coverage-directed mutation with MCMC mutator
-// selection), and the three comparison algorithms randfuzz, greedyfuzz
-// and uniquefuzz (§3.1.2). All campaigns share the same seeds, mutator
-// set, reference VM and iteration budget, differing only in how they
-// select mutators and which mutants they accept into the test suite.
+// Package fuzz is the stable façade over the staged campaign engine in
+// internal/campaign. Historically this package held the whole fuzzing
+// loop; the loop now lives in campaign (decomposed into draw / mutate /
+// filter / execute / commit stages with a deterministic worker pool),
+// and fuzz re-exports the public surface unchanged so existing callers
+// — the CLIs, the experiments driver, the root façade — keep compiling
+// against the same names. New code should import repro/internal/campaign
+// directly for the engine-only features (Workers, Observer, Replay).
 package fuzz
 
-import (
-	"fmt"
-	"math/rand"
-	"time"
-
-	"repro/internal/analysis"
-	"repro/internal/classfile"
-	"repro/internal/coverage"
-	"repro/internal/jimple"
-	"repro/internal/jvm"
-	"repro/internal/mcmc"
-	"repro/internal/mutation"
-)
+import "repro/internal/campaign"
 
 // Algorithm names the campaign strategy.
-type Algorithm string
+type Algorithm = campaign.Algorithm
 
-// The four algorithms of §3.1.2, plus the byte-level blind fuzzer of
-// the related work (Sirer & Bershad's "single one-byte value change at
-// a random offset in a base classfile", §4) — the baseline whose
-// overwhelmingly invalid mutants motivate coverage direction in §1.
+// The four algorithms of §3.1.2 plus the byte-level blind baseline.
 const (
-	Classfuzz  Algorithm = "classfuzz"
-	Randfuzz   Algorithm = "randfuzz"
-	Greedyfuzz Algorithm = "greedyfuzz"
-	Uniquefuzz Algorithm = "uniquefuzz"
-	Bytefuzz   Algorithm = "bytefuzz"
+	Classfuzz  = campaign.Classfuzz
+	Randfuzz   = campaign.Randfuzz
+	Greedyfuzz = campaign.Greedyfuzz
+	Uniquefuzz = campaign.Uniquefuzz
+	Bytefuzz   = campaign.Bytefuzz
 )
 
-// Config parameterises a campaign.
-type Config struct {
-	Algorithm Algorithm
-	// Criterion selects the uniqueness discipline for classfuzz
-	// ([st]/[stbr]/[tr]); uniquefuzz always uses [stbr] (§3.1.2).
-	Criterion coverage.Criterion
-	// Seeds is the initial corpus (cloned before mutation).
-	Seeds []*jimple.Class
-	// Iterations is the campaign budget (the stand-in for the paper's
-	// three-day wall clock).
-	Iterations int
-	// Rand seeds the campaign RNG.
-	Rand int64
-	// RefSpec is the instrumented reference VM (HotSpot 9 in the paper).
-	RefSpec jvm.Spec
-	// P is the geometric parameter for MCMC selection; 0 means the
-	// paper's default 3/129.
-	P float64
-	// NoSeedRecycling disables adding accepted mutants back into the
-	// seed pool (ablation of Algorithm 1 lines 5/14).
-	NoSeedRecycling bool
-	// KeepClasses retains every generated mutant's model and bytes in
-	// the result (needed for differential testing of GenClasses).
-	KeepClasses bool
-	// StaticPrefilter short-circuits reference-VM execution of mutants
-	// the static analyzer proves the reference loader rejects. The first
-	// mutant of each structural fingerprint still executes (its trace
-	// seeds a cache); fingerprint-equal repeats reuse that trace, so the
-	// coverage-driven acceptance decisions — and the accepted suite —
-	// are bit-identical to an unfiltered campaign.
-	StaticPrefilter bool
-}
-
-// PrefilterStats counts the static prefilter's work in one campaign.
-type PrefilterStats struct {
-	// Checked is the number of mutants the prefilter inspected.
-	Checked int
-	// Doomed is how many were statically certain loading-phase rejects.
-	Doomed int
-	// Skipped is how many reference-VM executions the trace cache
-	// avoided.
-	Skipped int
-	// Executed is how many doomed mutants ran anyway to seed the cache.
-	Executed int
-}
-
-// GenClass is one generated mutant.
-type GenClass struct {
-	Name      string
-	MutatorID int
-	// Class and Data are populated when Config.KeepClasses is set (Data
-	// always is for accepted classes).
-	Class *jimple.Class
-	Data  []byte
-	// Stats is the mutant's coverage statistic on the reference VM
-	// (zero for randfuzz, which never runs the reference VM).
-	Stats coverage.Stats
-	// Accepted marks membership in TestClasses.
-	Accepted bool
-}
-
-// MutatorStat aggregates one mutator's campaign statistics.
-type MutatorStat struct {
-	ID       int
-	Name     string
-	Selected int
-	Success  int
-}
-
-// Rate returns the success rate (0 when never selected).
-func (m MutatorStat) Rate() float64 {
-	if m.Selected == 0 {
-		return 0
-	}
-	return float64(m.Success) / float64(m.Selected)
-}
-
-// Frequency returns the selection frequency given total selections.
-func (m MutatorStat) Frequency(total int) float64 {
-	if total == 0 {
-		return 0
-	}
-	return float64(m.Selected) / float64(total)
-}
+// Config parameterises a campaign. It is the engine's Config verbatim;
+// the fields this package's original loop understood keep their exact
+// meaning, and the engine-only fields (Workers, Lookahead, Observer,
+// KeepGenBytes) default to the sequential behaviour.
+type Config = campaign.Config
 
 // Result summarises a campaign.
-type Result struct {
-	Algorithm  Algorithm
-	Criterion  coverage.Criterion
-	Iterations int
-	// Gen holds every generated classfile; Test the accepted subset.
-	Gen  []*GenClass
-	Test []*GenClass
-	// GenUniqueStats counts distinct (stmt, branch) coverage statistics
-	// among generated classes (the paper's representativeness metric for
-	// GenClasses; zero for randfuzz).
-	GenUniqueStats int
-	// Prefilter holds the static prefilter's counters when
-	// Config.StaticPrefilter was set.
-	Prefilter *PrefilterStats
-	// MutatorStats is indexed by mutator ID.
-	MutatorStats []MutatorStat
-	Elapsed      time.Duration
-}
+type Result = campaign.Result
 
-// Succ returns the campaign success rate |TestClasses| / #iterations.
-func (r *Result) Succ() float64 {
-	if r.Iterations == 0 {
-		return 0
-	}
-	return float64(len(r.Test)) / float64(r.Iterations)
-}
+// GenClass is one generated mutant.
+type GenClass = campaign.GenClass
 
-// TimePerGen returns the average time per generated class.
-func (r *Result) TimePerGen() time.Duration {
-	if len(r.Gen) == 0 {
-		return 0
-	}
-	return r.Elapsed / time.Duration(len(r.Gen))
-}
+// MutatorStat aggregates one mutator's campaign statistics.
+type MutatorStat = campaign.MutatorStat
 
-// TimePerTest returns the average time per accepted test class.
-func (r *Result) TimePerTest() time.Duration {
-	if len(r.Test) == 0 {
-		return 0
-	}
-	return r.Elapsed / time.Duration(len(r.Test))
-}
+// PrefilterStats counts the static prefilter's work in one campaign.
+type PrefilterStats = campaign.PrefilterStats
 
-// Run executes a campaign.
-func Run(cfg Config) (*Result, error) {
-	if len(cfg.Seeds) == 0 {
-		return nil, fmt.Errorf("fuzz: no seeds")
-	}
-	if cfg.Iterations <= 0 {
-		return nil, fmt.Errorf("fuzz: non-positive iteration budget")
-	}
-	switch cfg.Algorithm {
-	case Classfuzz, Randfuzz, Greedyfuzz, Uniquefuzz:
-	case Bytefuzz:
-		return runBytefuzz(cfg)
-	default:
-		return nil, fmt.Errorf("fuzz: unknown algorithm %q", cfg.Algorithm)
-	}
+// Manifest is the on-disk description of a saved campaign.
+type Manifest = campaign.Manifest
 
-	start := time.Now()
-	rng := rand.New(rand.NewSource(cfg.Rand))
-	muts := mutation.Registry()
+// ManifestClass records one accepted test classfile.
+type ManifestClass = campaign.ManifestClass
 
-	// Mutator selector: classfuzz uses the MCMC chain; everything else
-	// selects uniformly.
-	var selector mcmc.Selector
-	if cfg.Algorithm == Classfuzz {
-		p := cfg.P
-		if p == 0 {
-			p = mcmc.DefaultP(len(muts))
-		}
-		selector = mcmc.NewSampler(len(muts), p, rng)
-	} else {
-		selector = mcmc.NewUniformSampler(len(muts), rng)
-	}
+// ManifestMutator records one mutator's campaign statistics.
+type ManifestMutator = campaign.ManifestMutator
 
-	// Reference VM with coverage instrumentation (not used by randfuzz).
-	refVM := jvm.New(cfg.RefSpec)
-	rec := coverage.NewRecorder()
-	refVM.SetRecorder(rec)
+// Run executes a campaign on the staged engine.
+func Run(cfg Config) (*Result, error) { return campaign.Run(cfg) }
 
-	coverageDirected := cfg.Algorithm != Randfuzz
-
-	// Acceptance state.
-	suite := coverage.NewSuite(cfg.Criterion)
-	if cfg.Algorithm == Uniquefuzz {
-		suite = coverage.NewSuite(coverage.STBR)
-	}
-	greedyUnion := &coverage.Trace{Stmts: map[string]bool{}, Branches: map[string]bool{}}
-	genStats := coverage.NewSuite(coverage.STBR) // counts unique stats over Gen
-
-	// Seed pool: Algorithm 1 line 1 initialises TestClasses with the
-	// seeds, so seed traces participate in uniqueness checks.
-	pool := make([]*jimple.Class, 0, len(cfg.Seeds))
-	pool = append(pool, cfg.Seeds...)
-	if coverageDirected {
-		for _, s := range cfg.Seeds {
-			tr, _, err := runOnRef(refVM, rec, s)
-			if err != nil {
-				continue // unlowerable seed: skip its trace
-			}
-			switch cfg.Algorithm {
-			case Greedyfuzz:
-				greedyUnion = coverage.Merge(greedyUnion, tr)
-			default:
-				if suite.Unique(tr) {
-					suite.Add(tr)
-				}
-			}
-		}
-	}
-
-	res := &Result{
-		Algorithm:  cfg.Algorithm,
-		Criterion:  cfg.Criterion,
-		Iterations: cfg.Iterations,
-	}
-
-	var pf *prefilter
-	if cfg.StaticPrefilter && coverageDirected {
-		pf = newPrefilter(&cfg.RefSpec.Policy)
-		res.Prefilter = &pf.stats
-	}
-
-	for it := 0; it < cfg.Iterations; it++ {
-		seed := pool[rng.Intn(len(pool))]
-		muID := selector.Next()
-		mutant := seed.Clone()
-		if !muts[muID].Apply(mutant, rng) {
-			// Soot-style failure: no classfile generated this iteration.
-			selector.Record(muID, false)
-			continue
-		}
-		mutant.Name = fmt.Sprintf("M%d", 1430000000+it)
-		mutant.Major = 51 // every mutant is pinned to version 51 (§3.1.1)
-		// §2.2.1: each mutant is supplemented with a simple main that
-		// prints a completion message, so the mutant observably either
-		// runs or fails earlier in the startup pipeline. (Interfaces are
-		// left alone; a main inside an interface is itself a mutation the
-		// interface-member mutators produce deliberately.)
-		if !mutant.IsInterface() && mutant.FindMethod("main") == nil {
-			mutant.AddStandardMain("Completed!")
-		}
-
-		gc := &GenClass{Name: mutant.Name, MutatorID: muID}
-		var tr *coverage.Trace
-		if coverageDirected {
-			var err error
-			var data []byte
-			tr, data, err = pf.runOnRef(refVM, rec, mutant)
-			if err != nil {
-				selector.Record(muID, false)
-				continue
-			}
-			gc.Stats = tr.Stats()
-			gc.Data = data
-			genStats.Add(tr)
-		} else {
-			data, err := lower(mutant)
-			if err != nil {
-				selector.Record(muID, false)
-				continue
-			}
-			gc.Data = data
-		}
-		if cfg.KeepClasses {
-			gc.Class = mutant
-		}
-		res.Gen = append(res.Gen, gc)
-
-		// Acceptance decision.
-		accepted := false
-		switch cfg.Algorithm {
-		case Randfuzz:
-			accepted = true // every generated classfile is a test
-		case Greedyfuzz:
-			merged := coverage.Merge(greedyUnion, tr)
-			if merged.Stats() != greedyUnion.Stats() {
-				greedyUnion = merged
-				accepted = true
-			}
-		default: // classfuzz, uniquefuzz
-			if suite.Unique(tr) {
-				suite.Add(tr)
-				accepted = true
-			}
-		}
-		if accepted {
-			gc.Accepted = true
-			res.Test = append(res.Test, gc)
-			if !cfg.NoSeedRecycling {
-				pool = append(pool, mutant)
-			}
-		}
-		selector.Record(muID, accepted)
-	}
-
-	res.GenUniqueStats = genStats.UniqueStatsCount()
-	res.Elapsed = time.Since(start)
-	res.MutatorStats = make([]MutatorStat, len(muts))
-	for i, m := range muts {
-		st := MutatorStat{ID: i, Name: m.Name}
-		switch sel := selector.(type) {
-		case *mcmc.Sampler:
-			st.Selected = sel.Selected(i)
-			st.Success = sel.Succeeded(i)
-		case *mcmc.UniformSampler:
-			st.Selected = int(sel.Frequency(i) * float64(totalSelections(res)))
-		}
-		res.MutatorStats[i] = st
-	}
-	// For uniform selectors, recover exact per-mutator tallies from the
-	// generated classes instead of the frequency approximation above.
-	if cfg.Algorithm != Classfuzz {
-		for i := range res.MutatorStats {
-			res.MutatorStats[i].Selected = 0
-			res.MutatorStats[i].Success = 0
-		}
-		for _, g := range res.Gen {
-			res.MutatorStats[g.MutatorID].Selected++
-			if g.Accepted {
-				res.MutatorStats[g.MutatorID].Success++
-			}
-		}
-	}
-	return res, nil
-}
-
-func totalSelections(r *Result) int { return r.Iterations }
-
-// lower compiles a mutant to classfile bytes.
-func lower(c *jimple.Class) ([]byte, error) {
-	f, err := jimple.Lower(c)
-	if err != nil {
-		return nil, err
-	}
-	return f.Bytes()
-}
-
-// runOnRef lowers the class and executes it on the instrumented
-// reference VM, returning the coverage trace and the bytes.
-func runOnRef(vm *jvm.VM, rec *coverage.Recorder, c *jimple.Class) (*coverage.Trace, []byte, error) {
-	data, err := lower(c)
-	if err != nil {
-		return nil, nil, err
-	}
-	rec.Reset()
-	vm.Run(data)
-	return rec.Trace(), data, nil
-}
-
-// prefilter caches load-phase coverage traces by structural
-// fingerprint. Skipping is sound because the loading phase reads only
-// the structural skeleton Fingerprint hashes and never consults the
-// library environment, the RNG or interpreter state: fingerprint-equal
-// files produce byte-identical load traces.
-type prefilter struct {
-	policy *jvm.Policy
-	cache  map[uint64]*coverage.Trace
-	stats  PrefilterStats
-}
-
-func newPrefilter(p *jvm.Policy) *prefilter {
-	return &prefilter{policy: p, cache: make(map[uint64]*coverage.Trace)}
-}
-
-// runOnRef is runOnRef with the static short-circuit; a nil receiver
-// degrades to plain execution.
-func (pf *prefilter) runOnRef(vm *jvm.VM, rec *coverage.Recorder, c *jimple.Class) (*coverage.Trace, []byte, error) {
-	if pf == nil {
-		return runOnRef(vm, rec, c)
-	}
-	data, err := lower(c)
-	if err != nil {
-		return nil, nil, err
-	}
-	pf.stats.Checked++
-	if f, perr := classfile.Parse(data); perr == nil {
-		if d := analysis.LoadReject(f, pf.policy); d != nil {
-			pf.stats.Doomed++
-			fp := analysis.Fingerprint(f)
-			if tr, ok := pf.cache[fp]; ok {
-				pf.stats.Skipped++
-				return tr, data, nil
-			}
-			rec.Reset()
-			vm.Run(data)
-			tr := rec.Trace()
-			pf.cache[fp] = tr
-			pf.stats.Executed++
-			return tr, data, nil
-		}
-	}
-	rec.Reset()
-	vm.Run(data)
-	return rec.Trace(), data, nil
-}
+// LoadCorpus reads a saved suite back: the manifest plus every
+// classfile's bytes, in manifest order.
+func LoadCorpus(dir string) (*Manifest, [][]byte, error) { return campaign.LoadCorpus(dir) }

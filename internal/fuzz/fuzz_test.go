@@ -10,7 +10,7 @@ import (
 	"repro/internal/seedgen"
 )
 
-func campaign(t *testing.T, alg Algorithm, crit coverage.Criterion, iters int) *Result {
+func runCampaign(t *testing.T, alg Algorithm, crit coverage.Criterion, iters int) *Result {
 	t.Helper()
 	cfg := Config{
 		Algorithm:  alg,
@@ -28,7 +28,7 @@ func campaign(t *testing.T, alg Algorithm, crit coverage.Criterion, iters int) *
 }
 
 func TestClassfuzzProducesRepresentativeTests(t *testing.T) {
-	res := campaign(t, Classfuzz, coverage.STBR, 300)
+	res := runCampaign(t, Classfuzz, coverage.STBR, 300)
 	if len(res.Gen) == 0 {
 		t.Fatal("no classes generated")
 	}
@@ -53,7 +53,7 @@ func TestClassfuzzProducesRepresentativeTests(t *testing.T) {
 }
 
 func TestRandfuzzAcceptsEverything(t *testing.T) {
-	res := campaign(t, Randfuzz, coverage.STBR, 300)
+	res := runCampaign(t, Randfuzz, coverage.STBR, 300)
 	if len(res.Test) != len(res.Gen) {
 		t.Errorf("randfuzz: test=%d gen=%d, must be equal", len(res.Test), len(res.Gen))
 	}
@@ -63,8 +63,8 @@ func TestRandfuzzAcceptsEverything(t *testing.T) {
 }
 
 func TestGreedyfuzzAcceptsFewest(t *testing.T) {
-	greedy := campaign(t, Greedyfuzz, coverage.STBR, 300)
-	cf := campaign(t, Classfuzz, coverage.STBR, 300)
+	greedy := runCampaign(t, Greedyfuzz, coverage.STBR, 300)
+	cf := runCampaign(t, Classfuzz, coverage.STBR, 300)
 	if len(greedy.Test) == 0 {
 		t.Fatal("greedyfuzz accepted nothing")
 	}
@@ -77,8 +77,8 @@ func TestGreedyfuzzAcceptsFewest(t *testing.T) {
 }
 
 func TestUniquefuzzBetweenGreedyAndClassfuzz(t *testing.T) {
-	uf := campaign(t, Uniquefuzz, coverage.STBR, 400)
-	cf := campaign(t, Classfuzz, coverage.STBR, 400)
+	uf := runCampaign(t, Uniquefuzz, coverage.STBR, 400)
+	cf := runCampaign(t, Classfuzz, coverage.STBR, 400)
 	if len(uf.Test) == 0 {
 		t.Fatal("uniquefuzz accepted nothing")
 	}
@@ -91,8 +91,8 @@ func TestUniquefuzzBetweenGreedyAndClassfuzz(t *testing.T) {
 }
 
 func TestCriterionOrderingOnTestCounts(t *testing.T) {
-	st := campaign(t, Classfuzz, coverage.ST, 300)
-	stbr := campaign(t, Classfuzz, coverage.STBR, 300)
+	st := runCampaign(t, Classfuzz, coverage.ST, 300)
+	stbr := runCampaign(t, Classfuzz, coverage.STBR, 300)
 	// [st] is strictly coarser than [stbr]: it can only accept fewer.
 	if len(st.Test) > len(stbr.Test) {
 		t.Errorf("[st] accepted %d > [stbr] %d", len(st.Test), len(stbr.Test))
@@ -100,7 +100,7 @@ func TestCriterionOrderingOnTestCounts(t *testing.T) {
 }
 
 func TestMutatorStatsConsistency(t *testing.T) {
-	res := campaign(t, Classfuzz, coverage.STBR, 250)
+	res := runCampaign(t, Classfuzz, coverage.STBR, 250)
 	if len(res.MutatorStats) != mutation.TotalMutators {
 		t.Fatalf("stats for %d mutators", len(res.MutatorStats))
 	}
@@ -121,8 +121,8 @@ func TestMutatorStatsConsistency(t *testing.T) {
 }
 
 func TestDeterministicCampaign(t *testing.T) {
-	a := campaign(t, Classfuzz, coverage.STBR, 150)
-	b := campaign(t, Classfuzz, coverage.STBR, 150)
+	a := runCampaign(t, Classfuzz, coverage.STBR, 150)
+	b := runCampaign(t, Classfuzz, coverage.STBR, 150)
 	if len(a.Gen) != len(b.Gen) || len(a.Test) != len(b.Test) {
 		t.Fatalf("campaign not deterministic: gen %d/%d test %d/%d",
 			len(a.Gen), len(b.Gen), len(a.Test), len(b.Test))
@@ -135,7 +135,7 @@ func TestDeterministicCampaign(t *testing.T) {
 }
 
 func TestSeedRecyclingAblation(t *testing.T) {
-	base := campaign(t, Classfuzz, coverage.STBR, 300)
+	base := runCampaign(t, Classfuzz, coverage.STBR, 300)
 	cfg := Config{
 		Algorithm:       Classfuzz,
 		Criterion:       coverage.STBR,
@@ -158,7 +158,7 @@ func TestSeedRecyclingAblation(t *testing.T) {
 func TestGeneratedSuiteTriggersDiscrepancies(t *testing.T) {
 	// Finding 3's mechanism: the representative suite must reveal more
 	// discrepancies proportionally than the raw seed corpus.
-	res := campaign(t, Classfuzz, coverage.STBR, 500)
+	res := runCampaign(t, Classfuzz, coverage.STBR, 500)
 	var classes [][]byte
 	for _, g := range res.Test {
 		classes = append(classes, g.Data)
@@ -176,7 +176,7 @@ func TestGeneratedSuiteTriggersDiscrepancies(t *testing.T) {
 }
 
 func TestBytefuzzBlindMutation(t *testing.T) {
-	res := campaign(t, Bytefuzz, coverage.STBR, 300)
+	res := runCampaign(t, Bytefuzz, coverage.STBR, 300)
 	if len(res.Gen) != 300 || len(res.Test) != 300 {
 		t.Fatalf("bytefuzz must keep every mutant: gen=%d test=%d", len(res.Gen), len(res.Test))
 	}
@@ -212,7 +212,7 @@ func TestBytefuzzBlindMutation(t *testing.T) {
 		t.Errorf("only %d/%d byte mutants invalid; expected a majority", invalid, len(res.Gen))
 	}
 	// Determinism.
-	res2 := campaign(t, Bytefuzz, coverage.STBR, 300)
+	res2 := runCampaign(t, Bytefuzz, coverage.STBR, 300)
 	for i := range res.Gen {
 		if string(res.Gen[i].Data) != string(res2.Gen[i].Data) {
 			t.Fatal("bytefuzz not deterministic")
@@ -234,7 +234,7 @@ func TestConfigValidation(t *testing.T) {
 }
 
 func TestResultTimingHelpers(t *testing.T) {
-	res := campaign(t, Classfuzz, coverage.STBR, 100)
+	res := runCampaign(t, Classfuzz, coverage.STBR, 100)
 	if res.TimePerGen() < 0 || res.TimePerTest() < 0 {
 		t.Error("negative timings")
 	}

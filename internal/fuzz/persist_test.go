@@ -11,7 +11,7 @@ import (
 )
 
 func TestSaveAndLoadCorpus(t *testing.T) {
-	res := campaign(t, Classfuzz, coverage.STBR, 200)
+	res := runCampaign(t, Classfuzz, coverage.STBR, 200)
 	dir := t.TempDir()
 	if err := res.Save(dir); err != nil {
 		t.Fatal(err)

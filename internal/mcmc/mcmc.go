@@ -13,11 +13,14 @@ import (
 	"sort"
 )
 
-// Sampler is the Metropolis–Hastings chain over mutator ranks.
+// Sampler is the Metropolis–Hastings chain over mutator ranks. It owns
+// no RNG of its own: each Next call draws from the generator its caller
+// passes, so the chain's stochastic behaviour is controlled entirely by
+// the caller's stream (the campaign engine hands it the per-iteration
+// draw stream).
 type Sampler struct {
-	n   int
-	p   float64
-	rng *rand.Rand
+	n int
+	p float64
 
 	selected  []int // times each mutator id was selected
 	succeeded []int // representative classfiles each mutator id created
@@ -31,7 +34,8 @@ type Sampler struct {
 }
 
 // NewSampler builds a chain over n mutators with geometric parameter p.
-// The initial state is a uniformly random mutator (Algorithm 1 line 3).
+// The initial state is a uniformly random mutator (Algorithm 1 line 3);
+// rng is consumed only for that initial draw.
 func NewSampler(n int, p float64, rng *rand.Rand) *Sampler {
 	if n <= 0 {
 		panic("mcmc: sampler needs at least one mutator")
@@ -39,7 +43,6 @@ func NewSampler(n int, p float64, rng *rand.Rand) *Sampler {
 	s := &Sampler{
 		n:         n,
 		p:         p,
-		rng:       rng,
 		selected:  make([]int, n),
 		succeeded: make([]int, n),
 		order:     make([]int, n),
@@ -69,12 +72,12 @@ func (s *Sampler) N() int { return s.n }
 // Note: Algorithm 1's line 10 as printed inverts the comparison; we
 // follow the acceptance formula of the §2.2.2 text, which matches
 // standard Metropolis–Hastings.
-func (s *Sampler) Next() int {
+func (s *Sampler) Next(rng *rand.Rand) int {
 	k1 := s.rank[s.current]
 	for {
-		mu2 := s.rng.Intn(s.n)
+		mu2 := rng.Intn(s.n)
 		k2 := s.rank[mu2]
-		if k2 <= k1 || s.rng.Float64() < math.Pow(1-s.p, float64(k2-k1)) {
+		if k2 <= k1 || rng.Float64() < math.Pow(1-s.p, float64(k2-k1)) {
 			s.current = mu2
 			s.selected[mu2]++
 			s.total++
@@ -138,22 +141,22 @@ func (s *Sampler) resort() {
 }
 
 // UniformSampler is the ablation baseline used by uniquefuzz: mutators
-// are selected uniformly at random with no success-rate guidance.
+// are selected uniformly at random with no success-rate guidance. Like
+// Sampler it draws from the caller's generator.
 type UniformSampler struct {
 	n        int
-	rng      *rand.Rand
 	selected []int
 	total    int
 }
 
 // NewUniformSampler builds the unguided selector.
-func NewUniformSampler(n int, rng *rand.Rand) *UniformSampler {
-	return &UniformSampler{n: n, rng: rng, selected: make([]int, n)}
+func NewUniformSampler(n int) *UniformSampler {
+	return &UniformSampler{n: n, selected: make([]int, n)}
 }
 
-// Next selects a mutator uniformly.
-func (u *UniformSampler) Next() int {
-	id := u.rng.Intn(u.n)
+// Next selects a mutator uniformly from rng.
+func (u *UniformSampler) Next(rng *rand.Rand) int {
+	id := rng.Intn(u.n)
 	u.selected[id]++
 	u.total++
 	return id
@@ -170,10 +173,13 @@ func (u *UniformSampler) Frequency(id int) float64 {
 	return float64(u.selected[id]) / float64(u.total)
 }
 
-// Selector is the interface both samplers satisfy; the fuzzing engines
-// are parameterised over it.
+// Selector is the interface both samplers satisfy; the campaign engine
+// is parameterised over it. Next draws from the generator the caller
+// supplies — the engine's sequential draw stage passes the iteration's
+// derived draw stream, which is what makes selection deterministic at
+// any worker count.
 type Selector interface {
-	Next() int
+	Next(rng *rand.Rand) int
 	Record(id int, success bool)
 }
 

@@ -75,7 +75,7 @@ func TestSamplerConvergesTowardSuccessfulMutators(t *testing.T) {
 	s := NewSampler(n, DefaultP(n), rng)
 	succProb := func(id int) float64 { return 1 - float64(id)/float64(n) }
 	for i := 0; i < 20000; i++ {
-		id := s.Next()
+		id := s.Next(rng)
 		s.Record(id, rng.Float64() < succProb(id))
 	}
 	// The best mutator must be selected far more often than the worst.
@@ -99,7 +99,7 @@ func TestSamplerEveryMutatorKeepsAChance(t *testing.T) {
 	n := 20
 	s := NewSampler(n, DefaultP(n), rng)
 	for i := 0; i < 5000; i++ {
-		id := s.Next()
+		id := s.Next(rng)
 		s.Record(id, id == 0) // only mutator 0 ever succeeds
 	}
 	for id := 0; id < n; id++ {
@@ -150,9 +150,9 @@ func TestResortStableAndComplete(t *testing.T) {
 func TestUniformSamplerIsUnbiased(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	n := 8
-	u := NewUniformSampler(n, rng)
+	u := NewUniformSampler(n)
 	for i := 0; i < 16000; i++ {
-		u.Record(u.Next(), true)
+		u.Record(u.Next(rng), true)
 	}
 	for id := 0; id < n; id++ {
 		f := u.Frequency(id)
@@ -168,7 +168,7 @@ func TestSamplerDeterministicGivenSeed(t *testing.T) {
 		s := NewSampler(12, DefaultP(12), rng)
 		var ids []int
 		for i := 0; i < 200; i++ {
-			id := s.Next()
+			id := s.Next(rng)
 			ids = append(ids, id)
 			s.Record(id, id%3 == 0)
 		}

@@ -1,0 +1,39 @@
+// Package prng provides the splittable pseudo-random-number discipline
+// shared by the campaign engine and the seed generator: a SplitMix64
+// mixer that turns (seed, stream, index) triples into statistically
+// independent *rand.Rand streams. Deriving one stream per iteration —
+// instead of threading a single shared generator through every stage —
+// is what makes campaign iterations independently replayable and lets
+// the engine run them out of order on a worker pool without perturbing
+// the random sequence any iteration observes.
+package prng
+
+import "math/rand"
+
+// SplitMix64 is Steele, Lea & Flood's 64-bit finalizer (the generator
+// behind Java's SplittableRandom). It is bijective, so distinct inputs
+// never collide, and its avalanche behaviour makes sequential indices
+// yield decorrelated outputs.
+func SplitMix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// Mix folds a stream label and an index into a seed, chaining two
+// SplitMix64 rounds so that neighbouring (stream, index) pairs land far
+// apart in seed space.
+func Mix(seed int64, stream, index uint64) int64 {
+	h := SplitMix64(uint64(seed) ^ stream)
+	h = SplitMix64(h + index)
+	return int64(h)
+}
+
+// Derive builds an independent generator for (seed, stream, index).
+// The returned *rand.Rand is backed by rand.NewSource, whose output
+// sequence is covered by the Go 1 compatibility promise, so derived
+// streams are stable across Go releases and platforms.
+func Derive(seed int64, stream, index uint64) *rand.Rand {
+	return rand.New(rand.NewSource(Mix(seed, stream, index)))
+}

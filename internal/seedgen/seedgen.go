@@ -18,6 +18,7 @@ import (
 	"repro/internal/classfile"
 	"repro/internal/descriptor"
 	"repro/internal/jimple"
+	"repro/internal/prng"
 )
 
 // Options configure corpus generation.
@@ -40,24 +41,36 @@ func DefaultOptions(count int, seed int64) Options {
 	return Options{Count: count, Seed: seed, SkewFraction: 1.0 / 48, AttachMain: true}
 }
 
-// Generate builds the corpus.
+// classStream labels the per-class derived RNG streams of Generate.
+const classStream uint64 = 0x5EED_0001
+
+// Generate builds the corpus. Each class draws from its own splittable
+// stream derived from (Seed, index), so class i is identical whatever
+// corpus size it is generated within — GenerateOne(opts, i) reproduces
+// it in isolation.
 func Generate(opts Options) []*jimple.Class {
-	rng := rand.New(rand.NewSource(opts.Seed))
 	out := make([]*jimple.Class, 0, opts.Count)
 	for i := 0; i < opts.Count; i++ {
-		name := fmt.Sprintf("M%d", 1430000000+rng.Intn(99999999))
-		var c *jimple.Class
-		if rng.Float64() < opts.SkewFraction {
-			c = buildSkewed(name, rng)
-		} else {
-			c = shapes[rng.Intn(len(shapes))](name, rng)
-		}
-		if opts.AttachMain && !c.IsInterface() && c.FindMethod("main") == nil {
-			c.AddStandardMain("Completed!")
-		}
-		out = append(out, c)
+		out = append(out, GenerateOne(opts, i))
 	}
 	return out
+}
+
+// GenerateOne builds class i of the corpus opts describes without
+// generating the rest.
+func GenerateOne(opts Options, i int) *jimple.Class {
+	rng := prng.Derive(opts.Seed, classStream, uint64(i))
+	name := fmt.Sprintf("M%d", 1430000000+rng.Intn(99999999))
+	var c *jimple.Class
+	if rng.Float64() < opts.SkewFraction {
+		c = buildSkewed(name, rng)
+	} else {
+		c = shapes[rng.Intn(len(shapes))](name, rng)
+	}
+	if opts.AttachMain && !c.IsInterface() && c.FindMethod("main") == nil {
+		c.AddStandardMain("Completed!")
+	}
+	return c
 }
 
 // GenerateFiles lowers a generated corpus straight to classfile bytes.
