@@ -263,7 +263,7 @@ func BenchmarkReferenceVMRun(b *testing.B) {
 		b.Fatal(err)
 	}
 	vm := jvm.New(jvm.HotSpot9())
-	rec := coverage.NewRecorder()
+	rec := coverage.NewRecorder(jvm.ProbeRegistry())
 	vm.SetRecorder(rec)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -5,10 +5,16 @@
 // deterministic in everything but wall clock, every row of the sweep
 // fuzzes the identical campaign.
 //
+// Besides wall-clock throughput each row records the allocation cost of
+// one campaign (allocs/op and bytes/op in the testing.B sense, measured
+// via runtime.MemStats deltas), so the coverage-engine hot path can be
+// tracked for allocation regressions alongside speed.
+//
 // Usage:
 //
 //	campaignbench [-seeds N] [-iters N] [-seed N] [-workers 1,4,8]
 //	              [-repeat N] [-out BENCH_campaign.json]
+//	              [-cpuprofile FILE] [-memprofile FILE]
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -36,6 +43,11 @@ type row struct {
 	MicrosPerGen float64 `json:"micros_per_gen"`
 	MicrosTest   float64 `json:"micros_per_test"`
 	Speedup      float64 `json:"speedup_vs_1"`
+	// AllocsPerOp / BytesPerOp are the heap allocation count and bytes
+	// of one full campaign (lowest across repeats), matching what
+	// `go test -benchmem` reports per benchmark op.
+	AllocsPerOp uint64 `json:"allocs_per_op"`
+	BytesPerOp  uint64 `json:"bytes_per_op"`
 }
 
 type report struct {
@@ -55,6 +67,8 @@ func main() {
 	workersList := flag.String("workers", "1,4,8", "comma-separated worker counts to sweep")
 	repeat := flag.Int("repeat", 3, "campaigns per worker count (best time wins)")
 	out := flag.String("out", "BENCH_campaign.json", "output file")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile (after the sweep) to this file")
 	flag.Parse()
 
 	var sweep []int
@@ -65,6 +79,20 @@ func main() {
 			os.Exit(2)
 		}
 		sweep = append(sweep, n)
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	seeds := seedgen.Generate(seedgen.DefaultOptions(*seedCount, *seed))
@@ -90,8 +118,11 @@ func main() {
 			Workers:         w,
 		}
 		best := time.Duration(0)
+		var bestAllocs, bestBytes uint64
 		var last *campaign.Result
 		for r := 0; r < *repeat; r++ {
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
 			start := time.Now()
 			res, err := campaign.Run(cfg)
 			if err != nil {
@@ -99,8 +130,15 @@ func main() {
 				os.Exit(1)
 			}
 			el := time.Since(start)
+			runtime.ReadMemStats(&after)
+			allocs := after.Mallocs - before.Mallocs
+			bytes := after.TotalAlloc - before.TotalAlloc
 			if best == 0 || el < best {
 				best = el
+			}
+			if bestAllocs == 0 || allocs < bestAllocs {
+				bestAllocs = allocs
+				bestBytes = bytes
 			}
 			last = res
 		}
@@ -110,6 +148,8 @@ func main() {
 			Tests:       len(last.Test),
 			MillisTotal: float64(best.Microseconds()) / 1000,
 			ItersPerSec: float64(*iters) / best.Seconds(),
+			AllocsPerOp: bestAllocs,
+			BytesPerOp:  bestBytes,
 		}
 		if n := len(last.Gen); n > 0 {
 			r.MicrosPerGen = best.Seconds() / float64(n) * 1e6
@@ -124,8 +164,22 @@ func main() {
 			r.Speedup = r.ItersPerSec / base
 		}
 		rep.Rows = append(rep.Rows, r)
-		fmt.Fprintf(os.Stderr, "workers=%d: %s, %.0f iters/sec, %d tests (%.2fx)\n",
-			w, best.Round(time.Millisecond), r.ItersPerSec, r.Tests, r.Speedup)
+		fmt.Fprintf(os.Stderr, "workers=%d: %s, %.0f iters/sec, %d tests (%.2fx), %d allocs/op, %d B/op\n",
+			w, best.Round(time.Millisecond), r.ItersPerSec, r.Tests, r.Speedup, r.AllocsPerOp, r.BytesPerOp)
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
 	}
 
 	blob, err := json.MarshalIndent(rep, "", "  ")

@@ -100,6 +100,46 @@ func main() {
 		fmt.Printf("| doomed but executed (cache miss) | %d |\n\n", pf.Executed)
 	}
 
+	// Re-run the accepted suite on an instrumented reference VM and
+	// merge the tracefiles (the ⊕ operator) into the suite's combined
+	// coverage. Probe indices resolve back to human-readable names
+	// through the shared registry.
+	reg := jvm.ProbeRegistry()
+	rec := coverage.NewRecorder(reg)
+	refVM := jvm.New(jvm.HotSpot9())
+	refVM.SetRecorder(rec)
+	merged := coverage.NewTrace()
+	for _, g := range res.Test {
+		rec.Reset()
+		refVM.Run(g.Data)
+		merged = coverage.Merge(merged, rec.Trace())
+	}
+	mst := merged.Stats()
+
+	fmt.Printf("## Reference-VM coverage of the accepted suite\n\n")
+	fmt.Printf("Merged tracefile of every representative test, re-executed on the\n")
+	fmt.Printf("instrumented reference VM (statement and branch-edge probes over\n")
+	fmt.Printf("the interned probe registry).\n\n")
+	fmt.Printf("| metric | value |\n|---|---|\n")
+	fmt.Printf("| statement probes covered | %d / %d |\n", mst.Stmts, reg.NumStmts())
+	fmt.Printf("| branch edges covered | %d / %d |\n", mst.Branches, 2*reg.NumBranches())
+	fmt.Printf("| combined statistic | %s |\n\n", mst)
+	var uncovered []string
+	for id := 0; id < reg.NumStmts(); id++ {
+		if !merged.HasStmt(coverage.StmtID(id)) {
+			uncovered = append(uncovered, reg.StmtName(coverage.StmtID(id)))
+		}
+	}
+	sort.Strings(uncovered)
+	if n := len(uncovered); n > 0 {
+		const show = 12
+		fmt.Printf("Uncovered statement probes (%d total, first %d):\n\n", n, min(show, n))
+		for _, name := range uncovered[:min(show, n)] {
+			fmt.Printf("- `%s`\n", name)
+		}
+		fmt.Printf("\n")
+	}
+
 	fmt.Printf("## Differential testing\n\n")
 	fmt.Printf("| metric | value |\n|---|---|\n")
 	fmt.Printf("| suite size | %d |\n", sum.Total)

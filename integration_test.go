@@ -114,7 +114,7 @@ func TestCoverageUniquenessHoldsOverSuite(t *testing.T) {
 		t.Fatal(err)
 	}
 	vm := jvm.New(jvm.HotSpot9())
-	rec := coverage.NewRecorder()
+	rec := coverage.NewRecorder(jvm.ProbeRegistry())
 	vm.SetRecorder(rec)
 	seen := map[coverage.Stats]string{}
 	for _, g := range res.Test {

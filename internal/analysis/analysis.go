@@ -18,7 +18,7 @@ package analysis
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/classfile"
 	"repro/internal/jvm"
@@ -169,7 +169,7 @@ func Run(f *classfile.File, analyzers []*Analyzer) []Diagnostic {
 		p.analyzer = a
 		a.Run(p)
 	}
-	sort.SliceStable(p.diags, func(i, j int) bool { return p.diags[i].Seq < p.diags[j].Seq })
+	slices.SortStableFunc(p.diags, func(a, b Diagnostic) int { return a.Seq - b.Seq })
 	return p.diags
 }
 

@@ -1,8 +1,6 @@
 package analysis
 
 import (
-	"encoding/binary"
-	"hash/fnv"
 	"strings"
 
 	"repro/internal/classfile"
@@ -41,13 +39,20 @@ func LoadReject(f *classfile.File, p *jvm.Policy) *Diagnostic {
 // differing only in generated class names or numeric payloads share a
 // fingerprint.
 func Fingerprint(f *classfile.File) uint64 {
-	h := fnv.New64a()
-	var buf [8]byte
+	// Inlined FNV-1a (identical to hash/fnv.New64a) so hashing a
+	// skeleton allocates nothing: writing through the hash.Hash64
+	// interface forced a heap allocation per appended byte, which made
+	// fingerprinting a visible slice of the prefilter's cost.
+	const (
+		fnvOffset64 = 14695981039346656037
+		fnvPrime64  = 1099511628211
+	)
+	h := uint64(fnvOffset64)
+	u8 := func(v byte) { h = (h ^ uint64(v)) * fnvPrime64 }
 	u16 := func(v uint16) {
-		binary.BigEndian.PutUint16(buf[:2], v)
-		h.Write(buf[:2])
+		u8(byte(v >> 8))
+		u8(byte(v))
 	}
-	u8 := func(v byte) { h.Write([]byte{v}) }
 
 	u16(f.Minor)
 	u16(f.Major)
@@ -106,7 +111,7 @@ func Fingerprint(f *classfile.File) uint64 {
 	for _, m := range f.Methods {
 		member(m)
 	}
-	return h.Sum64()
+	return h
 }
 
 // utf8Bits packs the validity properties the loader branches on.

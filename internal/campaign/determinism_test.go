@@ -191,7 +191,7 @@ func referenceClassfuzz(t *testing.T, cfg Config) []string {
 	suite := coverage.NewSuite(cfg.Criterion)
 
 	vm := jvm.New(cfg.RefSpec)
-	rec := coverage.NewRecorder()
+	rec := coverage.NewRecorder(jvm.ProbeRegistry())
 	vm.SetRecorder(rec)
 
 	pool := append([]poolEntry(nil), make([]poolEntry, 0, len(cfg.Seeds))...)

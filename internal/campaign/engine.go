@@ -88,7 +88,7 @@ func newEngine(cfg Config) *engine {
 	if cfg.Algorithm == Uniquefuzz {
 		e.suite = coverage.NewSuite(coverage.STBR)
 	}
-	e.greedyUnion = &coverage.Trace{Stmts: map[string]bool{}, Branches: map[string]bool{}}
+	e.greedyUnion = coverage.NewTrace()
 	e.genStats = coverage.NewSuite(coverage.STBR) // counts unique stats over Gen
 
 	if cfg.StaticPrefilter && e.coverageDirected {
@@ -109,7 +109,7 @@ func (e *engine) run() (*Result, error) {
 	}
 	if e.coverageDirected {
 		vm := jvm.New(cfg.RefSpec)
-		rec := coverage.NewRecorder()
+		rec := coverage.NewRecorder(jvm.ProbeRegistry())
 		vm.SetRecorder(rec)
 		for _, s := range cfg.Seeds {
 			tr, _, err := runOnRef(vm, rec, s)
@@ -159,7 +159,7 @@ func (e *engine) run() (*Result, error) {
 			// across runs, so one instance serves the worker's stream of
 			// mutants without sharing anything with its peers.
 			vm := jvm.New(cfg.RefSpec)
-			rec := coverage.NewRecorder()
+			rec := coverage.NewRecorder(jvm.ProbeRegistry())
 			vm.SetRecorder(rec)
 			for t := range tasks {
 				e.process(t, vm, rec)
@@ -229,9 +229,11 @@ func (e *engine) process(t *task, vm *jvm.VM, rec *coverage.Recorder) {
 	if !e.coverageDirected {
 		return // randfuzz never runs the reference VM
 	}
+	var parsed *classfile.File
 	if e.pf != nil {
 		t.checked = true
 		if f, perr := classfile.Parse(data); perr == nil {
+			parsed = f
 			if d := analysis.LoadReject(f, e.pf.policy); d != nil {
 				t.doomed = true
 				t.fp = analysis.Fingerprint(f)
@@ -246,7 +248,14 @@ func (e *engine) process(t *task, vm *jvm.VM, rec *coverage.Recorder) {
 		}
 	}
 	rec.Reset()
-	vm.Run(data)
+	if parsed != nil {
+		// The prefilter already parsed these bytes successfully; reuse
+		// the parse (RunParsed fires the parse probes, so the trace is
+		// identical to vm.Run re-parsing the same data).
+		vm.RunParsed(parsed)
+	} else {
+		vm.Run(data)
+	}
 	t.trace = rec.Trace()
 }
 

@@ -102,6 +102,26 @@ type Constant struct {
 // indices round-trip).
 type ConstPool struct {
 	Entries []*Constant
+
+	// arena chunk-allocates entries built through the Add*/parse paths
+	// (one heap object per chunk instead of per constant). Chunks are
+	// replaced when full, never regrown, so handed-out pointers stay
+	// valid for the life of the pool.
+	arena []Constant
+}
+
+// alloc places c in the pool's arena and returns a stable pointer.
+func (cp *ConstPool) alloc(c Constant) *Constant {
+	if len(cp.arena) == cap(cp.arena) {
+		// Small first chunk, bigger follow-ups for large pools.
+		n := 16
+		if cap(cp.arena) >= 16 {
+			n = 64
+		}
+		cp.arena = make([]Constant, 0, n)
+	}
+	cp.arena = append(cp.arena, c)
+	return &cp.arena[len(cp.arena)-1]
 }
 
 // NewConstPool returns a pool containing only the reserved slot 0.
@@ -182,7 +202,7 @@ func (cp *ConstPool) AddUtf8(s string) uint16 {
 			return uint16(i)
 		}
 	}
-	return cp.add(&Constant{Tag: TagUtf8, Str: s})
+	return cp.add(cp.alloc(Constant{Tag: TagUtf8, Str: s}))
 }
 
 // AddClass interns a Class constant for an internal name.
@@ -193,7 +213,7 @@ func (cp *ConstPool) AddClass(internalName string) uint16 {
 			return uint16(i)
 		}
 	}
-	return cp.add(&Constant{Tag: TagClass, Ref1: nameIdx})
+	return cp.add(cp.alloc(Constant{Tag: TagClass, Ref1: nameIdx}))
 }
 
 // AddString interns a String constant.
@@ -204,7 +224,7 @@ func (cp *ConstPool) AddString(s string) uint16 {
 			return uint16(i)
 		}
 	}
-	return cp.add(&Constant{Tag: TagString, Ref1: strIdx})
+	return cp.add(cp.alloc(Constant{Tag: TagString, Ref1: strIdx}))
 }
 
 // AddInteger interns an Integer constant.
@@ -214,7 +234,7 @@ func (cp *ConstPool) AddInteger(v int32) uint16 {
 			return uint16(i)
 		}
 	}
-	return cp.add(&Constant{Tag: TagInteger, Int: v})
+	return cp.add(cp.alloc(Constant{Tag: TagInteger, Int: v}))
 }
 
 // AddFloat interns a Float constant (NaNs compare by bit pattern).
@@ -225,7 +245,7 @@ func (cp *ConstPool) AddFloat(v float32) uint16 {
 			return uint16(i)
 		}
 	}
-	return cp.add(&Constant{Tag: TagFloat, Float: v})
+	return cp.add(cp.alloc(Constant{Tag: TagFloat, Float: v}))
 }
 
 // AddLong interns a Long constant.
@@ -235,7 +255,7 @@ func (cp *ConstPool) AddLong(v int64) uint16 {
 			return uint16(i)
 		}
 	}
-	return cp.add(&Constant{Tag: TagLong, Long: v})
+	return cp.add(cp.alloc(Constant{Tag: TagLong, Long: v}))
 }
 
 // AddDouble interns a Double constant (NaNs compare by bit pattern).
@@ -246,7 +266,7 @@ func (cp *ConstPool) AddDouble(v float64) uint16 {
 			return uint16(i)
 		}
 	}
-	return cp.add(&Constant{Tag: TagDouble, Double: v})
+	return cp.add(cp.alloc(Constant{Tag: TagDouble, Double: v}))
 }
 
 // AddNameAndType interns a NameAndType constant.
@@ -258,7 +278,7 @@ func (cp *ConstPool) AddNameAndType(name, desc string) uint16 {
 			return uint16(i)
 		}
 	}
-	return cp.add(&Constant{Tag: TagNameAndType, Ref1: n, Ref2: d})
+	return cp.add(cp.alloc(Constant{Tag: TagNameAndType, Ref1: n, Ref2: d}))
 }
 
 func (cp *ConstPool) addMemberRef(tag ConstTag, class, name, desc string) uint16 {
@@ -269,7 +289,7 @@ func (cp *ConstPool) addMemberRef(tag ConstTag, class, name, desc string) uint16
 			return uint16(i)
 		}
 	}
-	return cp.add(&Constant{Tag: tag, Ref1: ci, Ref2: nt})
+	return cp.add(cp.alloc(Constant{Tag: tag, Ref1: ci, Ref2: nt}))
 }
 
 // AddFieldref interns a Fieldref constant.
@@ -333,8 +353,7 @@ func (cp *ConstPool) Clone() *ConstPool {
 	out := &ConstPool{Entries: make([]*Constant, len(cp.Entries))}
 	for i, c := range cp.Entries {
 		if c != nil {
-			cc := *c
-			out.Entries[i] = &cc
+			out.Entries[i] = out.alloc(*c)
 		}
 	}
 	return out

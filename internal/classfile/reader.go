@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // reader is a bounds-checked big-endian cursor over the raw bytes.
@@ -99,7 +100,7 @@ func Parse(data []byte) (*File, error) {
 		if r.err != nil {
 			return nil, r.err
 		}
-		c := &Constant{Tag: tag}
+		c := pool.alloc(Constant{Tag: tag})
 		switch tag {
 		case TagUtf8:
 			n := int(r.u2())
@@ -330,10 +331,43 @@ func decodeAttribute(name string, body []byte, cp *ConstPool) (Attribute, error)
 	}
 }
 
+// utf8Intern caches decoded modified-UTF-8 strings by their raw byte
+// encoding. Fuzzing campaigns parse thousands of mutants that share the
+// same small vocabulary of names and descriptors, so warm decodes are a
+// lock-guarded map hit with zero allocations. Bounded by wholesale
+// reset; entries are pure functions of their keys, so eviction only
+// costs a redundant decode.
+var utf8Intern = struct {
+	sync.RWMutex
+	m map[string]string
+}{m: make(map[string]string)}
+
+const utf8InternMax = 1 << 13
+
 // decodeModifiedUTF8 decodes the JVM's modified UTF-8 (JVMS §4.4.7):
 // U+0000 as 0xC0 0x80, no 4-byte forms, surrogate pairs as two 3-byte
 // sequences. We map it to a Go string preserving code units.
 func decodeModifiedUTF8(b []byte) (string, error) {
+	utf8Intern.RLock()
+	s, ok := utf8Intern.m[string(b)] // no alloc: map lookup by converted key
+	utf8Intern.RUnlock()
+	if ok {
+		return s, nil
+	}
+	s, err := decodeModifiedUTF8Slow(b)
+	if err != nil {
+		return "", err
+	}
+	utf8Intern.Lock()
+	if len(utf8Intern.m) >= utf8InternMax {
+		utf8Intern.m = make(map[string]string)
+	}
+	utf8Intern.m[string(b)] = s
+	utf8Intern.Unlock()
+	return s, nil
+}
+
+func decodeModifiedUTF8Slow(b []byte) (string, error) {
 	out := make([]rune, 0, len(b))
 	for i := 0; i < len(b); {
 		c := b[i]
@@ -361,6 +395,17 @@ func decodeModifiedUTF8(b []byte) (string, error) {
 		}
 	}
 	return string(out), nil
+}
+
+// asciiNoNUL reports whether s consists only of bytes in [0x01, 0x7F],
+// i.e. strings whose modified-UTF-8 encoding is the identity.
+func asciiNoNUL(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] == 0 || s[i] >= 0x80 {
+			return false
+		}
+	}
+	return true
 }
 
 // encodeModifiedUTF8 is the inverse of decodeModifiedUTF8.

@@ -49,6 +49,16 @@ func (f *File) Bytes() ([]byte, error) {
 		w.u1(byte(c.Tag))
 		switch c.Tag {
 		case TagUtf8:
+			if asciiNoNUL(c.Str) {
+				// Fast path: plain ASCII without NUL encodes to its own
+				// bytes; append the string directly, no scratch slice.
+				if len(c.Str) > 0xFFFF {
+					return nil, fmt.Errorf("classfile: Utf8 constant longer than 65535 bytes")
+				}
+				w.u2(uint16(len(c.Str)))
+				w.buf = append(w.buf, c.Str...)
+				break
+			}
 			b := encodeModifiedUTF8(c.Str)
 			if len(b) > 0xFFFF {
 				return nil, fmt.Errorf("classfile: Utf8 constant longer than 65535 bytes")

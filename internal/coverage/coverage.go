@@ -4,80 +4,175 @@
 // merging tracefiles (the ⊕ operator), and the three uniqueness
 // criteria [st], [stbr] and [tr] that decide whether a mutant is
 // "representative" with respect to an existing test suite.
+//
+// Probes are interned once through a Registry into dense integer
+// indices; the hot path (one recorder increment per probe hit, many
+// thousands per reference-VM run) is a bounds-checked slice increment
+// with zero allocations, and traces are plain bitsets compared and
+// merged a machine word at a time.
 package coverage
 
 import (
 	"fmt"
-	"sort"
-	"strings"
+	"math/bits"
 )
 
 // Recorder collects probe hits during one execution of the reference
-// JVM. Probe identifiers are stable strings assigned at the check sites
-// inside internal/jvm (the analogue of GCOV line/branch counters over
-// hotspot/src/share/vm/classfile/).
+// JVM. Counters are flat slices over the registry's dense index space;
+// a dirty list of touched indices makes Reset O(hits) rather than
+// O(capacity), so recycling a recorder across a campaign's stream of
+// mutants costs only as much as the probes the last mutant actually hit.
 type Recorder struct {
-	stmts    map[string]uint32
-	branches map[string]uint32
+	reg       *Registry
+	stmt      []uint32 // hit counts per statement index
+	edge      []uint32 // hit counts per branch-edge index (2 per branch)
+	dirtyStmt []uint32 // statement indices with nonzero counts
+	dirtyEdge []uint32 // edge indices with nonzero counts
 }
 
-// NewRecorder returns an empty recorder.
-func NewRecorder() *Recorder {
+// NewRecorder returns an empty recorder over the registry's probe
+// space. The recorder grows automatically if probes are interned after
+// its creation.
+func NewRecorder(reg *Registry) *Recorder {
 	return &Recorder{
-		stmts:    make(map[string]uint32, 128),
-		branches: make(map[string]uint32, 128),
+		reg:  reg,
+		stmt: make([]uint32, reg.NumStmts()),
+		edge: make([]uint32, 2*reg.NumBranches()),
 	}
 }
 
+// Registry returns the probe registry the recorder records against.
+func (r *Recorder) Registry() *Registry { return r.reg }
+
 // Stmt records one execution of the statement probe id.
-func (r *Recorder) Stmt(id string) {
+func (r *Recorder) Stmt(id StmtID) {
 	if r == nil {
 		return
 	}
-	r.stmts[id]++
+	if int(id) >= len(r.stmt) {
+		r.stmt = append(r.stmt, make([]uint32, int(id)+1-len(r.stmt))...)
+	}
+	if r.stmt[id] == 0 {
+		r.dirtyStmt = append(r.dirtyStmt, uint32(id))
+	}
+	r.stmt[id]++
 }
 
 // Branch records one execution of a two-way branch probe; the taken
 // direction distinguishes the two edges.
-func (r *Recorder) Branch(id string, taken bool) {
+func (r *Recorder) Branch(id BranchID, taken bool) {
 	if r == nil {
 		return
 	}
-	if taken {
-		r.branches[id+":T"]++
-	} else {
-		r.branches[id+":F"]++
+	e := 2 * uint32(id)
+	if !taken {
+		e++
 	}
+	if int(e) >= len(r.edge) {
+		r.edge = append(r.edge, make([]uint32, int(e)+1-len(r.edge))...)
+	}
+	if r.edge[e] == 0 {
+		r.dirtyEdge = append(r.dirtyEdge, e)
+	}
+	r.edge[e]++
 }
 
 // Reset clears all recorded hits so the recorder can serve another run.
+// Only the dirty indices are touched.
 func (r *Recorder) Reset() {
-	clear(r.stmts)
-	clear(r.branches)
+	for _, i := range r.dirtyStmt {
+		r.stmt[i] = 0
+	}
+	for _, e := range r.dirtyEdge {
+		r.edge[e] = 0
+	}
+	r.dirtyStmt = r.dirtyStmt[:0]
+	r.dirtyEdge = r.dirtyEdge[:0]
 }
 
 // Trace snapshots the recorder into an immutable tracefile.
 func (r *Recorder) Trace() *Trace {
-	t := &Trace{
-		Stmts:    make(map[string]bool, len(r.stmts)),
-		Branches: make(map[string]bool, len(r.branches)),
+	t := &Trace{}
+	for _, i := range r.dirtyStmt {
+		t.setStmt(StmtID(i))
 	}
-	for k := range r.stmts {
-		t.Stmts[k] = true
-	}
-	for k := range r.branches {
-		t.Branches[k] = true
+	for _, e := range r.dirtyEdge {
+		t.setEdge(e)
 	}
 	return t
 }
 
-// Trace is a tracefile tr_cl: the sets of statement and branch probes a
-// classfile hit on the reference JVM. Execution order and frequencies
-// are deliberately omitted, exactly as the paper's [tr] criterion
-// specifies ("statically different").
+// Trace is a tracefile tr_cl: the sets of statement and branch-edge
+// probes a classfile hit on the reference JVM, stored as bitsets over
+// the registry's dense index space. Execution order and frequencies are
+// deliberately omitted, exactly as the paper's [tr] criterion specifies
+// ("statically different"). Traces are immutable after construction;
+// trailing zero words are insignificant, so traces snapshotted at
+// different registry sizes compare correctly.
 type Trace struct {
-	Stmts    map[string]bool
-	Branches map[string]bool
+	stmts []uint64
+	edges []uint64
+
+	key   Key
+	keyed bool
+}
+
+// NewTrace returns an empty trace (the identity element of Merge).
+func NewTrace() *Trace { return &Trace{} }
+
+func setBit(w []uint64, i uint32) []uint64 {
+	word := int(i >> 6)
+	for word >= len(w) {
+		w = append(w, 0)
+	}
+	w[word] |= 1 << (i & 63)
+	return w
+}
+
+func (t *Trace) setStmt(id StmtID) { t.stmts = setBit(t.stmts, uint32(id)) }
+func (t *Trace) setEdge(e uint32)  { t.edges = setBit(t.edges, e) }
+
+// HasStmt reports whether the trace covers the statement probe.
+func (t *Trace) HasStmt(id StmtID) bool {
+	w := int(id >> 6)
+	return w < len(t.stmts) && t.stmts[w]&(1<<(id&63)) != 0
+}
+
+// HasEdge reports whether the trace covers the given edge of a branch
+// probe.
+func (t *Trace) HasEdge(id BranchID, taken bool) bool {
+	e := 2 * uint32(id)
+	if !taken {
+		e++
+	}
+	w := int(e >> 6)
+	return w < len(t.edges) && t.edges[w]&(1<<(e&63)) != 0
+}
+
+// StmtIDs returns the covered statement indices in ascending order.
+func (t *Trace) StmtIDs() []StmtID {
+	out := make([]StmtID, 0, popcount(t.stmts))
+	for wi, w := range t.stmts {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, StmtID(wi*64+b))
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// EdgeIDs returns the covered branch-edge indices in ascending order.
+func (t *Trace) EdgeIDs() []uint32 {
+	out := make([]uint32, 0, popcount(t.edges))
+	for wi, w := range t.edges {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, uint32(wi*64+b))
+			w &= w - 1
+		}
+	}
+	return out
 }
 
 // Stats are the scalar coverage statistics tr.stmt / tr.br used by the
@@ -90,66 +185,110 @@ type Stats struct {
 // String renders stats in the paper's stmt/branch form.
 func (s Stats) String() string { return fmt.Sprintf("%d/%d", s.Stmts, s.Branches) }
 
-// Stats returns the trace's coverage statistics.
-func (t *Trace) Stats() Stats {
-	return Stats{Stmts: len(t.Stmts), Branches: len(t.Branches)}
+func popcount(w []uint64) int {
+	n := 0
+	for _, x := range w {
+		n += bits.OnesCount64(x)
+	}
+	return n
 }
 
-// Merge implements the ⊕ operator: the union tracefile.
-func Merge(a, b *Trace) *Trace {
-	out := &Trace{
-		Stmts:    make(map[string]bool, len(a.Stmts)+len(b.Stmts)),
-		Branches: make(map[string]bool, len(a.Branches)+len(b.Branches)),
+// Stats returns the trace's coverage statistics.
+func (t *Trace) Stats() Stats {
+	return Stats{Stmts: popcount(t.stmts), Branches: popcount(t.edges)}
+}
+
+func unionWords(a, b []uint64) []uint64 {
+	long, short := a, b
+	if len(b) > len(a) {
+		long, short = b, a
 	}
-	for k := range a.Stmts {
-		out.Stmts[k] = true
-	}
-	for k := range b.Stmts {
-		out.Stmts[k] = true
-	}
-	for k := range a.Branches {
-		out.Branches[k] = true
-	}
-	for k := range b.Branches {
-		out.Branches[k] = true
+	out := make([]uint64, len(long))
+	copy(out, long)
+	for i, w := range short {
+		out[i] |= w
 	}
 	return out
 }
 
-// EqualSets reports whether two traces cover exactly the same statement
-// and branch sets. By the merge identities this is equivalent to
-// tr_a.stmt = tr_b.stmt = (tr_a ⊕ tr_b).stmt ∧ the same for br.
-func (t *Trace) EqualSets(o *Trace) bool {
-	if len(t.Stmts) != len(o.Stmts) || len(t.Branches) != len(o.Branches) {
-		return false
+// Merge implements the ⊕ operator: the union tracefile, one OR per
+// machine word.
+func Merge(a, b *Trace) *Trace {
+	return &Trace{
+		stmts: unionWords(a.stmts, b.stmts),
+		edges: unionWords(a.edges, b.edges),
 	}
-	for k := range t.Stmts {
-		if !o.Stmts[k] {
+}
+
+func equalWords(a, b []uint64) bool {
+	long, short := a, b
+	if len(b) > len(a) {
+		long, short = b, a
+	}
+	for i, w := range short {
+		if long[i] != w {
 			return false
 		}
 	}
-	for k := range t.Branches {
-		if !o.Branches[k] {
+	for _, w := range long[len(short):] {
+		if w != 0 {
 			return false
 		}
 	}
 	return true
 }
 
-// Key returns a canonical string fingerprint of the trace's probe sets,
-// used to bucket identical traces cheaply.
-func (t *Trace) Key() string {
-	ss := make([]string, 0, len(t.Stmts))
-	for k := range t.Stmts {
-		ss = append(ss, k)
+// EqualSets reports whether two traces cover exactly the same statement
+// and branch sets. By the merge identities this is equivalent to
+// tr_a.stmt = tr_b.stmt = (tr_a ⊕ tr_b).stmt ∧ the same for br.
+func (t *Trace) EqualSets(o *Trace) bool {
+	return equalWords(t.stmts, o.stmts) && equalWords(t.edges, o.edges)
+}
+
+// Key is a 128-bit fingerprint of a trace's probe sets. Equal sets
+// always produce equal keys (the hash ignores trailing zero words), so
+// keys bucket set-identical traces; unequal sets collide only with
+// ~2^-128 probability, and every bucket is confirmed by EqualSets
+// before a candidate is rejected.
+type Key struct{ Hi, Lo uint64 }
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+	altOffset = 0x9e3779b97f4a7c15
+)
+
+func mix(h, x uint64) uint64 {
+	h ^= x
+	h *= fnvPrime
+	h ^= h >> 29
+	return h
+}
+
+func hashWords(hi, lo uint64, w []uint64) (uint64, uint64) {
+	for i, x := range w {
+		if x == 0 {
+			continue
+		}
+		hi = mix(mix(hi, uint64(i)), x)
+		lo = mix(mix(lo, x), uint64(i))
 	}
-	sort.Strings(ss)
-	bs := make([]string, 0, len(t.Branches))
-	for k := range t.Branches {
-		bs = append(bs, k)
+	return hi, lo
+}
+
+// Key returns the trace's 128-bit set fingerprint, replacing the string
+// engine's sorted-join canonical string. The key is computed once and
+// cached; traces are immutable so this is safe.
+func (t *Trace) Key() Key {
+	if !t.keyed {
+		hi, lo := hashWords(fnvOffset, altOffset, t.stmts)
+		hi = mix(hi, 0x5eed) // domain separator between stmt and edge sets
+		lo = mix(lo, 0x5eed)
+		hi, lo = hashWords(hi, lo, t.edges)
+		t.key = Key{Hi: hi, Lo: lo}
+		t.keyed = true
 	}
-	sort.Strings(bs)
-	return strings.Join(ss, "\x00") + "\x01" + strings.Join(bs, "\x00")
+	return t.key
 }
 
 // Criterion selects which uniqueness discipline a Suite applies.
@@ -186,10 +325,12 @@ type Suite struct {
 	criterion Criterion
 	stmtSeen  map[int]bool
 	pairSeen  map[Stats]bool
-	// byStats buckets full traces by their stats pair so the [tr]
-	// criterion only set-compares candidates against same-stats tests.
-	byStats map[Stats][]*Trace
-	size    int
+	// byKey buckets full traces by stats pair and then by 128-bit set
+	// fingerprint, so the [tr] criterion set-compares a candidate only
+	// against the (almost always zero or one) stored traces whose
+	// fingerprint matches.
+	byKey map[Stats]map[Key][]*Trace
+	size  int
 }
 
 // NewSuite returns an empty suite using the given criterion.
@@ -198,7 +339,7 @@ func NewSuite(c Criterion) *Suite {
 		criterion: c,
 		stmtSeen:  make(map[int]bool),
 		pairSeen:  make(map[Stats]bool),
-		byStats:   make(map[Stats][]*Trace),
+		byKey:     make(map[Stats]map[Key][]*Trace),
 	}
 }
 
@@ -218,7 +359,7 @@ func (s *Suite) Unique(tr *Trace) bool {
 	case STBR:
 		return !s.pairSeen[st]
 	case TR:
-		for _, prev := range s.byStats[st] {
+		for _, prev := range s.byKey[st][tr.Key()] {
 			if tr.EqualSets(prev) {
 				return false
 			}
@@ -234,7 +375,13 @@ func (s *Suite) Add(tr *Trace) {
 	st := tr.Stats()
 	s.stmtSeen[st.Stmts] = true
 	s.pairSeen[st] = true
-	s.byStats[st] = append(s.byStats[st], tr)
+	bucket := s.byKey[st]
+	if bucket == nil {
+		bucket = make(map[Key][]*Trace)
+		s.byKey[st] = bucket
+	}
+	k := tr.Key()
+	bucket[k] = append(bucket[k], tr)
 	s.size++
 }
 

@@ -1,0 +1,305 @@
+package coverage
+
+// The reference model: the original string-map coverage engine, kept
+// verbatim as an executable specification. The differential property
+// test below drives the bitset engine and this model with identical
+// random probe-hit sequences and demands identical Stats, EqualSets
+// verdicts, Merge results and Suite accept/reject decisions — the
+// invariant that keeps campaign goldens fixed across the interning
+// rewrite.
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+)
+
+type refRecorder struct {
+	stmts    map[string]uint32
+	branches map[string]uint32
+}
+
+func newRefRecorder() *refRecorder {
+	return &refRecorder{stmts: map[string]uint32{}, branches: map[string]uint32{}}
+}
+
+func (r *refRecorder) Stmt(id string) { r.stmts[id]++ }
+
+func (r *refRecorder) Branch(id string, taken bool) {
+	if taken {
+		r.branches[id+":T"]++
+	} else {
+		r.branches[id+":F"]++
+	}
+}
+
+func (r *refRecorder) Reset() {
+	clear(r.stmts)
+	clear(r.branches)
+}
+
+func (r *refRecorder) Trace() *refTrace {
+	t := &refTrace{Stmts: map[string]bool{}, Branches: map[string]bool{}}
+	for k := range r.stmts {
+		t.Stmts[k] = true
+	}
+	for k := range r.branches {
+		t.Branches[k] = true
+	}
+	return t
+}
+
+type refTrace struct {
+	Stmts    map[string]bool
+	Branches map[string]bool
+}
+
+func (t *refTrace) Stats() Stats {
+	return Stats{Stmts: len(t.Stmts), Branches: len(t.Branches)}
+}
+
+func refMerge(a, b *refTrace) *refTrace {
+	out := &refTrace{Stmts: map[string]bool{}, Branches: map[string]bool{}}
+	for k := range a.Stmts {
+		out.Stmts[k] = true
+	}
+	for k := range b.Stmts {
+		out.Stmts[k] = true
+	}
+	for k := range a.Branches {
+		out.Branches[k] = true
+	}
+	for k := range b.Branches {
+		out.Branches[k] = true
+	}
+	return out
+}
+
+func (t *refTrace) EqualSets(o *refTrace) bool {
+	if len(t.Stmts) != len(o.Stmts) || len(t.Branches) != len(o.Branches) {
+		return false
+	}
+	for k := range t.Stmts {
+		if !o.Stmts[k] {
+			return false
+		}
+	}
+	for k := range t.Branches {
+		if !o.Branches[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func (t *refTrace) Key() string {
+	ss := make([]string, 0, len(t.Stmts))
+	for k := range t.Stmts {
+		ss = append(ss, k)
+	}
+	sort.Strings(ss)
+	bs := make([]string, 0, len(t.Branches))
+	for k := range t.Branches {
+		bs = append(bs, k)
+	}
+	sort.Strings(bs)
+	return strings.Join(ss, "\x00") + "\x01" + strings.Join(bs, "\x00")
+}
+
+type refSuite struct {
+	criterion Criterion
+	stmtSeen  map[int]bool
+	pairSeen  map[Stats]bool
+	byStats   map[Stats][]*refTrace
+}
+
+func newRefSuite(c Criterion) *refSuite {
+	return &refSuite{
+		criterion: c,
+		stmtSeen:  map[int]bool{},
+		pairSeen:  map[Stats]bool{},
+		byStats:   map[Stats][]*refTrace{},
+	}
+}
+
+func (s *refSuite) Unique(tr *refTrace) bool {
+	st := tr.Stats()
+	switch s.criterion {
+	case ST:
+		return !s.stmtSeen[st.Stmts]
+	case STBR:
+		return !s.pairSeen[st]
+	case TR:
+		for _, prev := range s.byStats[st] {
+			if tr.EqualSets(prev) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+func (s *refSuite) Add(tr *refTrace) {
+	st := tr.Stats()
+	s.stmtSeen[st.Stmts] = true
+	s.pairSeen[st] = true
+	s.byStats[st] = append(s.byStats[st], tr)
+}
+
+// hitSequence is one random execution: an interleaved series of
+// statement and branch probe hits over a bounded name universe.
+type hit struct {
+	name   string
+	branch bool
+	taken  bool
+}
+
+func randomHits(rng *rand.Rand) []hit {
+	n := rng.Intn(60)
+	hits := make([]hit, n)
+	for i := range hits {
+		if rng.Intn(2) == 0 {
+			hits[i] = hit{name: stmtNames[rng.Intn(len(stmtNames))]}
+		} else {
+			hits[i] = hit{
+				name:   brNames[rng.Intn(len(brNames))],
+				branch: true,
+				taken:  rng.Intn(2) == 0,
+			}
+		}
+	}
+	return hits
+}
+
+var (
+	stmtNames = []string{
+		"parse.enter", "load.enter", "load.field.entry", "link.ok",
+		"init.ok", "interp.op.iadd", "interp.op.goto", "verify.enter",
+		"s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7",
+	}
+	brNames = []string{
+		"parse.wellformed", "load.version.min", "load.field.dup",
+		"link.resolve.found", "init.threw", "b0", "b1", "b2", "b3", "b4",
+	}
+)
+
+// replay drives one hit sequence through both engines and returns the
+// paired traces.
+func replay(reg *Registry, rec *Recorder, ref *refRecorder, hits []hit) (*Trace, *refTrace) {
+	rec.Reset()
+	ref.Reset()
+	for _, h := range hits {
+		if h.branch {
+			rec.Branch(reg.Branch(h.name), h.taken)
+			ref.Branch(h.name, h.taken)
+		} else {
+			rec.Stmt(reg.Stmt(h.name))
+			ref.Stmt(h.name)
+		}
+	}
+	return rec.Trace(), ref.Trace()
+}
+
+// TestDifferentialAgainstStringModel is the rewrite's safety net:
+// random probe-hit sequences must produce identical observable
+// behaviour from the bitset engine and the string-map model.
+func TestDifferentialAgainstStringModel(t *testing.T) {
+	reg := NewRegistry()
+	rec := NewRecorder(reg)
+	ref := newRefRecorder()
+
+	for round := 0; round < 50; round++ {
+		rng := rand.New(rand.NewSource(int64(round)))
+
+		const traces = 24
+		news := make([]*Trace, traces)
+		olds := make([]*refTrace, traces)
+		for i := range news {
+			news[i], olds[i] = replay(reg, rec, ref, randomHits(rng))
+			if ns, os := news[i].Stats(), olds[i].Stats(); ns != os {
+				t.Fatalf("round %d trace %d: stats %v != ref %v", round, i, ns, os)
+			}
+		}
+
+		// Pairwise EqualSets verdicts and Merge results must agree.
+		for i := 0; i < traces; i++ {
+			for j := 0; j < traces; j++ {
+				if got, want := news[i].EqualSets(news[j]), olds[i].EqualSets(olds[j]); got != want {
+					t.Fatalf("round %d: EqualSets(%d,%d) = %v, ref %v", round, i, j, got, want)
+				}
+				// Keys must bucket exactly like canonical strings.
+				if got, want := news[i].Key() == news[j].Key(), olds[i].Key() == olds[j].Key(); got != want {
+					t.Fatalf("round %d: key equality (%d,%d) = %v, ref %v", round, i, j, got, want)
+				}
+				m, rm := Merge(news[i], news[j]), refMerge(olds[i], olds[j])
+				if m.Stats() != rm.Stats() {
+					t.Fatalf("round %d: merge stats (%d,%d) = %v, ref %v", round, i, j, m.Stats(), rm.Stats())
+				}
+				for _, id := range m.StmtIDs() {
+					if !rm.Stmts[reg.StmtName(id)] {
+						t.Fatalf("round %d: merge covers %q, ref does not", round, reg.StmtName(id))
+					}
+				}
+				for _, e := range m.EdgeIDs() {
+					if !rm.Branches[reg.EdgeName(e)] {
+						t.Fatalf("round %d: merge covers edge %q, ref does not", round, reg.EdgeName(e))
+					}
+				}
+			}
+		}
+
+		// Suite accept/reject decisions must be identical under all
+		// three criteria, in sequence (each accept changes later
+		// decisions, so one divergence would cascade — all the more
+		// reason the sequences must match exactly).
+		for _, c := range []Criterion{ST, STBR, TR} {
+			s, rs := NewSuite(c), newRefSuite(c)
+			for i := range news {
+				got, want := s.Unique(news[i]), rs.Unique(olds[i])
+				if got != want {
+					t.Fatalf("round %d %s: trace %d unique = %v, ref %v", round, c, i, got, want)
+				}
+				if got {
+					s.Add(news[i])
+					rs.Add(olds[i])
+				}
+			}
+		}
+	}
+}
+
+// TestZeroAllocsOnWarmProbes is the allocation-regression gate for the
+// hot path: firing an already-interned, already-hit probe must not
+// allocate. (Cold hits may append to the dirty list; a campaign's
+// recorder is warm for all but the first occurrence of each probe.)
+func TestZeroAllocsOnWarmProbes(t *testing.T) {
+	reg := NewRegistry()
+	s := reg.Stmt("hot.stmt")
+	b := reg.Branch("hot.branch")
+	r := NewRecorder(reg)
+	// Warm: counters nonzero, dirty lists allocated.
+	r.Stmt(s)
+	r.Branch(b, true)
+	r.Branch(b, false)
+
+	if avg := testing.AllocsPerRun(1000, func() {
+		r.Stmt(s)
+		r.Branch(b, true)
+		r.Branch(b, false)
+	}); avg != 0 {
+		t.Errorf("warm probe hits allocate %.1f times per run, want 0", avg)
+	}
+
+	// A full Reset→refire cycle over previously-hit probes must also be
+	// allocation-free: Reset keeps the dirty lists' capacity.
+	if avg := testing.AllocsPerRun(1000, func() {
+		r.Reset()
+		r.Stmt(s)
+		r.Branch(b, true)
+		r.Branch(b, false)
+	}); avg != 0 {
+		t.Errorf("reset+refire cycle allocates %.1f times per run, want 0", avg)
+	}
+}

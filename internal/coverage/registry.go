@@ -1,0 +1,141 @@
+package coverage
+
+import "sync"
+
+// StmtID is a dense interned index for a statement probe. IDs are
+// assigned by a Registry in interning order and are stable for the
+// lifetime of the process.
+type StmtID uint32
+
+// BranchID is a dense interned index for a two-way branch probe. A
+// branch probe owns two edge slots in a trace's branch bitset:
+// edge 2*id is the taken edge, 2*id+1 the not-taken edge.
+type BranchID uint32
+
+// BranchProbe bundles the two indices a vm.br-style check site fires:
+// the site's own statement probe plus its branch probe. The statement
+// index lives in the same space as plain statement probes, mirroring
+// the string engine where a branch site's id appeared in both sets.
+type BranchProbe struct {
+	Stmt   StmtID
+	Branch BranchID
+}
+
+// Registry interns stable probe-ID strings to dense indices, the
+// AFL-style substitute for string-keyed coverage maps: probe sites
+// intern once at startup and then fire plain integers, and traces
+// become bitsets over the dense index space. Interning is injective,
+// so every set-identity question ([st]/[stbr]/[tr] decisions, EqualSets,
+// Merge) has the same answer it had over probe-name sets.
+//
+// A Registry is safe for concurrent use; the hot path (firing an
+// already-interned probe) never touches it.
+type Registry struct {
+	mu        sync.RWMutex
+	stmtIdx   map[string]StmtID
+	stmtNames []string
+	brIdx     map[string]BranchID
+	brNames   []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		stmtIdx: make(map[string]StmtID, 256),
+		brIdx:   make(map[string]BranchID, 128),
+	}
+}
+
+// Stmt interns a statement probe name, returning its dense index. The
+// same name always yields the same index.
+func (g *Registry) Stmt(name string) StmtID {
+	g.mu.RLock()
+	id, ok := g.stmtIdx[name]
+	g.mu.RUnlock()
+	if ok {
+		return id
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if id, ok = g.stmtIdx[name]; ok {
+		return id
+	}
+	id = StmtID(len(g.stmtNames))
+	g.stmtIdx[name] = id
+	g.stmtNames = append(g.stmtNames, name)
+	return id
+}
+
+// Branch interns a branch probe name, returning its dense index.
+func (g *Registry) Branch(name string) BranchID {
+	g.mu.RLock()
+	id, ok := g.brIdx[name]
+	g.mu.RUnlock()
+	if ok {
+		return id
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if id, ok = g.brIdx[name]; ok {
+		return id
+	}
+	id = BranchID(len(g.brNames))
+	g.brIdx[name] = id
+	g.brNames = append(g.brNames, name)
+	return id
+}
+
+// Probe interns name as both a statement and a branch probe — the pair
+// a vm.br check site fires.
+func (g *Registry) Probe(name string) BranchProbe {
+	return BranchProbe{Stmt: g.Stmt(name), Branch: g.Branch(name)}
+}
+
+// NumStmts returns how many statement probes have been interned.
+func (g *Registry) NumStmts() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.stmtNames)
+}
+
+// NumBranches returns how many branch probes have been interned (each
+// occupies two edge slots).
+func (g *Registry) NumBranches() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.brNames)
+}
+
+// StmtName resolves a statement index back to its probe-ID string, or
+// "" if the index was never interned.
+func (g *Registry) StmtName(id StmtID) string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if int(id) >= len(g.stmtNames) {
+		return ""
+	}
+	return g.stmtNames[id]
+}
+
+// BranchName resolves a branch index back to its probe-ID string.
+func (g *Registry) BranchName(id BranchID) string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if int(id) >= len(g.brNames) {
+		return ""
+	}
+	return g.brNames[id]
+}
+
+// EdgeName renders an edge slot in the classic id:T / id:F form the
+// string engine used as map keys.
+func (g *Registry) EdgeName(edge uint32) string {
+	name := g.BranchName(BranchID(edge / 2))
+	if name == "" {
+		return ""
+	}
+	if edge%2 == 0 {
+		return name + ":T"
+	}
+	return name + ":F"
+}

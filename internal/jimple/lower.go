@@ -70,6 +70,10 @@ type lowerer struct {
 	// to byte offsets.
 	reloc     []bool
 	stmtFirst []int
+	// arena chunk-allocates the emitted instructions (one heap object
+	// per 64 instead of per instruction). Chunks are replaced, never
+	// regrown, so pointers handed out stay valid.
+	arena []bytecode.Instruction
 }
 
 func lowerBody(f *classfile.File, c *Class, m *Method) (*classfile.CodeAttr, error) {
@@ -146,7 +150,7 @@ func lowerBody(f *classfile.File, c *Class, m *Method) (*classfile.CodeAttr, err
 	if err != nil {
 		return nil, err
 	}
-	maxStack := computeMaxStack(code, f.Pool)
+	maxStack := computeMaxStack(lw.ins, f.Pool)
 	if int(m.RawMaxStack) > maxStack {
 		maxStack = int(m.RawMaxStack)
 	}
@@ -250,20 +254,34 @@ func (lw *lowerer) slot(l *Local) int {
 	return s
 }
 
-func (lw *lowerer) emit(in *bytecode.Instruction) {
-	lw.ins = append(lw.ins, in)
+func (lw *lowerer) alloc(in bytecode.Instruction) *bytecode.Instruction {
+	if len(lw.arena) == cap(lw.arena) {
+		// Small first chunk (most method bodies are short), bigger
+		// follow-ups for the occasional long body.
+		n := 8
+		if cap(lw.arena) >= 8 {
+			n = 64
+		}
+		lw.arena = make([]bytecode.Instruction, 0, n)
+	}
+	lw.arena = append(lw.arena, in)
+	return &lw.arena[len(lw.arena)-1]
+}
+
+func (lw *lowerer) emit(in bytecode.Instruction) {
+	lw.ins = append(lw.ins, lw.alloc(in))
 	lw.reloc = append(lw.reloc, false)
 }
 
 func (lw *lowerer) emitBranch(op bytecode.Opcode, stmtTarget int) {
-	lw.ins = append(lw.ins, &bytecode.Instruction{Op: op, Branch: int32(stmtTarget)})
+	lw.ins = append(lw.ins, lw.alloc(bytecode.Instruction{Op: op, Branch: int32(stmtTarget)}))
 	lw.reloc = append(lw.reloc, true)
 }
 
-func (lw *lowerer) op(op bytecode.Opcode) { lw.emit(&bytecode.Instruction{Op: op}) }
+func (lw *lowerer) op(op bytecode.Opcode) { lw.emit(bytecode.Instruction{Op: op}) }
 
 func (lw *lowerer) cp(op bytecode.Opcode, idx uint16) {
-	lw.emit(&bytecode.Instruction{Op: op, CPIndex: idx})
+	lw.emit(bytecode.Instruction{Op: op, CPIndex: idx})
 }
 
 // kindOf computes the computational kind of an expression:
@@ -385,10 +403,10 @@ func (lw *lowerer) localOp(base bytecode.Opcode, slot int) {
 		}
 	}
 	if slot > 255 {
-		lw.emit(&bytecode.Instruction{Op: bytecode.Wide, WideOp: base, Local: uint16(slot)})
+		lw.emit(bytecode.Instruction{Op: bytecode.Wide, WideOp: base, Local: uint16(slot)})
 		return
 	}
-	lw.emit(&bytecode.Instruction{Op: base, Local: uint16(slot)})
+	lw.emit(bytecode.Instruction{Op: base, Local: uint16(slot)})
 }
 
 // expr compiles an expression, leaving its value on the stack, and
@@ -518,7 +536,7 @@ func (lw *lowerer) expr(e Expr) byte {
 			}
 			lw.cp(bytecode.Anewarray, lw.f.Pool.AddClass(name))
 		} else {
-			lw.emit(&bytecode.Instruction{Op: bytecode.Newarray, ArrayTyp: atypeOf(x.Elem)})
+			lw.emit(bytecode.Instruction{Op: bytecode.Newarray, ArrayTyp: atypeOf(x.Elem)})
 		}
 		return 'A'
 	case *ArrayLen:
@@ -537,9 +555,9 @@ func (lw *lowerer) pushInt(v int32) {
 	case v >= -1 && v <= 5:
 		lw.op(bytecode.Opcode(int(bytecode.Iconst0) + int(v)))
 	case v >= -128 && v <= 127:
-		lw.emit(&bytecode.Instruction{Op: bytecode.Bipush, Imm: v})
+		lw.emit(bytecode.Instruction{Op: bytecode.Bipush, Imm: v})
 	case v >= -32768 && v <= 32767:
-		lw.emit(&bytecode.Instruction{Op: bytecode.Sipush, Imm: v})
+		lw.emit(bytecode.Instruction{Op: bytecode.Sipush, Imm: v})
 	default:
 		lw.ldc(lw.f.Pool.AddInteger(v))
 	}
@@ -591,7 +609,7 @@ func (lw *lowerer) invoke(x *Invoke) byte {
 		lw.cp(bytecode.Invokespecial, lw.f.Pool.AddMethodref(x.Class, x.Name, desc))
 	case InvokeInterface:
 		count := 1 + x.Sig.ParamSlots()
-		lw.emit(&bytecode.Instruction{
+		lw.emit(bytecode.Instruction{
 			Op:      bytecode.Invokeinterface,
 			CPIndex: lw.f.Pool.AddInterfaceMethodref(x.Class, x.Name, desc),
 			Count:   byte(count),
@@ -809,7 +827,7 @@ func (lw *lowerer) lowerRaw(x *Raw) {
 		// reloc=false: branches now hold instruction indices, which the
 		// assembler converts directly (the statement-index resolver must
 		// not touch them).
-		lw.ins = append(lw.ins, &cp)
+		lw.ins = append(lw.ins, lw.alloc(cp))
 		lw.reloc = append(lw.reloc, false)
 	}
 }
@@ -972,13 +990,15 @@ func atypeOf(elem descriptor.Type) bytecode.ArrayTypeCode {
 	}
 }
 
-// computeMaxStack simulates stack depth over the assembled code to set
-// max_stack. On any irregularity it returns a generous default — the
-// real verifier (in internal/jvm) is the arbiter of validity.
-func computeMaxStack(code []byte, cp *classfile.ConstPool) int {
+// computeMaxStack simulates stack depth over the assembled instructions
+// to set max_stack. The instructions must already carry final PCs and
+// byte-offset branch targets (i.e. have been through Assemble), so they
+// are identical to what decoding the emitted code would yield. On any
+// irregularity it returns a generous default — the real verifier (in
+// internal/jvm) is the arbiter of validity.
+func computeMaxStack(ins []*bytecode.Instruction, cp *classfile.ConstPool) int {
 	const fallback = 16
-	ins, err := bytecode.Decode(code)
-	if err != nil {
+	if len(ins) == 0 {
 		return fallback
 	}
 	pcIdx := make(map[int]int, len(ins))

@@ -83,7 +83,7 @@ func dot2slash(name string) string {
 // initialization-phase rejections (Table 1 row 3).
 func (vm *VM) initialize(ex *execState) (Outcome, bool) {
 	p := &vm.Spec.Policy
-	vm.st("init.enter")
+	vm.st(pInitEnter)
 
 	// HotSpot 9 re-checks accessibility of every class named in the
 	// constant pool when initialization touches the class (module
@@ -99,28 +99,28 @@ func (vm *VM) initialize(ex *execState) (Outcome, bool) {
 				continue
 			}
 			ci, ok := vm.Env.Lookup(name)
-			if ok && vm.br("init.access", !ci.Accessible) {
+			if ok && vm.br(bInitAccess, !ci.Accessible) {
 				return reject(PhaseInit, ErrIllegalAccess, "class %s is not accessible to the unnamed module", name), true
 			}
 		}
 	}
 
 	clinit := vm.classInitializer(ex.f)
-	if vm.br("init.hasclinit", clinit == nil) {
-		vm.st("init.ok")
+	if vm.br(bInitHasclinit, clinit == nil) {
+		vm.st(pInitOk)
 		return Outcome{}, false
 	}
 
 	// Lazy VMs verify the initializer at first invocation, i.e. now.
 	if !p.EagerVerify {
 		if out := vm.verifyMethod(ex, clinit); out != nil {
-			vm.st("init.lazyverifyfail")
+			vm.st(pInitLazyverifyfail)
 			return reject(PhaseInit, out.Error, "%s", out.Message), true
 		}
 	}
 
 	_, jt := ex.callMethod(clinit, nil)
-	if vm.br("init.threw", jt != nil) {
+	if vm.br(bInitThrew, jt != nil) {
 		// Errors pass through unchanged; exceptions are wrapped in
 		// ExceptionInInitializerError (JVMS §5.5).
 		if vm.Env.IsSubclassOf(jt.class, "java/lang/Error") {
@@ -128,7 +128,7 @@ func (vm *VM) initialize(ex *execState) (Outcome, bool) {
 		}
 		return reject(PhaseInit, ErrExceptionInInitializer, "caused by %s: %s", jt.errorName(), jt.msg), true
 	}
-	vm.st("init.ok")
+	vm.st(pInitOk)
 	return Outcome{}, false
 }
 
@@ -158,23 +158,23 @@ func (vm *VM) classInitializer(f *classfile.File) *classfile.Member {
 // invoke performs the final phase: locate and run main.
 func (vm *VM) invoke(ex *execState) Outcome {
 	p := &vm.Spec.Policy
-	vm.st("invoke.enter")
+	vm.st(pInvokeEnter)
 
-	if ex.f.IsInterface() && vm.br("invoke.interface", !p.AllowInterfaceMain) {
+	if ex.f.IsInterface() && vm.br(bInvokeInterface, !p.AllowInterfaceMain) {
 		return reject(PhaseRuntime, ErrMainNotFound, "cannot invoke main on interface %s", ex.name)
 	}
 
 	main := ex.f.FindMethodExact("main", "([Ljava/lang/String;)V")
-	if vm.br("invoke.mainfound", main == nil) {
+	if vm.br(bInvokeMainfound, main == nil) {
 		return reject(PhaseRuntime, ErrMainNotFound, "in class %s", ex.name)
 	}
 	if p.RequireStaticMain {
 		ok := main.AccessFlags.Has(classfile.AccPublic) && main.AccessFlags.Has(classfile.AccStatic)
-		if vm.br("invoke.mainflags", !ok) {
+		if vm.br(bInvokeMainflags, !ok) {
 			return reject(PhaseRuntime, ErrMainNotFound, "main is not public static in class %s", ex.name)
 		}
 	}
-	if vm.br("invoke.maincode", main.Code() == nil) {
+	if vm.br(bInvokeMaincode, main.Code() == nil) {
 		if main.AccessFlags.Has(classfile.AccAbstract) {
 			return reject(PhaseRuntime, ErrAbstractMethod, "main")
 		}
@@ -183,17 +183,17 @@ func (vm *VM) invoke(ex *execState) Outcome {
 
 	if !p.EagerVerify {
 		if out := vm.verifyMethod(ex, main); out != nil {
-			vm.st("invoke.lazyverifyfail")
+			vm.st(pInvokeLazyverifyfail)
 			return reject(PhaseRuntime, out.Error, "%s", out.Message)
 		}
 	}
 
 	args := refVal(&object{class: "[Ljava/lang/String;", elem: "Ljava/lang/String;"})
 	_, jt := ex.callMethod(main, []value{args})
-	if vm.br("invoke.threw", jt != nil) {
+	if vm.br(bInvokeThrew, jt != nil) {
 		return reject(PhaseRuntime, jt.errorName(), "%s", jt.msg)
 	}
-	vm.st("invoke.ok")
+	vm.st(pInvokeOk)
 	return Outcome{Phase: PhaseInvoked, Output: ex.output}
 }
 
@@ -203,7 +203,7 @@ const maxCallDepth = 64
 // callMethod interprets one method of the class under test.
 func (ex *execState) callMethod(m *classfile.Member, args []value) (value, *javaThrow) {
 	vm := ex.vm
-	vm.st("interp.call")
+	vm.st(pInterpCall)
 	code := m.Code()
 	if code == nil {
 		return value{}, throwf(dot2slash(ErrUnsatisfiedLink), "%s has no code", m.Name(ex.f.Pool))
@@ -220,14 +220,11 @@ func (ex *execState) callMethod(m *classfile.Member, args []value) (value, *java
 	ex.depth++
 	defer func() { ex.depth-- }()
 
-	ins, err := bytecode.Decode(code.Code)
-	if err != nil {
-		return value{}, throwf(dot2slash(ErrVerify), "%v", err)
+	dec := vm.decodeCode(code.Code)
+	if dec.err != nil {
+		return value{}, throwf(dot2slash(ErrVerify), "%v", dec.err)
 	}
-	pcIndex := make(map[int]int, len(ins))
-	for i, in := range ins {
-		pcIndex[in.PC] = i
-	}
+	ins, pcIndex := dec.ins, dec.pcIndex
 
 	locals := make([]value, int(code.MaxLocals)+2)
 	slot := 0
@@ -267,7 +264,7 @@ func (ex *execState) callMethod(m *classfile.Member, args []value) (value, *java
 		if op == bytecode.Wide {
 			op = in.WideOp
 		}
-		vm.st("interp.op." + op.Mnemonic())
+		vm.st(opProbes[byte(op)])
 
 		// jump transfers control to a byte pc.
 		jumpTo := -1
@@ -743,7 +740,7 @@ func (ex *execState) callMethod(m *classfile.Member, args []value) (value, *java
 					push(refVal(&object{class: thrown.class, str: thrown.msg}))
 					idx = hidx
 					handled = true
-					vm.st("interp.handler")
+					vm.st(pInterpHandler)
 					break
 				}
 			}
@@ -1007,7 +1004,7 @@ func (ex *execState) interpInvoke(op bytecode.Opcode, in *bytecode.Instruction, 
 // classes use. handled=false means the method resolved but has no
 // bespoke semantics.
 func (ex *execState) platformInvoke(cls, name, desc string, md descriptor.Method, args []value) (value, *javaThrow, bool) {
-	ex.vm.st("interp.platform." + cls + "." + name)
+	ex.vm.stPlatform(cls, name)
 	recvStr := func() string {
 		if len(args) > 0 && args[0].ref != nil {
 			return args[0].ref.str

@@ -605,7 +605,7 @@ func TestHotSpot9InitAccessCheck(t *testing.T) {
 func TestCoverageRecorderProducesTraces(t *testing.T) {
 	spec := HotSpot9()
 	vm := New(spec)
-	rec := coverage.NewRecorder()
+	rec := coverage.NewRecorder(ProbeRegistry())
 	vm.SetRecorder(rec)
 
 	dataA, _ := helloClass("MA").Bytes()
@@ -640,7 +640,7 @@ func TestDeterministicOutcomes(t *testing.T) {
 	f.AddField(classfile.AccPrivate, "b", "Ljava/lang/String;")
 	data, _ := f.Bytes()
 	vm := New(HotSpot9())
-	rec := coverage.NewRecorder()
+	rec := coverage.NewRecorder(ProbeRegistry())
 	vm.SetRecorder(rec)
 	vm.Run(data)
 	first := rec.Trace()

@@ -59,33 +59,33 @@ func (ex *execState) resolveClass(name string) (classKind, *rtlib.ClassInfo) {
 func (vm *VM) link(ex *execState) (Outcome, bool) {
 	p := &vm.Spec.Policy
 	f := ex.f
-	vm.st("link.enter")
+	vm.st(pLinkEnter)
 
 	// ---- superclass hierarchy -------------------------------------------
 	super := f.SuperName()
 	if super != "" {
-		if vm.br("link.super.self", super == ex.name) {
+		if vm.br(bLinkSuperSelf, super == ex.name) {
 			return reject(PhaseLoading, ErrClassCircularity, "class %s is its own superclass", ex.name), true
 		}
 		kind, ci := ex.resolveClass(super)
-		if vm.br("link.super.missing", kind == kindMissing) {
+		if vm.br(bLinkSuperMissing, kind == kindMissing) {
 			// Superclass resolution failure surfaces while creating the
 			// class, i.e. in the loading phase (Table 1).
 			return reject(PhaseLoading, ErrNoClassDef, "superclass %s", super), true
 		}
 		if kind == kindPlatform {
-			if vm.br("link.super.interface", ci.Interface && !f.IsInterface()) {
+			if vm.br(bLinkSuperInterface, ci.Interface && !f.IsInterface()) {
 				return reject(PhaseLinking, ErrIncompatibleChange, "class %s has interface %s as superclass", ex.name, super), true
 			}
 			if f.IsInterface() && p.CheckInterfaceSuperObject {
 				// Already rejected at load when the name wasn't Object; the
 				// branch here covers Object-with-different-resolution cases.
-				vm.st("link.super.ifaceobject")
+				vm.st(pLinkSuperIfaceobject)
 			}
-			if p.CheckSuperNotFinal && vm.br("link.super.final", ci.Final) {
+			if p.CheckSuperNotFinal && vm.br(bLinkSuperFinal, ci.Final) {
 				return reject(PhaseLinking, ErrVerify, "class %s cannot subclass final class %s", ex.name, super), true
 			}
-			if p.CheckResolvedAccess && vm.br("link.super.access", !ci.Accessible) {
+			if p.CheckResolvedAccess && vm.br(bLinkSuperAccess, !ci.Accessible) {
 				return reject(PhaseLinking, ErrIllegalAccess, "superclass %s is not accessible", super), true
 			}
 		}
@@ -94,13 +94,13 @@ func (vm *VM) link(ex *execState) (Outcome, bool) {
 	// ---- implemented interfaces -------------------------------------------
 	for _, idx := range f.Interfaces {
 		iname, _ := f.Pool.ClassName(idx)
-		vm.st("link.iface.entry")
-		if vm.br("link.iface.self", iname == ex.name) {
+		vm.st(pLinkIfaceEntry)
+		if vm.br(bLinkIfaceSelf, iname == ex.name) {
 			return reject(PhaseLoading, ErrClassCircularity, "class %s implements itself", ex.name), true
 		}
 		kind, ci := ex.resolveClass(iname)
 		if kind == kindMissing {
-			if vm.br("link.iface.missing", p.EagerResolution) {
+			if vm.br(bLinkIfaceMissing, p.EagerResolution) {
 				return reject(PhaseLoading, ErrNoClassDef, "interface %s", iname), true
 			}
 			continue
@@ -109,10 +109,10 @@ func (vm *VM) link(ex *execState) (Outcome, bool) {
 			// Lazily-resolving VMs only discover a class in the interface
 			// table when a method is actually looked up through it, which
 			// the startup pipeline never does for unused interfaces.
-			if p.EagerResolution && vm.br("link.iface.notinterface", !ci.Interface) {
+			if p.EagerResolution && vm.br(bLinkIfaceNotinterface, !ci.Interface) {
 				return reject(PhaseLinking, ErrIncompatibleChange, "class %s implements non-interface %s", ex.name, iname), true
 			}
-			if p.CheckResolvedAccess && vm.br("link.iface.access", !ci.Accessible) {
+			if p.CheckResolvedAccess && vm.br(bLinkIfaceAccess, !ci.Accessible) {
 				return reject(PhaseLinking, ErrIllegalAccess, "interface %s is not accessible", iname), true
 			}
 		}
@@ -126,16 +126,16 @@ func (vm *VM) link(ex *execState) (Outcome, bool) {
 				continue
 			}
 			for _, cidx := range exAttr.Classes {
-				vm.st("link.throws.entry")
+				vm.st(pLinkThrowsEntry)
 				tname, ok := f.Pool.ClassName(cidx)
-				if vm.br("link.throws.cp", !ok) {
+				if vm.br(bLinkThrowsCp, !ok) {
 					return reject(PhaseLinking, ErrClassFormat, "method %s throws entry #%d is not a class", m.Name(f.Pool), cidx), true
 				}
 				kind, ci := ex.resolveClass(tname)
-				if vm.br("link.throws.missing", kind == kindMissing) {
+				if vm.br(bLinkThrowsMissing, kind == kindMissing) {
 					return reject(PhaseLinking, ErrNoClassDef, "%s (declared thrown by %s)", tname, m.Name(f.Pool)), true
 				}
-				if kind == kindPlatform && vm.br("link.throws.access", !ci.Accessible) {
+				if kind == kindPlatform && vm.br(bLinkThrowsAccess, !ci.Accessible) {
 					// HotSpot's IllegalAccessError for
 					// sun.java2d.pisces.PiscesRenderingEngine$2.
 					return reject(PhaseLinking, ErrIllegalAccess, "class %s (declared thrown by %s) is not accessible", tname, m.Name(f.Pool)), true
@@ -163,7 +163,7 @@ func (vm *VM) link(ex *execState) (Outcome, bool) {
 		}
 	}
 
-	vm.st("link.ok")
+	vm.st(pLinkOk)
 	return Outcome{}, false
 }
 
@@ -174,7 +174,7 @@ func (vm *VM) link(ex *execState) (Outcome, bool) {
 func (vm *VM) resolveAllRefs(ex *execState) (Outcome, bool) {
 	p := &vm.Spec.Policy
 	f := ex.f
-	vm.st("link.resolve.enter")
+	vm.st(pLinkResolveEnter)
 	for i := 1; i < f.Pool.Count(); i++ {
 		c := f.Pool.Get(uint16(i))
 		if c == nil {
@@ -190,28 +190,28 @@ func (vm *VM) resolveAllRefs(ex *execState) (Outcome, bool) {
 			continue
 		}
 		cls, name, desc, ok := f.Pool.MemberRef(uint16(i))
-		if vm.br("link.resolve.shape", !ok) {
+		if vm.br(bLinkResolveShape, !ok) {
 			return reject(PhaseLinking, ErrClassFormat, "member reference #%d is malformed", i), true
 		}
-		vm.st("link.resolve.entry")
+		vm.st(pLinkResolveEntry)
 		kind, ci := ex.resolveClass(cls)
-		if vm.br("link.resolve.classmissing", kind == kindMissing) {
+		if vm.br(bLinkResolveClassmissing, kind == kindMissing) {
 			return reject(PhaseLinking, ErrNoClassDef, "%s", cls), true
 		}
-		if kind == kindPlatform && p.CheckResolvedAccess && vm.br("link.resolve.access", !ci.Accessible) {
+		if kind == kindPlatform && p.CheckResolvedAccess && vm.br(bLinkResolveAccess, !ci.Accessible) {
 			return reject(PhaseLinking, ErrIllegalAccess, "class %s is not accessible", cls), true
 		}
 		if isField {
-			if vm.br("link.resolve.fieldfound", !ex.fieldExists(cls, name, desc)) {
+			if vm.br(bLinkResolveFieldfound, !ex.fieldExists(cls, name, desc)) {
 				return reject(PhaseLinking, ErrNoSuchField, "%s.%s:%s", cls, name, desc), true
 			}
 		} else {
-			if vm.br("link.resolve.methodfound", !ex.methodExists(cls, name, desc)) {
+			if vm.br(bLinkResolveMethodfound, !ex.methodExists(cls, name, desc)) {
 				return reject(PhaseLinking, ErrNoSuchMethod, "%s.%s%s", cls, name, desc), true
 			}
 		}
 	}
-	vm.st("link.resolve.ok")
+	vm.st(pLinkResolveOk)
 	return Outcome{}, false
 }
 

@@ -14,18 +14,18 @@ import (
 // ClassCircularityError / NoClassDefFoundError — Table 1 of the paper).
 func (vm *VM) load(f *classfile.File) (Outcome, bool) {
 	p := &vm.Spec.Policy
-	vm.st("load.enter")
+	vm.st(pLoadEnter)
 
 	// ---- version gate ---------------------------------------------------
-	if vm.br("load.version.min", f.Major < p.MinMajorVersion) {
+	if vm.br(bLoadVersionMin, f.Major < p.MinMajorVersion) {
 		return reject(PhaseLoading, ErrClassFormat, "major version %d below minimum", f.Major), true
 	}
 	tooNew := f.Major > p.MaxMajorVersion
-	if vm.br("load.version.max", tooNew) {
+	if vm.br(bLoadVersionMax, tooNew) {
 		if !p.AcceptNewerVersions {
 			return reject(PhaseLoading, ErrUnsupportedVersion, "unsupported major.minor version %d.%d", f.Major, f.Minor), true
 		}
-		vm.st("load.version.tolerated")
+		vm.st(pLoadVersionTolerated)
 	}
 
 	// ---- constant pool integrity ----------------------------------------
@@ -35,25 +35,25 @@ func (vm *VM) load(f *classfile.File) (Outcome, bool) {
 
 	// ---- this_class / superclass names ----------------------------------
 	name, ok := f.Pool.ClassName(f.ThisClass)
-	if vm.br("load.thisclass.valid", !ok) {
+	if vm.br(bLoadThisclassValid, !ok) {
 		return reject(PhaseLoading, ErrClassFormat, "bad this_class index %d", f.ThisClass), true
 	}
-	if p.CheckNameValidity && vm.br("load.thisclass.name", !descriptor.ValidClassName(name)) {
+	if p.CheckNameValidity && vm.br(bLoadThisclassName, !descriptor.ValidClassName(name)) {
 		return reject(PhaseLoading, ErrClassFormat, "illegal class name %q", name), true
 	}
-	if vm.br("load.super.zero", f.SuperClass == 0) {
+	if vm.br(bLoadSuperZero, f.SuperClass == 0) {
 		// Only java/lang/Object may omit a superclass.
 		if name != "java/lang/Object" {
 			return reject(PhaseLoading, ErrClassFormat, "class %s has no superclass", name), true
 		}
 	} else {
-		if _, ok := f.Pool.ClassName(f.SuperClass); vm.br("load.super.valid", !ok) {
+		if _, ok := f.Pool.ClassName(f.SuperClass); vm.br(bLoadSuperValid, !ok) {
 			return reject(PhaseLoading, ErrClassFormat, "bad super_class index %d", f.SuperClass), true
 		}
 	}
 	for _, idx := range f.Interfaces {
-		vm.st("load.iface.entry")
-		if _, ok := f.Pool.ClassName(idx); vm.br("load.iface.valid", !ok) {
+		vm.st(pLoadIfaceEntry)
+		if _, ok := f.Pool.ClassName(idx); vm.br(bLoadIfaceValid, !ok) {
 			return reject(PhaseLoading, ErrClassFormat, "bad interface index %d", idx), true
 		}
 	}
@@ -61,19 +61,19 @@ func (vm *VM) load(f *classfile.File) (Outcome, bool) {
 	// ---- class flags -----------------------------------------------------
 	flags := f.AccessFlags
 	if p.CheckClassFlags {
-		vm.st("load.classflags")
-		if vm.br("load.classflags.finalabstract", flags.Has(classfile.AccFinal|classfile.AccAbstract)) {
+		vm.st(pLoadClassflags)
+		if vm.br(bLoadClassflagsFinalabstract, flags.Has(classfile.AccFinal|classfile.AccAbstract)) {
 			return reject(PhaseLoading, ErrClassFormat, "class %s is both final and abstract", name), true
 		}
 		if flags.Has(classfile.AccInterface) {
-			if vm.br("load.classflags.ifaceabstract", !flags.Has(classfile.AccAbstract)) {
+			if vm.br(bLoadClassflagsIfaceabstract, !flags.Has(classfile.AccAbstract)) {
 				return reject(PhaseLoading, ErrClassFormat, "interface %s missing ACC_ABSTRACT", name), true
 			}
-			if vm.br("load.classflags.ifacefinal", flags.Has(classfile.AccFinal)) {
+			if vm.br(bLoadClassflagsIfacefinal, flags.Has(classfile.AccFinal)) {
 				return reject(PhaseLoading, ErrClassFormat, "interface %s is final", name), true
 			}
 		}
-		if vm.br("load.classflags.annotation", flags.Has(classfile.AccAnnotation) && !flags.Has(classfile.AccInterface)) {
+		if vm.br(bLoadClassflagsAnnotation, flags.Has(classfile.AccAnnotation) && !flags.Has(classfile.AccInterface)) {
 			return reject(PhaseLoading, ErrClassFormat, "annotation %s is not an interface", name), true
 		}
 	}
@@ -81,7 +81,7 @@ func (vm *VM) load(f *classfile.File) (Outcome, bool) {
 	// ---- interface superclass must be Object (Problem 4) ------------------
 	if f.IsInterface() && p.CheckInterfaceSuperObject {
 		super := f.SuperName()
-		if vm.br("load.iface.superobject", super != "java/lang/Object") {
+		if vm.br(bLoadIfaceSuperobject, super != "java/lang/Object") {
 			return reject(PhaseLoading, ErrClassFormat, "interface %s has superclass %s (must be java/lang/Object)", name, super), true
 		}
 	}
@@ -89,31 +89,31 @@ func (vm *VM) load(f *classfile.File) (Outcome, bool) {
 	// ---- fields ------------------------------------------------------------
 	seenFields := make(map[string]bool, len(f.Fields))
 	for _, fl := range f.Fields {
-		vm.st("load.field.entry")
+		vm.st(pLoadFieldEntry)
 		fname := fl.Name(f.Pool)
 		fdesc := fl.Descriptor(f.Pool)
-		if vm.br("load.field.cpvalid", fname == "" || fdesc == "") {
+		if vm.br(bLoadFieldCpvalid, fname == "" || fdesc == "") {
 			return reject(PhaseLoading, ErrClassFormat, "field with dangling name/descriptor index"), true
 		}
-		if p.CheckNameValidity && vm.br("load.field.desc", !descriptor.ValidField(fdesc)) {
+		if p.CheckNameValidity && vm.br(bLoadFieldDesc, !descriptor.ValidField(fdesc)) {
 			return reject(PhaseLoading, ErrClassFormat, "field %s has malformed descriptor %q", fname, fdesc), true
 		}
 		key := fname + ":" + fdesc
-		if p.CheckDuplicateFields && vm.br("load.field.dup", seenFields[key]) {
+		if p.CheckDuplicateFields && vm.br(bLoadFieldDup, seenFields[key]) {
 			return reject(PhaseLoading, ErrClassFormat, "duplicate field %s", key), true
 		}
 		seenFields[key] = true
 		if p.CheckMemberFlags {
-			if vm.br("load.field.vis", fl.AccessFlags.VisibilityCount() > 1) {
+			if vm.br(bLoadFieldVis, fl.AccessFlags.VisibilityCount() > 1) {
 				return reject(PhaseLoading, ErrClassFormat, "field %s has conflicting visibility flags", fname), true
 			}
-			if vm.br("load.field.finalvolatile", fl.AccessFlags.Has(classfile.AccFinal|classfile.AccVolatile)) {
+			if vm.br(bLoadFieldFinalvolatile, fl.AccessFlags.Has(classfile.AccFinal|classfile.AccVolatile)) {
 				return reject(PhaseLoading, ErrClassFormat, "field %s is both final and volatile", fname), true
 			}
 		}
 		if f.IsInterface() && p.CheckInterfaceMemberRules {
 			want := classfile.AccPublic | classfile.AccStatic | classfile.AccFinal
-			if vm.br("load.field.ifacerules", !fl.AccessFlags.Has(want)) {
+			if vm.br(bLoadFieldIfacerules, !fl.AccessFlags.Has(want)) {
 				return reject(PhaseLoading, ErrClassFormat, "interface field %s must be public static final", fname), true
 			}
 		}
@@ -122,17 +122,17 @@ func (vm *VM) load(f *classfile.File) (Outcome, bool) {
 	// ---- methods -------------------------------------------------------------
 	seenMethods := make(map[string]bool, len(f.Methods))
 	for _, m := range f.Methods {
-		vm.st("load.method.entry")
+		vm.st(pLoadMethodEntry)
 		mname := m.Name(f.Pool)
 		mdesc := m.Descriptor(f.Pool)
-		if vm.br("load.method.cpvalid", mname == "" || mdesc == "") {
+		if vm.br(bLoadMethodCpvalid, mname == "" || mdesc == "") {
 			return reject(PhaseLoading, ErrClassFormat, "method with dangling name/descriptor index"), true
 		}
-		if p.CheckNameValidity && vm.br("load.method.desc", !descriptor.ValidMethod(mdesc)) {
+		if p.CheckNameValidity && vm.br(bLoadMethodDesc, !descriptor.ValidMethod(mdesc)) {
 			return reject(PhaseLoading, ErrClassFormat, "method %s has malformed descriptor %q", mname, mdesc), true
 		}
 		key := mname + mdesc
-		if p.CheckDuplicateMethods && vm.br("load.method.dup", seenMethods[key]) {
+		if p.CheckDuplicateMethods && vm.br(bLoadMethodDup, seenMethods[key]) {
 			return reject(PhaseLoading, ErrClassFormat, "duplicate method %s", key), true
 		}
 		seenMethods[key] = true
@@ -142,7 +142,7 @@ func (vm *VM) load(f *classfile.File) (Outcome, bool) {
 		}
 	}
 
-	vm.st("load.ok")
+	vm.st(pLoadOk)
 	return Outcome{}, false
 }
 
@@ -156,21 +156,21 @@ func (vm *VM) checkMethodShape(f *classfile.File, m *classfile.Member, mname, md
 	// <clinit> classification (Problem 1). Under the clarified SE 9 rule
 	// a version ≥ 51 <clinit> is an initializer only when static, ()V.
 	if mname == "<clinit>" {
-		vm.st("load.clinit.seen")
+		vm.st(pLoadClinitSeen)
 		isInitializer := false
 		switch p.ClinitRule {
 		case ClinitOrdinaryIfNonStatic:
 			isInitializer = flags.Has(classfile.AccStatic) && mdesc == "()V"
-			vm.br("load.clinit.se9rule", isInitializer)
+			vm.br(bLoadClinitSe9rule, isInitializer)
 		case ClinitAlwaysInitializer:
 			isInitializer = true
-			vm.st("load.clinit.legacyrule")
+			vm.st(pLoadClinitLegacyrule)
 		case ClinitIgnored:
-			vm.st("load.clinit.ignored")
+			vm.st(pLoadClinitIgnored)
 		}
 		if isInitializer {
 			// The initializer needs executable code.
-			if vm.br("load.clinit.code", !hasCode) {
+			if vm.br(bLoadClinitCode, !hasCode) {
 				return reject(PhaseLoading, ErrClassFormat,
 					"no Code attribute specified; method=<clinit>%s, pc=0", mdesc), true
 			}
@@ -179,53 +179,53 @@ func (vm *VM) checkMethodShape(f *classfile.File, m *classfile.Member, mname, md
 		}
 		// Ordinary method named <clinit>: falls through to the general
 		// rules (HotSpot's "of no consequence" path).
-		vm.st("load.clinit.ordinary")
+		vm.st(pLoadClinitOrdinary)
 	}
 
 	if p.CheckMemberFlags {
-		if vm.br("load.method.vis", flags.VisibilityCount() > 1) {
+		if vm.br(bLoadMethodVis, flags.VisibilityCount() > 1) {
 			return reject(PhaseLoading, ErrClassFormat, "method %s has conflicting visibility flags", mname), true
 		}
 		bad := flags.Has(classfile.AccAbstract) &&
 			(flags.Has(classfile.AccFinal) || flags.Has(classfile.AccStatic) ||
 				flags.Has(classfile.AccNative) || flags.Has(classfile.AccPrivate) ||
 				flags.Has(classfile.AccSynchronized) || flags.Has(classfile.AccStrict))
-		if vm.br("load.method.abstractcombo", bad) {
+		if vm.br(bLoadMethodAbstractcombo, bad) {
 			return reject(PhaseLoading, ErrClassFormat, "abstract method %s has conflicting flags", mname), true
 		}
 	}
 
 	if f.IsInterface() && p.CheckInterfaceMemberRules && mname != "<clinit>" {
 		want := classfile.AccPublic | classfile.AccAbstract
-		if vm.br("load.method.ifacerules", !flags.Has(want)) {
+		if vm.br(bLoadMethodIfacerules, !flags.Has(want)) {
 			return reject(PhaseLoading, ErrClassFormat, "interface method %s must be public abstract", mname), true
 		}
 	}
 
 	// <init> rules (Problem 4: GIJ accepts abstract/static/returning <init>).
 	if mname == "<init>" && p.CheckInitSignature {
-		vm.st("load.init.seen")
+		vm.st(pLoadInitSeen)
 		banned := classfile.AccStatic | classfile.AccFinal | classfile.AccSynchronized |
 			classfile.AccNative | classfile.AccAbstract
-		if vm.br("load.init.flags", flags&banned != 0) {
+		if vm.br(bLoadInitFlags, flags&banned != 0) {
 			return reject(PhaseLoading, ErrClassFormat, "<init> has illegal flags %s", flags.MethodFlagString()), true
 		}
 		if md, err := descriptor.ParseMethod(mdesc); err == nil {
-			if vm.br("load.init.returns", !md.Return.IsVoid()) {
+			if vm.br(bLoadInitReturns, !md.Return.IsVoid()) {
 				return reject(PhaseLoading, ErrClassFormat, "<init> must return void, not %s", md.Return.Java()), true
 			}
 		}
-		if vm.br("load.init.oninterface", f.IsInterface()) {
+		if vm.br(bLoadInitOninterface, f.IsInterface()) {
 			return reject(PhaseLoading, ErrClassFormat, "interface declares <init>"), true
 		}
 	}
 
 	if p.CheckCodePresence {
 		abstractOrNative := flags.Has(classfile.AccAbstract) || flags.Has(classfile.AccNative)
-		if vm.br("load.method.codeabsent", !abstractOrNative && !hasCode) {
+		if vm.br(bLoadMethodCodeabsent, !abstractOrNative && !hasCode) {
 			return reject(PhaseLoading, ErrClassFormat, "concrete method %s%s lacks a Code attribute", mname, mdesc), true
 		}
-		if vm.br("load.method.codepresent", abstractOrNative && hasCode) {
+		if vm.br(bLoadMethodCodepresent, abstractOrNative && hasCode) {
 			return reject(PhaseLoading, ErrClassFormat, "abstract/native method %s%s has a Code attribute", mname, mdesc), true
 		}
 	}
@@ -238,47 +238,47 @@ func (vm *VM) checkMethodShape(f *classfile.File, m *classfile.Member, mname, md
 func (vm *VM) checkConstantPool(f *classfile.File) (Outcome, bool) {
 	p := &vm.Spec.Policy
 	cp := f.Pool
-	vm.st("load.cp.enter")
+	vm.st(pLoadCpEnter)
 	for i := 1; i < cp.Count(); i++ {
 		c := cp.Get(uint16(i))
 		if c == nil {
 			continue
 		}
-		vm.st("load.cp.tag." + c.Tag.String())
+		vm.st(cpTagProbes[byte(c.Tag)])
 		if !p.StrictConstantPool {
 			continue
 		}
 		switch c.Tag {
 		case classfile.TagClass, classfile.TagString, classfile.TagMethodType:
-			if t := cp.Get(c.Ref1); vm.br("load.cp.ref1utf8", t == nil || t.Tag != classfile.TagUtf8) {
+			if t := cp.Get(c.Ref1); vm.br(bLoadCpRef1utf8, t == nil || t.Tag != classfile.TagUtf8) {
 				return reject(PhaseLoading, ErrClassFormat, "constant #%d (%s) references non-Utf8 #%d", i, c.Tag, c.Ref1), true
 			}
 		case classfile.TagNameAndType:
 			t1, t2 := cp.Get(c.Ref1), cp.Get(c.Ref2)
 			bad := t1 == nil || t1.Tag != classfile.TagUtf8 || t2 == nil || t2.Tag != classfile.TagUtf8
-			if vm.br("load.cp.natvalid", bad) {
+			if vm.br(bLoadCpNatvalid, bad) {
 				return reject(PhaseLoading, ErrClassFormat, "NameAndType #%d has dangling references", i), true
 			}
 		case classfile.TagFieldref, classfile.TagMethodref, classfile.TagInterfaceMethodref:
 			t1, t2 := cp.Get(c.Ref1), cp.Get(c.Ref2)
 			bad := t1 == nil || t1.Tag != classfile.TagClass || t2 == nil || t2.Tag != classfile.TagNameAndType
-			if vm.br("load.cp.membervalid", bad) {
+			if vm.br(bLoadCpMembervalid, bad) {
 				return reject(PhaseLoading, ErrClassFormat, "%s #%d has dangling references", c.Tag, i), true
 			}
 			// Field descriptors must parse as field types, method ones as
 			// method types.
 			_, desc, _ := cp.NameAndType(c.Ref2)
 			if c.Tag == classfile.TagFieldref {
-				if vm.br("load.cp.fielddesc", !descriptor.ValidField(desc)) {
+				if vm.br(bLoadCpFielddesc, !descriptor.ValidField(desc)) {
 					return reject(PhaseLoading, ErrClassFormat, "Fieldref #%d has non-field descriptor %q", i, desc), true
 				}
 			} else {
-				if vm.br("load.cp.methoddesc", !descriptor.ValidMethod(desc)) {
+				if vm.br(bLoadCpMethoddesc, !descriptor.ValidMethod(desc)) {
 					return reject(PhaseLoading, ErrClassFormat, "%s #%d has non-method descriptor %q", c.Tag, i, desc), true
 				}
 			}
 		case classfile.TagMethodHandle:
-			if vm.br("load.cp.mhkind", c.Kind < 1 || c.Kind > 9) {
+			if vm.br(bLoadCpMhkind, c.Kind < 1 || c.Kind > 9) {
 				return reject(PhaseLoading, ErrClassFormat, "MethodHandle #%d has kind %d", i, c.Kind), true
 			}
 		}
@@ -293,11 +293,11 @@ func (vm *VM) checkConstantPool(f *classfile.File) (Outcome, bool) {
 			}
 			n, _ := cp.Utf8(c.Ref1)
 			// Array-of-void and descriptor junk in class entries.
-			if vm.br("load.cp.classname", strings.HasPrefix(n, "[") && !descriptor.ValidField(n)) {
+			if vm.br(bLoadCpClassname, strings.HasPrefix(n, "[") && !descriptor.ValidField(n)) {
 				return reject(PhaseLoading, ErrClassFormat, "Class constant #%d has malformed array name %q", i, n), true
 			}
 		}
 	}
-	vm.st("load.cp.ok")
+	vm.st(pLoadCpOk)
 	return Outcome{}, false
 }

@@ -101,6 +101,13 @@ func (f *frame) clone() *frame {
 	}
 }
 
+// copyFrom overwrites f with src's state, reusing f's slice capacity.
+func (f *frame) copyFrom(src *frame) *frame {
+	f.stack = append(f.stack[:0], src.stack...)
+	f.locals = append(f.locals[:0], src.locals...)
+	return f
+}
+
 // verifyError is the internal signal carrying a verification failure.
 type verifyError struct {
 	errName string
@@ -116,25 +123,32 @@ type verifier struct {
 	m    *classfile.Member
 	code *classfile.CodeAttr
 	ins  []*bytecode.Instruction
-	// pcIndex maps a byte PC to the instruction index.
+	// pcIndex maps a byte PC to the instruction index; targets caches
+	// Targets() per instruction. Both are shared, read-only views from
+	// the VM's decode cache.
 	pcIndex map[int]int
+	targets [][]int
 	// in holds the merged entry frame per instruction index.
 	in   []*frame
 	work []int
 	md   descriptor.Method
 	err  *verifyError
+	// scratch is the working frame step simulates into, reused across
+	// worklist steps so the per-step clone of the entry state does not
+	// allocate (successor merges copy out of it, never retain it).
+	scratch frame
 }
 
 // runVerifier verifies one method body; nil result means it passed.
 func (vm *VM) runVerifier(ex *execState, m *classfile.Member) *Outcome {
-	vm.st("verify.enter")
+	vm.st(pVerifyEnter)
 	v := &verifier{vm: vm, ex: ex, m: m, code: m.Code()}
 	out := v.run()
 	if out == nil {
-		vm.st("verify.ok")
+		vm.st(pVerifyOk)
 	} else {
-		vm.st("verify.rejected")
-		vm.st("verify.err." + out.Error)
+		vm.st(pVerifyRejected)
+		vm.stVerifyErr(out.Error)
 	}
 	return out
 }
@@ -150,33 +164,32 @@ func (v *verifier) run() *Outcome {
 	mname := v.m.Name(v.ex.f.Pool)
 	mdesc := v.m.Descriptor(v.ex.f.Pool)
 
-	if vm.br("verify.codeempty", len(v.code.Code) == 0) {
+	if vm.br(bVerifyCodeempty, len(v.code.Code) == 0) {
 		return &Outcome{Phase: PhaseLinking, Error: ErrClassFormat,
 			Message: fmt.Sprintf("method %s has an empty code array", mname)}
 	}
 
 	md, err := descriptor.ParseMethod(mdesc)
-	if vm.br("verify.desc", err != nil) {
+	if vm.br(bVerifyDesc, err != nil) {
 		return &Outcome{Phase: PhaseLinking, Error: ErrClassFormat,
 			Message: fmt.Sprintf("method %s has malformed descriptor", mname)}
 	}
 	v.md = md
 
-	ins, err := bytecode.Decode(v.code.Code)
-	if vm.br("verify.decodable", err != nil) {
+	dec := vm.decodeCode(v.code.Code)
+	if vm.br(bVerifyDecodable, dec.err != nil) {
 		return &Outcome{Phase: PhaseLinking, Error: ErrVerify,
-			Message: fmt.Sprintf("method %s: %v", mname, err)}
+			Message: fmt.Sprintf("method %s: %v", mname, dec.err)}
 	}
+	ins := dec.ins
 	v.ins = ins
-	v.pcIndex = make(map[int]int, len(ins))
-	for i, in := range ins {
-		v.pcIndex[in.PC] = i
-	}
+	v.pcIndex = dec.pcIndex
+	v.targets = dec.targets
 
 	// Branch targets must land on instruction boundaries.
-	for _, in := range ins {
-		for _, t := range in.Targets() {
-			if _, ok := v.pcIndex[t]; vm.br("verify.branchtarget", !ok) {
+	for i, in := range ins {
+		for _, t := range v.targets[i] {
+			if _, ok := v.pcIndex[t]; vm.br(bVerifyBranchtarget, !ok) {
 				return &Outcome{Phase: PhaseLinking, Error: ErrVerify,
 					Message: fmt.Sprintf("method %s: branch into the middle of an instruction (pc %d)", mname, t)}
 			}
@@ -184,7 +197,7 @@ func (v *verifier) run() *Outcome {
 		if (in.Op == bytecode.Jsr || in.Op == bytecode.JsrW || in.Op == bytecode.Ret ||
 			(in.Op == bytecode.Wide && in.WideOp == bytecode.Ret)) &&
 			v.vm.Spec.Policy.ForbidJsrRet && v.ex.f.Major >= 51 {
-			vm.st("verify.jsrret")
+			vm.st(pVerifyJsrret)
 			return &Outcome{Phase: PhaseLinking, Error: ErrVerify,
 				Message: fmt.Sprintf("method %s uses jsr/ret in a version %d classfile", mname, v.ex.f.Major)}
 		}
@@ -192,27 +205,27 @@ func (v *verifier) run() *Outcome {
 
 	// Exception handler sanity.
 	for _, h := range v.code.Handlers {
-		vm.st("verify.handler")
+		vm.st(pVerifyHandler)
 		_, okS := v.pcIndex[int(h.StartPC)]
 		_, okH := v.pcIndex[int(h.HandlerPC)]
 		endOK := int(h.EndPC) == len(v.code.Code) || func() bool { _, ok := v.pcIndex[int(h.EndPC)]; return ok }()
-		if vm.br("verify.handler.bounds", !okS || !okH || !endOK || h.StartPC >= h.EndPC) {
+		if vm.br(bVerifyHandlerBounds, !okS || !okH || !endOK || h.StartPC >= h.EndPC) {
 			return &Outcome{Phase: PhaseLinking, Error: ErrClassFormat,
 				Message: fmt.Sprintf("method %s has an invalid exception handler range", mname)}
 		}
 		if h.CatchType != 0 {
 			cname, ok := v.ex.f.Pool.ClassName(h.CatchType)
-			if vm.br("verify.handler.catchcp", !ok) {
+			if vm.br(bVerifyHandlerCatchcp, !ok) {
 				return &Outcome{Phase: PhaseLinking, Error: ErrClassFormat,
 					Message: fmt.Sprintf("method %s catch type #%d is not a class", mname, h.CatchType)}
 			}
 			kind, ci := v.ex.resolveClass(cname)
 			if kind == kindMissing {
-				if vm.br("verify.handler.catchmissing", v.vm.Spec.Policy.EagerResolution) {
+				if vm.br(bVerifyHandlerCatchmissing, v.vm.Spec.Policy.EagerResolution) {
 					return &Outcome{Phase: PhaseLinking, Error: ErrNoClassDef, Message: cname}
 				}
 			} else if kind == kindPlatform && ci != nil {
-				if vm.br("verify.handler.catchthrowable", !v.vm.Env.IsThrowable(cname)) {
+				if vm.br(bVerifyHandlerCatchthrowable, !v.vm.Env.IsThrowable(cname)) {
 					return &Outcome{Phase: PhaseLinking, Error: ErrVerify,
 						Message: fmt.Sprintf("method %s catches non-Throwable %s", mname, cname)}
 				}
@@ -238,7 +251,7 @@ func (v *verifier) run() *Outcome {
 	for _, pt := range md.Params {
 		t := typeOfDesc(pt)
 		if slot+t.kindSlots() > len(init.locals) {
-			vm.st("verify.localsoverflow")
+			vm.st(pVerifyLocalsoverflow)
 			return v.outcome(ErrVerify, "max_locals %d too small for parameters of %s%s", v.code.MaxLocals, mname, mdesc)
 		}
 		init.locals[slot] = t
@@ -287,8 +300,8 @@ func (v *verifier) mergeInto(idx int, f *frame) {
 		v.work = append(v.work, idx)
 		return
 	}
-	v.vm.st("verify.merge")
-	if v.vm.br("verify.merge.depth", len(cur.stack) != len(f.stack)) {
+	v.vm.st(pVerifyMerge)
+	if v.vm.br(bVerifyMergeDepth, len(cur.stack) != len(f.stack)) {
 		v.fail(ErrVerify, "inconsistent stack depth at merge (pc %d): %d vs %d",
 			v.ins[idx].PC, len(cur.stack), len(f.stack))
 		return
@@ -329,7 +342,7 @@ func (v *verifier) mergeSlot(a, b vt, onStack bool) (vt, bool) {
 	p := &v.vm.Spec.Policy
 	conflict := func(reason string) (vt, bool) {
 		if onStack {
-			v.vm.st("verify.merge.stackconflict")
+			v.vm.st(pVerifyMergeStackconflict)
 			v.fail(ErrVerify, "unmergeable stack values (%s vs %s): %s", a, b, reason)
 			return a, false
 		}
@@ -344,7 +357,7 @@ func (v *verifier) mergeSlot(a, b vt, onStack bool) (vt, bool) {
 				return a, false
 			}
 			if p.VerifyUninitMerge {
-				v.vm.st("verify.merge.uninit")
+				v.vm.st(pVerifyMergeUninit)
 				v.fail(ErrVerify, "merging initialized and uninitialized values (%s vs %s)", a, b)
 				return a, false
 			}
@@ -367,7 +380,7 @@ func (v *verifier) mergeSlot(a, b vt, onStack bool) (vt, bool) {
 		if p.VerifyStrictStackShape && onStack && sup != a.cls && sup != b.cls {
 			// J9's strict dialect: merging unrelated reference types on
 			// the stack is a "stack shape inconsistent" failure.
-			v.vm.st("verify.merge.stackshape")
+			v.vm.st(pVerifyMergeStackshape)
 			v.fail(ErrVerify, "stack shape inconsistent (%s vs %s)", a, b)
 			return a, false
 		}
@@ -456,7 +469,7 @@ type simFrame struct {
 
 func (s *simFrame) push(t vt) {
 	if len(s.f.stack) >= int(s.v.code.MaxStack) {
-		s.v.vm.st("verify.stackoverflow")
+		s.v.vm.st(pVerifyStackoverflow)
 		s.v.fail(ErrVerify, "operand stack overflow (max_stack %d)", s.v.code.MaxStack)
 		return
 	}
@@ -473,7 +486,7 @@ func (s *simFrame) pop() vt {
 		return vt{}
 	}
 	if len(s.f.stack) == 0 {
-		s.v.vm.st("verify.stackunderflow")
+		s.v.vm.st(pVerifyStackunderflow)
 		s.v.fail(ErrVerify, "operand stack underflow")
 		return vt{}
 	}
@@ -485,7 +498,7 @@ func (s *simFrame) pop() vt {
 func (s *simFrame) popKind(k vtKind) vt {
 	t := s.pop()
 	if s.v.err == nil && t.kind != k {
-		s.v.vm.st("verify.typemismatch")
+		s.v.vm.st(pVerifyTypemismatch)
 		s.v.fail(ErrVerify, "expected %s on stack, found %s", vt{kind: k}, t)
 	}
 	return t
@@ -499,7 +512,7 @@ func (s *simFrame) popWide(k vtKind) {
 func (s *simFrame) popRef() vt {
 	t := s.pop()
 	if s.v.err == nil && !t.isRefLike() {
-		s.v.vm.st("verify.refmismatch")
+		s.v.vm.st(pVerifyRefmismatch)
 		s.v.fail(ErrVerify, "expected a reference on stack, found %s", t)
 	}
 	return t
@@ -516,7 +529,7 @@ func (s *simFrame) popDesc(dt descriptor.Type, ctx string) {
 		got := s.popRef()
 		if s.v.err == nil && s.v.vm.Spec.Policy.VerifyRefAssignability &&
 			got.kind == vtRef && got.cls != "" && dt.Dims == 0 && dt.Kind == 'L' {
-			if s.v.vm.br("verify.assignable", !s.v.ex.assignableRef(got.cls, dt.ClassName)) {
+			if s.v.vm.br(bVerifyAssignable, !s.v.ex.assignableRef(got.cls, dt.ClassName)) {
 				s.v.fail(ErrVerify, "%s: %s is not assignable to %s", ctx, got.cls, dt.ClassName)
 			}
 		}
@@ -532,18 +545,18 @@ func (s *simFrame) popDesc(dt descriptor.Type, ctx string) {
 
 func (s *simFrame) getLocal(i int, k vtKind) vt {
 	if i < 0 || i >= len(s.f.locals) {
-		s.v.vm.st("verify.localoob")
+		s.v.vm.st(pVerifyLocaloob)
 		s.v.fail(ErrVerify, "local variable index %d out of bounds (max_locals %d)", i, len(s.f.locals))
 		return vt{}
 	}
 	t := s.f.locals[i]
 	if k == vtRef {
 		if !t.isRefLike() {
-			s.v.vm.st("verify.localtype")
+			s.v.vm.st(pVerifyLocaltype)
 			s.v.fail(ErrVerify, "local %d holds %s, expected a reference", i, t)
 		}
 	} else if t.kind != k {
-		s.v.vm.st("verify.localtype")
+		s.v.vm.st(pVerifyLocaltype)
 		s.v.fail(ErrVerify, "local %d holds %s, expected %s", i, t, vt{kind: k})
 	}
 	return t
@@ -555,7 +568,7 @@ func (s *simFrame) setLocal(i int, t vt) {
 		n = 2
 	}
 	if i < 0 || i+n > len(s.f.locals) {
-		s.v.vm.st("verify.localoob")
+		s.v.vm.st(pVerifyLocaloob)
 		s.v.fail(ErrVerify, "local variable index %d out of bounds (max_locals %d)", i, len(s.f.locals))
 		return
 	}
@@ -576,10 +589,10 @@ func (s *simFrame) setLocal(i int, t vt) {
 // propagates the result to all successors.
 func (v *verifier) step(idx int) {
 	in := v.ins[idx]
-	fr := v.in[idx].clone()
+	fr := v.scratch.copyFrom(v.in[idx])
 	s := &simFrame{v: v, f: fr}
 	vm := v.vm
-	vm.st("verify.op." + in.Op.Mnemonic())
+	vm.st(verifyOpProbes[byte(in.Op)])
 
 	op := in.Op
 	wide := false
@@ -918,13 +931,13 @@ func (v *verifier) step(idx int) {
 
 	case bytecode.New:
 		cname, ok := v.ex.f.Pool.ClassName(in.CPIndex)
-		if vm.br("verify.new.cp", !ok) {
+		if vm.br(bVerifyNewCp, !ok) {
 			v.fail(ErrClassFormat, "new references non-class constant #%d", in.CPIndex)
 			break
 		}
 		s.push(vt{kind: vtUninit, cls: cname, pc: in.PC})
 	case bytecode.Newarray:
-		if vm.br("verify.newarray.type", !in.ArrayTyp.Valid()) {
+		if vm.br(bVerifyNewarrayType, !in.ArrayTyp.Valid()) {
 			v.fail(ErrVerify, "newarray with invalid type code %d", in.ArrayTyp)
 			break
 		}
@@ -932,7 +945,7 @@ func (v *verifier) step(idx int) {
 		s.push(refOf("[" + in.ArrayTyp.Descriptor()))
 	case bytecode.Anewarray:
 		cname, ok := v.ex.f.Pool.ClassName(in.CPIndex)
-		if vm.br("verify.anewarray.cp", !ok) {
+		if vm.br(bVerifyAnewarrayCp, !ok) {
 			v.fail(ErrClassFormat, "anewarray references non-class constant #%d", in.CPIndex)
 			break
 		}
@@ -943,7 +956,7 @@ func (v *verifier) step(idx int) {
 			s.push(refOf("[L" + cname + ";"))
 		}
 	case bytecode.Multianewarray:
-		if vm.br("verify.multianewarray.dims", in.Count == 0) {
+		if vm.br(bVerifyMultianewarrayDims, in.Count == 0) {
 			v.fail(ErrVerify, "multianewarray with zero dimensions")
 			break
 		}
@@ -959,14 +972,14 @@ func (v *verifier) step(idx int) {
 	case bytecode.Athrow:
 		t := s.popRef()
 		if v.err == nil && t.kind == vtRef && t.cls != "" && t.cls != v.ex.name {
-			if _, ok := vm.Env.Lookup(t.cls); ok && vm.br("verify.athrow.throwable", !vm.Env.IsThrowable(t.cls)) {
+			if _, ok := vm.Env.Lookup(t.cls); ok && vm.br(bVerifyAthrowThrowable, !vm.Env.IsThrowable(t.cls)) {
 				v.fail(ErrVerify, "athrow of non-Throwable %s", t.cls)
 			}
 		}
 	case bytecode.Checkcast:
 		t := s.popRef()
 		cname, ok := v.ex.f.Pool.ClassName(in.CPIndex)
-		if vm.br("verify.checkcast.cp", !ok) {
+		if vm.br(bVerifyCheckcastCp, !ok) {
 			v.fail(ErrClassFormat, "checkcast references non-class constant #%d", in.CPIndex)
 			break
 		}
@@ -974,7 +987,7 @@ func (v *verifier) step(idx int) {
 		s.push(refOf(cname))
 	case bytecode.Instanceof:
 		s.popRef()
-		if _, ok := v.ex.f.Pool.ClassName(in.CPIndex); vm.br("verify.instanceof.cp", !ok) {
+		if _, ok := v.ex.f.Pool.ClassName(in.CPIndex); vm.br(bVerifyInstanceofCp, !ok) {
 			v.fail(ErrClassFormat, "instanceof references non-class constant #%d", in.CPIndex)
 			break
 		}
@@ -983,7 +996,7 @@ func (v *verifier) step(idx int) {
 		s.popRef()
 
 	default:
-		vm.st("verify.op.unknown")
+		vm.st(pVerifyOpUnknown)
 		v.fail(ErrVerify, "unsupported opcode %s", op.Mnemonic())
 	}
 
@@ -994,13 +1007,13 @@ func (v *verifier) step(idx int) {
 	// Propagate to successors.
 	if !in.Op.EndsBlock() {
 		next := idx + 1
-		if vm.br("verify.falloff", next >= len(v.ins)) {
+		if vm.br(bVerifyFalloff, next >= len(v.ins)) {
 			v.fail(ErrVerify, "execution falls off the end of the code")
 			return
 		}
 		v.mergeInto(next, fr)
 	}
-	for _, t := range in.Targets() {
+	for _, t := range v.targets[idx] {
 		v.mergeInto(v.pcIndex[t], fr)
 	}
 	// Exception edges: any instruction inside a protected range can
@@ -1050,14 +1063,14 @@ func (v *verifier) checkReturn(in *bytecode.Instruction, kind byte) {
 	default:
 		ok = ret.Dims == 0 && ret.Kind == kind
 	}
-	if v.vm.br("verify.returnmatch", !ok) {
+	if v.vm.br(bVerifyReturnmatch, !ok) {
 		v.fail(ErrVerify, "%s at pc %d does not match return type %s", in.Op.Mnemonic(), in.PC, ret.Java())
 	}
 	// A constructor must have initialized `this` before returning.
 	if kind == 'V' && v.m.Name(v.ex.f.Pool) == "<init>" {
 		fr := v.in[v.pcIndex[in.PC]]
 		if len(fr.locals) > 0 && fr.locals[0].kind == vtUninit && fr.locals[0].pc == -1 {
-			if v.vm.br("verify.init.uninitreturn", true) {
+			if v.vm.br(bVerifyInitUninitreturn, true) {
 				v.fail(ErrVerify, "constructor returns without calling super constructor")
 			}
 		}
@@ -1066,67 +1079,67 @@ func (v *verifier) checkReturn(in *bytecode.Instruction, kind byte) {
 
 func (v *verifier) simLdc(s *simFrame, in *bytecode.Instruction, wide bool) {
 	c := v.ex.f.Pool.Get(in.CPIndex)
-	if v.vm.br("verify.ldc.cp", c == nil) {
+	if v.vm.br(bVerifyLdcCp, c == nil) {
 		v.fail(ErrClassFormat, "ldc references unusable constant #%d", in.CPIndex)
 		return
 	}
 	switch c.Tag {
 	case classfile.TagInteger:
-		v.vm.st("verify.ldc.int")
+		v.vm.st(pVerifyLdcInt)
 		if wide {
 			v.fail(ErrVerify, "ldc2_w of a single-slot constant")
 			return
 		}
 		s.push(vt{kind: vtInt})
 	case classfile.TagFloat:
-		v.vm.st("verify.ldc.float")
+		v.vm.st(pVerifyLdcFloat)
 		if wide {
 			v.fail(ErrVerify, "ldc2_w of a single-slot constant")
 			return
 		}
 		s.push(vt{kind: vtFloat})
 	case classfile.TagString:
-		v.vm.st("verify.ldc.string")
+		v.vm.st(pVerifyLdcString)
 		if wide {
 			v.fail(ErrVerify, "ldc2_w of a single-slot constant")
 			return
 		}
 		s.push(refOf("java/lang/String"))
 	case classfile.TagClass:
-		v.vm.st("verify.ldc.class")
+		v.vm.st(pVerifyLdcClass)
 		if wide {
 			v.fail(ErrVerify, "ldc2_w of a single-slot constant")
 			return
 		}
 		s.push(refOf("java/lang/Class"))
 	case classfile.TagLong:
-		v.vm.st("verify.ldc.long")
+		v.vm.st(pVerifyLdcLong)
 		if !wide {
 			v.fail(ErrVerify, "ldc of a two-slot constant")
 			return
 		}
 		s.pushWide(vt{kind: vtLong})
 	case classfile.TagDouble:
-		v.vm.st("verify.ldc.double")
+		v.vm.st(pVerifyLdcDouble)
 		if !wide {
 			v.fail(ErrVerify, "ldc of a two-slot constant")
 			return
 		}
 		s.pushWide(vt{kind: vtDouble})
 	default:
-		v.vm.st("verify.ldc.badtag")
+		v.vm.st(pVerifyLdcBadtag)
 		v.fail(ErrClassFormat, "ldc of unsupported constant tag %s", c.Tag)
 	}
 }
 
 func (v *verifier) simField(s *simFrame, in *bytecode.Instruction) {
 	cls, name, desc, ok := v.ex.f.Pool.MemberRef(in.CPIndex)
-	if v.vm.br("verify.field.cp", !ok) {
+	if v.vm.br(bVerifyFieldCp, !ok) {
 		v.fail(ErrClassFormat, "field instruction references invalid constant #%d", in.CPIndex)
 		return
 	}
 	ft, err := descriptor.ParseField(desc)
-	if v.vm.br("verify.field.desc", err != nil) {
+	if v.vm.br(bVerifyFieldDesc, err != nil) {
 		v.fail(ErrClassFormat, "field %s.%s has malformed descriptor %q", cls, name, desc)
 		return
 	}
@@ -1155,12 +1168,12 @@ func (v *verifier) simField(s *simFrame, in *bytecode.Instruction) {
 
 func (v *verifier) simInvoke(s *simFrame, in *bytecode.Instruction) {
 	cls, name, desc, ok := v.ex.f.Pool.MemberRef(in.CPIndex)
-	if v.vm.br("verify.invoke.cp", !ok) {
+	if v.vm.br(bVerifyInvokeCp, !ok) {
 		v.fail(ErrClassFormat, "invoke references invalid constant #%d", in.CPIndex)
 		return
 	}
 	md, err := descriptor.ParseMethod(desc)
-	if v.vm.br("verify.invoke.desc", err != nil) {
+	if v.vm.br(bVerifyInvokeDesc, err != nil) {
 		v.fail(ErrClassFormat, "invoked method %s.%s has malformed descriptor %q", cls, name, desc)
 		return
 	}
@@ -1176,7 +1189,7 @@ func (v *verifier) simInvoke(s *simFrame, in *bytecode.Instruction) {
 		if in.Op == bytecode.Invokespecial && name == "<init>" {
 			// Initializes an uninitialized object: rewrite every copy.
 			if recv.kind == vtUninit {
-				v.vm.st("verify.invoke.initobj")
+				v.vm.st(pVerifyInvokeInitobj)
 				initTo := refOf(recv.cls)
 				if recv.pc == -1 {
 					initTo = refOf(v.ex.name)
@@ -1190,14 +1203,14 @@ func (v *verifier) simInvoke(s *simFrame, in *bytecode.Instruction) {
 				}
 				replace(s.f.stack)
 				replace(s.f.locals)
-			} else if v.vm.br("verify.invoke.initoninit", recv.kind == vtRef && v.vm.Spec.Policy.VerifyUninitMerge) {
+			} else if v.vm.br(bVerifyInvokeInitoninit, recv.kind == vtRef && v.vm.Spec.Policy.VerifyUninitMerge) {
 				// Strict dialects reject re-initialization of an already
 				// initialized reference.
 				v.fail(ErrVerify, "invokespecial <init> on initialized reference")
 				return
 			}
 		} else if recv.kind == vtUninit {
-			if v.vm.br("verify.invoke.uninitrecv", true) {
+			if v.vm.br(bVerifyInvokeUninitrecv, true) {
 				v.fail(ErrVerify, "method call on uninitialized object")
 				return
 			}
@@ -1215,17 +1228,17 @@ func (v *verifier) simInvoke(s *simFrame, in *bytecode.Instruction) {
 
 func (v *verifier) simInvokeDynamic(s *simFrame, in *bytecode.Instruction) {
 	c := v.ex.f.Pool.Get(in.CPIndex)
-	if v.vm.br("verify.indy.cp", c == nil || c.Tag != classfile.TagInvokeDynamic) {
+	if v.vm.br(bVerifyIndyCp, c == nil || c.Tag != classfile.TagInvokeDynamic) {
 		v.fail(ErrClassFormat, "invokedynamic references invalid constant #%d", in.CPIndex)
 		return
 	}
 	_, desc, ok := v.ex.f.Pool.NameAndType(c.Ref2)
-	if v.vm.br("verify.indy.nat", !ok) {
+	if v.vm.br(bVerifyIndyNat, !ok) {
 		v.fail(ErrClassFormat, "invokedynamic NameAndType is invalid")
 		return
 	}
 	md, err := descriptor.ParseMethod(desc)
-	if v.vm.br("verify.indy.desc", err != nil) {
+	if v.vm.br(bVerifyIndyDesc, err != nil) {
 		v.fail(ErrClassFormat, "invokedynamic descriptor %q is malformed", desc)
 		return
 	}

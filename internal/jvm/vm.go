@@ -1,6 +1,7 @@
 package jvm
 
 import (
+	"repro/internal/bytecode"
 	"repro/internal/classfile"
 	"repro/internal/coverage"
 	"repro/internal/rtlib"
@@ -13,6 +14,61 @@ type VM struct {
 	Spec Spec
 	Env  *rtlib.Env
 	cov  *coverage.Recorder
+
+	// Lazily-interned probe caches for the two unbounded dynamic probe
+	// families (platform intrinsics, verifier error names). Per-VM maps
+	// so the warm path is a lock-free, allocation-free lookup; misses
+	// intern through the shared package registry.
+	platProbes map[platformProbeKey]coverage.StmtID
+	verifyErrs map[string]coverage.StmtID
+
+	// decodeCache memoises bytecode decoding by code bytes. Mutants
+	// overwhelmingly share method bodies (the generated main, <init>,
+	// unmutated seed methods), and within one run the verifier and the
+	// interpreter both need the same decode, so the cache is hit far
+	// more often than it is filled. Decoding is a pure function of the
+	// bytes, so sharing entries across runs cannot change outcomes.
+	decodeCache map[string]*decodedCode
+}
+
+type platformProbeKey struct{ cls, name string }
+
+// decodedCode is an immutable decode of one method body, shared across
+// runs and between the verifier and the interpreter. targets caches
+// Targets() per instruction (nil for non-branching ops).
+type decodedCode struct {
+	ins     []*bytecode.Instruction
+	pcIndex map[int]int
+	targets [][]int
+	err     error
+}
+
+// decodeCacheMax bounds the cache; when full it is reset wholesale,
+// which keeps behaviour deterministic (entries are pure functions of
+// their keys, so eviction can only cost a redundant decode).
+const decodeCacheMax = 4096
+
+func (vm *VM) decodeCode(code []byte) *decodedCode {
+	if d, ok := vm.decodeCache[string(code)]; ok {
+		return d
+	}
+	d := &decodedCode{}
+	d.ins, d.err = bytecode.Decode(code)
+	if d.err == nil {
+		d.pcIndex = make(map[int]int, len(d.ins))
+		for i, in := range d.ins {
+			d.pcIndex[in.PC] = i
+		}
+		d.targets = make([][]int, len(d.ins))
+		for i, in := range d.ins {
+			d.targets[i] = in.Targets()
+		}
+	}
+	if vm.decodeCache == nil || len(vm.decodeCache) >= decodeCacheMax {
+		vm.decodeCache = make(map[string]*decodedCode, 64)
+	}
+	vm.decodeCache[string(code)] = d
+	return d
 }
 
 // New builds a VM from a spec, constructing the matching library
@@ -36,24 +92,72 @@ func (vm *VM) Name() string { return vm.Spec.Name }
 func (vm *VM) SetRecorder(r *coverage.Recorder) { vm.cov = r }
 
 // st fires a statement probe.
-func (vm *VM) st(id string) { vm.cov.Stmt(id) }
+func (vm *VM) st(id coverage.StmtID) { vm.cov.Stmt(id) }
 
 // br fires a statement probe plus a branch probe for cond, and returns
-// cond so checks read naturally: if vm.br("load.x", bad) { ... }.
-func (vm *VM) br(id string, cond bool) bool {
-	vm.cov.Stmt(id)
-	vm.cov.Branch(id, cond)
+// cond so checks read naturally: if vm.br(bLoadX, bad) { ... }.
+func (vm *VM) br(p coverage.BranchProbe, cond bool) bool {
+	vm.cov.Stmt(p.Stmt)
+	vm.cov.Branch(p.Branch, cond)
 	return cond
+}
+
+// stPlatform fires the statement probe for a platform intrinsic call
+// site ("interp.platform.<class>.<method>"). The (class, method) pair
+// is classfile-controlled and unbounded, so the probe is interned on
+// first sight and cached per VM; warm calls allocate nothing.
+func (vm *VM) stPlatform(cls, name string) {
+	if vm.cov == nil {
+		return
+	}
+	k := platformProbeKey{cls, name}
+	id, ok := vm.platProbes[k]
+	if !ok {
+		id = probes.Stmt("interp.platform." + cls + "." + name)
+		if vm.platProbes == nil {
+			vm.platProbes = make(map[platformProbeKey]coverage.StmtID)
+		}
+		vm.platProbes[k] = id
+	}
+	vm.cov.Stmt(id)
+}
+
+// stVerifyErr fires the statement probe for a verifier rejection class
+// ("verify.err.<error>"), interning and caching like stPlatform.
+func (vm *VM) stVerifyErr(errName string) {
+	if vm.cov == nil {
+		return
+	}
+	id, ok := vm.verifyErrs[errName]
+	if !ok {
+		id = probes.Stmt("verify.err." + errName)
+		if vm.verifyErrs == nil {
+			vm.verifyErrs = make(map[string]coverage.StmtID)
+		}
+		vm.verifyErrs[errName] = id
+	}
+	vm.cov.Stmt(id)
 }
 
 // Run parses and executes raw classfile bytes through the full startup
 // pipeline, returning the observable outcome.
 func (vm *VM) Run(data []byte) Outcome {
-	vm.st("parse.enter")
+	vm.st(pParseEnter)
 	f, err := classfile.Parse(data)
-	if vm.br("parse.wellformed", err != nil) {
+	if vm.br(bParseWellformed, err != nil) {
 		return reject(PhaseLoading, ErrClassFormat, "%v", err)
 	}
+	return vm.RunFile(f)
+}
+
+// RunParsed executes an already-parsed classfile while firing the same
+// parse probes Run fires on well-formed input, so the coverage trace is
+// bit-identical to a fresh Run over the file's bytes. Callers that have
+// already parsed the bytes successfully (e.g. the campaign prefilter)
+// use this to skip the redundant second parse.
+func (vm *VM) RunParsed(f *classfile.File) Outcome {
+	vm.st(pParseEnter)
+	vm.br(bParseWellformed, false)
 	return vm.RunFile(f)
 }
 
