@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint bench bench-tables race experiments catalog report clean
+.PHONY: all build test vet lint bench bench-difftest bench-tables race experiments catalog report clean
 
 all: build vet test
 
@@ -31,6 +31,11 @@ race:
 # with iters/sec and time-per-test per worker count.
 bench:
 	$(GO) run ./cmd/campaignbench -out BENCH_campaign.json
+
+# Differential-engine sweep (sequential-reparse baseline vs parse-once
+# vs parallel vs warm-memo) -> BENCH_difftest.json.
+bench-difftest:
+	$(GO) run ./cmd/difftestbench -out BENCH_difftest.json
 
 # The original micro/meso benchmark tables over the whole pipeline.
 bench-tables:

@@ -1,0 +1,228 @@
+// Command difftestbench measures the differential-execution engine and
+// writes the results as JSON (the `make bench-difftest` artifact
+// BENCH_difftest.json). Four modes over one deterministic mixed corpus
+// (seed-derived classes, version-skewed rejects, duplicates):
+//
+//   - sequential-reparse — the pre-engine model: every VM parses every
+//     class itself (5 parses per class); the baseline row.
+//   - sequential — the parse-once engine at one worker.
+//   - parallel — the engine over a worker pool (one row per -workers
+//     entry).
+//   - memoized — a warm-memo re-evaluation, the steady state of an
+//     experiments session whose campaigns share classes.
+//
+// Every row records wall clock, per-class cost, allocs/bytes per op
+// (runtime.MemStats deltas, best of -repeat), and the engine counters
+// (parses, VM runs, memo hit rate). All modes produce the identical
+// Summary; only cost differs.
+//
+// Usage:
+//
+//	difftestbench [-classes N] [-seed N] [-workers 4,8] [-repeat N]
+//	              [-out BENCH_difftest.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/difftest"
+	"repro/internal/seedgen"
+)
+
+type row struct {
+	Mode    string `json:"mode"`
+	Workers int    `json:"workers"`
+	Classes int    `json:"classes"`
+	// Summary invariants, recorded so a regression in semantics (not
+	// just speed) is visible in the artifact diff.
+	Discrepancies int `json:"discrepancies"`
+	Distinct      int `json:"distinct_vectors"`
+
+	MillisTotal    float64 `json:"millis_total"`
+	MicrosPerClass float64 `json:"micros_per_class"`
+	Speedup        float64 `json:"speedup_vs_reparse"`
+	AllocsPerOp    uint64  `json:"allocs_per_op"`
+	BytesPerOp     uint64  `json:"bytes_per_op"`
+
+	Parses         int64   `json:"parses"`
+	ParsesPerClass float64 `json:"parses_per_class"`
+	VMRuns         int64   `json:"vm_runs"`
+	MemoHitRate    float64 `json:"memo_hit_rate"`
+}
+
+type report struct {
+	Benchmark  string `json:"benchmark"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"numcpu"`
+	Classes    int    `json:"classes"`
+	Repeat     int    `json:"repeat"`
+	Rows       []row  `json:"rows"`
+}
+
+// corpus builds the committed benchmark workload: seed-derived classes
+// with a rejecting skew slice, plus exact duplicates of the first
+// quarter so the memoized mode has realistic sharing.
+func corpus(n int, seed int64) [][]byte {
+	opts := seedgen.DefaultOptions(n, seed)
+	opts.SkewFraction = 0.2
+	files, err := seedgen.GenerateFiles(opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "corpus: %v\n", err)
+		os.Exit(1)
+	}
+	files = append(files, files[:len(files)/4]...)
+	return files
+}
+
+// measure times fn (best of repeat) and captures allocation deltas.
+func measure(repeat int, fn func() *difftest.Summary) (time.Duration, uint64, uint64, *difftest.Summary) {
+	var best time.Duration
+	var bestAllocs, bestBytes uint64
+	var sum *difftest.Summary
+	for r := 0; r < repeat; r++ {
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		sum = fn()
+		el := time.Since(start)
+		runtime.ReadMemStats(&after)
+		if best == 0 || el < best {
+			best = el
+		}
+		if allocs := after.Mallocs - before.Mallocs; bestAllocs == 0 || allocs < bestAllocs {
+			bestAllocs = allocs
+			bestBytes = after.TotalAlloc - before.TotalAlloc
+		}
+	}
+	return best, bestAllocs, bestBytes, sum
+}
+
+func main() {
+	classCount := flag.Int("classes", 400, "corpus size before duplication")
+	seed := flag.Int64("seed", 1, "random seed")
+	workersList := flag.String("workers", "4,8", "comma-separated worker counts for the parallel rows")
+	repeat := flag.Int("repeat", 3, "evaluations per row (best time wins)")
+	out := flag.String("out", "BENCH_difftest.json", "output file")
+	flag.Parse()
+
+	var sweep []int
+	for _, s := range strings.Split(*workersList, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "bad -workers entry %q\n", s)
+			os.Exit(2)
+		}
+		sweep = append(sweep, n)
+	}
+
+	classes := corpus(*classCount, *seed)
+	rep := report{
+		Benchmark:  "difftest/five-VM-evaluation",
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Classes:    len(classes),
+		Repeat:     *repeat,
+	}
+
+	addRow := func(mode string, workers int, el time.Duration, allocs, bytes uint64,
+		sum *difftest.Summary, st difftest.EvalStats) {
+		r := row{
+			Mode:           mode,
+			Workers:        workers,
+			Classes:        len(classes),
+			Discrepancies:  sum.Discrepancies,
+			Distinct:       sum.DistinctCount(),
+			MillisTotal:    float64(el.Microseconds()) / 1000,
+			MicrosPerClass: el.Seconds() / float64(len(classes)) * 1e6,
+			AllocsPerOp:    allocs,
+			BytesPerOp:     bytes,
+			Parses:         st.Parses,
+			ParsesPerClass: float64(st.Parses) / float64(len(classes)),
+			VMRuns:         st.VMRuns,
+			MemoHitRate:    st.MemoHitRate(),
+		}
+		if len(rep.Rows) > 0 && rep.Rows[0].MillisTotal > 0 {
+			r.Speedup = rep.Rows[0].MillisTotal / r.MillisTotal
+		} else {
+			r.Speedup = 1
+		}
+		rep.Rows = append(rep.Rows, r)
+		fmt.Fprintf(os.Stderr, "%-19s w=%d: %s, %.1f µs/class, %.2fx, %.1f parses/class, %d allocs/op\n",
+			mode, workers, el.Round(time.Millisecond), r.MicrosPerClass, r.Speedup, r.ParsesPerClass, r.AllocsPerOp)
+	}
+
+	// Baseline: the pre-engine per-VM-parse model. Run is the engine's
+	// parse-once path now, so the baseline re-runs each class through
+	// every VM individually.
+	{
+		r := difftest.NewStandardRunner()
+		el, allocs, bytes, _ := measure(*repeat, func() *difftest.Summary {
+			for _, data := range classes {
+				for _, vm := range r.VMs {
+					vm.Run(data)
+				}
+			}
+			return r.Evaluate(nil)
+		})
+		sum := difftest.NewStandardRunner().Evaluate(classes) // invariants only
+		addRow("sequential-reparse", 1, el, allocs, bytes, sum,
+			difftest.EvalStats{Parses: int64(len(classes) * len(r.VMs)), VMRuns: int64(len(classes) * len(r.VMs))})
+	}
+
+	{
+		r := difftest.NewStandardRunner()
+		var st difftest.EvalStats
+		el, allocs, bytes, sum := measure(*repeat, func() *difftest.Summary {
+			r.ResetStats()
+			s := r.Evaluate(classes)
+			st = r.Stats()
+			return s
+		})
+		addRow("sequential", 1, el, allocs, bytes, sum, st)
+	}
+
+	for _, w := range sweep {
+		r := difftest.NewStandardRunner()
+		var st difftest.EvalStats
+		el, allocs, bytes, sum := measure(*repeat, func() *difftest.Summary {
+			r.ResetStats()
+			s := r.EvaluateParallel(classes, w)
+			st = r.Stats()
+			return s
+		})
+		addRow("parallel", w, el, allocs, bytes, sum, st)
+	}
+
+	{
+		r := difftest.NewStandardRunner()
+		r.Memo = difftest.NewOutcomeMemo()
+		r.Evaluate(classes) // warm
+		var st difftest.EvalStats
+		el, allocs, bytes, sum := measure(*repeat, func() *difftest.Summary {
+			r.ResetStats()
+			s := r.Evaluate(classes)
+			st = r.Stats()
+			return s
+		})
+		addRow("memoized", 1, el, allocs, bytes, sum, st)
+	}
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "marshal: %v\n", err)
+		os.Exit(1)
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "write %s: %v\n", *out, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

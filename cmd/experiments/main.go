@@ -103,6 +103,11 @@ func main() {
 		for _, what := range []string{"prelim", "table4", "table5", "table6", "table7", "figure4", "mcmcgain", "blind", "pestimate"} {
 			show(what)
 		}
+		if sess != nil && sess.Memo != nil {
+			st := sess.Memo.Stats()
+			fmt.Fprintf(os.Stderr, "difftest memo: %d distinct classes, %d cached outcomes, %.1f%% hit rate (%d hits / %d misses)\n",
+				st.Classes, st.Outcomes, st.HitRate()*100, st.Hits, st.Misses)
+		}
 		return
 	}
 	show(*runFlag)

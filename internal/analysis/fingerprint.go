@@ -114,6 +114,26 @@ func Fingerprint(f *classfile.File) uint64 {
 	return h
 }
 
+// ContentFingerprint hashes raw classfile bytes (the same inlined
+// FNV-1a as Fingerprint, zero allocations). Unlike Fingerprint, which
+// abstracts a file to its load-phase skeleton, this is an exact-content
+// hash: a differential outcome is a function of the full class
+// semantics (code payloads included), so the difftest outcome memo
+// buckets classes by this value and confirms candidates with byte
+// equality — a collision can cost a redundant compare, never a reused
+// wrong outcome.
+func ContentFingerprint(data []byte) uint64 {
+	const (
+		fnvOffset64 = 14695981039346656037
+		fnvPrime64  = 1099511628211
+	)
+	h := uint64(fnvOffset64)
+	for _, b := range data {
+		h = (h ^ uint64(b)) * fnvPrime64
+	}
+	return h
+}
+
 // utf8Bits packs the validity properties the loader branches on.
 func utf8Bits(s string) byte {
 	var b byte

@@ -4,17 +4,21 @@
 // linking, initialization, runtime), the five codes form an encoded
 // outcome vector (Figure 3), and a discrepancy is a non-constant
 // vector. Distinct discrepancies are distinct vectors.
+//
+// The execution core is a parse-once engine: a classfile is parsed
+// once, the parsed form (and one bytecode-decode cache per lineup) is
+// shared by all five VMs via jvm.RunParsed, and evaluations may fan a
+// class set over a worker pool — one five-VM lineup per worker, results
+// committed in class order — and/or consult an OutcomeMemo so a class
+// seen before never re-executes. All paths produce the identical
+// Summary; see engine.go and memo.go.
 package difftest
 
 import (
-	"fmt"
-	"runtime"
 	"sort"
-	"strings"
-	"sync"
+	"strconv"
 
 	"repro/internal/analysis"
-	"repro/internal/classfile"
 	"repro/internal/jvm"
 	"repro/internal/rtlib"
 )
@@ -22,6 +26,16 @@ import (
 // Runner owns an ordered set of VMs under differential test.
 type Runner struct {
 	VMs []*jvm.VM
+
+	// Memo, when non-nil, caches per-VM outcomes across evaluations (and
+	// across Runners sharing the memo) keyed by exact class content and
+	// VM identity. Correct because the simulators are deterministic and
+	// side-effect free: an outcome is a pure function of (class bytes,
+	// VM policy, library release), which TestRunParsedSharedFilePurity
+	// pins down under the race detector.
+	Memo *OutcomeMemo
+
+	stats engineStats
 }
 
 // NewStandardRunner builds the Table 3 lineup — HotSpot 7/8/9, J9,
@@ -32,6 +46,7 @@ func NewStandardRunner() *Runner {
 	for _, spec := range jvm.StandardFive() {
 		r.VMs = append(r.VMs, jvm.New(spec))
 	}
+	jvm.ShareDecodeCache(r.VMs)
 	return r
 }
 
@@ -44,6 +59,7 @@ func NewSharedEnvRunner(release rtlib.Release) *Runner {
 	for _, spec := range jvm.StandardFive() {
 		r.VMs = append(r.VMs, jvm.NewWithEnv(spec, env))
 	}
+	jvm.ShareDecodeCache(r.VMs)
 	return r
 }
 
@@ -116,17 +132,53 @@ func (v Vector) AllInvoked() bool {
 }
 
 // Key renders the encoded sequence, e.g. "00012" for Figure 3's
-// example.
+// example. It sits on the vector-bucketing hot path (every discrepancy
+// of every evaluation keys its map entry through it), so the common
+// single-digit case is a plain byte append with one allocation.
 func (v Vector) Key() string {
-	var b strings.Builder
-	for _, c := range v.Codes {
-		fmt.Fprintf(&b, "%d", c)
+	b := make([]byte, len(v.Codes))
+	for i, c := range v.Codes {
+		if c < 0 || c > 9 {
+			return v.keySlow()
+		}
+		b[i] = '0' + byte(c)
 	}
-	return b.String()
+	return string(b)
 }
 
-// Run executes one classfile on every VM.
+// keySlow renders out-of-range codes (impossible for valid phases) the
+// way the old fmt-based Key did.
+func (v Vector) keySlow() string {
+	var b []byte
+	for _, c := range v.Codes {
+		b = strconv.AppendInt(b, int64(c), 10)
+	}
+	return string(b)
+}
+
+// Run executes one classfile on every VM: one parse fanned out to the
+// lineup (the engine's parse-once discipline; see runLineup).
 func (r *Runner) Run(data []byte) Vector {
+	v, _ := r.runLineup(r.VMs, data, false)
+	return v
+}
+
+// RunChecked executes one classfile on every VM like Run, and
+// additionally cross-checks each observed outcome against the static
+// oracle's prediction for that VM (a self-differential sanitizer:
+// oracle-vs-interpreter disagreement is a bug in this reproduction, not
+// a VM discrepancy). When the bytes do not parse, no oracle applies and
+// the mismatch list is empty. The single parse serves both the oracle
+// and every VM's execution.
+func (r *Runner) RunChecked(data []byte) (Vector, []analysis.Mismatch) {
+	return r.runLineup(r.VMs, data, true)
+}
+
+// runSeparateParses is the pre-engine execution model — every VM parses
+// the bytes itself via vm.Run — retained verbatim as the reference
+// implementation for the parse-once engine's equivalence test and as
+// the benchmark baseline. It must stay semantically identical to Run.
+func (r *Runner) runSeparateParses(data []byte) Vector {
 	v := Vector{
 		Codes:    make([]int, len(r.VMs)),
 		Outcomes: make([]jvm.Outcome, len(r.VMs)),
@@ -137,32 +189,6 @@ func (r *Runner) Run(data []byte) Vector {
 		v.Codes[i] = o.Code()
 	}
 	return v
-}
-
-// RunChecked executes one classfile on every VM like Run, and
-// additionally cross-checks each observed outcome against the static
-// oracle's prediction for that VM (a self-differential sanitizer:
-// oracle-vs-interpreter disagreement is a bug in this reproduction, not
-// a VM discrepancy). When the bytes do not parse, no oracle applies and
-// the mismatch list is empty.
-func (r *Runner) RunChecked(data []byte) (Vector, []analysis.Mismatch) {
-	v := Vector{
-		Codes:    make([]int, len(r.VMs)),
-		Outcomes: make([]jvm.Outcome, len(r.VMs)),
-	}
-	f, perr := classfile.Parse(data)
-	var mm []analysis.Mismatch
-	for i, vm := range r.VMs {
-		o := vm.Run(data)
-		v.Outcomes[i] = o
-		v.Codes[i] = o.Code()
-		if perr == nil {
-			if m := analysis.CheckVM(f, vm, o); m != nil {
-				mm = append(mm, *m)
-			}
-		}
-	}
-	return v, mm
 }
 
 // Summary aggregates a differential-testing session over a class set —
@@ -188,7 +214,8 @@ type Summary struct {
 	// by checked evaluation (always 0 under Evaluate/EvaluateParallel).
 	OracleMismatches int
 	// MismatchSamples holds the first few rendered mismatches for
-	// reporting.
+	// reporting, in class order then VM order (deterministic at any
+	// worker count).
 	MismatchSamples []string
 }
 
@@ -229,49 +256,16 @@ func (s *Summary) SortedVectors() []struct {
 
 // Evaluate runs every classfile through the VMs and aggregates.
 func (r *Runner) Evaluate(classes [][]byte) *Summary {
-	s := newSummary(r)
-	for _, data := range classes {
-		s.absorb(r.Run(data))
-	}
-	return s
+	return r.evaluate(classes, 1, false)
 }
 
-// EvaluateParallel distributes the class set over a worker pool. The VM
-// simulators keep no cross-run state (when no coverage recorder is
-// attached), so the same Runner serves every worker; the aggregate is
-// identical to Evaluate's. workers ≤ 0 selects GOMAXPROCS.
+// EvaluateParallel distributes the class set over a worker pool, one
+// private five-VM lineup per worker, and commits results in class
+// order, so the Summary — field for field, including MismatchSamples
+// order — is identical to Evaluate's at any worker count. workers ≤ 0
+// selects GOMAXPROCS.
 func (r *Runner) EvaluateParallel(classes [][]byte, workers int) *Summary {
-	for _, vm := range r.VMs {
-		_ = vm // recorders are never attached by the difftest constructors
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers == 1 || len(classes) < 2 {
-		return r.Evaluate(classes)
-	}
-	s := newSummary(r)
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	jobs := make(chan []byte)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for data := range jobs {
-				v := r.Run(data)
-				mu.Lock()
-				s.absorb(v)
-				mu.Unlock()
-			}
-		}()
-	}
-	for _, data := range classes {
-		jobs <- data
-	}
-	close(jobs)
-	wg.Wait()
-	return s
+	return r.evaluate(classes, workers, false)
 }
 
 // EvaluateChecked is EvaluateParallel with the static-oracle sanitizer
@@ -279,40 +273,7 @@ func (r *Runner) EvaluateParallel(classes [][]byte, workers int) *Summary {
 // are counted (and sampled) in the summary. workers ≤ 0 selects
 // GOMAXPROCS.
 func (r *Runner) EvaluateChecked(classes [][]byte, workers int) *Summary {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	s := newSummary(r)
-	if workers == 1 || len(classes) < 2 {
-		for _, data := range classes {
-			v, mm := r.RunChecked(data)
-			s.absorb(v)
-			s.absorbMismatches(mm)
-		}
-		return s
-	}
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	jobs := make(chan []byte)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for data := range jobs {
-				v, mm := r.RunChecked(data)
-				mu.Lock()
-				s.absorb(v)
-				s.absorbMismatches(mm)
-				mu.Unlock()
-			}
-		}()
-	}
-	for _, data := range classes {
-		jobs <- data
-	}
-	close(jobs)
-	wg.Wait()
-	return s
+	return r.evaluate(classes, workers, true)
 }
 
 func newSummary(r *Runner) *Summary {

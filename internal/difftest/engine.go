@@ -1,0 +1,235 @@
+package difftest
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/classfile"
+	"repro/internal/jvm"
+)
+
+// engineStats are the Runner's cumulative execution counters. Atomics,
+// because parallel evaluations update them from every worker; reads are
+// snapshots via Stats.
+type engineStats struct {
+	classes    atomic.Int64
+	parses     atomic.Int64
+	vmRuns     atomic.Int64
+	memoProbes atomic.Int64
+	memoHits   atomic.Int64
+	wallNanos  atomic.Int64
+}
+
+// EvalStats is a snapshot of a Runner's cumulative engine counters —
+// the instrumentation cmd/report and cmd/difftestbench surface. The
+// semantic results (Summary, Vector) are deterministic at any worker
+// count; the counters of a memoized parallel evaluation are not quite
+// (two workers may race to execute one duplicated class and both count
+// a miss), so these are diagnostics, not oracle inputs.
+type EvalStats struct {
+	// Classes counts evaluated classfiles (vectors produced).
+	Classes int64
+	// Parses counts classfile.Parse calls the engine performed. The
+	// pre-engine model parsed once per VM: Classes × lineup size.
+	Parses int64
+	// ParsesAvoided is that legacy baseline minus Parses.
+	ParsesAvoided int64
+	// VMRuns counts startup-pipeline executions actually performed.
+	VMRuns int64
+	// MemoProbes / MemoHits count per-VM memo lookups and successes
+	// (both 0 when no memo is attached).
+	MemoProbes int64
+	MemoHits   int64
+	// Wall is the cumulative wall clock spent inside Evaluate,
+	// EvaluateParallel and EvaluateChecked (not single-class Runs).
+	Wall time.Duration
+}
+
+// MemoHitRate returns MemoHits / MemoProbes (0 on no probes).
+func (s EvalStats) MemoHitRate() float64 {
+	if s.MemoProbes == 0 {
+		return 0
+	}
+	return float64(s.MemoHits) / float64(s.MemoProbes)
+}
+
+// Stats snapshots the Runner's cumulative engine counters.
+func (r *Runner) Stats() EvalStats {
+	classes := r.stats.classes.Load()
+	parses := r.stats.parses.Load()
+	return EvalStats{
+		Classes:       classes,
+		Parses:        parses,
+		ParsesAvoided: classes*int64(len(r.VMs)) - parses,
+		VMRuns:        r.stats.vmRuns.Load(),
+		MemoProbes:    r.stats.memoProbes.Load(),
+		MemoHits:      r.stats.memoHits.Load(),
+		Wall:          time.Duration(r.stats.wallNanos.Load()),
+	}
+}
+
+// ResetStats zeroes the cumulative counters (the memo, if any, keeps
+// its entries and its own counters).
+func (r *Runner) ResetStats() {
+	r.stats.classes.Store(0)
+	r.stats.parses.Store(0)
+	r.stats.vmRuns.Store(0)
+	r.stats.memoProbes.Store(0)
+	r.stats.memoHits.Store(0)
+	r.stats.wallNanos.Store(0)
+}
+
+// cloneLineup builds a private copy of the Runner's lineup for one
+// worker: same specs, same (read-only) library environments, one fresh
+// decode cache shared across the clone. VM execution state is
+// per-run, so clones are behaviourally identical to the originals.
+func (r *Runner) cloneLineup() []*jvm.VM {
+	vms := make([]*jvm.VM, len(r.VMs))
+	for i, vm := range r.VMs {
+		vms[i] = jvm.NewWithEnv(vm.Spec, vm.Env)
+	}
+	jvm.ShareDecodeCache(vms)
+	return vms
+}
+
+// runLineup executes one classfile on a lineup under the engine's
+// parse-once discipline:
+//
+//  1. probe the memo for every VM — a fully-memoized class skips even
+//     the parse;
+//  2. parse at most once (classfile.Parse is VM-independent); a parse
+//     failure is fanned out as the identical loading-phase rejection;
+//  3. drive each remaining VM through jvm.RunParsed over the shared
+//     parsed file, filling the memo behind it.
+//
+// With checked set, the single parse also feeds the static oracle and
+// each outcome (memoized or fresh — the oracle is a pure function of
+// file, VM and outcome) is cross-checked, mismatches returned in VM
+// order.
+func (r *Runner) runLineup(vms []*jvm.VM, data []byte, checked bool) (Vector, []analysis.Mismatch) {
+	v := Vector{
+		Codes:    make([]int, len(vms)),
+		Outcomes: make([]jvm.Outcome, len(vms)),
+	}
+	r.stats.classes.Add(1)
+
+	var cls *memoClass
+	if r.Memo != nil {
+		cls = r.Memo.class(data)
+	}
+
+	var f *classfile.File
+	var perr error
+	parsed := false
+	parse := func() {
+		if parsed {
+			return
+		}
+		parsed = true
+		f, perr = classfile.Parse(data)
+		r.stats.parses.Add(1)
+	}
+	if checked {
+		parse() // the oracle needs the parsed file even on memo hits
+	}
+
+	var mm []analysis.Mismatch
+	for i, vm := range vms {
+		var o jvm.Outcome
+		hit := false
+		if cls != nil {
+			r.stats.memoProbes.Add(1)
+			o, hit = r.Memo.get(cls, memoIdent(vm))
+			if hit {
+				r.stats.memoHits.Add(1)
+			}
+		}
+		if !hit {
+			parse()
+			if perr != nil {
+				o = jvm.ParseReject(perr)
+			} else {
+				o = vm.RunParsed(f)
+				r.stats.vmRuns.Add(1)
+			}
+			if cls != nil {
+				r.Memo.put(cls, memoIdent(vm), o)
+			}
+		}
+		v.Outcomes[i] = o
+		v.Codes[i] = o.Code()
+		if checked && perr == nil {
+			if m := analysis.CheckVM(f, vm, o); m != nil {
+				mm = append(mm, *m)
+			}
+		}
+	}
+	return v, mm
+}
+
+// evaluate is the engine behind Evaluate, EvaluateParallel and
+// EvaluateChecked. Workers pull class indices from a shared counter,
+// run them on private lineups, and park vectors in an index-addressed
+// buffer; the fold into the Summary happens afterwards in class order
+// (the same fixed-order commit discipline as the campaign engine), so
+// the aggregate — DistinctVectors, histogram, mismatch samples and
+// all — is bit-identical at any worker count.
+func (r *Runner) evaluate(classes [][]byte, workers int, checked bool) *Summary {
+	start := time.Now()
+	defer func() { r.stats.wallNanos.Add(time.Since(start).Nanoseconds()) }()
+
+	s := newSummary(r)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(classes) {
+		workers = len(classes)
+	}
+	if workers <= 1 {
+		for _, data := range classes {
+			v, mm := r.runLineup(r.VMs, data, checked)
+			s.absorb(v)
+			if checked {
+				s.absorbMismatches(mm)
+			}
+		}
+		return s
+	}
+
+	vecs := make([]Vector, len(classes))
+	var mms [][]analysis.Mismatch
+	if checked {
+		mms = make([][]analysis.Mismatch, len(classes))
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lineup := r.cloneLineup()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(classes) {
+					return
+				}
+				v, mm := r.runLineup(lineup, classes[i], checked)
+				vecs[i] = v
+				if checked {
+					mms[i] = mm
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for i, v := range vecs {
+		s.absorb(v)
+		if checked {
+			s.absorbMismatches(mms[i])
+		}
+	}
+	return s
+}

@@ -1,0 +1,247 @@
+package difftest
+
+import (
+	"fmt"
+	"os"
+	"reflect"
+	"runtime"
+	"strconv"
+	"sync"
+	"testing"
+
+	"repro/internal/classfile"
+	"repro/internal/jvm"
+	"repro/internal/seedgen"
+)
+
+// mixedCorpus builds a deterministic corpus exercising every outcome
+// class: normally-invoked hellos, version-skewed rejects (via seedgen's
+// skew fraction), the Figure 2 discrepancy, unparseable bytes, and
+// exact duplicates (memo fodder).
+func mixedCorpus(t testing.TB) [][]byte {
+	opts := seedgen.DefaultOptions(40, 11)
+	opts.SkewFraction = 0.25
+	classes, err := seedgen.GenerateFiles(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		classes = append(classes, hello(fmt.Sprintf("EMix%d", i)))
+	}
+	f := classfile.New("EMixDiscrepant")
+	classfile.AttachDefaultInit(f)
+	classfile.AttachStandardMain(f, "ok")
+	f.AddMethod(classfile.AccPublic|classfile.AccAbstract, "<clinit>", "()V")
+	d, _ := f.Bytes()
+	classes = append(classes, d)
+	classes = append(classes, []byte{0xCA, 0xFE, 0xBA, 0xBE}, []byte{0x00})
+	// Duplicates, interleaved so parallel workers race on them.
+	classes = append(classes, classes[:10]...)
+	return classes
+}
+
+// testWorkerCounts is the sweep the equivalence tests run; the CI race
+// matrix widens it via DIFFTEST_TEST_WORKERS.
+func testWorkerCounts() []int {
+	ws := []int{1, 4, runtime.GOMAXPROCS(0)}
+	if env := os.Getenv("DIFFTEST_TEST_WORKERS"); env != "" {
+		if n, err := strconv.Atoi(env); err == nil && n > 0 {
+			ws = append(ws, n)
+		}
+	}
+	return ws
+}
+
+// TestEngineEquivalence asserts the engine's contract: sequential
+// Evaluate, EvaluateParallel at several worker counts, the memoized
+// path (cold and warm), and the retained pre-engine per-VM-parse
+// reference all produce field-identical Summaries — DistinctVectors,
+// histogram, sample ordering included — on a mixed corpus.
+func TestEngineEquivalence(t *testing.T) {
+	classes := mixedCorpus(t)
+
+	ref := NewStandardRunner()
+	want := newSummary(ref)
+	for _, data := range classes {
+		want.absorb(ref.runSeparateParses(data))
+	}
+
+	check := func(name string, got *Summary) {
+		t.Helper()
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("%s summary differs from per-VM-parse reference:\nwant %+v\ngot  %+v", name, want, got)
+		}
+	}
+
+	check("Evaluate", NewStandardRunner().Evaluate(classes))
+	for _, w := range testWorkerCounts() {
+		check(fmt.Sprintf("EvaluateParallel(%d)", w),
+			NewStandardRunner().EvaluateParallel(classes, w))
+	}
+
+	memoRunner := NewStandardRunner()
+	memoRunner.Memo = NewOutcomeMemo()
+	check("memoized cold", memoRunner.EvaluateParallel(classes, 4))
+	check("memoized warm", memoRunner.EvaluateParallel(classes, 4))
+	check("memoized warm sequential", memoRunner.Evaluate(classes))
+}
+
+// TestEvaluateCheckedEquivalence asserts the checked path (static
+// oracle sanitizer) is byte-identical across worker counts and the
+// memoized path, MismatchSamples ordering included.
+func TestEvaluateCheckedEquivalence(t *testing.T) {
+	classes := mixedCorpus(t)
+	want := NewStandardRunner().EvaluateChecked(classes, 1)
+	for _, w := range testWorkerCounts() {
+		got := NewStandardRunner().EvaluateChecked(classes, w)
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("EvaluateChecked(%d) differs:\nwant %+v\ngot  %+v", w, want, got)
+		}
+	}
+	memoRunner := NewStandardRunner()
+	memoRunner.Memo = NewOutcomeMemo()
+	for _, pass := range []string{"cold", "warm"} {
+		got := memoRunner.EvaluateChecked(classes, 4)
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("EvaluateChecked memoized %s differs:\nwant %+v\ngot  %+v", pass, want, got)
+		}
+	}
+}
+
+// TestParseOncePerClass asserts the headline accounting: the engine
+// parses each evaluated class exactly once (the pre-engine model parsed
+// once per VM, 5×), and a warm memo skips both the parses and the VM
+// runs entirely.
+func TestParseOncePerClass(t *testing.T) {
+	classes := mixedCorpus(t)
+	n := int64(len(classes))
+
+	plain := NewStandardRunner()
+	plain.Evaluate(classes)
+	st := plain.Stats()
+	if st.Classes != n {
+		t.Fatalf("Classes = %d, want %d", st.Classes, n)
+	}
+	if st.Parses != n {
+		t.Errorf("Parses = %d, want one per class (%d)", st.Parses, n)
+	}
+	if want := n * int64(len(plain.VMs)-1); st.ParsesAvoided != want {
+		t.Errorf("ParsesAvoided = %d, want %d", st.ParsesAvoided, want)
+	}
+
+	r := NewStandardRunner()
+	r.Memo = NewOutcomeMemo()
+	r.Evaluate(classes)
+	// Even cold, the memo collapses exact duplicates: one parse per
+	// distinct class, none for repeats.
+	st = r.Stats()
+	if distinct := int64(r.Memo.Stats().Classes); st.Parses != distinct {
+		t.Errorf("cold-memo Parses = %d, want one per distinct class (%d)", st.Parses, distinct)
+	}
+
+	r.ResetStats()
+	r.Evaluate(classes)
+	st = r.Stats()
+	if st.Parses != 0 {
+		t.Errorf("warm-memo Parses = %d, want 0", st.Parses)
+	}
+	if st.VMRuns != 0 {
+		t.Errorf("warm-memo VMRuns = %d, want 0", st.VMRuns)
+	}
+	if st.MemoHits != st.MemoProbes || st.MemoHits != n*int64(len(r.VMs)) {
+		t.Errorf("warm-memo hits = %d / probes = %d, want all %d",
+			st.MemoHits, st.MemoProbes, n*int64(len(r.VMs)))
+	}
+	if st.MemoHitRate() != 1 {
+		t.Errorf("warm-memo hit rate = %g, want 1", st.MemoHitRate())
+	}
+}
+
+// TestMemoSharedAcrossRunners asserts the session pattern: a second
+// Runner attached to the same memo executes nothing for classes the
+// first already evaluated (the VM identities match), while a
+// shared-environment lineup — different library binding — does not
+// reuse the standard lineup's outcomes for the release-bound VMs.
+func TestMemoSharedAcrossRunners(t *testing.T) {
+	classes := mixedCorpus(t)
+	memo := NewOutcomeMemo()
+
+	a := NewStandardRunner()
+	a.Memo = memo
+	first := a.Evaluate(classes)
+
+	b := NewStandardRunner()
+	b.Memo = memo
+	second := b.EvaluateParallel(classes, 4)
+	if !reflect.DeepEqual(first, second) {
+		t.Error("memo-fed runner produced a different summary")
+	}
+	if st := b.Stats(); st.VMRuns != 0 || st.Parses != 0 {
+		t.Errorf("second runner executed work: %d runs, %d parses", st.VMRuns, st.Parses)
+	}
+
+	shared := NewSharedEnvRunner(0) // rtlib.JRE7: four VMs rebound off their own release
+	shared.Memo = memo
+	shared.Evaluate(classes[:5])
+	if st := shared.Stats(); st.VMRuns == 0 {
+		t.Error("shared-env lineup must not reuse standard-lineup outcomes for rebound VMs")
+	}
+}
+
+// TestRunParsedSharedFilePurity is the memo-soundness caveat as a race
+// test: outcomes must be pure, i.e. no VM may mutate the shared parsed
+// classfile.File. Many VMs of every policy run the same parsed files
+// concurrently; under -race any write to shared parsed state is a
+// report, and each run must keep producing its spec's outcome.
+func TestRunParsedSharedFilePurity(t *testing.T) {
+	var files []*classfile.File
+	for _, data := range mixedCorpus(t) {
+		f, err := classfile.Parse(data)
+		if err != nil {
+			continue
+		}
+		files = append(files, f)
+	}
+	if len(files) < 10 {
+		t.Fatalf("corpus too small: %d parsed files", len(files))
+	}
+
+	specs := jvm.StandardFive()
+	want := make([][]jvm.Outcome, len(specs))
+	for si, spec := range specs {
+		vm := jvm.New(spec)
+		want[si] = make([]jvm.Outcome, len(files))
+		for fi, f := range files {
+			want[si][fi] = vm.RunParsed(f)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		for si, spec := range specs {
+			wg.Add(1)
+			go func(si int, spec jvm.Spec) {
+				defer wg.Done()
+				vm := jvm.New(spec) // private VM, private decode cache
+				for fi, f := range files {
+					got := vm.RunParsed(f)
+					if !reflect.DeepEqual(got, want[si][fi]) {
+						t.Errorf("%s: file %d outcome changed under sharing: %v vs %v",
+							spec.Name, fi, got, want[si][fi])
+						return
+					}
+				}
+			}(si, spec)
+		}
+	}
+	wg.Wait()
+}
+
+// TestVectorKeySlowPath pins the fallback rendering for codes outside
+// 0–9 to the historical fmt-based behaviour.
+func TestVectorKeySlowPath(t *testing.T) {
+	v := Vector{Codes: []int{0, -1, 12}}
+	if got := v.Key(); got != "0-112" {
+		t.Errorf("Key = %q, want %q", got, "0-112")
+	}
+}

@@ -1,0 +1,127 @@
+package difftest
+
+import (
+	"bytes"
+	"sync"
+
+	"repro/internal/analysis"
+	"repro/internal/jvm"
+	"repro/internal/rtlib"
+)
+
+// vmIdent identifies a VM for memoization purposes: the full spec
+// (name, nominal release, every policy knob) plus the library release
+// actually bound (they differ under NewSharedEnvRunner). Outcomes are
+// pure functions of (class bytes, policy, library release), so equal
+// idents may share outcomes across lineups and sessions.
+type vmIdent struct {
+	spec jvm.Spec
+	env  rtlib.Release
+}
+
+func memoIdent(vm *jvm.VM) vmIdent {
+	return vmIdent{spec: vm.Spec, env: vm.Env.Release}
+}
+
+// memoClass is one distinct classfile's cache line: the exact bytes
+// (for collision confirmation) and the outcomes recorded so far per VM
+// identity.
+type memoClass struct {
+	data     []byte
+	outcomes map[vmIdent]jvm.Outcome
+}
+
+// OutcomeMemo caches differential outcomes keyed by
+// analysis.ContentFingerprint(class bytes) × vmIdent. Classes bucket by
+// the 64-bit content fingerprint and are confirmed by byte equality —
+// the same bucket-then-confirm discipline as the coverage suite's
+// trace keying — so a fingerprint collision can cost an extra compare,
+// never a reused wrong outcome.
+//
+// One memo may be shared by any number of Runners and goroutines (a
+// single mutex guards the maps; lookups are trivial next to a VM
+// execution). experiments.Session attaches one memo to all of its
+// differential evaluations, so a class shared between campaign suites
+// executes once per VM ever. Entries reference the caller's class
+// bytes; they are never mutated.
+type OutcomeMemo struct {
+	mu      sync.Mutex
+	buckets map[uint64][]*memoClass
+	hits    int64
+	misses  int64
+}
+
+// NewOutcomeMemo returns an empty memo.
+func NewOutcomeMemo() *OutcomeMemo {
+	return &OutcomeMemo{buckets: make(map[uint64][]*memoClass, 256)}
+}
+
+// class finds or creates the cache line for exact class bytes.
+func (m *OutcomeMemo) class(data []byte) *memoClass {
+	fp := analysis.ContentFingerprint(data)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, c := range m.buckets[fp] {
+		if bytes.Equal(c.data, data) {
+			return c
+		}
+	}
+	c := &memoClass{data: data, outcomes: make(map[vmIdent]jvm.Outcome, 8)}
+	m.buckets[fp] = append(m.buckets[fp], c)
+	return c
+}
+
+// get returns the cached outcome for one VM identity.
+func (m *OutcomeMemo) get(c *memoClass, id vmIdent) (jvm.Outcome, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	o, ok := c.outcomes[id]
+	if ok {
+		m.hits++
+	} else {
+		m.misses++
+	}
+	return o, ok
+}
+
+// put records an outcome. Duplicate puts (two workers racing on a
+// duplicated class) overwrite with an identical value — outcomes are
+// pure — so last-write-wins is harmless.
+func (m *OutcomeMemo) put(c *memoClass, id vmIdent, o jvm.Outcome) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c.outcomes[id] = o
+}
+
+// MemoStats is a snapshot of a memo's contents and traffic.
+type MemoStats struct {
+	// Classes is the number of distinct classfiles seen.
+	Classes int
+	// Outcomes is the total number of cached (class, VM) outcomes.
+	Outcomes int
+	// Hits / Misses count lookups across every attached Runner.
+	Hits   int64
+	Misses int64
+}
+
+// HitRate returns Hits / (Hits + Misses) (0 when idle).
+func (s MemoStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// Stats snapshots the memo.
+func (m *OutcomeMemo) Stats() MemoStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := MemoStats{Hits: m.hits, Misses: m.misses}
+	for _, bucket := range m.buckets {
+		st.Classes += len(bucket)
+		for _, c := range bucket {
+			st.Outcomes += len(c.outcomes)
+		}
+	}
+	return st
+}

@@ -80,6 +80,20 @@ type Session struct {
 	Seeds     []*jimple.Class
 	SeedFiles [][]byte
 	Campaigns map[string]*fuzz.Result
+	// Memo is the outcome memo shared by every differential evaluation
+	// the session performs (Tables 6 and 7 overlap heavily: every
+	// TestClasses suite is a subset of its GenClasses set, and the six
+	// campaigns share seed-derived mutants), so a class executes once
+	// per VM across the whole session.
+	Memo *difftest.OutcomeMemo
+}
+
+// diffRunner builds a standard five-VM runner wired to the session's
+// shared outcome memo.
+func (s *Session) diffRunner() *difftest.Runner {
+	r := difftest.NewStandardRunner()
+	r.Memo = s.Memo
+	return r
 }
 
 // NewSession generates seeds and runs all six campaigns.
@@ -115,7 +129,11 @@ func NewSession(s Scale) (*Session, error) {
 		})
 	}
 
-	sess := &Session{Scale: s, Seeds: seeds, SeedFiles: seedFiles, Campaigns: map[string]*fuzz.Result{}}
+	sess := &Session{
+		Scale: s, Seeds: seeds, SeedFiles: seedFiles,
+		Campaigns: map[string]*fuzz.Result{},
+		Memo:      difftest.NewOutcomeMemo(),
+	}
 	type job struct {
 		key   string
 		alg   fuzz.Algorithm
@@ -289,7 +307,7 @@ type Table6 struct{ Rows []Table6Row }
 // Table6 evaluates the corpora, generated sets and suites on the five
 // VMs (in parallel; the sets are independent classfiles).
 func (s *Session) Table6() *Table6 {
-	runner := difftest.NewStandardRunner()
+	runner := s.diffRunner()
 	t := &Table6{}
 	add := func(name string, classes [][]byte) {
 		sum := runner.EvaluateParallel(classes, 0)
@@ -364,7 +382,10 @@ type Table7 struct {
 
 // Table7 evaluates the classfuzz[stbr] suite per VM.
 func (s *Session) Table7() *Table7 {
-	runner := difftest.NewStandardRunner()
+	// The classfuzz[stbr] suite was already evaluated inside Table 6's
+	// Test block, so under the session memo this re-derivation costs
+	// map lookups, not VM executions.
+	runner := s.diffRunner()
 	var classes [][]byte
 	for _, g := range s.Campaigns[KeyClassfuzzSTBR].Test {
 		classes = append(classes, g.Data)

@@ -28,7 +28,9 @@ type VM struct {
 	// interpreter both need the same decode, so the cache is hit far
 	// more often than it is filled. Decoding is a pure function of the
 	// bytes, so sharing entries across runs cannot change outcomes.
-	decodeCache map[string]*decodedCode
+	// Lazily created unless a shared cache is attached via
+	// SetDecodeCache/ShareDecodeCache.
+	decodeCache *DecodeCache
 }
 
 type platformProbeKey struct{ cls, name string }
@@ -48,8 +50,51 @@ type decodedCode struct {
 // their keys, so eviction can only cost a redundant decode).
 const decodeCacheMax = 4096
 
+// DecodeCache is a bytecode-decode memo that may be shared by several
+// VMs: decoding is policy-independent (a pure function of the code
+// bytes), so one cache can serve a whole differential lineup and each
+// shared method body is decoded once instead of once per VM. It is not
+// safe for concurrent use — share a cache only among VMs driven from
+// one goroutine (each worker lineup owns its own).
+type DecodeCache struct {
+	m map[string]*decodedCode
+}
+
+// NewDecodeCache returns an empty cache.
+func NewDecodeCache() *DecodeCache { return &DecodeCache{} }
+
+func (c *DecodeCache) get(code []byte) (*decodedCode, bool) {
+	d, ok := c.m[string(code)]
+	return d, ok
+}
+
+func (c *DecodeCache) put(code []byte, d *decodedCode) {
+	if c.m == nil || len(c.m) >= decodeCacheMax {
+		c.m = make(map[string]*decodedCode, 64)
+	}
+	c.m[string(code)] = d
+}
+
+// SetDecodeCache attaches a decode cache (pass nil to detach; the VM
+// then lazily creates a private one).
+func (vm *VM) SetDecodeCache(c *DecodeCache) { vm.decodeCache = c }
+
+// ShareDecodeCache binds one fresh decode cache to every VM of a
+// lineup and returns it. The caller must drive the lineup from a
+// single goroutine.
+func ShareDecodeCache(vms []*VM) *DecodeCache {
+	c := NewDecodeCache()
+	for _, vm := range vms {
+		vm.SetDecodeCache(c)
+	}
+	return c
+}
+
 func (vm *VM) decodeCode(code []byte) *decodedCode {
-	if d, ok := vm.decodeCache[string(code)]; ok {
+	if vm.decodeCache == nil {
+		vm.decodeCache = NewDecodeCache()
+	}
+	if d, ok := vm.decodeCache.get(code); ok {
 		return d
 	}
 	d := &decodedCode{}
@@ -64,10 +109,7 @@ func (vm *VM) decodeCode(code []byte) *decodedCode {
 			d.targets[i] = in.Targets()
 		}
 	}
-	if vm.decodeCache == nil || len(vm.decodeCache) >= decodeCacheMax {
-		vm.decodeCache = make(map[string]*decodedCode, 64)
-	}
-	vm.decodeCache[string(code)] = d
+	vm.decodeCache.put(code, d)
 	return d
 }
 
@@ -145,9 +187,17 @@ func (vm *VM) Run(data []byte) Outcome {
 	vm.st(pParseEnter)
 	f, err := classfile.Parse(data)
 	if vm.br(bParseWellformed, err != nil) {
-		return reject(PhaseLoading, ErrClassFormat, "%v", err)
+		return ParseReject(err)
 	}
 	return vm.RunFile(f)
+}
+
+// ParseReject is the outcome every VM reports for bytes classfile.Parse
+// rejects — the shared front half of Run. Parsing is VM-independent, so
+// a caller that parses once (the difftest engine) fans the identical
+// rejection out to the whole lineup.
+func ParseReject(err error) Outcome {
+	return reject(PhaseLoading, ErrClassFormat, "%v", err)
 }
 
 // RunParsed executes an already-parsed classfile while firing the same
