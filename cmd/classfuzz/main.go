@@ -6,7 +6,7 @@
 //	classfuzz [-alg classfuzz|randfuzz|greedyfuzz|uniquefuzz]
 //	          [-criterion stbr|st|tr] [-seeds N] [-iters N]
 //	          [-seed N] [-workers N] [-out DIR] [-difftest] [-progress]
-//	          [-replay ITER]
+//	          [-replay ITER] [-metrics-addr HOST:PORT] [-metrics-dump FILE]
 //
 // With -replay ITER the command reproduces iteration ITER of the
 // campaign the other flags describe — re-deriving the iteration's RNG
@@ -15,6 +15,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +27,7 @@ import (
 	"repro/internal/jimple"
 	"repro/internal/jvm"
 	"repro/internal/seedgen"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -39,6 +41,8 @@ func main() {
 	runDiff := flag.Bool("difftest", false, "differentially test the accepted suite on the five VMs")
 	progress := flag.Bool("progress", false, "print live campaign progress")
 	replay := flag.Int("replay", -1, "reproduce this single campaign iteration instead of fuzzing")
+	metricsAddr := flag.String("metrics-addr", "", "serve live /metrics.json and /healthz on this address (e.g. 127.0.0.1:8317)")
+	metricsDump := flag.String("metrics-dump", "", "write the final telemetry snapshot to this file as JSON")
 	flag.Parse()
 
 	var crit coverage.Criterion
@@ -69,6 +73,22 @@ func main() {
 		return
 	}
 
+	// Telemetry is observe-only: attaching a registry (for the live
+	// endpoint or the dump) cannot change the campaign's results.
+	var reg *telemetry.Registry
+	if *metricsAddr != "" || *metricsDump != "" {
+		reg = telemetry.New()
+		cfg.Telemetry = reg
+	}
+	if *metricsAddr != "" {
+		_, addr, err := telemetry.Serve(*metricsAddr, func() telemetry.Snapshot { return reg.Snapshot() })
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metrics server: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "serving metrics on http://%s/metrics.json\n", addr)
+	}
+
 	if *progress {
 		cfg.Observer = campaign.NewProgress(os.Stderr, cfg.Iterations, 0)
 	}
@@ -76,6 +96,12 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "campaign failed: %v\n", err)
 		os.Exit(1)
+	}
+	if *metricsDump != "" {
+		if err := dumpMetrics(*metricsDump, reg.Snapshot()); err != nil {
+			fmt.Fprintf(os.Stderr, "metrics dump: %v\n", err)
+			os.Exit(1)
+		}
 	}
 
 	fmt.Printf("%s%s: %d iterations, %d generated, %d representative tests (succ %.1f%%), %s\n",
@@ -133,6 +159,16 @@ func doReplay(cfg campaign.Config, iter int, out string) {
 		fmt.Printf("wrote %s\n", file)
 	}
 	fmt.Printf("\n%s", jimple.Print(info.Class))
+}
+
+// dumpMetrics writes a snapshot as indented JSON (the same shape the
+// live /metrics.json endpoint serves).
+func dumpMetrics(path string, s telemetry.Snapshot) error {
+	blob, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
 }
 
 func critLabel(r *campaign.Result) string {

@@ -34,6 +34,7 @@ import (
 
 	"repro/internal/difftest"
 	"repro/internal/seedgen"
+	"repro/internal/telemetry"
 )
 
 type row struct {
@@ -131,8 +132,16 @@ func main() {
 		Repeat:     *repeat,
 	}
 
+	// Engine counters arrive as a telemetry snapshot delta (the runner's
+	// before/after Stats diffed over the measured evaluation).
 	addRow := func(mode string, workers int, el time.Duration, allocs, bytes uint64,
-		sum *difftest.Summary, st difftest.EvalStats) {
+		sum *difftest.Summary, st telemetry.Snapshot) {
+		parses := st.Counter(difftest.MetricParses)
+		probes := st.Counter(difftest.MetricMemoProbes)
+		hitRate := 0.0
+		if probes > 0 {
+			hitRate = float64(st.Counter(difftest.MetricMemoHits)) / float64(probes)
+		}
 		r := row{
 			Mode:           mode,
 			Workers:        workers,
@@ -143,10 +152,10 @@ func main() {
 			MicrosPerClass: el.Seconds() / float64(len(classes)) * 1e6,
 			AllocsPerOp:    allocs,
 			BytesPerOp:     bytes,
-			Parses:         st.Parses,
-			ParsesPerClass: float64(st.Parses) / float64(len(classes)),
-			VMRuns:         st.VMRuns,
-			MemoHitRate:    st.MemoHitRate(),
+			Parses:         parses,
+			ParsesPerClass: float64(parses) / float64(len(classes)),
+			VMRuns:         st.Counter(difftest.MetricVMRuns),
+			MemoHitRate:    hitRate,
 		}
 		if len(rep.Rows) > 0 && rep.Rows[0].MillisTotal > 0 {
 			r.Speedup = rep.Rows[0].MillisTotal / r.MillisTotal
@@ -172,17 +181,19 @@ func main() {
 			return r.Evaluate(nil)
 		})
 		sum := difftest.NewStandardRunner().Evaluate(classes) // invariants only
-		addRow("sequential-reparse", 1, el, allocs, bytes, sum,
-			difftest.EvalStats{Parses: int64(len(classes) * len(r.VMs)), VMRuns: int64(len(classes) * len(r.VMs))})
+		legacy := telemetry.New()
+		legacy.Counter(difftest.MetricParses).Add(int64(len(classes) * len(r.VMs)))
+		legacy.Counter(difftest.MetricVMRuns).Add(int64(len(classes) * len(r.VMs)))
+		addRow("sequential-reparse", 1, el, allocs, bytes, sum, legacy.Snapshot())
 	}
 
 	{
 		r := difftest.NewStandardRunner()
-		var st difftest.EvalStats
+		var st telemetry.Snapshot
 		el, allocs, bytes, sum := measure(*repeat, func() *difftest.Summary {
-			r.ResetStats()
+			before := r.Stats()
 			s := r.Evaluate(classes)
-			st = r.Stats()
+			st = r.Stats().Diff(before)
 			return s
 		})
 		addRow("sequential", 1, el, allocs, bytes, sum, st)
@@ -190,11 +201,11 @@ func main() {
 
 	for _, w := range sweep {
 		r := difftest.NewStandardRunner()
-		var st difftest.EvalStats
+		var st telemetry.Snapshot
 		el, allocs, bytes, sum := measure(*repeat, func() *difftest.Summary {
-			r.ResetStats()
+			before := r.Stats()
 			s := r.EvaluateParallel(classes, w)
-			st = r.Stats()
+			st = r.Stats().Diff(before)
 			return s
 		})
 		addRow("parallel", w, el, allocs, bytes, sum, st)
@@ -204,11 +215,11 @@ func main() {
 		r := difftest.NewStandardRunner()
 		r.Memo = difftest.NewOutcomeMemo()
 		r.Evaluate(classes) // warm
-		var st difftest.EvalStats
+		var st telemetry.Snapshot
 		el, allocs, bytes, sum := measure(*repeat, func() *difftest.Summary {
-			r.ResetStats()
+			before := r.Stats()
 			s := r.Evaluate(classes)
-			st = r.Stats()
+			st = r.Stats().Diff(before)
 			return s
 		})
 		addRow("memoized", 1, el, allocs, bytes, sum, st)

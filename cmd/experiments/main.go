@@ -4,6 +4,7 @@
 // Usage:
 //
 //	experiments [-scale default|paper] [-run all|prelim|table4|table5|table6|table7|figure4|pestimate|mcmcgain]
+//	            [-metrics-addr HOST:PORT]
 package main
 
 import (
@@ -11,7 +12,9 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/difftest"
 	"repro/internal/experiments"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -19,6 +22,7 @@ func main() {
 	runFlag := flag.String("run", "all", "experiment to run: all, prelim, table4, table5, table6, table7, figure4, pestimate, mcmcgain")
 	seed := flag.Int64("seed", 1, "random seed")
 	workers := flag.Int("workers", 1, "per-campaign worker pool size (results are identical at any value)")
+	metricsAddr := flag.String("metrics-addr", "", "serve live /metrics.json and /healthz on this address (e.g. 127.0.0.1:8317)")
 	flag.Parse()
 
 	var scale experiments.Scale
@@ -33,6 +37,21 @@ func main() {
 	}
 	scale.Seed = *seed
 	scale.Workers = *workers
+
+	// Attach the roll-up registry before the session runs so the live
+	// endpoint watches the six campaigns as they execute. Observe-only:
+	// every table is identical with or without it.
+	if *metricsAddr != "" {
+		scale.Telemetry = telemetry.New()
+		_, addr, err := telemetry.Serve(*metricsAddr, func() telemetry.Snapshot {
+			return scale.Telemetry.Snapshot()
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metrics server: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "serving metrics on http://%s/metrics.json\n", addr)
+	}
 
 	needSession := map[string]bool{
 		"all": true, "table4": true, "table5": true, "table6": true,
@@ -106,7 +125,11 @@ func main() {
 		if sess != nil && sess.Memo != nil {
 			st := sess.Memo.Stats()
 			fmt.Fprintf(os.Stderr, "difftest memo: %d distinct classes, %d cached outcomes, %.1f%% hit rate (%d hits / %d misses)\n",
-				st.Classes, st.Outcomes, st.HitRate()*100, st.Hits, st.Misses)
+				st.Gauge(difftest.MetricMemoDistinctClasses),
+				st.Gauge(difftest.MetricMemoCachedOutcomes),
+				difftest.MemoHitRate(st)*100,
+				st.Counter(difftest.MetricMemoLookupHits),
+				st.Counter(difftest.MetricMemoLookupMisses))
 		}
 		return
 	}

@@ -15,6 +15,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/campaign"
 	"repro/internal/coverage"
@@ -24,6 +25,7 @@ import (
 	"repro/internal/jvm"
 	"repro/internal/reduce"
 	"repro/internal/seedgen"
+	"repro/internal/telemetry"
 	"repro/internal/triage"
 )
 
@@ -36,6 +38,10 @@ func main() {
 	flag.Parse()
 
 	counters := &campaign.Counters{}
+	// One registry for the whole session: campaign stage timing, per-VM
+	// phase timing and the difftest engine all report here, and the
+	// Telemetry section at the end renders from its snapshot.
+	treg := telemetry.New()
 	cfg := fuzz.Config{
 		Algorithm:       fuzz.Classfuzz,
 		Criterion:       coverage.STBR,
@@ -47,6 +53,7 @@ func main() {
 		StaticPrefilter: true,
 		Workers:         *workers,
 		Observer:        counters,
+		Telemetry:       treg,
 	}
 	res, err := fuzz.Run(cfg)
 	if err != nil {
@@ -56,6 +63,8 @@ func main() {
 
 	runner := difftest.NewStandardRunner()
 	runner.Memo = difftest.NewOutcomeMemo()
+	runner.UseTelemetry(treg)
+	runner.Memo.UseTelemetry(treg)
 	var classes [][]byte
 	for _, g := range res.Test {
 		classes = append(classes, g.Data)
@@ -107,14 +116,22 @@ func main() {
 	fmt.Printf("out to the lineup; an outcome memo keyed by exact class content and\n")
 	fmt.Printf("VM identity absorbs repeats. Counters cover the checked suite\n")
 	fmt.Printf("evaluation above.\n\n")
+	diffClasses := diffStats.Counter(difftest.MetricClasses)
+	diffParses := diffStats.Counter(difftest.MetricParses)
+	memoProbes := diffStats.Counter(difftest.MetricMemoProbes)
+	memoHits := diffStats.Counter(difftest.MetricMemoHits)
+	hitRate := 0.0
+	if memoProbes > 0 {
+		hitRate = float64(memoHits) / float64(memoProbes)
+	}
 	fmt.Printf("| metric | value |\n|---|---|\n")
-	fmt.Printf("| classes evaluated | %d |\n", diffStats.Classes)
-	fmt.Printf("| classfile parses | %d |\n", diffStats.Parses)
-	fmt.Printf("| parses avoided (vs per-VM reparse) | %d |\n", diffStats.ParsesAvoided)
-	fmt.Printf("| VM pipeline executions | %d |\n", diffStats.VMRuns)
-	fmt.Printf("| memo hits | %d / %d probes (%.1f%%) |\n",
-		diffStats.MemoHits, diffStats.MemoProbes, diffStats.MemoHitRate()*100)
-	fmt.Printf("| difftest stage wall clock | %s |\n\n", diffStats.Wall.Round(1000000))
+	fmt.Printf("| classes evaluated | %d |\n", diffClasses)
+	fmt.Printf("| classfile parses | %d |\n", diffParses)
+	fmt.Printf("| parses avoided (vs per-VM reparse) | %d |\n", diffClasses*int64(len(runner.VMs))-diffParses)
+	fmt.Printf("| VM pipeline executions | %d |\n", diffStats.Counter(difftest.MetricVMRuns))
+	fmt.Printf("| memo hits | %d / %d probes (%.1f%%) |\n", memoHits, memoProbes, hitRate*100)
+	fmt.Printf("| difftest stage wall clock | %s |\n\n",
+		time.Duration(diffStats.Hist(difftest.MetricEvaluateNs).Sum).Round(1000000))
 
 	// Re-run the accepted suite on an instrumented reference VM and
 	// merge the tracefiles (the ⊕ operator) into the suite's combined
@@ -254,4 +271,36 @@ func main() {
 	if reduced == 0 {
 		fmt.Printf("_no reducible witnesses in this session_\n")
 	}
+
+	// Final snapshot: everything above — campaign stages, difftest
+	// engine, memo, per-VM pipeline — reported into one registry.
+	final := treg.Snapshot()
+	fmt.Printf("\n## Telemetry\n\n")
+	fmt.Printf("Session metrics snapshot (observe-only; results are identical with\n")
+	fmt.Printf("telemetry detached). Stage timings are per-iteration means over the\n")
+	fmt.Printf("campaign engine's pipeline spans.\n\n")
+	fmt.Printf("| stage | samples | mean |\n|---|---|---|\n")
+	for _, stage := range []string{"draw", "mutate", "prefilter", "exec", "commit"} {
+		h := final.Hist("campaign.stage." + stage + "_ns")
+		if h.Count == 0 {
+			continue
+		}
+		fmt.Printf("| campaign %s | %d | %s |\n", stage, h.Count, h.MeanDuration())
+	}
+	if h := final.Hist(difftest.MetricEvaluateNs); h.Count > 0 {
+		fmt.Printf("| difftest evaluate | %d | %s |\n", h.Count, h.MeanDuration())
+	}
+	fmt.Printf("\n| VM | pipeline runs | mean load | mean runtime |\n|---|---|---|---|\n")
+	for _, vm := range runner.VMs {
+		prefix := "jvm." + vm.Spec.Name
+		load := final.Hist(prefix + ".phase." + jvm.PhaseLoading.String() + "_ns")
+		run := final.Hist(prefix + ".phase." + jvm.PhaseRuntime.String() + "_ns")
+		fmt.Printf("| %s | %d | %s | %s |\n",
+			vm.Name(), final.Counter(prefix+".runs"), load.MeanDuration(), run.MeanDuration())
+	}
+	fmt.Printf("\nPrefilter verdict counters: %d accept / %d reject; memo: %d hits / %d misses.\n",
+		final.Counter("campaign.prefilter.verdict.accept"),
+		final.Counter("campaign.prefilter.verdict.reject"),
+		final.Counter(difftest.MetricMemoLookupHits),
+		final.Counter(difftest.MetricMemoLookupMisses))
 }

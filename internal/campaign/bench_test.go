@@ -6,6 +6,7 @@ import (
 	"repro/internal/coverage"
 	"repro/internal/jvm"
 	"repro/internal/seedgen"
+	"repro/internal/telemetry"
 )
 
 // benchConfig mirrors experiments.DefaultScale: 60 seeds, 400
@@ -25,7 +26,10 @@ func benchConfig(workers int) Config {
 }
 
 func benchCampaign(b *testing.B, workers int) {
-	cfg := benchConfig(workers)
+	benchCampaignCfg(b, benchConfig(workers))
+}
+
+func benchCampaignCfg(b *testing.B, cfg Config) {
 	b.ResetTimer()
 	var last *Result
 	for i := 0; i < b.N; i++ {
@@ -48,3 +52,14 @@ func benchCampaign(b *testing.B, workers int) {
 func BenchmarkCampaign1Worker(b *testing.B)  { benchCampaign(b, 1) }
 func BenchmarkCampaign4Workers(b *testing.B) { benchCampaign(b, 4) }
 func BenchmarkCampaign8Workers(b *testing.B) { benchCampaign(b, 8) }
+
+// BenchmarkCampaign1WorkerTelemetry is the instrumented twin of
+// BenchmarkCampaign1Worker: a registry attached, so every stage span
+// and counter fires. The bench-compare CI gate holds its ns/op within
+// the same 10% window, and the acceptance budget for telemetry
+// overhead (telemetry-on vs telemetry-off) is ≤2%.
+func BenchmarkCampaign1WorkerTelemetry(b *testing.B) {
+	cfg := benchConfig(1)
+	cfg.Telemetry = telemetry.New()
+	benchCampaignCfg(b, cfg)
+}

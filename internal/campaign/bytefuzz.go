@@ -39,6 +39,7 @@ func runBytefuzz(cfg Config) (*Result, error) {
 	}
 
 	o := obs{cfg.Observer}
+	tel := newEngineTel(nonNilRegistry(cfg.Telemetry), false)
 	res := &Result{
 		Algorithm:  cfg.Algorithm,
 		Criterion:  cfg.Criterion,
@@ -48,7 +49,8 @@ func runBytefuzz(cfg Config) (*Result, error) {
 	}
 	for it := 0; it < cfg.Iterations; it++ {
 		idx := drawRNG(cfg.Rand, it).Intn(len(pool))
-		o.iterationStarted(it, idx, -1)
+		tel.iterations.Inc()
+		o.emit(IterationStarted{Iter: it, PoolIndex: idx, MutatorID: -1})
 		rng := DeriveRNG(cfg.Rand, it)
 		mutant := append([]byte(nil), pool[idx]...)
 		mutant[rng.Intn(len(mutant))] = byte(rng.Intn(256))
@@ -59,14 +61,18 @@ func runBytefuzz(cfg Config) (*Result, error) {
 			Data:      mutant,
 			Accepted:  true,
 		}
-		o.mutated(it, -1, true)
+		tel.generated.Inc()
+		o.emit(Mutated{Iter: it, MutatorID: -1, Applied: true})
 		res.Gen = append(res.Gen, gc)
 		res.Test = append(res.Test, gc)
 		if !cfg.NoSeedRecycling {
 			pool = append(pool, mutant)
+			tel.poolSize.Set(int64(len(pool)))
 		}
-		o.accepted(it, gc.Name, gc.Stats)
-		o.selectorUpdated(it, -1, true)
+		tel.accepts.Inc()
+		tel.committed.Inc()
+		o.emit(Accepted{Iter: it, Name: gc.Name, Stats: gc.Stats})
+		o.emit(SelectorUpdated{Iter: it, MutatorID: -1, Success: true})
 	}
 	res.Elapsed = time.Since(start)
 	res.MutatorStats = []MutatorStat{} // bytefuzz never selects mutators

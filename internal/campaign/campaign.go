@@ -30,6 +30,7 @@ import (
 	"repro/internal/coverage"
 	"repro/internal/jimple"
 	"repro/internal/jvm"
+	"repro/internal/telemetry"
 )
 
 // Algorithm names the campaign strategy.
@@ -103,6 +104,14 @@ type Config struct {
 	// Observer receives engine events (may be nil). Events fire from the
 	// sequential draw/commit stages, so their order is deterministic.
 	Observer Observer
+	// Telemetry, when non-nil, receives the campaign's metrics
+	// (campaign.* counters/gauges) and switches on stage + reference-VM
+	// timing histograms. Telemetry is observe-only: results are
+	// bit-identical with or without it, at any worker count. The
+	// registry may be shared with a live endpoint or across campaigns
+	// (counters then accumulate; Result.Prefilter still reports only
+	// this campaign's deltas).
+	Telemetry *telemetry.Registry
 }
 
 // workers returns the effective worker count.

@@ -17,6 +17,7 @@ import (
 	"repro/internal/mcmc"
 	"repro/internal/mutation"
 	"repro/internal/seedgen"
+	"repro/internal/telemetry"
 )
 
 var update = flag.Bool("update", false, "rewrite golden campaign summaries")
@@ -150,6 +151,98 @@ func TestGoldenResults(t *testing.T) {
 				t.Errorf("campaign summary diverges from %s (re-record with -update if the change is intended)", path)
 			}
 		})
+	}
+}
+
+// TestTelemetryObserveOnly is the telemetry substrate's determinism
+// contract: attaching a registry changes nothing — the full summary
+// (accepted suite, draw log, mutator stats, prefilter counters) is
+// bit-identical with telemetry on or off, at every worker count — and
+// the registry's deterministic counters agree with the Result.
+func TestTelemetryObserveOnly(t *testing.T) {
+	for _, alg := range detAlgorithms {
+		alg := alg
+		t.Run(string(alg), func(t *testing.T) {
+			t.Parallel()
+			cfg := detConfig(alg)
+			plain, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := summarize(plain)
+			for _, w := range workerCounts() {
+				cfg := detConfig(alg)
+				cfg.Workers = w
+				cfg.Telemetry = telemetry.New()
+				res, err := Run(cfg)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", w, err)
+				}
+				if got := summarize(res); !reflect.DeepEqual(got, want) {
+					t.Errorf("workers=%d: telemetry-on summary diverges from telemetry-off", w)
+				}
+				s := cfg.Telemetry.Snapshot()
+				if got := s.Counter("campaign.iterations"); got != int64(cfg.Iterations) {
+					t.Errorf("workers=%d: campaign.iterations = %d, want %d", w, got, cfg.Iterations)
+				}
+				if got := s.Counter("campaign.generated"); got != int64(len(res.Gen)) {
+					t.Errorf("workers=%d: campaign.generated = %d, want %d", w, got, len(res.Gen))
+				}
+				if got := s.Counter("campaign.accepts"); got != int64(len(res.Test)) {
+					t.Errorf("workers=%d: campaign.accepts = %d, want %d", w, got, len(res.Test))
+				}
+				if pf := res.Prefilter; pf != nil {
+					if got := s.Counter("campaign.prefilter.skipped"); got != int64(pf.Skipped) {
+						t.Errorf("workers=%d: campaign.prefilter.skipped = %d, want %d", w, got, pf.Skipped)
+					}
+					if got := s.Counter("campaign.executions"); got != int64(len(res.Gen)-pf.Skipped) {
+						t.Errorf("workers=%d: campaign.executions = %d, want %d", w, got, len(res.Gen)-pf.Skipped)
+					}
+				}
+				if alg == Classfuzz && w == 1 {
+					// Stage timing is on when a registry is attached: the
+					// sequential stages saw every iteration.
+					for _, h := range []string{"campaign.stage.draw_ns", "campaign.stage.commit_ns"} {
+						if got := s.Hist(h).Count; got != int64(cfg.Iterations) {
+							t.Errorf("%s count = %d, want %d", h, got, cfg.Iterations)
+						}
+					}
+					if s.Hist("campaign.stage.mutate_ns").Count != int64(cfg.Iterations) {
+						t.Errorf("mutate span count = %d, want %d",
+							s.Hist("campaign.stage.mutate_ns").Count, cfg.Iterations)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestTelemetryRegistryReuse: a registry shared across campaigns
+// accumulates, while each Result.Prefilter reports only its own
+// campaign's deltas.
+func TestTelemetryRegistryReuse(t *testing.T) {
+	reg := telemetry.New()
+	cfg := detConfig(Classfuzz)
+	cfg.Telemetry = reg
+	r1, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := detConfig(Classfuzz)
+	cfg2.Telemetry = reg
+	r2, err := Run(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1.Prefilter, r2.Prefilter) {
+		t.Errorf("identical campaigns on a shared registry disagree on Prefilter: %+v vs %+v", r1.Prefilter, r2.Prefilter)
+	}
+	s := reg.Snapshot()
+	if got := s.Counter("campaign.prefilter.checked"); got != int64(r1.Prefilter.Checked+r2.Prefilter.Checked) {
+		t.Errorf("shared registry checked = %d, want accumulated %d", got, r1.Prefilter.Checked+r2.Prefilter.Checked)
+	}
+	if got := s.Counter("campaign.iterations"); got != int64(2*cfg.Iterations) {
+		t.Errorf("shared registry iterations = %d, want %d", got, 2*cfg.Iterations)
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"repro/internal/jvm"
 	"repro/internal/mcmc"
 	"repro/internal/mutation"
+	"repro/internal/telemetry"
 )
 
 // poolEntry is one seed-pool member: an original seed (iter == -1) or
@@ -44,6 +45,90 @@ type task struct {
 	done chan struct{}
 }
 
+// engineTel holds the engine's interned telemetry handles. The count
+// handles are always bound (against Config.Telemetry or a private
+// registry) and incremented only on the sequential draw/commit path,
+// so their values are deterministic at any worker count and
+// Result.Prefilter can be derived from them. The stage histograms are
+// bound only when an external registry is attached — timing fires
+// time.Now on the worker hot path, and a campaign nobody is observing
+// should not pay for it.
+type engineTel struct {
+	iterations *telemetry.Counter // campaign.iterations
+	generated  *telemetry.Counter // campaign.generated
+	failures   *telemetry.Counter // campaign.mutator_failures
+	executions *telemetry.Counter // campaign.executions
+	accepts    *telemetry.Counter // campaign.accepts
+	committed  *telemetry.Counter // campaign.committed
+	pfChecked  *telemetry.Counter // campaign.prefilter.checked
+	pfDoomed   *telemetry.Counter // campaign.prefilter.doomed
+	pfSkipped  *telemetry.Counter // campaign.prefilter.skipped
+	pfExecuted *telemetry.Counter // campaign.prefilter.executed
+	poolSize   *telemetry.Gauge   // campaign.pool_size
+
+	// verdicts tallies the prefilter's static accept/reject stream
+	// (campaign.prefilter.verdict.accept / .reject) — the analysis
+	// package's own view of the same commit-path decisions.
+	verdicts analysis.VerdictCounters
+
+	draw      *telemetry.Histogram // campaign.stage.draw_ns
+	mutate    *telemetry.Histogram // campaign.stage.mutate_ns
+	prefilter *telemetry.Histogram // campaign.stage.prefilter_ns
+	exec      *telemetry.Histogram // campaign.stage.exec_ns
+	commit    *telemetry.Histogram // campaign.stage.commit_ns
+
+	// prefilter counter values at campaign start, so a reused external
+	// registry still yields this campaign's own PrefilterStats.
+	pfBase [4]int64
+}
+
+// nonNilRegistry substitutes a private registry when the caller did
+// not attach one, so the deterministic counters always have somewhere
+// to land (Result.Prefilter is derived from them).
+func nonNilRegistry(reg *telemetry.Registry) *telemetry.Registry {
+	if reg == nil {
+		return telemetry.New()
+	}
+	return reg
+}
+
+func newEngineTel(reg *telemetry.Registry, timing bool) engineTel {
+	t := engineTel{
+		iterations: reg.Counter("campaign.iterations"),
+		generated:  reg.Counter("campaign.generated"),
+		failures:   reg.Counter("campaign.mutator_failures"),
+		executions: reg.Counter("campaign.executions"),
+		accepts:    reg.Counter("campaign.accepts"),
+		committed:  reg.Counter("campaign.committed"),
+		pfChecked:  reg.Counter("campaign.prefilter.checked"),
+		pfDoomed:   reg.Counter("campaign.prefilter.doomed"),
+		pfSkipped:  reg.Counter("campaign.prefilter.skipped"),
+		pfExecuted: reg.Counter("campaign.prefilter.executed"),
+		poolSize:   reg.Gauge("campaign.pool_size"),
+		verdicts:   analysis.NewVerdictCounters(reg, "campaign.prefilter.verdict"),
+	}
+	if timing {
+		t.draw = reg.Histogram("campaign.stage.draw_ns")
+		t.mutate = reg.Histogram("campaign.stage.mutate_ns")
+		t.prefilter = reg.Histogram("campaign.stage.prefilter_ns")
+		t.exec = reg.Histogram("campaign.stage.exec_ns")
+		t.commit = reg.Histogram("campaign.stage.commit_ns")
+	}
+	t.pfBase = [4]int64{t.pfChecked.Load(), t.pfDoomed.Load(), t.pfSkipped.Load(), t.pfExecuted.Load()}
+	return t
+}
+
+// prefilterStats derives this campaign's savings from the counter
+// deltas since newEngineTel.
+func (t *engineTel) prefilterStats() PrefilterStats {
+	return PrefilterStats{
+		Checked:  int(t.pfChecked.Load() - t.pfBase[0]),
+		Doomed:   int(t.pfDoomed.Load() - t.pfBase[1]),
+		Skipped:  int(t.pfSkipped.Load() - t.pfBase[2]),
+		Executed: int(t.pfExecuted.Load() - t.pfBase[3]),
+	}
+}
+
 type engine struct {
 	cfg  Config
 	obs  obs
@@ -57,6 +142,9 @@ type engine struct {
 	pool             []poolEntry
 	pf               *prefilter
 
+	tel    engineTel
+	timing bool // external registry attached: stage + VM timing on
+
 	lookahead int
 	res       *Result
 }
@@ -68,7 +156,15 @@ func newEngine(cfg Config) *engine {
 		muts:             mutation.Registry(),
 		coverageDirected: cfg.Algorithm != Randfuzz,
 		lookahead:        cfg.lookahead(),
+		timing:           cfg.Telemetry != nil,
 	}
+
+	// Counts always flow into a registry — the caller's, or a private
+	// one Result.Prefilter is derived from. Counts move only on the
+	// sequential draw/commit path, so they are deterministic at any
+	// worker count; stage timing (the only telemetry touching workers)
+	// stays off unless someone attached a registry to observe it.
+	e.tel = newEngineTel(nonNilRegistry(cfg.Telemetry), e.timing)
 
 	// Mutator selector: classfuzz uses the MCMC chain; everything else
 	// selects uniformly. The chain's initial state comes from the
@@ -78,7 +174,20 @@ func newEngine(cfg Config) *engine {
 		if p == 0 {
 			p = mcmc.DefaultP(len(e.muts))
 		}
-		e.selector = mcmc.NewSampler(len(e.muts), p, initRNG(cfg.Rand))
+		sel := mcmc.NewSampler(len(e.muts), p, initRNG(cfg.Rand))
+		if e.timing {
+			// Live per-mutator gauges (same names finalize Sets for the
+			// non-MCMC selectors), maintained as the chain draws and
+			// records on the sequential coordinator.
+			selG := make([]*telemetry.Gauge, len(e.muts))
+			succG := make([]*telemetry.Gauge, len(e.muts))
+			for i, m := range e.muts {
+				selG[i] = cfg.Telemetry.Gauge("campaign.mutator." + m.Name + ".selected")
+				succG[i] = cfg.Telemetry.Gauge("campaign.mutator." + m.Name + ".success")
+			}
+			sel.Instrument(selG, succG)
+		}
+		e.selector = sel
 	} else {
 		e.selector = mcmc.NewUniformSampler(len(e.muts))
 	}
@@ -135,9 +244,7 @@ func (e *engine) run() (*Result, error) {
 		Workers:    cfg.workers(),
 		Lookahead:  e.lookahead,
 	}
-	if e.pf != nil {
-		e.res.Prefilter = &e.pf.stats
-	}
+	e.tel.poolSize.Set(int64(len(e.pool)))
 
 	// The pipeline. The coordinator (this goroutine) performs draws and
 	// commits in a fixed interleaving — draw(0..D-1), then
@@ -195,13 +302,16 @@ func (e *engine) run() (*Result, error) {
 // the pool, propose a mutator, log the DrawRecord. State read here
 // (pool, selector chain) was last written by commit(i−D).
 func (e *engine) draw(i int) *task {
+	sp := telemetry.StartSpan(e.tel.draw)
 	rng := drawRNG(e.cfg.Rand, i)
 	idx := rng.Intn(len(e.pool))
 	pe := e.pool[idx]
 	muID := e.selector.Next(rng)
 	rec := DrawRecord{Iter: i, PoolIndex: idx, Parent: pe.iter, MutatorID: muID}
 	e.res.Draws = append(e.res.Draws, rec)
-	e.obs.iterationStarted(i, idx, muID)
+	e.tel.iterations.Inc()
+	e.obs.emit(IterationStarted{Iter: i, PoolIndex: idx, MutatorID: muID})
+	sp.End()
 	return &task{iter: i, parent: pe.class, rec: rec, done: make(chan struct{})}
 }
 
@@ -209,10 +319,12 @@ func (e *engine) draw(i int) *task {
 // worker. It touches no engine state except the (versioned, locked)
 // prefilter cache; everything else flows through the task.
 func (e *engine) process(t *task, vm *jvm.VM, rec *coverage.Recorder) {
+	spMutate := telemetry.StartSpan(e.tel.mutate)
 	rng := DeriveRNG(e.cfg.Rand, t.iter)
 	mutant := t.parent.Clone()
 	if !e.muts[t.rec.MutatorID].Apply(mutant, rng) {
 		// Soot-style failure: no classfile generated this iteration.
+		spMutate.End()
 		return
 	}
 	t.applied = true
@@ -220,6 +332,7 @@ func (e *engine) process(t *task, vm *jvm.VM, rec *coverage.Recorder) {
 	t.mutant = mutant
 
 	data, err := lower(mutant)
+	spMutate.End()
 	if err != nil {
 		return
 	}
@@ -231,6 +344,7 @@ func (e *engine) process(t *task, vm *jvm.VM, rec *coverage.Recorder) {
 	}
 	var parsed *classfile.File
 	if e.pf != nil {
+		spPf := telemetry.StartSpan(e.tel.prefilter)
 		t.checked = true
 		if f, perr := classfile.Parse(data); perr == nil {
 			parsed = f
@@ -242,11 +356,14 @@ func (e *engine) process(t *task, vm *jvm.VM, rec *coverage.Recorder) {
 				if tr, ok := e.pf.lookup(t.fp, t.iter-e.lookahead); ok {
 					t.cacheHit = true
 					t.trace = tr
+					spPf.End()
 					return
 				}
 			}
 		}
+		spPf.End()
 	}
+	spExec := telemetry.StartSpan(e.tel.exec)
 	rec.Reset()
 	if parsed != nil {
 		// The prefilter already parsed these bytes successfully; reuse
@@ -257,6 +374,7 @@ func (e *engine) process(t *task, vm *jvm.VM, rec *coverage.Recorder) {
 		vm.Run(data)
 	}
 	t.trace = rec.Trace()
+	spExec.End()
 }
 
 // commit runs the sequential commit stage for one task, in iteration
@@ -264,31 +382,40 @@ func (e *engine) process(t *task, vm *jvm.VM, rec *coverage.Recorder) {
 // suite, pool recycling and selector feedback.
 func (e *engine) commit(t *task) {
 	<-t.done
+	sp := telemetry.StartSpan(e.tel.commit)
+	defer sp.End()
+	defer e.tel.committed.Inc()
 
 	generated := t.applied && t.lowered
-	e.obs.mutated(t.iter, t.rec.MutatorID, generated)
+	e.obs.emit(Mutated{Iter: t.iter, MutatorID: t.rec.MutatorID, Applied: generated})
 	if !generated {
+		e.tel.failures.Inc()
 		e.selector.Record(t.rec.MutatorID, false)
-		e.obs.selectorUpdated(t.iter, t.rec.MutatorID, false)
+		e.obs.emit(SelectorUpdated{Iter: t.iter, MutatorID: t.rec.MutatorID, Success: false})
 		return
 	}
 	e.res.Draws[t.iter].Generated = true
+	e.tel.generated.Inc()
 
 	if t.checked {
-		e.pf.stats.Checked++
+		e.tel.pfChecked.Inc()
+		e.tel.verdicts.Observe(t.doomed)
 		if t.doomed {
-			e.pf.stats.Doomed++
+			e.tel.pfDoomed.Inc()
 			if t.cacheHit {
-				e.pf.stats.Skipped++
-				e.obs.prefilterHit(t.iter)
+				e.tel.pfSkipped.Inc()
+				e.obs.emit(PrefilterHit{Iter: t.iter})
 			} else {
-				e.pf.stats.Executed++
+				e.tel.pfExecuted.Inc()
 				e.pf.insert(t.fp, t.trace, t.iter)
 			}
 		}
 	}
 	if e.coverageDirected {
-		e.obs.executed(t.iter, t.cacheHit)
+		if !t.cacheHit {
+			e.tel.executions.Inc()
+		}
+		e.obs.emit(Executed{Iter: t.iter, Skipped: t.cacheHit})
 	}
 
 	gc := &GenClass{Iter: t.iter, Name: t.mutant.Name, MutatorID: t.rec.MutatorID}
@@ -324,21 +451,27 @@ func (e *engine) commit(t *task) {
 		e.res.Test = append(e.res.Test, gc)
 		if !e.cfg.NoSeedRecycling {
 			e.pool = append(e.pool, poolEntry{class: t.mutant, iter: t.iter})
+			e.tel.poolSize.Set(int64(len(e.pool)))
 		}
-		e.obs.accepted(t.iter, gc.Name, gc.Stats)
+		e.tel.accepts.Inc()
+		e.obs.emit(Accepted{Iter: t.iter, Name: gc.Name, Stats: gc.Stats})
 	} else if e.cfg.KeepClasses || e.cfg.KeepGenBytes {
 		// Unaccepted mutants keep their bytes only on request: dropping
 		// them is what bounds campaign RSS at paper scale.
 		gc.Data = t.data
 	}
 	e.selector.Record(t.rec.MutatorID, accepted)
-	e.obs.selectorUpdated(t.iter, t.rec.MutatorID, accepted)
+	e.obs.emit(SelectorUpdated{Iter: t.iter, MutatorID: t.rec.MutatorID, Success: accepted})
 }
 
 // finalize derives the summary statistics.
 func (e *engine) finalize() {
 	res := e.res
 	res.GenUniqueStats = e.genStats.UniqueStatsCount()
+	if e.pf != nil {
+		pf := e.tel.prefilterStats()
+		res.Prefilter = &pf
+	}
 	res.MutatorStats = make([]MutatorStat, len(e.muts))
 	for i, m := range e.muts {
 		res.MutatorStats[i] = MutatorStat{ID: i, Name: m.Name}
@@ -348,16 +481,24 @@ func (e *engine) finalize() {
 			res.MutatorStats[i].Selected = sel.Selected(i)
 			res.MutatorStats[i].Success = sel.Succeeded(i)
 		}
-		return
+	} else {
+		// Uniform selectors: exact per-mutator tallies from the generated
+		// classes (draws whose mutator was inapplicable are not counted,
+		// matching how the evaluation attributes frequencies for the
+		// unguided algorithms).
+		for _, g := range res.Gen {
+			res.MutatorStats[g.MutatorID].Selected++
+			if g.Accepted {
+				res.MutatorStats[g.MutatorID].Success++
+			}
+		}
 	}
-	// Uniform selectors: exact per-mutator tallies from the generated
-	// classes (draws whose mutator was inapplicable are not counted,
-	// matching how the evaluation attributes frequencies for the
-	// unguided algorithms).
-	for _, g := range res.Gen {
-		res.MutatorStats[g.MutatorID].Selected++
-		if g.Accepted {
-			res.MutatorStats[g.MutatorID].Success++
+	// Final per-mutator gauges (Table 4's signal) for live observers;
+	// the MCMC path also maintains them incrementally via Instrument.
+	if e.timing {
+		for _, st := range res.MutatorStats {
+			e.cfg.Telemetry.Gauge("campaign.mutator."+st.Name+".selected").Set(int64(st.Selected))
+			e.cfg.Telemetry.Gauge("campaign.mutator."+st.Name+".success").Set(int64(st.Success))
 		}
 	}
 }

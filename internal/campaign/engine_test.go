@@ -67,28 +67,50 @@ func TestObserverCountersConsistent(t *testing.T) {
 // be compared verbatim.
 type recordingObserver struct{ events []string }
 
-func (r *recordingObserver) IterationStarted(iter, poolIndex, mutatorID int) {
+func (r *recordingObserver) Event(ev Event) {
+	switch e := ev.(type) {
+	case IterationStarted:
+		r.events = append(r.events, fmt.Sprintf("start %d %d %d", e.Iter, e.PoolIndex, e.MutatorID))
+	case Mutated:
+		r.events = append(r.events, fmt.Sprintf("mutated %d %d %v", e.Iter, e.MutatorID, e.Applied))
+	case Executed:
+		r.events = append(r.events, fmt.Sprintf("executed %d %v", e.Iter, e.Skipped))
+	case PrefilterHit:
+		r.events = append(r.events, fmt.Sprintf("hit %d", e.Iter))
+	case Accepted:
+		r.events = append(r.events, fmt.Sprintf("accepted %d %s %d/%d", e.Iter, e.Name, e.Stats.Stmts, e.Stats.Branches))
+	case SelectorUpdated:
+		r.events = append(r.events, fmt.Sprintf("selector %d %d %v", e.Iter, e.MutatorID, e.Success))
+	}
+}
+
+// legacyRecordingObserver is the same recorder written against the old
+// six-method surface, to pin the Legacy adapter's dispatch.
+type legacyRecordingObserver struct{ events []string }
+
+func (r *legacyRecordingObserver) IterationStarted(iter, poolIndex, mutatorID int) {
 	r.events = append(r.events, fmt.Sprintf("start %d %d %d", iter, poolIndex, mutatorID))
 }
-func (r *recordingObserver) Mutated(iter, mutatorID int, applied bool) {
+func (r *legacyRecordingObserver) Mutated(iter, mutatorID int, applied bool) {
 	r.events = append(r.events, fmt.Sprintf("mutated %d %d %v", iter, mutatorID, applied))
 }
-func (r *recordingObserver) Executed(iter int, skipped bool) {
+func (r *legacyRecordingObserver) Executed(iter int, skipped bool) {
 	r.events = append(r.events, fmt.Sprintf("executed %d %v", iter, skipped))
 }
-func (r *recordingObserver) PrefilterHit(iter int) {
+func (r *legacyRecordingObserver) PrefilterHit(iter int) {
 	r.events = append(r.events, fmt.Sprintf("hit %d", iter))
 }
-func (r *recordingObserver) Accepted(iter int, name string, stats coverage.Stats) {
+func (r *legacyRecordingObserver) Accepted(iter int, name string, stats coverage.Stats) {
 	r.events = append(r.events, fmt.Sprintf("accepted %d %s %d/%d", iter, name, stats.Stmts, stats.Branches))
 }
-func (r *recordingObserver) SelectorUpdated(iter, mutatorID int, success bool) {
+func (r *legacyRecordingObserver) SelectorUpdated(iter, mutatorID int, success bool) {
 	r.events = append(r.events, fmt.Sprintf("selector %d %d %v", iter, mutatorID, success))
 }
 
 // TestObserverEventOrderDeterministic: the full event stream — not just
 // the totals — is identical at any worker count, because every event
-// fires from the sequential draw/commit stages.
+// fires from the sequential draw/commit stages. The Legacy adapter must
+// see the identical stream through the old six-method surface.
 func TestObserverEventOrderDeterministic(t *testing.T) {
 	run := func(workers int) []string {
 		o := &recordingObserver{}
@@ -103,6 +125,17 @@ func TestObserverEventOrderDeterministic(t *testing.T) {
 	one, four := run(1), run(4)
 	if !reflect.DeepEqual(one, four) {
 		t.Error("observer event stream differs between workers=1 and workers=4")
+	}
+
+	legacy := &legacyRecordingObserver{}
+	cfg := detConfig(Uniquefuzz)
+	cfg.Workers = 4
+	cfg.Observer = Legacy{O: legacy}
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(one, legacy.events) {
+		t.Error("Legacy adapter's event stream differs from the native Event stream")
 	}
 }
 

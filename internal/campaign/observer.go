@@ -7,32 +7,78 @@ import (
 	"repro/internal/coverage"
 )
 
-// Observer is the engine's event sink. All events fire from the
-// sequential draw/commit stages — never from workers — so for a fixed
-// campaign configuration the event sequence is identical at any worker
-// count. Implementations therefore need no locking when driven by a
-// single engine; an observer shared across concurrent campaigns must
-// synchronise itself.
+// Event is one engine occurrence, delivered to the Observer as a typed
+// struct. All events fire from the sequential draw/commit stages —
+// never from workers — so for a fixed campaign configuration the event
+// sequence is identical at any worker count. Observers driven by a
+// single engine therefore need no locking; an observer shared across
+// concurrent campaigns must synchronise itself.
+//
+// The concrete event types are IterationStarted, Mutated, Executed,
+// PrefilterHit, Accepted and SelectorUpdated.
+type Event interface {
+	// campaignEvent marks the closed set of event types.
+	campaignEvent()
+}
+
+// IterationStarted fires at the draw stage, before the iteration's
+// work is dispatched.
+type IterationStarted struct {
+	Iter      int
+	PoolIndex int
+	MutatorID int
+}
+
+// Mutated fires at commit with the mutator-application outcome.
+// Applied is false when the mutator was inapplicable to the drawn seed
+// or the mutant failed to lower (the Soot-style dump failure).
+type Mutated struct {
+	Iter      int
+	MutatorID int
+	Applied   bool
+}
+
+// Executed fires at commit for every coverage-directed iteration that
+// produced a classfile; Skipped reports that the prefilter's trace
+// cache stood in for the reference-VM run.
+type Executed struct {
+	Iter    int
+	Skipped bool
+}
+
+// PrefilterHit fires at commit when the static prefilter's cache
+// avoided a reference-VM execution.
+type PrefilterHit struct {
+	Iter int
+}
+
+// Accepted fires at commit when the mutant joined TestClasses.
+type Accepted struct {
+	Iter  int
+	Name  string
+	Stats coverage.Stats
+}
+
+// SelectorUpdated fires once per committed iteration, after the
+// selector received its feedback.
+type SelectorUpdated struct {
+	Iter      int
+	MutatorID int
+	Success   bool
+}
+
+func (IterationStarted) campaignEvent() {}
+func (Mutated) campaignEvent()          {}
+func (Executed) campaignEvent()         {}
+func (PrefilterHit) campaignEvent()     {}
+func (Accepted) campaignEvent()         {}
+func (SelectorUpdated) campaignEvent()  {}
+
+// Observer is the engine's event sink: one method, one typed event.
+// Implementations switch on the event types they care about and ignore
+// the rest, so the interface never grows when a new event is added.
 type Observer interface {
-	// IterationStarted fires at the draw stage, before the iteration's
-	// work is dispatched.
-	IterationStarted(iter, poolIndex, mutatorID int)
-	// Mutated fires at commit with the mutator-application outcome.
-	// applied is false when the mutator was inapplicable to the drawn
-	// seed or the mutant failed to lower (the Soot-style dump failure).
-	Mutated(iter, mutatorID int, applied bool)
-	// Executed fires at commit for every coverage-directed iteration
-	// that produced a classfile; skipped reports that the prefilter's
-	// trace cache stood in for the reference-VM run.
-	Executed(iter int, skipped bool)
-	// PrefilterHit fires at commit when the static prefilter's cache
-	// avoided a reference-VM execution.
-	PrefilterHit(iter int)
-	// Accepted fires at commit when the mutant joined TestClasses.
-	Accepted(iter int, name string, stats coverage.Stats)
-	// SelectorUpdated fires once per committed iteration, after the
-	// selector received its feedback.
-	SelectorUpdated(iter, mutatorID int, success bool)
+	Event(ev Event)
 }
 
 // Counters is an Observer tallying every event class; cmd/report and
@@ -47,33 +93,29 @@ type Counters struct {
 	Committed     int // iterations fully committed
 }
 
-// IterationStarted implements Observer.
-func (c *Counters) IterationStarted(int, int, int) { c.Iterations++ }
-
-// Mutated implements Observer.
-func (c *Counters) Mutated(_, _ int, applied bool) {
-	if applied {
-		c.Applied++
-	} else {
-		c.Failed++
+// Event implements Observer.
+func (c *Counters) Event(ev Event) {
+	switch e := ev.(type) {
+	case IterationStarted:
+		c.Iterations++
+	case Mutated:
+		if e.Applied {
+			c.Applied++
+		} else {
+			c.Failed++
+		}
+	case Executed:
+		if !e.Skipped {
+			c.Executions++
+		}
+	case PrefilterHit:
+		c.PrefilterHits++
+	case Accepted:
+		c.Accepts++
+	case SelectorUpdated:
+		c.Committed++
 	}
 }
-
-// Executed implements Observer.
-func (c *Counters) Executed(_ int, skipped bool) {
-	if !skipped {
-		c.Executions++
-	}
-}
-
-// PrefilterHit implements Observer.
-func (c *Counters) PrefilterHit(int) { c.PrefilterHits++ }
-
-// Accepted implements Observer.
-func (c *Counters) Accepted(int, string, coverage.Stats) { c.Accepts++ }
-
-// SelectorUpdated implements Observer.
-func (c *Counters) SelectorUpdated(int, int, bool) { c.Committed++ }
 
 // String renders the tallies on one line.
 func (c *Counters) String() string {
@@ -102,9 +144,13 @@ func NewProgress(w io.Writer, total, every int) *Progress {
 	return &Progress{W: w, Total: total, Every: every}
 }
 
-// SelectorUpdated implements Observer, emitting the periodic line.
-func (p *Progress) SelectorUpdated(iter, mutatorID int, success bool) {
-	p.Counters.SelectorUpdated(iter, mutatorID, success)
+// Event implements Observer, emitting the periodic line on each
+// committed iteration.
+func (p *Progress) Event(ev Event) {
+	p.Counters.Event(ev)
+	if _, ok := ev.(SelectorUpdated); !ok {
+		return
+	}
 	if p.Committed%p.Every == 0 || p.Committed == p.Total {
 		fmt.Fprintf(p.W, "[campaign] %d/%d committed: %d generated, %d accepted, %d prefilter hits\n",
 			p.Committed, p.Total, p.Applied, p.Accepts, p.PrefilterHits)
@@ -114,83 +160,57 @@ func (p *Progress) SelectorUpdated(iter, mutatorID int, success bool) {
 // Multi fans events out to several observers in order.
 type Multi []Observer
 
-// IterationStarted implements Observer.
-func (m Multi) IterationStarted(iter, poolIndex, mutatorID int) {
+// Event implements Observer.
+func (m Multi) Event(ev Event) {
 	for _, o := range m {
-		o.IterationStarted(iter, poolIndex, mutatorID)
+		o.Event(ev)
 	}
 }
 
-// Mutated implements Observer.
-func (m Multi) Mutated(iter, mutatorID int, applied bool) {
-	for _, o := range m {
-		o.Mutated(iter, mutatorID, applied)
+// LegacyObserver is the pre-event-sink observer surface: one method
+// per event class. Wrap implementations in Legacy to keep them
+// working against the Event API.
+type LegacyObserver interface {
+	IterationStarted(iter, poolIndex, mutatorID int)
+	Mutated(iter, mutatorID int, applied bool)
+	Executed(iter int, skipped bool)
+	PrefilterHit(iter int)
+	Accepted(iter int, name string, stats coverage.Stats)
+	SelectorUpdated(iter, mutatorID int, success bool)
+}
+
+// Legacy adapts a LegacyObserver to the Event interface, dispatching
+// each typed event to the corresponding legacy method.
+type Legacy struct {
+	O LegacyObserver
+}
+
+// Event implements Observer.
+func (l Legacy) Event(ev Event) {
+	if l.O == nil {
+		return
+	}
+	switch e := ev.(type) {
+	case IterationStarted:
+		l.O.IterationStarted(e.Iter, e.PoolIndex, e.MutatorID)
+	case Mutated:
+		l.O.Mutated(e.Iter, e.MutatorID, e.Applied)
+	case Executed:
+		l.O.Executed(e.Iter, e.Skipped)
+	case PrefilterHit:
+		l.O.PrefilterHit(e.Iter)
+	case Accepted:
+		l.O.Accepted(e.Iter, e.Name, e.Stats)
+	case SelectorUpdated:
+		l.O.SelectorUpdated(e.Iter, e.MutatorID, e.Success)
 	}
 }
 
-// Executed implements Observer.
-func (m Multi) Executed(iter int, skipped bool) {
-	for _, o := range m {
-		o.Executed(iter, skipped)
-	}
-}
-
-// PrefilterHit implements Observer.
-func (m Multi) PrefilterHit(iter int) {
-	for _, o := range m {
-		o.PrefilterHit(iter)
-	}
-}
-
-// Accepted implements Observer.
-func (m Multi) Accepted(iter int, name string, stats coverage.Stats) {
-	for _, o := range m {
-		o.Accepted(iter, name, stats)
-	}
-}
-
-// SelectorUpdated implements Observer.
-func (m Multi) SelectorUpdated(iter, mutatorID int, success bool) {
-	for _, o := range m {
-		o.SelectorUpdated(iter, mutatorID, success)
-	}
-}
-
-// The engine calls observers through this nil-tolerant shim.
+// The engine emits events through this nil-tolerant shim.
 type obs struct{ o Observer }
 
-func (s obs) iterationStarted(iter, poolIndex, mutatorID int) {
+func (s obs) emit(ev Event) {
 	if s.o != nil {
-		s.o.IterationStarted(iter, poolIndex, mutatorID)
-	}
-}
-
-func (s obs) mutated(iter, mutatorID int, applied bool) {
-	if s.o != nil {
-		s.o.Mutated(iter, mutatorID, applied)
-	}
-}
-
-func (s obs) executed(iter int, skipped bool) {
-	if s.o != nil {
-		s.o.Executed(iter, skipped)
-	}
-}
-
-func (s obs) prefilterHit(iter int) {
-	if s.o != nil {
-		s.o.PrefilterHit(iter)
-	}
-}
-
-func (s obs) accepted(iter int, name string, stats coverage.Stats) {
-	if s.o != nil {
-		s.o.Accepted(iter, name, stats)
-	}
-}
-
-func (s obs) selectorUpdated(iter, mutatorID int, success bool) {
-	if s.o != nil {
-		s.o.SelectorUpdated(iter, mutatorID, success)
+		s.o.Event(ev)
 	}
 }

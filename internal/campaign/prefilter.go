@@ -22,13 +22,13 @@ import (
 // redundantly (exactly as it would at workers=1), which costs a little
 // throughput but keeps the Skipped/Executed counters bit-identical at
 // any worker count.
+// Savings tallies (the old stats field) live in the engine's telemetry
+// counters — campaign.prefilter.* — and surface as Result.Prefilter.
 type prefilter struct {
 	policy *jvm.Policy
 
 	mu    sync.RWMutex
 	cache map[uint64]prefilterEntry
-
-	stats PrefilterStats
 }
 
 type prefilterEntry struct {

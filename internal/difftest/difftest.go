@@ -21,6 +21,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/jvm"
 	"repro/internal/rtlib"
+	"repro/internal/telemetry"
 )
 
 // Runner owns an ordered set of VMs under differential test.
@@ -35,19 +36,33 @@ type Runner struct {
 	// pins down under the race detector.
 	Memo *OutcomeMemo
 
-	stats engineStats
+	// reg receives the engine's difftest.* metrics — a private registry
+	// until UseTelemetry attaches an external one; tel caches the
+	// interned handles. vmTiming marks that lineup VMs (and worker
+	// clones) record per-phase timing, which only an external registry
+	// turns on.
+	reg      *telemetry.Registry
+	tel      runnerTel
+	vmTiming bool
+}
+
+// newRunner wires a private metrics registry around a lineup.
+func newRunner(vms []*jvm.VM) *Runner {
+	r := &Runner{VMs: vms, reg: telemetry.New()}
+	r.tel = newRunnerTel(r.reg, len(vms))
+	jvm.ShareDecodeCache(r.VMs)
+	return r
 }
 
 // NewStandardRunner builds the Table 3 lineup — HotSpot 7/8/9, J9,
 // GIJ — each bound to its own library release (the configuration of the
 // paper's evaluation, where compatibility discrepancies are visible).
 func NewStandardRunner() *Runner {
-	r := &Runner{}
+	var vms []*jvm.VM
 	for _, spec := range jvm.StandardFive() {
-		r.VMs = append(r.VMs, jvm.New(spec))
+		vms = append(vms, jvm.New(spec))
 	}
-	jvm.ShareDecodeCache(r.VMs)
-	return r
+	return newRunner(vms)
 }
 
 // NewSharedEnvRunner binds all five VMs to one library release —
@@ -55,12 +70,11 @@ func NewStandardRunner() *Runner {
 // discrepancies and leaves defect-indicative ones.
 func NewSharedEnvRunner(release rtlib.Release) *Runner {
 	env := rtlib.NewEnv(release)
-	r := &Runner{}
+	var vms []*jvm.VM
 	for _, spec := range jvm.StandardFive() {
-		r.VMs = append(r.VMs, jvm.NewWithEnv(spec, env))
+		vms = append(vms, jvm.NewWithEnv(spec, env))
 	}
-	jvm.ShareDecodeCache(r.VMs)
-	return r
+	return newRunner(vms)
 }
 
 // Names returns the VM display names in order.

@@ -4,82 +4,94 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/classfile"
 	"repro/internal/jvm"
+	"repro/internal/telemetry"
 )
 
-// engineStats are the Runner's cumulative execution counters. Atomics,
-// because parallel evaluations update them from every worker; reads are
-// snapshots via Stats.
-type engineStats struct {
-	classes    atomic.Int64
-	parses     atomic.Int64
-	vmRuns     atomic.Int64
-	memoProbes atomic.Int64
-	memoHits   atomic.Int64
-	wallNanos  atomic.Int64
+// Metric names of the Runner's engine counters. The semantic results
+// (Summary, Vector) are deterministic at any worker count; the counters
+// of a memoized parallel evaluation are not quite (two workers may race
+// to execute one duplicated class and both count a miss), so these are
+// diagnostics, not oracle inputs.
+const (
+	// MetricClasses counts evaluated classfiles (vectors produced).
+	MetricClasses = "difftest.classes"
+	// MetricParses counts classfile.Parse calls the engine performed.
+	// The pre-engine model parsed once per VM: Classes × lineup size;
+	// ParsesAvoided is that baseline minus this counter.
+	MetricParses = "difftest.parses"
+	// MetricVMRuns counts startup-pipeline executions actually performed.
+	MetricVMRuns = "difftest.vm_runs"
+	// MetricMemoProbes / MetricMemoHits count this Runner's per-VM memo
+	// lookups and successes (both 0 when no memo is attached).
+	MetricMemoProbes = "difftest.memo.probes"
+	MetricMemoHits   = "difftest.memo.hits"
+	// MetricOracleMismatches counts unwaived static-oracle disagreements
+	// found by checked evaluations.
+	MetricOracleMismatches = "difftest.oracle.mismatches"
+	// MetricLineupSize gauges the number of VMs under test.
+	MetricLineupSize = "difftest.lineup_size"
+	// MetricEvaluateNs is the wall-clock histogram over Evaluate /
+	// EvaluateParallel / EvaluateChecked calls (not single-class Runs);
+	// its Sum is the cumulative difftest stage wall clock.
+	MetricEvaluateNs = "difftest.evaluate_ns"
+)
+
+// runnerTel holds the Runner's interned handles into its registry.
+type runnerTel struct {
+	classes    *telemetry.Counter
+	parses     *telemetry.Counter
+	vmRuns     *telemetry.Counter
+	memoProbes *telemetry.Counter
+	memoHits   *telemetry.Counter
+	oracleMM   *telemetry.Counter
+	lineup     *telemetry.Gauge
+	evaluateNs *telemetry.Histogram
 }
 
-// EvalStats is a snapshot of a Runner's cumulative engine counters —
-// the instrumentation cmd/report and cmd/difftestbench surface. The
-// semantic results (Summary, Vector) are deterministic at any worker
-// count; the counters of a memoized parallel evaluation are not quite
-// (two workers may race to execute one duplicated class and both count
-// a miss), so these are diagnostics, not oracle inputs.
-type EvalStats struct {
-	// Classes counts evaluated classfiles (vectors produced).
-	Classes int64
-	// Parses counts classfile.Parse calls the engine performed. The
-	// pre-engine model parsed once per VM: Classes × lineup size.
-	Parses int64
-	// ParsesAvoided is that legacy baseline minus Parses.
-	ParsesAvoided int64
-	// VMRuns counts startup-pipeline executions actually performed.
-	VMRuns int64
-	// MemoProbes / MemoHits count per-VM memo lookups and successes
-	// (both 0 when no memo is attached).
-	MemoProbes int64
-	MemoHits   int64
-	// Wall is the cumulative wall clock spent inside Evaluate,
-	// EvaluateParallel and EvaluateChecked (not single-class Runs).
-	Wall time.Duration
-}
-
-// MemoHitRate returns MemoHits / MemoProbes (0 on no probes).
-func (s EvalStats) MemoHitRate() float64 {
-	if s.MemoProbes == 0 {
-		return 0
+func newRunnerTel(reg *telemetry.Registry, lineup int) runnerTel {
+	t := runnerTel{
+		classes:    reg.Counter(MetricClasses),
+		parses:     reg.Counter(MetricParses),
+		vmRuns:     reg.Counter(MetricVMRuns),
+		memoProbes: reg.Counter(MetricMemoProbes),
+		memoHits:   reg.Counter(MetricMemoHits),
+		oracleMM:   reg.Counter(MetricOracleMismatches),
+		lineup:     reg.Gauge(MetricLineupSize),
+		evaluateNs: reg.Histogram(MetricEvaluateNs),
 	}
-	return float64(s.MemoHits) / float64(s.MemoProbes)
+	t.lineup.Set(int64(lineup))
+	return t
 }
 
-// Stats snapshots the Runner's cumulative engine counters.
-func (r *Runner) Stats() EvalStats {
-	classes := r.stats.classes.Load()
-	parses := r.stats.parses.Load()
-	return EvalStats{
-		Classes:       classes,
-		Parses:        parses,
-		ParsesAvoided: classes*int64(len(r.VMs)) - parses,
-		VMRuns:        r.stats.vmRuns.Load(),
-		MemoProbes:    r.stats.memoProbes.Load(),
-		MemoHits:      r.stats.memoHits.Load(),
-		Wall:          time.Duration(r.stats.wallNanos.Load()),
+// Stats snapshots the Runner's cumulative engine metrics — the one
+// exported stats surface (EvalStats, MemoStats and ResetStats are
+// gone). Consumers read the difftest.* names via Snapshot.Counter and
+// friends; for one operation's delta on a long-lived Runner, bracket it
+// with two Stats calls and Diff them. ParsesAvoided is derived:
+// Counter(MetricClasses)·lineup − Counter(MetricParses).
+func (r *Runner) Stats() telemetry.Snapshot {
+	return r.reg.Snapshot()
+}
+
+// UseTelemetry redirects the Runner's metrics into an external registry
+// (e.g. one served by -metrics-addr) and switches on per-VM pipeline
+// timing: every lineup VM — and every per-worker clone — records
+// jvm.<spec>.phase.*_ns histograms there. The default private registry
+// pays no timing, keeping the uninstrumented path clock-free.
+func (r *Runner) UseTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
 	}
-}
-
-// ResetStats zeroes the cumulative counters (the memo, if any, keeps
-// its entries and its own counters).
-func (r *Runner) ResetStats() {
-	r.stats.classes.Store(0)
-	r.stats.parses.Store(0)
-	r.stats.vmRuns.Store(0)
-	r.stats.memoProbes.Store(0)
-	r.stats.memoHits.Store(0)
-	r.stats.wallNanos.Store(0)
+	r.reg = reg
+	r.vmTiming = true
+	r.tel = newRunnerTel(reg, len(r.VMs))
+	for _, vm := range r.VMs {
+		vm.SetTelemetry(reg)
+	}
 }
 
 // cloneLineup builds a private copy of the Runner's lineup for one
@@ -90,6 +102,9 @@ func (r *Runner) cloneLineup() []*jvm.VM {
 	vms := make([]*jvm.VM, len(r.VMs))
 	for i, vm := range r.VMs {
 		vms[i] = jvm.NewWithEnv(vm.Spec, vm.Env)
+		if r.vmTiming {
+			vms[i].SetTelemetry(r.reg)
+		}
 	}
 	jvm.ShareDecodeCache(vms)
 	return vms
@@ -114,7 +129,7 @@ func (r *Runner) runLineup(vms []*jvm.VM, data []byte, checked bool) (Vector, []
 		Codes:    make([]int, len(vms)),
 		Outcomes: make([]jvm.Outcome, len(vms)),
 	}
-	r.stats.classes.Add(1)
+	r.tel.classes.Inc()
 
 	var cls *memoClass
 	if r.Memo != nil {
@@ -130,7 +145,7 @@ func (r *Runner) runLineup(vms []*jvm.VM, data []byte, checked bool) (Vector, []
 		}
 		parsed = true
 		f, perr = classfile.Parse(data)
-		r.stats.parses.Add(1)
+		r.tel.parses.Inc()
 	}
 	if checked {
 		parse() // the oracle needs the parsed file even on memo hits
@@ -141,10 +156,10 @@ func (r *Runner) runLineup(vms []*jvm.VM, data []byte, checked bool) (Vector, []
 		var o jvm.Outcome
 		hit := false
 		if cls != nil {
-			r.stats.memoProbes.Add(1)
+			r.tel.memoProbes.Inc()
 			o, hit = r.Memo.get(cls, memoIdent(vm))
 			if hit {
-				r.stats.memoHits.Add(1)
+				r.tel.memoHits.Inc()
 			}
 		}
 		if !hit {
@@ -153,7 +168,7 @@ func (r *Runner) runLineup(vms []*jvm.VM, data []byte, checked bool) (Vector, []
 				o = jvm.ParseReject(perr)
 			} else {
 				o = vm.RunParsed(f)
-				r.stats.vmRuns.Add(1)
+				r.tel.vmRuns.Inc()
 			}
 			if cls != nil {
 				r.Memo.put(cls, memoIdent(vm), o)
@@ -178,10 +193,13 @@ func (r *Runner) runLineup(vms []*jvm.VM, data []byte, checked bool) (Vector, []
 // the aggregate — DistinctVectors, histogram, mismatch samples and
 // all — is bit-identical at any worker count.
 func (r *Runner) evaluate(classes [][]byte, workers int, checked bool) *Summary {
-	start := time.Now()
-	defer func() { r.stats.wallNanos.Add(time.Since(start).Nanoseconds()) }()
+	sp := telemetry.StartSpan(r.tel.evaluateNs)
+	defer sp.End()
 
 	s := newSummary(r)
+	if checked {
+		defer func() { r.tel.oracleMM.Add(int64(s.OracleMismatches)) }()
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}

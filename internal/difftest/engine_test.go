@@ -12,6 +12,7 @@ import (
 	"repro/internal/classfile"
 	"repro/internal/jvm"
 	"repro/internal/seedgen"
+	"repro/internal/telemetry"
 )
 
 // mixedCorpus builds a deterministic corpus exercising every outcome
@@ -119,14 +120,16 @@ func TestParseOncePerClass(t *testing.T) {
 	plain := NewStandardRunner()
 	plain.Evaluate(classes)
 	st := plain.Stats()
-	if st.Classes != n {
-		t.Fatalf("Classes = %d, want %d", st.Classes, n)
+	if got := st.Counter(MetricClasses); got != n {
+		t.Fatalf("classes = %d, want %d", got, n)
 	}
-	if st.Parses != n {
-		t.Errorf("Parses = %d, want one per class (%d)", st.Parses, n)
+	parses := st.Counter(MetricParses)
+	if parses != n {
+		t.Errorf("parses = %d, want one per class (%d)", parses, n)
 	}
-	if want := n * int64(len(plain.VMs)-1); st.ParsesAvoided != want {
-		t.Errorf("ParsesAvoided = %d, want %d", st.ParsesAvoided, want)
+	avoided := st.Counter(MetricClasses)*int64(len(plain.VMs)) - parses
+	if want := n * int64(len(plain.VMs)-1); avoided != want {
+		t.Errorf("parses avoided = %d, want %d", avoided, want)
 	}
 
 	r := NewStandardRunner()
@@ -135,25 +138,25 @@ func TestParseOncePerClass(t *testing.T) {
 	// Even cold, the memo collapses exact duplicates: one parse per
 	// distinct class, none for repeats.
 	st = r.Stats()
-	if distinct := int64(r.Memo.Stats().Classes); st.Parses != distinct {
-		t.Errorf("cold-memo Parses = %d, want one per distinct class (%d)", st.Parses, distinct)
+	if distinct := r.Memo.Stats().Gauge(MetricMemoDistinctClasses); st.Counter(MetricParses) != distinct {
+		t.Errorf("cold-memo parses = %d, want one per distinct class (%d)", st.Counter(MetricParses), distinct)
 	}
 
-	r.ResetStats()
+	// Counters are cumulative; the warm pass is the delta over a second
+	// evaluation (the bracket-and-Diff idiom Stats documents).
+	before := r.Stats()
 	r.Evaluate(classes)
-	st = r.Stats()
-	if st.Parses != 0 {
-		t.Errorf("warm-memo Parses = %d, want 0", st.Parses)
+	d := r.Stats().Diff(before)
+	if got := d.Counter(MetricParses); got != 0 {
+		t.Errorf("warm-memo parses = %d, want 0", got)
 	}
-	if st.VMRuns != 0 {
-		t.Errorf("warm-memo VMRuns = %d, want 0", st.VMRuns)
+	if got := d.Counter(MetricVMRuns); got != 0 {
+		t.Errorf("warm-memo vm_runs = %d, want 0", got)
 	}
-	if st.MemoHits != st.MemoProbes || st.MemoHits != n*int64(len(r.VMs)) {
+	hits, probes := d.Counter(MetricMemoHits), d.Counter(MetricMemoProbes)
+	if hits != probes || hits != n*int64(len(r.VMs)) {
 		t.Errorf("warm-memo hits = %d / probes = %d, want all %d",
-			st.MemoHits, st.MemoProbes, n*int64(len(r.VMs)))
-	}
-	if st.MemoHitRate() != 1 {
-		t.Errorf("warm-memo hit rate = %g, want 1", st.MemoHitRate())
+			hits, probes, n*int64(len(r.VMs)))
 	}
 }
 
@@ -176,15 +179,59 @@ func TestMemoSharedAcrossRunners(t *testing.T) {
 	if !reflect.DeepEqual(first, second) {
 		t.Error("memo-fed runner produced a different summary")
 	}
-	if st := b.Stats(); st.VMRuns != 0 || st.Parses != 0 {
-		t.Errorf("second runner executed work: %d runs, %d parses", st.VMRuns, st.Parses)
+	if st := b.Stats(); st.Counter(MetricVMRuns) != 0 || st.Counter(MetricParses) != 0 {
+		t.Errorf("second runner executed work: %d runs, %d parses",
+			st.Counter(MetricVMRuns), st.Counter(MetricParses))
 	}
 
 	shared := NewSharedEnvRunner(0) // rtlib.JRE7: four VMs rebound off their own release
 	shared.Memo = memo
 	shared.Evaluate(classes[:5])
-	if st := shared.Stats(); st.VMRuns == 0 {
+	if st := shared.Stats(); st.Counter(MetricVMRuns) == 0 {
 		t.Error("shared-env lineup must not reuse standard-lineup outcomes for rebound VMs")
+	}
+}
+
+// TestUseTelemetry asserts the external-registry contract: attaching a
+// registry leaves the Summary bit-identical (telemetry is observe-only),
+// routes the difftest.* counters there, times evaluations, and switches
+// on per-VM phase timing — including on worker clones.
+func TestUseTelemetry(t *testing.T) {
+	classes := mixedCorpus(t)
+	want := NewStandardRunner().Evaluate(classes)
+
+	reg := telemetry.New()
+	r := NewStandardRunner()
+	r.UseTelemetry(reg)
+	got := r.EvaluateParallel(classes, 4)
+	if !reflect.DeepEqual(want, got) {
+		t.Error("telemetry-attached evaluation changed the Summary")
+	}
+
+	s := reg.Snapshot()
+	if n := s.Counter(MetricClasses); n != int64(len(classes)) {
+		t.Errorf("classes counter = %d, want %d", n, len(classes))
+	}
+	if s.Gauge(MetricLineupSize) != int64(len(r.VMs)) {
+		t.Errorf("lineup gauge = %d, want %d", s.Gauge(MetricLineupSize), len(r.VMs))
+	}
+	if h := s.Hist(MetricEvaluateNs); h.Count != 1 {
+		t.Errorf("evaluate_ns count = %d, want 1", h.Count)
+	}
+	// Worker clones inherit the registry, so per-VM run counters across
+	// the lineup must account for every pipeline execution.
+	var vmRuns int64
+	for _, vm := range r.VMs {
+		vmRuns += s.Counter("jvm." + vm.Spec.Name + ".runs")
+	}
+	if engine := s.Counter(MetricVMRuns); vmRuns != engine {
+		t.Errorf("per-VM run counters sum to %d, engine counted %d", vmRuns, engine)
+	}
+	// Phase timing histograms exist and observed at least the loading
+	// stage for the reference VM.
+	name := "jvm." + r.VMs[0].Spec.Name + ".phase." + jvm.PhaseLoading.String() + "_ns"
+	if h := s.Hist(name); h.Count == 0 {
+		t.Errorf("%s recorded no observations", name)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/jvm"
 	"repro/internal/rtlib"
+	"repro/internal/telemetry"
 )
 
 // vmIdent identifies a VM for memoization purposes: the full spec
@@ -47,13 +48,70 @@ type memoClass struct {
 type OutcomeMemo struct {
 	mu      sync.Mutex
 	buckets map[uint64][]*memoClass
-	hits    int64
-	misses  int64
+	reg     *telemetry.Registry
+	tel     memoTel
 }
 
-// NewOutcomeMemo returns an empty memo.
+// Metric names of the memo's cross-runner traffic and contents. The
+// names are disjoint from the Runner's difftest.memo.probes/hits so a
+// merged roll-up never conflates one runner's view with the shared
+// memo's global totals.
+const (
+	// MetricMemoLookupHits / Misses count lookups across every attached
+	// Runner.
+	MetricMemoLookupHits   = "difftest.memo.lookup_hits"
+	MetricMemoLookupMisses = "difftest.memo.lookup_misses"
+	// MetricMemoDistinctClasses gauges distinct classfiles seen;
+	// MetricMemoCachedOutcomes gauges cached (class, VM) outcomes.
+	MetricMemoDistinctClasses = "difftest.memo.distinct_classes"
+	MetricMemoCachedOutcomes  = "difftest.memo.cached_outcomes"
+)
+
+type memoTel struct {
+	hits     *telemetry.Counter
+	misses   *telemetry.Counter
+	classes  *telemetry.Gauge
+	outcomes *telemetry.Gauge
+}
+
+func newMemoTel(reg *telemetry.Registry) memoTel {
+	return memoTel{
+		hits:     reg.Counter(MetricMemoLookupHits),
+		misses:   reg.Counter(MetricMemoLookupMisses),
+		classes:  reg.Gauge(MetricMemoDistinctClasses),
+		outcomes: reg.Gauge(MetricMemoCachedOutcomes),
+	}
+}
+
+// NewOutcomeMemo returns an empty memo reporting into a private
+// registry (read via Stats; redirect with UseTelemetry).
 func NewOutcomeMemo() *OutcomeMemo {
-	return &OutcomeMemo{buckets: make(map[uint64][]*memoClass, 256)}
+	m := &OutcomeMemo{buckets: make(map[uint64][]*memoClass, 256), reg: telemetry.New()}
+	m.tel = newMemoTel(m.reg)
+	return m
+}
+
+// UseTelemetry rebinds the memo's difftest.memo.* metrics to an
+// external registry. Existing tallies stay in the old registry; the
+// contents gauges are re-seeded so the new registry reflects the
+// current cache.
+func (m *OutcomeMemo) UseTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.reg = reg
+	m.tel = newMemoTel(reg)
+	classes, outcomes := 0, 0
+	for _, bucket := range m.buckets {
+		classes += len(bucket)
+		for _, c := range bucket {
+			outcomes += len(c.outcomes)
+		}
+	}
+	m.tel.classes.Set(int64(classes))
+	m.tel.outcomes.Set(int64(outcomes))
 }
 
 // class finds or creates the cache line for exact class bytes.
@@ -68,6 +126,7 @@ func (m *OutcomeMemo) class(data []byte) *memoClass {
 	}
 	c := &memoClass{data: data, outcomes: make(map[vmIdent]jvm.Outcome, 8)}
 	m.buckets[fp] = append(m.buckets[fp], c)
+	m.tel.classes.Add(1)
 	return c
 }
 
@@ -77,9 +136,9 @@ func (m *OutcomeMemo) get(c *memoClass, id vmIdent) (jvm.Outcome, bool) {
 	defer m.mu.Unlock()
 	o, ok := c.outcomes[id]
 	if ok {
-		m.hits++
+		m.tel.hits.Inc()
 	} else {
-		m.misses++
+		m.tel.misses.Inc()
 	}
 	return o, ok
 }
@@ -90,38 +149,29 @@ func (m *OutcomeMemo) get(c *memoClass, id vmIdent) (jvm.Outcome, bool) {
 func (m *OutcomeMemo) put(c *memoClass, id vmIdent, o jvm.Outcome) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if _, ok := c.outcomes[id]; !ok {
+		m.tel.outcomes.Add(1)
+	}
 	c.outcomes[id] = o
 }
 
-// MemoStats is a snapshot of a memo's contents and traffic.
-type MemoStats struct {
-	// Classes is the number of distinct classfiles seen.
-	Classes int
-	// Outcomes is the total number of cached (class, VM) outcomes.
-	Outcomes int
-	// Hits / Misses count lookups across every attached Runner.
-	Hits   int64
-	Misses int64
+// Stats snapshots the memo's difftest.memo.* metrics: lookup_hits /
+// lookup_misses counters and distinct_classes / cached_outcomes
+// gauges. (The former MemoStats struct is gone — read the named values
+// off the snapshot.)
+func (m *OutcomeMemo) Stats() telemetry.Snapshot {
+	m.mu.Lock()
+	reg := m.reg
+	m.mu.Unlock()
+	return reg.Snapshot()
 }
 
-// HitRate returns Hits / (Hits + Misses) (0 when idle).
-func (s MemoStats) HitRate() float64 {
-	if s.Hits+s.Misses == 0 {
+// MemoHitRate derives hits/(hits+misses) from a snapshot carrying the
+// memo lookup counters (0 when idle).
+func MemoHitRate(s telemetry.Snapshot) float64 {
+	h, m := s.Counter(MetricMemoLookupHits), s.Counter(MetricMemoLookupMisses)
+	if h+m == 0 {
 		return 0
 	}
-	return float64(s.Hits) / float64(s.Hits+s.Misses)
-}
-
-// Stats snapshots the memo.
-func (m *OutcomeMemo) Stats() MemoStats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	st := MemoStats{Hits: m.hits, Misses: m.misses}
-	for _, bucket := range m.buckets {
-		st.Classes += len(bucket)
-		for _, c := range bucket {
-			st.Outcomes += len(c.outcomes)
-		}
-	}
-	return st
+	return float64(h) / float64(h+m)
 }

@@ -23,6 +23,7 @@ import (
 	"repro/internal/mcmc"
 	"repro/internal/mutation"
 	"repro/internal/seedgen"
+	"repro/internal/telemetry"
 )
 
 // Scale sets the campaign sizes. The paper's comparisons hold at any
@@ -46,6 +47,11 @@ type Scale struct {
 	// Campaign results are identical at any value; this only trades CPU
 	// for wall clock.
 	Workers int
+	// Telemetry, when non-nil, becomes the session's roll-up registry
+	// (Session.Telemetry) instead of a fresh one — attach it before
+	// NewSession so a live /metrics.json endpoint watches the campaigns
+	// as they run. Observe-only: tables are identical either way.
+	Telemetry *telemetry.Registry
 }
 
 // DefaultScale is the quick configuration used by tests and benches.
@@ -86,13 +92,30 @@ type Session struct {
 	// campaigns share seed-derived mutants), so a class executes once
 	// per VM across the whole session.
 	Memo *difftest.OutcomeMemo
+	// Telemetry is the session-wide metrics roll-up. Each campaign runs
+	// against a private registry (handles are never shared between
+	// engines) which NewSession folds in via Registry.Merge as campaigns
+	// finish, so the campaign.* counters here are totals over all six;
+	// the shared memo and every differential runner report here
+	// directly.
+	Telemetry *telemetry.Registry
+}
+
+// nonNilRegistry substitutes a fresh roll-up registry when the caller
+// did not attach one via Scale.Telemetry.
+func nonNilRegistry(reg *telemetry.Registry) *telemetry.Registry {
+	if reg == nil {
+		return telemetry.New()
+	}
+	return reg
 }
 
 // diffRunner builds a standard five-VM runner wired to the session's
-// shared outcome memo.
+// shared outcome memo and metrics roll-up.
 func (s *Session) diffRunner() *difftest.Runner {
 	r := difftest.NewStandardRunner()
 	r.Memo = s.Memo
+	r.UseTelemetry(s.Telemetry)
 	return r
 }
 
@@ -112,8 +135,9 @@ func NewSession(s Scale) (*Session, error) {
 		seedFiles = append(seedFiles, data)
 	}
 
-	mk := func(alg fuzz.Algorithm, crit coverage.Criterion, iters int) (*fuzz.Result, error) {
-		return fuzz.Run(fuzz.Config{
+	mk := func(alg fuzz.Algorithm, crit coverage.Criterion, iters int) (*fuzz.Result, *telemetry.Registry, error) {
+		reg := telemetry.New()
+		res, err := fuzz.Run(fuzz.Config{
 			Algorithm:   alg,
 			Criterion:   crit,
 			Seeds:       seeds,
@@ -126,14 +150,18 @@ func NewSession(s Scale) (*Session, error) {
 			// would otherwise drop for unaccepted mutants.
 			KeepGenBytes: true,
 			Workers:      s.Workers,
+			Telemetry:    reg,
 		})
+		return res, reg, err
 	}
 
 	sess := &Session{
 		Scale: s, Seeds: seeds, SeedFiles: seedFiles,
 		Campaigns: map[string]*fuzz.Result{},
 		Memo:      difftest.NewOutcomeMemo(),
+		Telemetry: nonNilRegistry(s.Telemetry),
 	}
+	sess.Memo.UseTelemetry(sess.Telemetry)
 	type job struct {
 		key   string
 		alg   fuzz.Algorithm
@@ -158,7 +186,7 @@ func NewSession(s Scale) (*Session, error) {
 		wg.Add(1)
 		go func(j job) {
 			defer wg.Done()
-			res, err := mk(j.alg, j.crit, j.iters)
+			res, reg, err := mk(j.alg, j.crit, j.iters)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
@@ -168,6 +196,7 @@ func NewSession(s Scale) (*Session, error) {
 				return
 			}
 			sess.Campaigns[j.key] = res
+			sess.Telemetry.Merge(reg)
 		}(j)
 	}
 	wg.Wait()

@@ -4,6 +4,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"repro/internal/difftest"
 )
 
 // The session is expensive; share one across the test functions.
@@ -37,6 +39,44 @@ func TestSessionRunsAllCampaigns(t *testing.T) {
 		if len(r.Gen) == 0 {
 			t.Errorf("%s generated nothing", key)
 		}
+	}
+}
+
+// TestSessionTelemetryMergedTotals asserts the session roll-up: the
+// campaign.* counters in Session.Telemetry are the Registry.Merge fold
+// of the six per-campaign registries, so they must equal the sums of
+// the per-campaign results.
+func TestSessionTelemetryMergedTotals(t *testing.T) {
+	s := session(t)
+	if s.Telemetry == nil {
+		t.Fatal("session has no telemetry registry")
+	}
+	snap := s.Telemetry.Snapshot()
+
+	var iters, gen, accepts int64
+	for _, res := range s.Campaigns {
+		iters += int64(res.Iterations)
+		gen += int64(len(res.Gen))
+		accepts += int64(len(res.Test))
+	}
+	if got := snap.Counter("campaign.iterations"); got != iters {
+		t.Errorf("merged campaign.iterations = %d, want %d", got, iters)
+	}
+	if got := snap.Counter("campaign.generated"); got != gen {
+		t.Errorf("merged campaign.generated = %d, want %d", got, gen)
+	}
+	if got := snap.Counter("campaign.accepts"); got != accepts {
+		t.Errorf("merged campaign.accepts = %d, want %d", got, accepts)
+	}
+
+	// The shared memo and the session's differential runners report into
+	// the same registry; after any table ran (the session fixture runs
+	// them all via other tests' ordering, but at minimum the memo is
+	// bound), the memo gauges must agree with the memo's own snapshot.
+	ms := s.Memo.Stats()
+	if got := snap.Gauge(difftest.MetricMemoDistinctClasses); got != ms.Gauge(difftest.MetricMemoDistinctClasses) {
+		t.Errorf("session registry memo classes = %d, memo says %d",
+			got, ms.Gauge(difftest.MetricMemoDistinctClasses))
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"repro/internal/classfile"
 	"repro/internal/coverage"
 	"repro/internal/rtlib"
+	"repro/internal/telemetry"
 )
 
 // VM is one simulated JVM implementation bound to a runtime library
@@ -21,6 +22,12 @@ type VM struct {
 	// intern through the shared package registry.
 	platProbes map[platformProbeKey]coverage.StmtID
 	verifyErrs map[string]coverage.StmtID
+
+	// tel, when attached via SetTelemetry, times the startup pipeline:
+	// one histogram per stage (named by the Phase constants) plus parse
+	// timing and a run counter, all keyed by the VM's spec name. Nil by
+	// default so the untimed path pays a single pointer check.
+	tel *vmTel
 
 	// decodeCache memoises bytecode decoding by code bytes. Mutants
 	// overwhelmingly share method bodies (the generated main, <init>,
@@ -133,6 +140,38 @@ func (vm *VM) Name() string { return vm.Spec.Name }
 // recorder is only attached to the reference VM during fuzzing.
 func (vm *VM) SetRecorder(r *coverage.Recorder) { vm.cov = r }
 
+// vmTel holds a VM's interned telemetry handles: a run counter, parse
+// timing, and one histogram per startup-pipeline stage. Stage indices
+// follow the Phase constants (PhaseLoading..PhaseRuntime; PhaseInvoked
+// has no stage of its own — it is the absence of a rejection).
+type vmTel struct {
+	runs   *telemetry.Counter
+	parse  *telemetry.Histogram
+	phases [PhaseCount]*telemetry.Histogram
+}
+
+// SetTelemetry attaches a metrics registry: every Run/RunParsed/RunFile
+// then records per-stage wall time into histograms named
+// "jvm.<spec>.phase.<phase>_ns" (plus "jvm.<spec>.parse_ns" and the
+// counter "jvm.<spec>.runs"). Telemetry is observe-only — outcomes and
+// coverage traces are unaffected. Pass nil to detach and return to the
+// untimed path.
+func (vm *VM) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		vm.tel = nil
+		return
+	}
+	prefix := "jvm." + vm.Spec.Name
+	t := &vmTel{
+		runs:  reg.Counter(prefix + ".runs"),
+		parse: reg.Histogram(prefix + ".parse_ns"),
+	}
+	for _, p := range []Phase{PhaseLoading, PhaseLinking, PhaseInit, PhaseRuntime} {
+		t.phases[p] = reg.Histogram(prefix + ".phase." + p.String() + "_ns")
+	}
+	vm.tel = t
+}
+
 // st fires a statement probe.
 func (vm *VM) st(id coverage.StmtID) { vm.cov.Stmt(id) }
 
@@ -184,6 +223,17 @@ func (vm *VM) stVerifyErr(errName string) {
 // Run parses and executes raw classfile bytes through the full startup
 // pipeline, returning the observable outcome.
 func (vm *VM) Run(data []byte) Outcome {
+	if vm.tel != nil {
+		vm.st(pParseEnter)
+		sp := telemetry.StartSpan(vm.tel.parse)
+		f, err := classfile.Parse(data)
+		sp.End()
+		if vm.br(bParseWellformed, err != nil) {
+			vm.tel.runs.Inc()
+			return ParseReject(err)
+		}
+		return vm.RunFile(f)
+	}
 	vm.st(pParseEnter)
 	f, err := classfile.Parse(data)
 	if vm.br(bParseWellformed, err != nil) {
@@ -214,6 +264,9 @@ func (vm *VM) RunParsed(f *classfile.File) Outcome {
 // RunFile executes an already-parsed classfile. The file is not
 // modified.
 func (vm *VM) RunFile(f *classfile.File) Outcome {
+	if vm.tel != nil {
+		return vm.runFileTimed(f)
+	}
 	if out, bad := vm.load(f); bad {
 		return out
 	}
@@ -225,4 +278,33 @@ func (vm *VM) RunFile(f *classfile.File) Outcome {
 		return out
 	}
 	return vm.invoke(ex)
+}
+
+// runFileTimed is RunFile with a span around each pipeline stage. Kept
+// separate so the untimed hot path never touches the clock.
+func (vm *VM) runFileTimed(f *classfile.File) Outcome {
+	vm.tel.runs.Inc()
+	sp := telemetry.StartSpan(vm.tel.phases[PhaseLoading])
+	out, bad := vm.load(f)
+	sp.End()
+	if bad {
+		return out
+	}
+	ex := newExecState(vm, f)
+	sp = telemetry.StartSpan(vm.tel.phases[PhaseLinking])
+	out, bad = vm.link(ex)
+	sp.End()
+	if bad {
+		return out
+	}
+	sp = telemetry.StartSpan(vm.tel.phases[PhaseInit])
+	out, bad = vm.initialize(ex)
+	sp.End()
+	if bad {
+		return out
+	}
+	sp = telemetry.StartSpan(vm.tel.phases[PhaseRuntime])
+	out = vm.invoke(ex)
+	sp.End()
+	return out
 }

@@ -11,6 +11,8 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+
+	"repro/internal/telemetry"
 )
 
 // Sampler is the Metropolis–Hastings chain over mutator ranks. It owns
@@ -31,6 +33,11 @@ type Sampler struct {
 
 	current int // current sample (mutator id), the chain state mu1
 	total   int // total selections
+
+	// Live per-mutator telemetry, attached via Instrument; nil slices
+	// (the default) keep the chain telemetry-free.
+	selGauges  []*telemetry.Gauge
+	succGauges []*telemetry.Gauge
 }
 
 // NewSampler builds a chain over n mutators with geometric parameter p.
@@ -54,6 +61,16 @@ func NewSampler(n int, p float64, rng *rand.Rand) *Sampler {
 	}
 	s.current = rng.Intn(n)
 	return s
+}
+
+// Instrument attaches live per-mutator gauges, indexed by mutator id:
+// selected[id] tracks the selection count, succeeded[id] the
+// representative count, updated as Next and Record run. Telemetry is
+// observe-only — the chain's stochastic behaviour is untouched. Either
+// slice may be nil or short; missing entries are skipped.
+func (s *Sampler) Instrument(selected, succeeded []*telemetry.Gauge) {
+	s.selGauges = selected
+	s.succGauges = succeeded
 }
 
 // P returns the geometric parameter.
@@ -81,6 +98,9 @@ func (s *Sampler) Next(rng *rand.Rand) int {
 			s.current = mu2
 			s.selected[mu2]++
 			s.total++
+			if mu2 < len(s.selGauges) {
+				s.selGauges[mu2].Set(int64(s.selected[mu2]))
+			}
 			return mu2
 		}
 	}
@@ -92,6 +112,9 @@ func (s *Sampler) Next(rng *rand.Rand) int {
 func (s *Sampler) Record(id int, success bool) {
 	if success {
 		s.succeeded[id]++
+		if id < len(s.succGauges) {
+			s.succGauges[id].Set(int64(s.succeeded[id]))
+		}
 	}
 	s.resort()
 }

@@ -1,9 +1,12 @@
 package mcmc
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
+
+	"repro/internal/telemetry"
 )
 
 func TestPBoundsMatchPaper(t *testing.T) {
@@ -105,6 +108,47 @@ func TestSamplerEveryMutatorKeepsAChance(t *testing.T) {
 	for id := 0; id < n; id++ {
 		if s.Selected(id) == 0 {
 			t.Errorf("mutator %d was never selected", id)
+		}
+	}
+}
+
+// TestInstrumentGaugesTrackCounts asserts the telemetry attachment is
+// observe-only and the gauges mirror Selected/Succeeded exactly: two
+// identically-seeded chains, one instrumented, draw identical streams,
+// and the gauges end equal to the bookkeeping.
+func TestInstrumentGaugesTrackCounts(t *testing.T) {
+	const n = 8
+	reg := telemetry.New()
+	selG := make([]*telemetry.Gauge, n)
+	succG := make([]*telemetry.Gauge, n)
+	for i := 0; i < n; i++ {
+		selG[i] = reg.Gauge(fmt.Sprintf("mcmc.%d.selected", i))
+		succG[i] = reg.Gauge(fmt.Sprintf("mcmc.%d.succeeded", i))
+	}
+
+	plainRNG := rand.New(rand.NewSource(9))
+	plain := NewSampler(n, DefaultP(n), plainRNG)
+	instRNG := rand.New(rand.NewSource(9))
+	inst := NewSampler(n, DefaultP(n), instRNG)
+	inst.Instrument(selG, succG)
+
+	for i := 0; i < 2000; i++ {
+		a := plain.Next(plainRNG)
+		b := inst.Next(instRNG)
+		if a != b {
+			t.Fatalf("iteration %d: instrumented chain diverged (%d vs %d)", i, b, a)
+		}
+		plain.Record(a, a%3 == 0)
+		inst.Record(b, b%3 == 0)
+	}
+
+	s := reg.Snapshot()
+	for id := 0; id < n; id++ {
+		if got := s.Gauge(fmt.Sprintf("mcmc.%d.selected", id)); got != int64(inst.Selected(id)) {
+			t.Errorf("selected gauge %d = %d, want %d", id, got, inst.Selected(id))
+		}
+		if got := s.Gauge(fmt.Sprintf("mcmc.%d.succeeded", id)); got != int64(inst.Succeeded(id)) {
+			t.Errorf("succeeded gauge %d = %d, want %d", id, got, inst.Succeeded(id))
 		}
 	}
 }

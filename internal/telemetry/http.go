@@ -1,0 +1,60 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+)
+
+// Handler returns an http.Handler serving the live metrics surface:
+//
+//	GET /metrics.json — the snapshot() result, indented JSON
+//	GET /healthz      — {"status":"ok"}
+//
+// snapshot is called per request, so the handler always reports the
+// registry's current state; readers only observe — nothing they do can
+// perturb the campaign.
+func Handler(snapshot func() Snapshot) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		blob, err := json.MarshalIndent(snapshot(), "", "  ")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Write(append(blob, '\n'))
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte("{\"status\":\"ok\"}\n"))
+	})
+	return mux
+}
+
+// LiveSnapshot adapts one or more registries into the snapshot
+// function Handler wants, merging them per call. Nil registries are
+// skipped, so callers can pass optional sources unconditionally.
+func LiveSnapshot(regs ...*Registry) func() Snapshot {
+	return func() Snapshot {
+		agg := New()
+		for _, r := range regs {
+			agg.Merge(r)
+		}
+		return agg.Snapshot()
+	}
+}
+
+// Serve binds addr (e.g. "localhost:9090" or ":0" for an ephemeral
+// port) and serves Handler(snapshot) in a background goroutine. It
+// returns the server (for Close) and the bound address, which differs
+// from addr when an ephemeral port was requested.
+func Serve(addr string, snapshot func() Snapshot) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	srv := &http.Server{Handler: Handler(snapshot)}
+	go srv.Serve(ln)
+	return srv, ln.Addr().String(), nil
+}

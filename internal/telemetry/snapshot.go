@@ -1,0 +1,130 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"time"
+)
+
+// Bucket is one populated power-of-two histogram bucket: observations
+// v with Lo ≤ v ≤ Hi. Bucket {0,0} holds non-positive observations.
+type Bucket struct {
+	Lo    int64 `json:"lo"`
+	Hi    int64 `json:"hi"`
+	Count int64 `json:"count"`
+}
+
+// HistogramSnapshot is a histogram's state at capture time. Buckets
+// are in ascending Lo order and only populated buckets appear, so the
+// JSON form is stable and compact.
+type HistogramSnapshot struct {
+	Count   int64    `json:"count"`
+	Sum     int64    `json:"sum"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Mean returns the average observation, 0 if empty.
+func (h HistogramSnapshot) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// MeanDuration is Mean interpreted as nanoseconds.
+func (h HistogramSnapshot) MeanDuration() time.Duration {
+	return time.Duration(h.Mean())
+}
+
+// sub returns the bucketwise difference h − prev. Counts are assumed
+// monotone (telemetry never decrements histograms).
+func (h HistogramSnapshot) sub(prev HistogramSnapshot) HistogramSnapshot {
+	d := HistogramSnapshot{Count: h.Count - prev.Count, Sum: h.Sum - prev.Sum}
+	prevAt := map[int64]int64{}
+	for _, b := range prev.Buckets {
+		prevAt[b.Lo] = b.Count
+	}
+	for _, b := range h.Buckets {
+		if n := b.Count - prevAt[b.Lo]; n != 0 {
+			d.Buckets = append(d.Buckets, Bucket{Lo: b.Lo, Hi: b.Hi, Count: n})
+		}
+	}
+	return d
+}
+
+// Snapshot is a point-in-time capture of a Registry: plain maps of
+// name → value, serialisable with encoding/json (whose map-key sorting
+// makes the output byte-stable for goldens and artifact diffs).
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Counter returns the named counter's value, 0 if absent.
+func (s Snapshot) Counter(name string) int64 { return s.Counters[name] }
+
+// Gauge returns the named gauge's value, 0 if absent.
+func (s Snapshot) Gauge(name string) int64 { return s.Gauges[name] }
+
+// Hist returns the named histogram's snapshot (zero value if absent).
+func (s Snapshot) Hist(name string) HistogramSnapshot { return s.Histograms[name] }
+
+// Diff returns the change from prev to s, metric by metric: counters
+// and histograms subtract (both are monotone), gauges report s's
+// current value whenever it differs from prev's. Metrics identical in
+// both are dropped, so the diff of equal snapshots is empty. Diff is
+// how a tool brackets one operation on a long-lived registry —
+// snapshot, run, snapshot, diff.
+func (s Snapshot) Diff(prev Snapshot) Snapshot {
+	d := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	for name, v := range s.Counters {
+		if n := v - prev.Counters[name]; n != 0 {
+			d.Counters[name] = n
+		}
+	}
+	for name, v := range s.Gauges {
+		if v != prev.Gauges[name] {
+			d.Gauges[name] = v
+		}
+	}
+	for name, h := range s.Histograms {
+		if dh := h.sub(prev.Histograms[name]); dh.Count != 0 || dh.Sum != 0 || len(dh.Buckets) != 0 {
+			d.Histograms[name] = dh
+		}
+	}
+	return d
+}
+
+// MarshalJSON renders the snapshot with sorted keys (encoding/json
+// sorts map keys) and omits nothing: empty sections marshal as {} so
+// the shape is constant for consumers.
+func (s Snapshot) MarshalJSON() ([]byte, error) {
+	type alias Snapshot // shed the method to avoid recursion
+	a := alias(s)
+	if a.Counters == nil {
+		a.Counters = map[string]int64{}
+	}
+	if a.Gauges == nil {
+		a.Gauges = map[string]int64{}
+	}
+	if a.Histograms == nil {
+		a.Histograms = map[string]HistogramSnapshot{}
+	}
+	return json.Marshal(a)
+}
+
+// MergeSnapshots combines snapshots additively (counters and gauges
+// sum; histogram buckets add) — the snapshot-level form of
+// Registry.Merge, used by the live endpoint to present several
+// registries as one.
+func MergeSnapshots(snaps ...Snapshot) Snapshot {
+	r := New()
+	for _, s := range snaps {
+		r.MergeSnapshot(s)
+	}
+	return r.Snapshot()
+}

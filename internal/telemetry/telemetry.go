@@ -1,0 +1,328 @@
+// Package telemetry is the unified metrics and tracing substrate the
+// rest of the system reports through: named counters, gauges and
+// power-of-two-bucket latency histograms in a Registry, lightweight
+// spans for stage timing, and stable diffable snapshots serialisable to
+// JSON (served live by the optional net/http endpoint in http.go).
+//
+// The design contract, shared with the coverage recorder, is that the
+// hot path is lock-free and allocation-free: a metric is interned once
+// through its Registry into an atomic handle, and every subsequent
+// Inc/Add/Set/Observe is a plain atomic RMW — no map lookup, no lock,
+// no allocation (asserted by an AllocsPerRun test). Registration takes
+// the registry mutex and is meant for setup time.
+//
+// Telemetry is strictly observe-only. Nothing in this package feeds a
+// decision anywhere in the pipeline: campaign results, difftest
+// summaries and replay byte-verification are bit-identical with
+// telemetry attached or absent, at any worker count. To make wiring
+// unconditional at call sites, every type here is nil-tolerant — a nil
+// *Registry hands out nil handles, and operations on nil handles are
+// no-ops — so instrumented code never branches on "is telemetry on".
+package telemetry
+
+import (
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric (events, classes,
+// cache hits). Safe for concurrent use; nil-tolerant.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Load returns the current value (0 on a nil counter).
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-write-wins level metric (pool size, per-mutator
+// tallies). Merge sums gauges, so gauges that represent additive levels
+// (counts) aggregate naturally across registries.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adjusts the level by n.
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
+// Load returns the current value (0 on a nil gauge).
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// numBuckets is the histogram's fixed bucket count. Bucket 0 holds
+// non-positive observations; bucket i (1 ≤ i ≤ 63) holds values v with
+// 2^(i-1) ≤ v < 2^i, i.e. bucketOf(v) = bits.Len64(v). Positive int64s
+// have bit length at most 63, so the array covers the full range.
+const numBuckets = 64
+
+// Histogram is a power-of-two-bucket distribution, sized for
+// nanosecond latencies but agnostic to unit. Observations update three
+// atomics (count, sum, one bucket); there is no lock and no allocation.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [numBuckets]atomic.Int64
+}
+
+// bucketOf maps an observation to its bucket index.
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// bucketBounds returns the closed value range [lo, hi] bucket i covers.
+func bucketBounds(i int) (lo, hi int64) {
+	if i == 0 {
+		return 0, 0
+	}
+	return 1 << (i - 1), 1<<i - 1
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bucketOf(v)].Add(1)
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observations (0 on nil).
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// snapshot captures the histogram's current state.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n != 0 {
+			lo, hi := bucketBounds(i)
+			s.Buckets = append(s.Buckets, Bucket{Lo: lo, Hi: hi, Count: n})
+		}
+	}
+	return s
+}
+
+// merge folds a snapshot's counts back into the histogram (the Merge
+// primitive; bucket index is recovered from the bucket's lower bound).
+func (h *Histogram) merge(s HistogramSnapshot) {
+	h.count.Add(s.Count)
+	h.sum.Add(s.Sum)
+	for _, b := range s.Buckets {
+		h.buckets[bucketOf(b.Lo)].Add(b.Count)
+	}
+}
+
+// Registry is a named collection of metrics. Counter/Gauge/Histogram
+// get-or-create handles under a mutex; the handles themselves are the
+// lock-free hot path. One registry may serve any number of goroutines
+// and subsystems; names are flat, dot-separated by convention
+// (campaign.*, difftest.*, jvm.<vm>.*, analysis.*).
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter interns (or retrieves) the named counter. A nil registry
+// returns a nil handle, whose operations are no-ops.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge interns (or retrieves) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram interns (or retrieves) the named histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// handles returns stable slices of (name, metric) pairs so Snapshot and
+// Merge iterate without holding the registry lock across atomic reads.
+func (r *Registry) handles() (cs map[string]*Counter, gs map[string]*Gauge, hs map[string]*Histogram) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cs = make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		cs[k] = v
+	}
+	gs = make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gs[k] = v
+	}
+	hs = make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hs[k] = v
+	}
+	return cs, gs, hs
+}
+
+// Snapshot captures every metric into a stable, diffable value. The
+// snapshot is not an atomic cut across metrics — writers may land
+// between reads — but each individual value is a consistent atomic
+// load, which is all the diagnostic consumers need. A nil registry
+// snapshots to the empty Snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	cs, gs, hs := r.handles()
+	for name, c := range cs {
+		s.Counters[name] = c.Load()
+	}
+	for name, g := range gs {
+		s.Gauges[name] = g.Load()
+	}
+	for name, h := range hs {
+		s.Histograms[name] = h.snapshot()
+	}
+	return s
+}
+
+// Merge folds every metric of src into r, creating metrics as needed:
+// counters and gauges add, histograms add bucketwise. Merging is how an
+// aggregator (an experiments session over six campaigns, a fleet
+// roll-up) combines per-component registries without the components
+// ever sharing handles. Merging a registry into itself or a nil src is
+// a no-op; src is read via Snapshot and never modified.
+func (r *Registry) Merge(src *Registry) {
+	if r == nil || src == nil || src == r {
+		return
+	}
+	r.MergeSnapshot(src.Snapshot())
+}
+
+// MergeSnapshot folds a previously captured snapshot into r — the
+// deserialised-dump form of Merge.
+func (r *Registry) MergeSnapshot(s Snapshot) {
+	if r == nil {
+		return
+	}
+	for name, v := range s.Counters {
+		r.Counter(name).Add(v)
+	}
+	for name, v := range s.Gauges {
+		r.Gauge(name).Add(v)
+	}
+	for name, hs := range s.Histograms {
+		r.Histogram(name).merge(hs)
+	}
+}
+
+// Names returns every registered metric name, sorted, for diagnostics.
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	cs, gs, hs := r.handles()
+	names := make([]string, 0, len(cs)+len(gs)+len(hs))
+	for k := range cs {
+		names = append(names, k)
+	}
+	for k := range gs {
+		names = append(names, k)
+	}
+	for k := range hs {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
