@@ -12,10 +12,13 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Static-analysis passes over the generated seed corpus. Seeds must be
-# clean — only mutants may lint dirty.
+# Static-analysis passes over the generated seed corpus (seeds must be
+# clean — only mutants may lint dirty), then the determinism linter
+# over the engine packages whose results must be a pure function of
+# (seed, config).
 lint:
 	$(GO) run ./cmd/classlint -gen 500 -q
+	$(GO) run ./cmd/detlint internal/campaign internal/prng internal/coverage internal/difftest internal/mcmc
 
 test:
 	$(GO) test ./...

@@ -7,14 +7,28 @@
 //	classlint -gen N [-genseed S]          # lint a generated seed corpus
 //
 // A diagnostic is "live" when it is an error some preset in the
-// standard five-VM lineup enforces; live diagnostics fail the run
-// (exit 1). Warnings and policy-gated errors no preset enables are
-// advisory and printed only with -all. The make lint target runs this
-// over the seed corpus, which must be clean — only mutants may lint
-// dirty.
+// standard five-VM lineup enforces; live diagnostics fail the run.
+// Warnings and policy-gated errors no preset enables are advisory and
+// printed only with -all. The pass list is DefaultAnalyzers plus the
+// dataflow verifier, so §4.10 verification findings (and the dialect
+// gates that make individual presets reject them) appear alongside the
+// format checks. The make lint target runs this over the seed corpus,
+// which must be clean — only mutants may lint dirty.
+//
+// With -json the run emits a single JSON array — one object per input
+// with its live and advisory diagnostics — instead of text; verdicts
+// and exit codes are unchanged.
+//
+// Exit codes:
+//
+//	0  every input parsed and linted clean
+//	1  some input was dirty (live diagnostics or unparseable), or an
+//	   input could not be read or generated
+//	2  usage error (no inputs)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,23 +41,61 @@ import (
 	"repro/internal/seedgen"
 )
 
+// jsonDiag is one diagnostic in -json output.
+type jsonDiag struct {
+	Analyzer string   `json:"analyzer"`
+	Rule     string   `json:"rule"`
+	Severity string   `json:"severity"`
+	Phase    string   `json:"phase"`
+	Err      string   `json:"error,omitempty"`
+	JVMS     string   `json:"jvms,omitempty"`
+	Method   string   `json:"method,omitempty"`
+	Message  string   `json:"message"`
+	Presets  []string `json:"presets,omitempty"`
+}
+
+// jsonEntry is one linted input in -json output.
+type jsonEntry struct {
+	Input    string     `json:"input"`
+	Clean    bool       `json:"clean"`
+	ParseErr string     `json:"parse_error,omitempty"`
+	Live     []jsonDiag `json:"live,omitempty"`
+	Advisory []jsonDiag `json:"advisory,omitempty"`
+}
+
 func main() {
 	genCount := flag.Int("gen", 0, "lint a freshly generated seed corpus of this size instead of files")
 	genSeed := flag.Int64("genseed", 1, "RNG seed for -gen")
 	all := flag.Bool("all", false, "also print advisory diagnostics (warnings and errors no preset enforces)")
 	quiet := flag.Bool("q", false, "print only the per-input verdict lines")
+	jsonOut := flag.Bool("json", false, "emit a JSON array of per-input diagnostics instead of text")
 	flag.Parse()
 	if *genCount == 0 && flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: classlint [-all] [-q] [file.class | dir]...  |  classlint -gen N [-genseed S]")
+		fmt.Fprintln(os.Stderr, "usage: classlint [-all] [-q] [-json] [file.class | dir]...  |  classlint -gen N [-genseed S]")
 		os.Exit(2)
 	}
 
 	specs := jvm.StandardFive()
+	analyzers := append(analysis.DefaultAnalyzers(), analysis.DataflowAnalyzer)
 	dirty := 0
+	var entries []jsonEntry
 	lintOne := func(label string, f *classfile.File) {
-		live, advisory := split(analysis.Run(f, analysis.DefaultAnalyzers()), specs)
+		live, advisory := split(analysis.Run(f, analyzers), specs)
 		if len(live) > 0 {
 			dirty++
+		}
+		if *jsonOut {
+			e := jsonEntry{Input: label, Clean: len(live) == 0}
+			for _, d := range live {
+				e.Live = append(e.Live, toJSON(d, specs))
+			}
+			for _, d := range advisory {
+				e.Advisory = append(e.Advisory, toJSON(d, specs))
+			}
+			entries = append(entries, e)
+			return
+		}
+		if len(live) > 0 {
 			fmt.Printf("%s: %d live diagnostic(s)\n", label, len(live))
 		} else if *all && len(advisory) > 0 {
 			fmt.Printf("%s: clean (%d advisory)\n", label, len(advisory))
@@ -63,12 +115,14 @@ func main() {
 		}
 	}
 
+	total := 0
 	if *genCount > 0 {
 		files, err := seedgen.GenerateFiles(seedgen.DefaultOptions(*genCount, *genSeed))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "classlint: %v\n", err)
 			os.Exit(1)
 		}
+		total = len(files)
 		for i, data := range files {
 			f, err := classfile.Parse(data)
 			if err != nil {
@@ -77,9 +131,9 @@ func main() {
 			}
 			lintOne(fmt.Sprintf("seed[%d] %s", i, f.Name()), f)
 		}
-		fmt.Printf("linted %d generated seeds, %d dirty\n", len(files), dirty)
 	} else {
 		paths := expand(flag.Args())
+		total = len(paths)
 		for _, path := range paths {
 			data, err := os.ReadFile(path)
 			if err != nil {
@@ -89,15 +143,45 @@ func main() {
 			f, err := classfile.Parse(data)
 			if err != nil {
 				dirty++
-				fmt.Printf("%s: unparseable: %v\n", path, err)
+				if *jsonOut {
+					entries = append(entries, jsonEntry{Input: path, ParseErr: err.Error()})
+				} else {
+					fmt.Printf("%s: unparseable: %v\n", path, err)
+				}
 				continue
 			}
 			lintOne(path, f)
 		}
-		fmt.Printf("linted %d file(s), %d dirty\n", len(paths), dirty)
+	}
+	if *jsonOut {
+		out, err := json.MarshalIndent(entries, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "classlint: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(out))
+	} else if *genCount > 0 {
+		fmt.Printf("linted %d generated seeds, %d dirty\n", total, dirty)
+	} else {
+		fmt.Printf("linted %d file(s), %d dirty\n", total, dirty)
 	}
 	if dirty > 0 {
 		os.Exit(1)
+	}
+}
+
+// toJSON renders one diagnostic for -json output.
+func toJSON(d analysis.Diagnostic, specs []jvm.Spec) jsonDiag {
+	return jsonDiag{
+		Analyzer: d.Analyzer,
+		Rule:     d.Rule,
+		Severity: d.Severity.String(),
+		Phase:    d.Phase.String(),
+		Err:      d.Err,
+		JVMS:     d.JVMS,
+		Method:   d.Method,
+		Message:  d.Message,
+		Presets:  enforcers(d, specs),
 	}
 }
 

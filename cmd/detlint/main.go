@@ -1,0 +1,47 @@
+// Command detlint runs the determinism linter (internal/lint) over
+// package directories. The campaign/difftest engine's results must be
+// a pure function of (seed, config); detlint flags the constructs that
+// quietly break that — wall-clock reads, the global math/rand stream,
+// and map-iteration-ordered emissions. See the internal/lint package
+// doc for the rules and the //detlint:ok waiver syntax.
+//
+// Usage:
+//
+//	detlint dir [dir...]
+//
+// Exit codes:
+//
+//	0  no findings
+//	1  findings reported, or a directory failed to parse
+//	2  usage error (no directories)
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: detlint dir [dir...]")
+		os.Exit(2)
+	}
+	total := 0
+	for _, dir := range os.Args[1:] {
+		findings, err := lint.Dir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "detlint: %s: %v\n", dir, err)
+			os.Exit(1)
+		}
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+		total += len(findings)
+	}
+	if total > 0 {
+		fmt.Fprintf(os.Stderr, "detlint: %d finding(s)\n", total)
+		os.Exit(1)
+	}
+}

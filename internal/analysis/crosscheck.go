@@ -7,12 +7,28 @@ import (
 	"repro/internal/jvm"
 )
 
+// MismatchKind classifies a disagreement for triage and difftest
+// reporting.
+type MismatchKind string
+
+// Mismatch kinds.
+const (
+	// MismatchGeneral covers phase/error splits outside verification.
+	MismatchGeneral MismatchKind = "general"
+	// MismatchVerifier marks a static-verdict-vs-VM-verifier split:
+	// either side claims a VerifyError the other does not, the
+	// discrepancy class the dataflow oracle introduced.
+	MismatchVerifier MismatchKind = "verifier"
+)
+
 // Mismatch records one disagreement between the static oracle and a
 // live VM run — by Definition 2's logic, evidence of a bug in either
 // the oracle's reading of JVMS §4 or the VM simulation itself.
 type Mismatch struct {
 	// Spec names the VM preset.
 	Spec string
+	// Kind classifies the disagreement.
+	Kind MismatchKind
 	// Predicted is the oracle's definite claim.
 	Predicted jvm.Outcome
 	// Actual is the interpreter's observed outcome.
@@ -21,9 +37,20 @@ type Mismatch struct {
 	Waived string
 }
 
+// mismatchKind classifies a predicted/actual split.
+func mismatchKind(pred, act jvm.Outcome) MismatchKind {
+	if pred.Error == jvm.ErrVerify || act.Error == jvm.ErrVerify {
+		return MismatchVerifier
+	}
+	return MismatchGeneral
+}
+
 // String renders the mismatch for sanitizer notes and test failures.
 func (m Mismatch) String() string {
 	s := fmt.Sprintf("%s: oracle predicted %s, VM observed %s", m.Spec, m.Predicted, m.Actual)
+	if m.Kind == MismatchVerifier {
+		s += " [verifier split]"
+	}
 	if m.Waived != "" {
 		s += " (waived: " + m.Waived + ")"
 	}
@@ -32,6 +59,10 @@ func (m Mismatch) String() string {
 
 // Hard reports whether the mismatch is unwaived.
 func (m Mismatch) Hard() bool { return m.Waived == "" }
+
+// VerifierSplit reports whether this is a static-verdict-vs-VM-verifier
+// disagreement.
+func (m Mismatch) VerifierSplit() bool { return m.Kind == MismatchVerifier }
 
 // Waiver documents a point where the oracle and the simulation are
 // allowed to disagree, with the JVMS citation granting the latitude.
@@ -78,7 +109,8 @@ func CrossCheck(f *classfile.File, specs []jvm.Spec) []Mismatch {
 			continue
 		}
 		out = append(out, Mismatch{
-			Spec: spec.Name, Predicted: pred.Outcome, Actual: act,
+			Spec: spec.Name, Kind: mismatchKind(pred.Outcome, act),
+			Predicted: pred.Outcome, Actual: act,
 			Waived: waiverFor(spec, pred.Outcome, act),
 		})
 	}
@@ -96,7 +128,8 @@ func CheckVM(f *classfile.File, vm *jvm.VM, actual jvm.Outcome) *Mismatch {
 		return nil
 	}
 	return &Mismatch{
-		Spec: vm.Spec.Name, Predicted: pred.Outcome, Actual: actual,
+		Spec: vm.Spec.Name, Kind: mismatchKind(pred.Outcome, actual),
+		Predicted: pred.Outcome, Actual: actual,
 		Waived: waiverFor(vm.Spec, pred.Outcome, actual),
 	}
 }

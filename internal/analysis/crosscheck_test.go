@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/analysis"
+	"repro/internal/bytecode"
 	"repro/internal/catalog"
 	"repro/internal/classfile"
 	"repro/internal/jimple"
@@ -92,6 +93,49 @@ func TestMutationFamilyCrossCheck(t *testing.T) {
 		if checked == 0 {
 			t.Errorf("family %s produced no checkable mutant", fam)
 		}
+	}
+}
+
+// TestStackMapCrossCheck is the regression test for the
+// stackmap-undecodable downgrade: an undecodable StackMapTable on a
+// version-51 class must split the presets exactly along the
+// VerifyTypeChecking knob — a linking-phase ClassFormatError where the
+// type-checking verifier runs eagerly (HotSpot), the same error
+// surfacing at invocation under the lazy type-checker (J9), and a
+// clean run under GIJ's pre-stack-map inference verifier — with the
+// oracle's definite predictions agreeing with every live VM, waivers
+// unused.
+func TestStackMapCrossCheck(t *testing.T) {
+	f := classfile.New("SM")
+	classfile.AttachDefaultInit(f)
+	m := f.AddMethod(classfile.AccPublic|classfile.AccStatic, "main", "([Ljava/lang/String;)V")
+	cb := classfile.NewCodeBuilder(f.Pool)
+	cb.Op(bytecode.Return).SetMaxStack(1).SetMaxLocals(1)
+	m.Attributes = append(m.Attributes, cb.Build())
+	code := m.Code()
+	// 0xff opens a full_frame whose body is truncated: undecodable.
+	code.Attributes = append(code.Attributes, &classfile.StackMapTableAttr{Raw: []byte{0xff, 0x00}})
+
+	want := map[string]jvm.Outcome{
+		"HotSpot-Java7": {Phase: jvm.PhaseLinking, Error: jvm.ErrClassFormat},
+		"HotSpot-Java8": {Phase: jvm.PhaseLinking, Error: jvm.ErrClassFormat},
+		"HotSpot-Java9": {Phase: jvm.PhaseLinking, Error: jvm.ErrClassFormat},
+		"J9-SDK8":       {Phase: jvm.PhaseRuntime, Error: jvm.ErrClassFormat},
+		"GIJ-5.1.0":     {Phase: jvm.PhaseInvoked},
+	}
+	for _, sp := range jvm.StandardFive() {
+		pred := analysis.StaticVerdict(f, sp)
+		if !pred.Definite {
+			t.Errorf("%s: oracle made no definite prediction", sp.Name)
+			continue
+		}
+		w := want[sp.Name]
+		if pred.Outcome.Phase != w.Phase || pred.Outcome.Error != w.Error {
+			t.Errorf("%s: predicted %v, want phase %v error %q", sp.Name, pred.Outcome, w.Phase, w.Error)
+		}
+	}
+	for _, mm := range analysis.CrossCheck(f, jvm.StandardFive()) {
+		t.Errorf("oracle/VM disagreement: %s", mm)
 	}
 }
 

@@ -1,0 +1,349 @@
+package dataflow_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/dataflow"
+	"repro/internal/bytecode"
+	"repro/internal/classfile"
+	"repro/internal/jvm"
+	"repro/internal/rtlib"
+)
+
+// buildMain builds a class "DF" whose static main has the given code.
+func buildMain(t *testing.T, build func(cb *classfile.CodeBuilder), maxStack, maxLocals uint16) *classfile.File {
+	t.Helper()
+	f := classfile.New("DF")
+	classfile.AttachDefaultInit(f)
+	m := f.AddMethod(classfile.AccPublic|classfile.AccStatic, "main", "([Ljava/lang/String;)V")
+	cb := classfile.NewCodeBuilder(f.Pool)
+	build(cb)
+	cb.SetMaxStack(maxStack).SetMaxLocals(maxLocals)
+	m.Attributes = append(m.Attributes, cb.Build())
+	return f
+}
+
+// checkMirror asserts that for every preset and every method with code,
+// the independent dataflow analysis and the VM-side runtime verifier
+// produce identical outcomes — the same nil/non-nil verdict, error
+// class, phase and message. This is the package's core contract.
+func checkMirror(t *testing.T, f *classfile.File) {
+	t.Helper()
+	for _, spec := range jvm.StandardFive() {
+		env := rtlib.NewEnv(spec.Release)
+		for _, m := range f.Methods {
+			if m.Code() == nil {
+				continue
+			}
+			got := dataflow.VerifyMethod(f, m, &spec.Policy, env)
+			want := jvm.VerifyMethodStatic(spec, env, f, m)
+			if (got == nil) != (want == nil) {
+				t.Fatalf("%s %s: dataflow %v, VM verifier %v", spec.Name, m.Name(f.Pool), got, want)
+			}
+			if got != nil && (got.Error != want.Error || got.Phase != want.Phase || got.Message != want.Message) {
+				t.Fatalf("%s %s: dataflow %v, VM verifier %v", spec.Name, m.Name(f.Pool), got, want)
+			}
+		}
+	}
+}
+
+// verdictFor runs the dataflow verification of main under one spec.
+func verdictFor(t *testing.T, f *classfile.File, spec jvm.Spec) *jvm.Outcome {
+	t.Helper()
+	m := f.FindMethodExact("main", "([Ljava/lang/String;)V")
+	if m == nil {
+		t.Fatal("no main")
+	}
+	return dataflow.VerifyMethod(f, m, &spec.Policy, rtlib.NewEnv(spec.Release))
+}
+
+func wantErr(t *testing.T, out *jvm.Outcome, errName, fragment string) {
+	t.Helper()
+	if out == nil {
+		t.Fatalf("want %s, method verified", errName)
+	}
+	if out.Error != errName || out.Phase != jvm.PhaseLinking {
+		t.Fatalf("want %s at linking, got %v", errName, out)
+	}
+	if fragment != "" && !strings.Contains(out.Message, fragment) {
+		t.Errorf("message %q missing %q", out.Message, fragment)
+	}
+}
+
+func TestCleanMethodVerifies(t *testing.T) {
+	f := buildMain(t, func(cb *classfile.CodeBuilder) {
+		cb.Getstatic("java/lang/System", "out", "Ljava/io/PrintStream;").
+			Ldc("hello").
+			Invokevirtual("java/io/PrintStream", "println", "(Ljava/lang/String;)V").
+			Op(bytecode.Return)
+	}, 2, 1)
+	for _, spec := range jvm.StandardFive() {
+		if out := verdictFor(t, f, spec); out != nil {
+			t.Errorf("%s: clean main rejected: %v", spec.Name, out)
+		}
+	}
+	checkMirror(t, f)
+}
+
+func TestStackOverflowAndUnderflow(t *testing.T) {
+	over := buildMain(t, func(cb *classfile.CodeBuilder) {
+		cb.LdcInt(1).LdcInt(2).LdcInt(3).Op(bytecode.Pop).Op(bytecode.Pop).Op(bytecode.Pop).Op(bytecode.Return)
+	}, 2, 1)
+	wantErr(t, verdictFor(t, over, jvm.HotSpot9()), jvm.ErrVerify, "overflow")
+	checkMirror(t, over)
+
+	under := buildMain(t, func(cb *classfile.CodeBuilder) {
+		cb.Op(bytecode.Pop).Op(bytecode.Return)
+	}, 4, 1)
+	wantErr(t, verdictFor(t, under, jvm.HotSpot9()), jvm.ErrVerify, "underflow")
+	checkMirror(t, under)
+}
+
+func TestLocalKindMismatch(t *testing.T) {
+	f := buildMain(t, func(cb *classfile.CodeBuilder) {
+		cb.LdcInt(7).Op(bytecode.Istore1).Op(bytecode.Aload1).Op(bytecode.Pop).Op(bytecode.Return)
+	}, 4, 4)
+	wantErr(t, verdictFor(t, f, jvm.HotSpot9()), jvm.ErrVerify, "")
+	checkMirror(t, f)
+}
+
+func TestFallsOffEnd(t *testing.T) {
+	f := buildMain(t, func(cb *classfile.CodeBuilder) {
+		cb.Op(bytecode.Iconst0)
+	}, 2, 1)
+	wantErr(t, verdictFor(t, f, jvm.HotSpot9()), jvm.ErrVerify, "falls off")
+	checkMirror(t, f)
+}
+
+func TestBranchIntoMiddleOfInstruction(t *testing.T) {
+	// ifeq at pc1 targets pc3, inside its own operand bytes.
+	f := buildMain(t, func(cb *classfile.CodeBuilder) {
+		cb.Op(bytecode.Iconst0).U2(bytecode.Ifeq, 2).Op(bytecode.Return)
+	}, 2, 1)
+	wantErr(t, verdictFor(t, f, jvm.HotSpot9()), jvm.ErrVerify, "middle of an instruction")
+	checkMirror(t, f)
+}
+
+func TestUndecodableCode(t *testing.T) {
+	f := classfile.New("DF")
+	classfile.AttachDefaultInit(f)
+	m := f.AddMethod(classfile.AccPublic|classfile.AccStatic, "main", "([Ljava/lang/String;)V")
+	m.Attributes = append(m.Attributes, &classfile.CodeAttr{
+		MaxStack: 1, MaxLocals: 1, Code: []byte{0xc4}, // truncated wide
+	})
+	wantErr(t, verdictFor(t, f, jvm.HotSpot9()), jvm.ErrVerify, "")
+	checkMirror(t, f)
+}
+
+func TestEmptyCodeArray(t *testing.T) {
+	f := classfile.New("DF")
+	classfile.AttachDefaultInit(f)
+	m := f.AddMethod(classfile.AccPublic|classfile.AccStatic, "main", "([Ljava/lang/String;)V")
+	m.Attributes = append(m.Attributes, &classfile.CodeAttr{MaxStack: 1, MaxLocals: 1})
+	wantErr(t, verdictFor(t, f, jvm.HotSpot9()), jvm.ErrClassFormat, "empty code array")
+	checkMirror(t, f)
+}
+
+// TestUninitMergeDialect exercises the GIJ-only rejection of merging an
+// uninitialized object with another reference (Problem 2).
+func TestUninitMergeDialect(t *testing.T) {
+	f := buildMain(t, func(cb *classfile.CodeBuilder) {
+		// pc0 iconst_0; pc1 ifeq->10; pc4 new Object; pc7 goto->11;
+		// pc10 aconst_null; pc11 pop (join of uninit vs null); pc12 return
+		cb.Op(bytecode.Iconst0).
+			U2(bytecode.Ifeq, 9).
+			New("java/lang/Object").
+			U2(bytecode.Goto, 4).
+			Op(bytecode.AconstNull).
+			Op(bytecode.Pop).
+			Op(bytecode.Return)
+	}, 1, 1)
+	wantErr(t, verdictFor(t, f, jvm.GIJ()), jvm.ErrVerify, "uninitialized")
+	if out := verdictFor(t, f, jvm.HotSpot9()); out != nil {
+		t.Errorf("HotSpot widens uninit merges, got %v", out)
+	}
+	checkMirror(t, f)
+}
+
+// TestStrictStackShapeDialect exercises J9's "stack shape inconsistent"
+// rejection of unrelated reference types merging on the stack.
+func TestStrictStackShapeDialect(t *testing.T) {
+	f := buildMain(t, func(cb *classfile.CodeBuilder) {
+		// pc0 iconst_0; pc1 ifeq->9; pc4 ldc "s"; pc6 goto->12;
+		// pc9 getstatic System.out; pc12 pop (join String vs PrintStream);
+		// pc13 return
+		cb.Op(bytecode.Iconst0).
+			U2(bytecode.Ifeq, 8).
+			Ldc("s").
+			U2(bytecode.Goto, 6).
+			Getstatic("java/lang/System", "out", "Ljava/io/PrintStream;").
+			Op(bytecode.Pop).
+			Op(bytecode.Return)
+	}, 1, 1)
+	wantErr(t, verdictFor(t, f, jvm.J9()), jvm.ErrVerify, "stack shape")
+	if out := verdictFor(t, f, jvm.HotSpot9()); out != nil {
+		t.Errorf("HotSpot widens to a common super, got %v", out)
+	}
+	checkMirror(t, f)
+}
+
+// TestRefAssignabilityDialect exercises GIJ's declared-type check on
+// field stores (the internalTransform cast of Problem 2).
+func TestRefAssignabilityDialect(t *testing.T) {
+	f := buildMain(t, func(cb *classfile.CodeBuilder) {
+		cb.Getstatic("java/lang/System", "out", "Ljava/io/PrintStream;").
+			Putstatic("DF", "f", "Ljava/lang/String;").
+			Op(bytecode.Return)
+	}, 1, 1)
+	wantErr(t, verdictFor(t, f, jvm.GIJ()), jvm.ErrVerify, "not assignable")
+	if out := verdictFor(t, f, jvm.HotSpot9()); out != nil {
+		t.Errorf("HotSpot skips declared-type assignability, got %v", out)
+	}
+	checkMirror(t, f)
+}
+
+// TestJsrRetDialect: HotSpot and J9 ban jsr/ret in v51 files; GIJ still
+// verifies the subroutine.
+func TestJsrRetDialect(t *testing.T) {
+	f := buildMain(t, func(cb *classfile.CodeBuilder) {
+		// pc0 jsr->4; pc3 return; pc4 astore_0; pc5 ret 0
+		cb.U2(bytecode.Jsr, 4).
+			Op(bytecode.Return).
+			Op(bytecode.Astore0).
+			U1(bytecode.Ret, 0)
+	}, 1, 1)
+	wantErr(t, verdictFor(t, f, jvm.HotSpot9()), jvm.ErrVerify, "jsr/ret")
+	if out := verdictFor(t, f, jvm.GIJ()); out != nil {
+		t.Errorf("GIJ accepts jsr/ret, got %v", out)
+	}
+	checkMirror(t, f)
+}
+
+// TestTypeCheckingStackMap: an undecodable StackMapTable is a
+// ClassFormatError under the type-checking presets and ignored by GIJ's
+// inference-only verifier.
+func TestTypeCheckingStackMap(t *testing.T) {
+	f := buildMain(t, func(cb *classfile.CodeBuilder) {
+		cb.Op(bytecode.Return)
+	}, 1, 1)
+	m := f.FindMethodExact("main", "([Ljava/lang/String;)V")
+	code := m.Code()
+	code.Attributes = append(code.Attributes, &classfile.StackMapTableAttr{Raw: []byte{0xff, 0x00}})
+	wantErr(t, verdictFor(t, f, jvm.HotSpot9()), jvm.ErrClassFormat, "StackMapTable")
+	wantErr(t, verdictFor(t, f, jvm.J9()), jvm.ErrClassFormat, "StackMapTable")
+	if out := verdictFor(t, f, jvm.GIJ()); out != nil {
+		t.Errorf("GIJ has no type-checking verifier, got %v", out)
+	}
+	checkMirror(t, f)
+}
+
+// TestConstructorMustCallSuper: an <init> that returns with `this`
+// still uninitialized is rejected by every preset.
+func TestConstructorMustCallSuper(t *testing.T) {
+	f := classfile.New("DF")
+	m := f.AddMethod(classfile.AccPublic, "<init>", "()V")
+	cb := classfile.NewCodeBuilder(f.Pool)
+	cb.Op(bytecode.Return).SetMaxStack(1).SetMaxLocals(1)
+	m.Attributes = append(m.Attributes, cb.Build())
+	for _, spec := range jvm.StandardFive() {
+		out := dataflow.VerifyMethod(f, m, &spec.Policy, rtlib.NewEnv(spec.Release))
+		if out == nil || out.Error != jvm.ErrVerify || !strings.Contains(out.Message, "super constructor") {
+			t.Errorf("%s: want super-constructor VerifyError, got %v", spec.Name, out)
+		}
+	}
+	checkMirror(t, f)
+}
+
+// TestUninitializedReceiverCall: calling a method on a `new` result
+// before its <init> runs is rejected.
+func TestUninitializedReceiverCall(t *testing.T) {
+	f := buildMain(t, func(cb *classfile.CodeBuilder) {
+		cb.New("java/lang/Object").
+			Invokevirtual("java/lang/Object", "hashCode", "()I").
+			Op(bytecode.Pop).
+			Op(bytecode.Return)
+	}, 2, 1)
+	wantErr(t, verdictFor(t, f, jvm.HotSpot9()), jvm.ErrVerify, "uninitialized")
+	checkMirror(t, f)
+}
+
+// TestExceptionHandlerEdges: the handler entry state (single throwable
+// on the stack) must merge cleanly, and a non-Throwable catch type is a
+// VerifyError.
+func TestExceptionHandlerEdges(t *testing.T) {
+	ok := buildMain(t, func(cb *classfile.CodeBuilder) {
+		// pc0 iconst_0; pc1 pop; pc2 return; handler pc3: pop; return
+		cb.Op(bytecode.Iconst0).Op(bytecode.Pop).Op(bytecode.Return).
+			Op(bytecode.Pop).Op(bytecode.Return).
+			Handler(0, 2, 3, "java/lang/Exception")
+	}, 1, 1)
+	for _, spec := range jvm.StandardFive() {
+		if out := verdictFor(t, ok, spec); out != nil {
+			t.Errorf("%s: handler class rejected: %v", spec.Name, out)
+		}
+	}
+	checkMirror(t, ok)
+
+	bad := buildMain(t, func(cb *classfile.CodeBuilder) {
+		cb.Op(bytecode.Iconst0).Op(bytecode.Pop).Op(bytecode.Return).
+			Op(bytecode.Pop).Op(bytecode.Return).
+			Handler(0, 2, 3, "java/lang/String")
+	}, 1, 1)
+	wantErr(t, verdictFor(t, bad, jvm.HotSpot9()), jvm.ErrVerify, "non-Throwable")
+	checkMirror(t, bad)
+}
+
+// TestVerifyClass walks methods in declaration order and reports the
+// first failure.
+func TestVerifyClass(t *testing.T) {
+	f := classfile.New("DF")
+	classfile.AttachDefaultInit(f)
+	good := f.AddMethod(classfile.AccPublic|classfile.AccStatic, "ok", "()V")
+	cbg := classfile.NewCodeBuilder(f.Pool)
+	cbg.Op(bytecode.Return).SetMaxStack(1).SetMaxLocals(1)
+	good.Attributes = append(good.Attributes, cbg.Build())
+	bad := f.AddMethod(classfile.AccPublic|classfile.AccStatic, "bad", "()V")
+	cbb := classfile.NewCodeBuilder(f.Pool)
+	cbb.Op(bytecode.Pop).Op(bytecode.Return).SetMaxStack(1).SetMaxLocals(1)
+	bad.Attributes = append(bad.Attributes, cbb.Build())
+
+	spec := jvm.HotSpot9()
+	out := dataflow.VerifyClass(f, &spec.Policy, rtlib.NewEnv(spec.Release))
+	if out == nil || out.Error != jvm.ErrVerify || !strings.Contains(out.Message, "bad()V") {
+		t.Fatalf("want VerifyError naming bad()V, got %v", out)
+	}
+}
+
+// TestWideValuesAndLocals covers long/double two-slot handling through
+// arithmetic, locals and the invalidation of broken wide pairs.
+func TestWideValuesAndLocals(t *testing.T) {
+	f := buildMain(t, func(cb *classfile.CodeBuilder) {
+		cb.Op(bytecode.Lconst1).
+			Op(bytecode.Lstore1).
+			Op(bytecode.Lload1).
+			Op(bytecode.Lconst0).
+			Op(bytecode.Ladd).
+			Op(bytecode.Pop2).
+			Op(bytecode.Return)
+	}, 4, 4)
+	for _, spec := range jvm.StandardFive() {
+		if out := verdictFor(t, f, spec); out != nil {
+			t.Errorf("%s: wide-value class rejected: %v", spec.Name, out)
+		}
+	}
+	checkMirror(t, f)
+
+	// Overwriting the second slot of a stored long poisons the first.
+	broken := buildMain(t, func(cb *classfile.CodeBuilder) {
+		cb.Op(bytecode.Lconst1).
+			Op(bytecode.Lstore1).
+			Op(bytecode.Iconst0).
+			Op(bytecode.Istore2).
+			Op(bytecode.Lload1).
+			Op(bytecode.Pop2).
+			Op(bytecode.Return)
+	}, 4, 4)
+	wantErr(t, verdictFor(t, broken, jvm.HotSpot9()), jvm.ErrVerify, "")
+	checkMirror(t, broken)
+}

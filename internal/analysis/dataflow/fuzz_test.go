@@ -1,0 +1,60 @@
+package dataflow_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/dataflow"
+	"repro/internal/classfile"
+	"repro/internal/jvm"
+	"repro/internal/rtlib"
+	"repro/internal/seedgen"
+)
+
+// FuzzVerifyDifferential is the native fuzz target of the dataflow
+// oracle: it mutates seed-corpus class bytes and differentially checks
+// the independent dataflow verdict against the VM-side verifier's
+// verify-phase outcome for every preset. The static verdict is
+// *definite*, so any disagreement — verdict polarity, error class,
+// phase or message — fails. Under plain `go test` the seed corpus
+// alone runs, which already covers the generator's full structural
+// variety; `go test -fuzz=FuzzVerifyDifferential` explores mutated
+// bytes.
+func FuzzVerifyDifferential(f *testing.F) {
+	seeds, err := seedgen.GenerateFiles(seedgen.DefaultOptions(25, 20160613))
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	specs := jvm.StandardFive()
+	envs := make([]*rtlib.Env, len(specs))
+	for i, spec := range specs {
+		envs[i] = rtlib.NewEnv(spec.Release)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cf, err := classfile.Parse(data)
+		if err != nil {
+			return // not a parseable classfile; verification never runs
+		}
+		for i, spec := range specs {
+			for _, m := range cf.Methods {
+				if m.Code() == nil {
+					continue
+				}
+				got := dataflow.VerifyMethod(cf, m, &spec.Policy, envs[i])
+				want := jvm.VerifyMethodStatic(spec, envs[i], cf, m)
+				if (got == nil) != (want == nil) {
+					t.Fatalf("%s %s%s: dataflow says %v, VM verifier says %v",
+						spec.Name, m.Name(cf.Pool), m.Descriptor(cf.Pool), got, want)
+				}
+				if got != nil && (got.Error != want.Error || got.Phase != want.Phase || got.Message != want.Message) {
+					t.Fatalf("%s %s%s: dataflow says %v, VM verifier says %v",
+						spec.Name, m.Name(cf.Pool), m.Descriptor(cf.Pool), got, want)
+				}
+			}
+		}
+	})
+}

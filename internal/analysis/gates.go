@@ -46,6 +46,32 @@ const (
 	GateClinitInitializerCode
 	// GateJsrRet fires when Policy.ForbidJsrRet and Gate.Major >= 51.
 	GateJsrRet
+	// GateVerify fires when the verifier dialect named by Gate.Dialect
+	// is enabled and the preset actually verifies the method: eager
+	// verifiers check every method, lazy ones only the entry methods
+	// marked by Gate.Entry.
+	GateVerify
+	// GateTypeChecking fires when Policy.VerifyTypeChecking applies to
+	// the classfile version (Gate.Major >= 50) and the preset verifies
+	// the method (as for GateVerify).
+	GateTypeChecking
+)
+
+// VerifyDialect names, for GateVerify, the verifier-dialect knob whose
+// check produced the diagnostic.
+type VerifyDialect int
+
+// Verifier dialects.
+const (
+	// DialectInference: the base §4.10.2 dataflow rules every verifier
+	// dialect enforces.
+	DialectInference VerifyDialect = iota
+	// DialectUninitMerge requires Policy.VerifyUninitMerge (GIJ).
+	DialectUninitMerge
+	// DialectRefAssign requires Policy.VerifyRefAssignability (GIJ).
+	DialectRefAssign
+	// DialectStrictShape requires Policy.VerifyStrictStackShape (J9).
+	DialectStrictShape
 )
 
 // ClinitCond optionally restricts a gate to policies that classify a
@@ -74,6 +100,13 @@ type Gate struct {
 	StaticV bool
 	// Clinit optionally restricts the gate by <clinit> classification.
 	Clinit ClinitCond
+	// Dialect selects, for GateVerify, the dialect knob enforcing the
+	// diagnostic.
+	Dialect VerifyDialect
+	// Entry marks verification diagnostics on methods that lazy
+	// verifiers still reach during startup (main or the class
+	// initializer); eager verifiers check every method body.
+	Entry bool
 }
 
 // clinitInitializer reports whether p classifies a <clinit> of the
@@ -129,6 +162,29 @@ func (g Gate) Enabled(p *jvm.Policy) bool {
 		return clinitInitializer(p, g.StaticV)
 	case GateJsrRet:
 		return p.ForbidJsrRet && g.Major >= 51
+	case GateVerify:
+		if !g.dialectEnabled(p) {
+			return false
+		}
+		return p.EagerVerify || g.Entry
+	case GateTypeChecking:
+		return p.VerifyTypeChecking && g.Major >= 50 && (p.EagerVerify || g.Entry)
+	}
+	return false
+}
+
+// dialectEnabled reports whether p runs the verifier dialect a
+// GateVerify diagnostic depends on.
+func (g Gate) dialectEnabled(p *jvm.Policy) bool {
+	switch g.Dialect {
+	case DialectInference:
+		return true
+	case DialectUninitMerge:
+		return p.VerifyUninitMerge
+	case DialectRefAssign:
+		return p.VerifyRefAssignability
+	case DialectStrictShape:
+		return p.VerifyStrictStackShape
 	}
 	return false
 }

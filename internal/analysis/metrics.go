@@ -28,3 +28,25 @@ func (c VerdictCounters) Observe(rejected bool) {
 		c.Accept.Inc()
 	}
 }
+
+// DataflowCounters tallies the dataflow verify band's per-class claims
+// under the canonical analysis.dataflow.* names: Definite is a
+// definite claim that loading and linking (§4.10 verification
+// included) succeed, Reject a definite claim they do not, Unknown a
+// class the band saw but could not analyze (unparseable bytes). Like
+// VerdictCounters, the zero value is inert.
+type DataflowCounters struct {
+	Definite *telemetry.Counter // analysis.dataflow.definite
+	Unknown  *telemetry.Counter // analysis.dataflow.unknown
+	Reject   *telemetry.Counter // analysis.dataflow.reject
+}
+
+// NewDataflowCounters interns the analysis.dataflow.* counters in reg.
+// A nil registry yields the inert zero value.
+func NewDataflowCounters(reg *telemetry.Registry) DataflowCounters {
+	return DataflowCounters{
+		Definite: reg.Counter("analysis.dataflow.definite"),
+		Unknown:  reg.Counter("analysis.dataflow.unknown"),
+		Reject:   reg.Counter("analysis.dataflow.reject"),
+	}
+}

@@ -13,12 +13,15 @@ import (
 // consistency (JVMS §4.7.4): decodability, frame offsets landing on
 // instruction boundaries, Object entries naming Class constants,
 // Uninitialized entries pointing at a `new`, and locals/stack sizes
-// within max_locals/max_stack. All findings are advisory: every
-// simulated VM verifies by type inference and never consults the
-// table, so a split-verifier's VerifyError here never materialises.
+// within max_locals/max_stack. An undecodable table is a policy-gated
+// reject: presets running the §4.10.1 type-checking verifier
+// (VerifyTypeChecking, version ≥ 50) throw ClassFormatError when they
+// verify the method. The remaining frame-content findings stay
+// advisory — the simulated verifiers infer types and never trust the
+// table's claims.
 var StackMapAnalyzer = &Analyzer{
 	Name: "stackmap",
-	Doc:  "StackMapTable frame consistency (JVMS §4.7.4; advisory under inference verification)",
+	Doc:  "StackMapTable decodability and frame consistency (JVMS §4.7.4)",
 	Run:  runStackMap,
 }
 
@@ -65,7 +68,16 @@ func stackMapMethod(p *Pass, i int, m *classfile.Member, code *classfile.CodeAtt
 
 	frames, err := classfile.DecodeStackMap(table)
 	if err != nil {
-		warn(subSMDecode, "stackmap-undecodable", "StackMapTable does not decode: %v", err)
+		// Type-checking presets reject the method outright; inference
+		// verifiers ignore the table (the old advisory-warn behaviour
+		// under-reported this as never-rejected).
+		p.report(Diagnostic{
+			Rule: "stackmap-undecodable", Severity: SevError,
+			Phase: jvm.PhaseLinking, Err: jvm.ErrClassFormat, JVMS: "§4.7.4",
+			Message: fmt.Sprintf("StackMapTable does not decode: %v", err), Method: label,
+			Gate: Gate{Kind: GateTypeChecking, Major: p.File.Major, Entry: entryMethod(p.File, m)},
+			Seq:  seqOf(stagePost, i, subSMDecode),
+		})
 		return
 	}
 	cfg, cfgErr := p.CFG(m)

@@ -3,6 +3,7 @@ package analysis
 import (
 	"sync"
 
+	"repro/internal/analysis/dataflow"
 	"repro/internal/bytecode"
 	"repro/internal/classfile"
 	"repro/internal/jvm"
@@ -67,6 +68,20 @@ func StaticVerdictEnv(f *classfile.File, spec jvm.Spec, env *rtlib.Env) Predicti
 
 	// ---- invocation ----
 	return invokeVerdict(f, spec, env, clinitOut)
+}
+
+// VerifyReject returns the oracle's definite loading/linking rejection
+// for f on spec, or nil when the class definitely survives both phases.
+// It is the campaign verify band's predicate: the link mirror covers
+// hierarchy well-formedness, throws clauses, eager resolution and
+// §4.10 dataflow verification, inheriting the crosscheck harness's
+// zero-waiver exactness. Callers must have cleared the loading-phase
+// format checks first (LoadReject), matching StaticVerdict's order.
+func VerifyReject(f *classfile.File, spec jvm.Spec, env *rtlib.Env) *jvm.Outcome {
+	if out, bad := linkVerdict(f, spec, env); bad {
+		return &out
+	}
+	return nil
 }
 
 // firstLoadReject picks the first loading-phase error diagnostic that
@@ -166,7 +181,7 @@ func linkVerdict(f *classfile.File, spec jvm.Spec, env *rtlib.Env) (jvm.Outcome,
 			if m.Code() == nil {
 				continue
 			}
-			if out := jvm.VerifyMethodStatic(spec, env, f, m); out != nil {
+			if out := dataflow.VerifyMethod(f, m, &spec.Policy, env); out != nil {
 				return *out, true
 			}
 		}
@@ -301,7 +316,7 @@ func initVerdict(f *classfile.File, spec jvm.Spec, env *rtlib.Env) (pred Predict
 		return Prediction{}, nil, false
 	}
 	if !p.EagerVerify {
-		if out := jvm.VerifyMethodStatic(spec, env, f, clinit); out != nil {
+		if out := dataflow.VerifyMethod(f, clinit, &spec.Policy, env); out != nil {
 			return Prediction{Definite: true, Outcome: jvm.Outcome{
 				Phase: jvm.PhaseInit, Error: out.Error, Message: out.Message}}, nil, true
 		}
@@ -364,7 +379,7 @@ func invokeVerdict(f *classfile.File, spec jvm.Spec, env *rtlib.Env, clinitOut [
 		return rej(jvm.ErrUnsatisfiedLink)
 	}
 	if !p.EagerVerify {
-		if out := jvm.VerifyMethodStatic(spec, env, f, main); out != nil {
+		if out := dataflow.VerifyMethod(f, main, &spec.Policy, env); out != nil {
 			return Prediction{Definite: true, Outcome: jvm.Outcome{
 				Phase: jvm.PhaseRuntime, Error: out.Error, Message: out.Message}}
 		}

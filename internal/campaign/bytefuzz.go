@@ -19,7 +19,7 @@ import (
 // there is no reference-VM work to parallelise, so the loop stays
 // sequential.
 func runBytefuzz(cfg Config) (*Result, error) {
-	start := time.Now()
+	start := time.Now() //detlint:ok Result.Elapsed is reporting-only
 
 	// Serialise the seed corpus once.
 	var pool [][]byte
@@ -74,7 +74,7 @@ func runBytefuzz(cfg Config) (*Result, error) {
 		o.emit(Accepted{Iter: it, Name: gc.Name, Stats: gc.Stats})
 		o.emit(SelectorUpdated{Iter: it, MutatorID: -1, Success: true})
 	}
-	res.Elapsed = time.Since(start)
+	res.Elapsed = time.Since(start)    //detlint:ok Result.Elapsed is reporting-only
 	res.MutatorStats = []MutatorStat{} // bytefuzz never selects mutators
 	return res, nil
 }

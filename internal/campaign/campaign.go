@@ -89,9 +89,12 @@ type Config struct {
 	// campaign RSS at paper scale.
 	KeepGenBytes bool
 	// StaticPrefilter short-circuits reference-VM execution of mutants
-	// the static analyzer proves the reference loader rejects. The first
-	// mutant of each structural fingerprint still executes (its trace
-	// seeds a cache); fingerprint-equal repeats reuse that trace, so the
+	// the static oracle proves the reference VM rejects — during
+	// loading (format checks, keyed by structural fingerprint) or
+	// during linking (hierarchy, resolution and §4.10 dataflow
+	// verification, keyed by a name-masked content fingerprint). The
+	// first mutant of each fingerprint still executes (its trace seeds
+	// a cache); fingerprint-equal repeats reuse that trace, so the
 	// coverage-driven acceptance decisions — and the accepted suite —
 	// are bit-identical to an unfiltered campaign.
 	StaticPrefilter bool

@@ -32,15 +32,18 @@ type task struct {
 	rec    DrawRecord
 
 	// outputs of the mutate/filter/execute stages
-	applied  bool // mutator applicable
-	lowered  bool // classfile bytes produced
-	mutant   *jimple.Class
-	data     []byte
-	trace    *coverage.Trace
-	checked  bool // prefilter inspected the mutant
-	doomed   bool // statically certain loading-phase reject
-	cacheHit bool // trace served from the prefilter cache
-	fp       uint64
+	applied       bool // mutator applicable
+	lowered       bool // classfile bytes produced
+	mutant        *jimple.Class
+	data          []byte
+	trace         *coverage.Trace
+	checked       bool   // prefilter inspected the mutant
+	parsed        bool   // bytes parsed as a classfile
+	doomed        bool   // statically certain loading-phase reject
+	verifyChecked bool   // verify band inspected the mutant
+	verifyDoomed  bool   // statically certain linking-phase reject
+	cacheHit      bool   // trace served from the prefilter cache
+	fp            uint64 // trace-cache key of the band that doomed it
 
 	done chan struct{}
 }
@@ -62,6 +65,7 @@ type engineTel struct {
 	committed  *telemetry.Counter // campaign.committed
 	pfChecked  *telemetry.Counter // campaign.prefilter.checked
 	pfDoomed   *telemetry.Counter // campaign.prefilter.doomed
+	pfVerify   *telemetry.Counter // campaign.prefilter.verify_doomed
 	pfSkipped  *telemetry.Counter // campaign.prefilter.skipped
 	pfExecuted *telemetry.Counter // campaign.prefilter.executed
 	poolSize   *telemetry.Gauge   // campaign.pool_size
@@ -70,6 +74,11 @@ type engineTel struct {
 	// (campaign.prefilter.verdict.accept / .reject) — the analysis
 	// package's own view of the same commit-path decisions.
 	verdicts analysis.VerdictCounters
+	// dataflow tallies the verify band's claims under the canonical
+	// analysis.dataflow.* names (definite link-accept, definite
+	// reject, unparseable-unknown); load-doomed mutants never reach
+	// the band and are not counted.
+	dataflow analysis.DataflowCounters
 
 	draw      *telemetry.Histogram // campaign.stage.draw_ns
 	mutate    *telemetry.Histogram // campaign.stage.mutate_ns
@@ -79,7 +88,7 @@ type engineTel struct {
 
 	// prefilter counter values at campaign start, so a reused external
 	// registry still yields this campaign's own PrefilterStats.
-	pfBase [4]int64
+	pfBase [5]int64
 }
 
 // nonNilRegistry substitutes a private registry when the caller did
@@ -102,10 +111,12 @@ func newEngineTel(reg *telemetry.Registry, timing bool) engineTel {
 		committed:  reg.Counter("campaign.committed"),
 		pfChecked:  reg.Counter("campaign.prefilter.checked"),
 		pfDoomed:   reg.Counter("campaign.prefilter.doomed"),
+		pfVerify:   reg.Counter("campaign.prefilter.verify_doomed"),
 		pfSkipped:  reg.Counter("campaign.prefilter.skipped"),
 		pfExecuted: reg.Counter("campaign.prefilter.executed"),
 		poolSize:   reg.Gauge("campaign.pool_size"),
 		verdicts:   analysis.NewVerdictCounters(reg, "campaign.prefilter.verdict"),
+		dataflow:   analysis.NewDataflowCounters(reg),
 	}
 	if timing {
 		t.draw = reg.Histogram("campaign.stage.draw_ns")
@@ -114,7 +125,7 @@ func newEngineTel(reg *telemetry.Registry, timing bool) engineTel {
 		t.exec = reg.Histogram("campaign.stage.exec_ns")
 		t.commit = reg.Histogram("campaign.stage.commit_ns")
 	}
-	t.pfBase = [4]int64{t.pfChecked.Load(), t.pfDoomed.Load(), t.pfSkipped.Load(), t.pfExecuted.Load()}
+	t.pfBase = [5]int64{t.pfChecked.Load(), t.pfDoomed.Load(), t.pfSkipped.Load(), t.pfExecuted.Load(), t.pfVerify.Load()}
 	return t
 }
 
@@ -122,10 +133,11 @@ func newEngineTel(reg *telemetry.Registry, timing bool) engineTel {
 // deltas since newEngineTel.
 func (t *engineTel) prefilterStats() PrefilterStats {
 	return PrefilterStats{
-		Checked:  int(t.pfChecked.Load() - t.pfBase[0]),
-		Doomed:   int(t.pfDoomed.Load() - t.pfBase[1]),
-		Skipped:  int(t.pfSkipped.Load() - t.pfBase[2]),
-		Executed: int(t.pfExecuted.Load() - t.pfBase[3]),
+		Checked:      int(t.pfChecked.Load() - t.pfBase[0]),
+		Doomed:       int(t.pfDoomed.Load() - t.pfBase[1]),
+		Skipped:      int(t.pfSkipped.Load() - t.pfBase[2]),
+		Executed:     int(t.pfExecuted.Load() - t.pfBase[3]),
+		VerifyDoomed: int(t.pfVerify.Load() - t.pfBase[4]),
 	}
 }
 
@@ -201,14 +213,14 @@ func newEngine(cfg Config) *engine {
 	e.genStats = coverage.NewSuite(coverage.STBR) // counts unique stats over Gen
 
 	if cfg.StaticPrefilter && e.coverageDirected {
-		e.pf = newPrefilter(&e.cfg.RefSpec.Policy)
+		e.pf = newPrefilter(cfg.RefSpec)
 	}
 	return e
 }
 
 func (e *engine) run() (*Result, error) {
 	cfg := &e.cfg
-	start := time.Now()
+	start := time.Now() //detlint:ok Result.Elapsed is reporting-only
 
 	// Seed pool: Algorithm 1 line 1 initialises TestClasses with the
 	// seeds, so seed traces participate in uniqueness checks.
@@ -294,7 +306,7 @@ func (e *engine) run() (*Result, error) {
 	wg.Wait()
 
 	e.finalize()
-	e.res.Elapsed = time.Since(start)
+	e.res.Elapsed = time.Since(start) //detlint:ok Result.Elapsed is reporting-only
 	return e.res, nil
 }
 
@@ -348,7 +360,8 @@ func (e *engine) process(t *task, vm *jvm.VM, rec *coverage.Recorder) {
 		t.checked = true
 		if f, perr := classfile.Parse(data); perr == nil {
 			parsed = f
-			if d := analysis.LoadReject(f, e.pf.policy); d != nil {
+			t.parsed = true
+			if d := analysis.LoadReject(f, &e.pf.spec.Policy); d != nil {
 				t.doomed = true
 				t.fp = analysis.Fingerprint(f)
 				// Only cache entries committed at least Lookahead
@@ -358,6 +371,24 @@ func (e *engine) process(t *task, vm *jvm.VM, rec *coverage.Recorder) {
 					t.trace = tr
 					spPf.End()
 					return
+				}
+			} else {
+				// Verify band: a load-clean mutant the oracle still
+				// definitely rejects during linking (hierarchy,
+				// resolution, §4.10 dataflow verification) can reuse a
+				// trace recorded for a masked-byte-equal predecessor —
+				// same visibility window as the load band.
+				t.verifyChecked = true
+				vfp := analysis.VerifyFingerprint(data, f.Name()) ^ verifyBandTag
+				if e.pf.verifyReject(f, vfp) {
+					t.verifyDoomed = true
+					t.fp = vfp
+					if tr, ok := e.pf.lookup(vfp, t.iter-e.lookahead); ok {
+						t.cacheHit = true
+						t.trace = tr
+						spPf.End()
+						return
+					}
 				}
 			}
 		}
@@ -399,9 +430,20 @@ func (e *engine) commit(t *task) {
 
 	if t.checked {
 		e.tel.pfChecked.Inc()
-		e.tel.verdicts.Observe(t.doomed)
-		if t.doomed {
+		e.tel.verdicts.Observe(t.doomed || t.verifyDoomed)
+		switch {
+		case !t.parsed:
+			e.tel.dataflow.Unknown.Inc()
+		case t.verifyChecked && t.verifyDoomed:
+			e.tel.dataflow.Reject.Inc()
+		case t.verifyChecked:
+			e.tel.dataflow.Definite.Inc()
+		}
+		if t.doomed || t.verifyDoomed {
 			e.tel.pfDoomed.Inc()
+			if t.verifyDoomed {
+				e.tel.pfVerify.Inc()
+			}
 			if t.cacheHit {
 				e.tel.pfSkipped.Inc()
 				e.obs.emit(PrefilterHit{Iter: t.iter})
@@ -497,8 +539,8 @@ func (e *engine) finalize() {
 	// the MCMC path also maintains them incrementally via Instrument.
 	if e.timing {
 		for _, st := range res.MutatorStats {
-			e.cfg.Telemetry.Gauge("campaign.mutator."+st.Name+".selected").Set(int64(st.Selected))
-			e.cfg.Telemetry.Gauge("campaign.mutator."+st.Name+".success").Set(int64(st.Success))
+			e.cfg.Telemetry.Gauge("campaign.mutator." + st.Name + ".selected").Set(int64(st.Selected))
+			e.cfg.Telemetry.Gauge("campaign.mutator." + st.Name + ".success").Set(int64(st.Success))
 		}
 	}
 }

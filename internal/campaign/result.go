@@ -11,8 +11,14 @@ import (
 type PrefilterStats struct {
 	// Checked is the number of mutants the prefilter inspected.
 	Checked int
-	// Doomed is how many were statically certain loading-phase rejects.
+	// Doomed is how many were statically certain rejects — a
+	// loading-phase format reject (the load band) or a linking-phase
+	// reject from the dataflow oracle (the verify band).
 	Doomed int
+	// VerifyDoomed is the verify-band subset of Doomed: load-clean
+	// mutants the oracle definitely rejects during linking (hierarchy,
+	// resolution, §4.10 verification).
+	VerifyDoomed int
 	// Skipped is how many reference-VM executions the trace cache
 	// avoided.
 	Skipped int

@@ -227,6 +227,10 @@ type Summary struct {
 	// OracleMismatches counts unwaived static-oracle disagreements seen
 	// by checked evaluation (always 0 under Evaluate/EvaluateParallel).
 	OracleMismatches int
+	// VerifierMismatches is the subset of OracleMismatches where either
+	// side claims a VerifyError — the static-verdict-vs-VM-verifier
+	// discrepancy class the dataflow oracle introduced.
+	VerifierMismatches int
 	// MismatchSamples holds the first few rendered mismatches for
 	// reporting, in class order then VM order (deterministic at any
 	// worker count).
@@ -327,6 +331,9 @@ func (s *Summary) absorbMismatches(mm []analysis.Mismatch) {
 			continue
 		}
 		s.OracleMismatches++
+		if m.VerifierSplit() {
+			s.VerifierMismatches++
+		}
 		if len(s.MismatchSamples) < 10 {
 			s.MismatchSamples = append(s.MismatchSamples, m.String())
 		}

@@ -13,7 +13,10 @@ import (
 // a fixed-seed classfuzz campaign with StaticPrefilter enabled produces
 // the identical accepted test suite — same names, same bytes, same
 // mutator statistics — while executing strictly fewer mutants on the
-// reference VM (the skipped ones reuse cached load-phase traces).
+// reference VM. Both bands must contribute: load-doomed mutants reuse
+// cached load-phase traces, and verify-doomed ones (load-clean classes
+// the dataflow oracle proves the linker rejects) reuse full traces
+// keyed by the name-masked content fingerprint.
 func TestStaticPrefilterPreservesSuite(t *testing.T) {
 	base := Config{
 		Algorithm:  Classfuzz,
@@ -42,8 +45,15 @@ func TestStaticPrefilterPreservesSuite(t *testing.T) {
 		t.Fatal("prefiltered run reported no stats")
 	}
 	pf := r2.Prefilter
-	t.Logf("prefilter: checked=%d doomed=%d skipped=%d executed=%d",
-		pf.Checked, pf.Doomed, pf.Skipped, pf.Executed)
+	t.Logf("prefilter: checked=%d doomed=%d verify_doomed=%d skipped=%d executed=%d",
+		pf.Checked, pf.Doomed, pf.VerifyDoomed, pf.Skipped, pf.Executed)
+	if pf.VerifyDoomed == 0 {
+		t.Errorf("verify band doomed no mutants (checked=%d doomed=%d)", pf.Checked, pf.Doomed)
+	}
+	if pf.VerifyDoomed >= pf.Doomed {
+		t.Errorf("verify dooms (%d) must be a strict subset of dooms (%d): the load band stopped contributing",
+			pf.VerifyDoomed, pf.Doomed)
+	}
 
 	// Identical accepted suite.
 	if len(r1.Test) != len(r2.Test) {

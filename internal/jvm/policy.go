@@ -92,6 +92,12 @@ type Policy struct {
 	// at control-flow merge points instead of widening to a common
 	// supertype (J9's "stack shape inconsistent" — §1).
 	VerifyStrictStackShape bool
+	// VerifyTypeChecking selects the type-checking verifier of JVMS
+	// §4.10.1 for version ≥ 50 classfiles: the StackMapTable attribute
+	// drives verification, so an undecodable table is a ClassFormatError
+	// reject rather than an ignorable hint (HotSpot and J9; GIJ predates
+	// stack maps and always runs the inference verifier).
+	VerifyTypeChecking bool
 	// ForbidJsrRet rejects jsr/ret in version ≥ 51 classfiles.
 	ForbidJsrRet bool
 
@@ -161,6 +167,7 @@ func hotspotBase() Policy {
 		VerifyUninitMerge:         false,
 		VerifyRefAssignability:    false,
 		VerifyStrictStackShape:    false,
+		VerifyTypeChecking:        true,
 		ForbidJsrRet:              true,
 		InitStrictAccess:          false,
 		RequireStaticMain:         true,
@@ -233,6 +240,7 @@ func GIJ() Spec {
 		VerifyUninitMerge:         true, // the one check GIJ has and HotSpot lacks
 		VerifyRefAssignability:    true, // catches the internalTransform cast
 		VerifyStrictStackShape:    false,
+		VerifyTypeChecking:        false, // pre-stack-map verifier only
 		ForbidJsrRet:              false,
 		InitStrictAccess:          false,
 		RequireStaticMain:         false,

@@ -5,13 +5,13 @@ import (
 	"repro/internal/rtlib"
 )
 
-// VerifyMethodStatic runs spec's dataflow verifier over one method of f
-// without executing anything, for internal/analysis's static oracle.
-// The oracle deliberately shares the real verifier rather than
-// re-deriving the ~1k-line dataflow rules: verification has no side
-// effects, so predicted and actual outcomes can only diverge if the
-// surrounding phase logic disagrees — which is exactly what the
-// cross-check is meant to catch. No recorder is attached, so coverage
+// VerifyMethodStatic runs spec's runtime dataflow verifier over one
+// method of f without executing anything. The static oracle now has its
+// own independent implementation (internal/analysis/dataflow); this
+// entry point remains as the VM-side reference that the differential
+// fuzz harness compares the independent analysis against — two
+// implementations of the §4.10 rules checking each other, in the same
+// spirit as the five-VM lineup. No recorder is attached, so coverage
 // probes are no-ops and the call cannot perturb a fuzzing campaign.
 // The result is nil when the method verifies, or the linking-phase
 // rejection (callers re-phase it for lazy verification points).

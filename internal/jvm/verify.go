@@ -233,6 +233,22 @@ func (v *verifier) run() *Outcome {
 		}
 	}
 
+	// Type-checking verification (§4.10.1): presets that use the
+	// StackMapTable-driven verifier reject undecodable tables outright.
+	// Checked with plain conditionals — no coverage probes — so the
+	// interned probe universe is unchanged by this late addition.
+	if v.vm.Spec.Policy.VerifyTypeChecking && v.ex.f.Major >= 50 {
+		for _, a := range v.code.Attributes {
+			if t, ok := a.(*classfile.StackMapTableAttr); ok {
+				if _, err := classfile.DecodeStackMap(t); err != nil {
+					return &Outcome{Phase: PhaseLinking, Error: ErrClassFormat,
+						Message: fmt.Sprintf("method %s has an undecodable StackMapTable: %v", mname, err)}
+				}
+				break
+			}
+		}
+	}
+
 	// Initial frame.
 	init := &frame{locals: make([]vt, v.code.MaxLocals)}
 	slot := 0

@@ -1,0 +1,523 @@
+// Package lint is the engine's determinism linter: a stdlib go/ast
+// static analysis that flags the three source-level constructs which
+// historically break the campaign/difftest reproducibility contract —
+// wall-clock reads, the process-global math/rand stream, and emissions
+// ordered by a map iteration. The engine's results must be a pure
+// function of (seed, config), so these constructs are allowed only on
+// reporting paths and only under an explicit waiver comment:
+//
+//	start := time.Now() //detlint:ok elapsed-time reporting only
+//
+// The waiver (`//detlint:ok <reason>`) may trail the flagged line or
+// stand alone on the line above it; the reason is mandatory.
+//
+// Rules:
+//
+//   - time-now: calls to time.Now, time.Since or time.Until. Wall
+//     time may label a result but must never steer a decision.
+//   - rand-global: calls through math/rand's package-level functions
+//     (rand.Intn, rand.Seed, ...), which share one process-global
+//     stream seeded behind the engine's back. Constructing explicit
+//     streams (rand.New, rand.NewSource) is the sanctioned idiom.
+//   - map-range-emission: a `range` over a map whose body emits in
+//     iteration order — appending to a slice, printing, writing, or
+//     sending — making the artifact depend on Go's randomized map
+//     order. Commutative folds (numeric `x += ...`, map writes,
+//     counter bumps) are fine, and an append escapes the rule when a
+//     later statement in the same block sorts the target slice.
+//
+// The linter is deliberately syntactic (go/types would need the whole
+// build graph); it resolves just enough package-local type structure —
+// named types, struct fields, var declarations, make/literal
+// assignments, params and receivers — to tell maps from slices, and
+// stays silent when it cannot tell: false negatives over false alarms.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Finding is one determinism violation.
+type Finding struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Rule, f.Message)
+}
+
+// Dir lints every non-test .go file in one package directory.
+func Dir(path string) ([]Finding, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, path, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var all []Finding
+	for _, pkg := range pkgs {
+		files := make([]*ast.File, 0, len(pkg.Files))
+		names := make([]string, 0, len(pkg.Files))
+		for name := range pkg.Files {
+			names = append(names, name)
+		}
+		sort.Strings(names) // deterministic finding order
+		for _, name := range names {
+			files = append(files, pkg.Files[name])
+		}
+		all = append(all, Files(fset, files)...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Pos.Filename != all[j].Pos.Filename {
+			return all[i].Pos.Filename < all[j].Pos.Filename
+		}
+		return all[i].Pos.Line < all[j].Pos.Line
+	})
+	return all, nil
+}
+
+// Files lints one package's parsed files (comments must be attached
+// for waivers to work).
+func Files(fset *token.FileSet, files []*ast.File) []Finding {
+	p := &pkg{fset: fset, types: map[string]ast.Expr{}, fields: map[string]ast.Expr{}}
+	for _, f := range files {
+		p.collect(f)
+	}
+	var out []Finding
+	for _, f := range files {
+		out = append(out, p.lintFile(f)...)
+	}
+	return out
+}
+
+// pkg holds the package-local type structure the map detector needs.
+type pkg struct {
+	fset *token.FileSet
+	// types maps a package-level type name to its underlying syntax.
+	types map[string]ast.Expr
+	// fields maps a struct field name to its declared type. Field names
+	// are pooled across all package structs — collisions can only make
+	// the detector wrong about which map it found, not whether ranging
+	// a non-map (the resolver still requires an actual MapType).
+	fields map[string]ast.Expr
+}
+
+func (p *pkg) collect(f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch d := n.(type) {
+		case *ast.TypeSpec:
+			p.types[d.Name.Name] = d.Type
+		case *ast.StructType:
+			if d.Fields == nil {
+				return true
+			}
+			for _, fl := range d.Fields.List {
+				for _, name := range fl.Names {
+					p.fields[name.Name] = fl.Type
+				}
+			}
+		}
+		return true
+	})
+}
+
+// waived reports whether a `//detlint:ok <reason>` comment covers the
+// given line (trailing it or alone on the line above).
+func (p *pkg) waived(f *ast.File, line int) bool {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			if !strings.HasPrefix(text, "detlint:ok") {
+				continue
+			}
+			if strings.TrimSpace(strings.TrimPrefix(text, "detlint:ok")) == "" {
+				continue // a bare waiver with no reason does not count
+			}
+			cl := p.fset.Position(c.Pos()).Line
+			if cl == line || cl == line-1 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (p *pkg) lintFile(f *ast.File) []Finding {
+	timeName, timeImported := importName(f, "time")
+	randName, randImported := importName(f, "math/rand")
+	var out []Finding
+	report := func(pos token.Pos, rule, msg string) {
+		position := p.fset.Position(pos)
+		if p.waived(f, position.Line) {
+			return
+		}
+		out = append(out, Finding{Pos: position, Rule: rule, Message: msg})
+	}
+
+	// File-scope scan for clock and global-RNG calls.
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		base, ok := sel.X.(*ast.Ident)
+		if !ok || base.Obj != nil { // Obj != nil: a local shadows the package
+			return true
+		}
+		switch {
+		case timeImported && base.Name == timeName:
+			switch sel.Sel.Name {
+			case "Now", "Since", "Until":
+				report(call.Pos(), "time-now",
+					fmt.Sprintf("wall-clock read time.%s in engine code (waive reporting-only uses with //detlint:ok <reason>)", sel.Sel.Name))
+			}
+		case randImported && base.Name == randName:
+			switch sel.Sel.Name {
+			case "New", "NewSource", "NewZipf":
+				// constructing an explicit stream: the sanctioned idiom
+			default:
+				report(call.Pos(), "rand-global",
+					fmt.Sprintf("rand.%s uses the process-global math/rand stream; derive an explicit *rand.Rand instead", sel.Sel.Name))
+			}
+		}
+		return true
+	})
+
+	// Map-range emissions, function by function so local declarations
+	// are in scope.
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		sc := p.newScope(fd)
+		p.lintBlock(f, fd.Body.List, sc, report)
+	}
+	return out
+}
+
+// importName resolves the local name of an import path in one file.
+func importName(f *ast.File, path string) (string, bool) {
+	for _, imp := range f.Imports {
+		ip, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || ip != path {
+			continue
+		}
+		if imp.Name != nil {
+			return imp.Name.Name, true
+		}
+		return ip[strings.LastIndex(ip, "/")+1:], true
+	}
+	return "", false
+}
+
+// scope is a flat name → declared-type-syntax table. Go shadowing is
+// approximated by later writes winning; good enough to tell a map from
+// everything else.
+type scope map[string]ast.Expr
+
+func (p *pkg) newScope(fd *ast.FuncDecl) scope {
+	sc := scope{}
+	addFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				sc[name.Name] = field.Type
+			}
+		}
+	}
+	addFields(fd.Recv)
+	if fd.Type != nil {
+		addFields(fd.Type.Params)
+		addFields(fd.Type.Results)
+	}
+	return sc
+}
+
+// lintBlock walks one statement list, tracking declarations and
+// checking each range statement, recursing into nested blocks.
+func (p *pkg) lintBlock(f *ast.File, stmts []ast.Stmt, sc scope, report func(token.Pos, string, string)) {
+	for i, st := range stmts {
+		p.track(st, sc)
+		switch s := st.(type) {
+		case *ast.RangeStmt:
+			if p.isMapExpr(s.X, sc) {
+				p.checkMapRange(f, s, stmts[i+1:], sc, report)
+			}
+			if s.Body != nil {
+				p.lintBlock(f, s.Body.List, sc, report)
+			}
+		case *ast.BlockStmt:
+			p.lintBlock(f, s.List, sc, report)
+		case *ast.IfStmt:
+			p.track(s.Init, sc)
+			if s.Body != nil {
+				p.lintBlock(f, s.Body.List, sc, report)
+			}
+			if s.Else != nil {
+				p.lintBlock(f, []ast.Stmt{s.Else}, sc, report)
+			}
+		case *ast.ForStmt:
+			p.track(s.Init, sc)
+			if s.Body != nil {
+				p.lintBlock(f, s.Body.List, sc, report)
+			}
+		case *ast.SwitchStmt:
+			p.track(s.Init, sc)
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					p.lintBlock(f, cc.Body, sc, report)
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					p.lintBlock(f, cc.Body, sc, report)
+				}
+			}
+		case *ast.SelectStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					p.lintBlock(f, cc.Body, sc, report)
+				}
+			}
+		case *ast.LabeledStmt:
+			p.lintBlock(f, []ast.Stmt{s.Stmt}, sc, report)
+		case *ast.GoStmt, *ast.DeferStmt:
+			// function literals inside are reached by the file scan for
+			// clock/rand; map ranges inside literals are rare enough to
+			// leave to review
+		}
+	}
+}
+
+// track records type information a statement introduces.
+func (p *pkg) track(st ast.Stmt, sc scope) {
+	switch s := st.(type) {
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				switch {
+				case vs.Type != nil:
+					sc[name.Name] = vs.Type
+				case i < len(vs.Values):
+					if t := exprTypeSyntax(vs.Values[i]); t != nil {
+						sc[name.Name] = t
+					}
+				}
+			}
+		}
+	case *ast.AssignStmt:
+		if len(s.Lhs) != len(s.Rhs) {
+			return
+		}
+		for i, lhs := range s.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if t := exprTypeSyntax(s.Rhs[i]); t != nil {
+				sc[id.Name] = t
+			}
+		}
+	}
+}
+
+// exprTypeSyntax extracts a type from the handful of expression forms
+// whose type is written in the source: make(T, ...), T{...}, &T{...},
+// and conversions to composite types.
+func exprTypeSyntax(e ast.Expr) ast.Expr {
+	switch v := e.(type) {
+	case *ast.CallExpr:
+		if id, ok := v.Fun.(*ast.Ident); ok && id.Name == "make" && len(v.Args) > 0 {
+			return v.Args[0]
+		}
+	case *ast.CompositeLit:
+		return v.Type
+	case *ast.UnaryExpr:
+		if v.Op == token.AND {
+			if cl, ok := v.X.(*ast.CompositeLit); ok {
+				return cl.Type
+			}
+		}
+	}
+	return nil
+}
+
+// isMapExpr reports whether the package-local evidence proves e has a
+// map type. Unresolvable expressions are not maps (stay silent).
+func (p *pkg) isMapExpr(e ast.Expr, sc scope) bool {
+	_, ok := p.underlying(p.typeOf(e, sc)).(*ast.MapType)
+	return ok
+}
+
+// typeOf resolves an expression to its declared type syntax, nil when
+// unknown.
+func (p *pkg) typeOf(e ast.Expr, sc scope) ast.Expr {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return sc[v.Name]
+	case *ast.SelectorExpr:
+		// A field access: any package struct declaring the field name
+		// supplies the type (see pkg.fields).
+		return p.fields[v.Sel.Name]
+	case *ast.IndexExpr:
+		switch t := p.underlying(p.typeOf(v.X, sc)).(type) {
+		case *ast.MapType:
+			return t.Value
+		case *ast.ArrayType:
+			return t.Elt
+		}
+	case *ast.ParenExpr:
+		return p.typeOf(v.X, sc)
+	case *ast.StarExpr:
+		return p.typeOf(v.X, sc)
+	}
+	return nil
+}
+
+// underlying peels package-local named types and pointers down to
+// structural syntax.
+func (p *pkg) underlying(t ast.Expr) ast.Expr {
+	for i := 0; i < 8 && t != nil; i++ {
+		switch v := t.(type) {
+		case *ast.Ident:
+			next, ok := p.types[v.Name]
+			if !ok {
+				return t
+			}
+			t = next
+		case *ast.StarExpr:
+			t = v.X
+		case *ast.ParenExpr:
+			t = v.X
+		default:
+			return t
+		}
+	}
+	return t
+}
+
+// checkMapRange flags ordered emissions inside a map-range body,
+// honoring the sort escape for appends.
+func (p *pkg) checkMapRange(f *ast.File, rs *ast.RangeStmt, rest []ast.Stmt, sc scope, report func(token.Pos, string, string)) {
+	if rs.Body == nil {
+		return
+	}
+	type emission struct {
+		pos    token.Pos
+		what   string
+		target string // appended-to identifier, "" otherwise
+	}
+	var ems []emission
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.SendStmt:
+			ems = append(ems, emission{v.Pos(), "channel send", ""})
+		case *ast.AssignStmt:
+			// x = append(x, ...) — ordered growth of a slice.
+			for i, rhs := range v.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" {
+					continue
+				}
+				target := ""
+				if i < len(v.Lhs) {
+					if id, ok := v.Lhs[i].(*ast.Ident); ok {
+						target = id.Name
+					}
+				}
+				ems = append(ems, emission{call.Pos(), "append", target})
+			}
+			// s += expr on a string is ordered concatenation; numeric
+			// folds are commutative and fine.
+			if v.Tok == token.ADD_ASSIGN && len(v.Lhs) == 1 {
+				if id, ok := v.Lhs[0].(*ast.Ident); ok {
+					if t, ok := p.underlying(p.typeOf(id, sc)).(*ast.Ident); ok && t.Name == "string" {
+						ems = append(ems, emission{v.Pos(), "string concatenation", ""})
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := v.Fun.(*ast.SelectorExpr); ok {
+				name := sel.Sel.Name
+				if strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint") ||
+					strings.HasPrefix(name, "Write") || strings.HasPrefix(name, "Emit") {
+					ems = append(ems, emission{v.Pos(), "call to " + name, ""})
+				}
+			}
+		}
+		return true
+	})
+
+	for _, em := range ems {
+		if em.target != "" && sortedAfter(em.target, rest) {
+			continue // append target is sorted after the loop
+		}
+		report(em.pos, "map-range-emission",
+			fmt.Sprintf("%s inside a map range emits in Go's randomized iteration order; sort the keys first or sort the result", em.what))
+	}
+}
+
+// sortedAfter reports whether a later statement in the same block
+// passes the named slice to a sort.* call.
+func sortedAfter(target string, rest []ast.Stmt) bool {
+	for _, st := range rest {
+		found := false
+		ast.Inspect(st, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			base, ok := sel.X.(*ast.Ident)
+			if !ok || (base.Name != "sort" && base.Name != "slices") {
+				return true
+			}
+			for _, arg := range call.Args {
+				ast.Inspect(arg, func(an ast.Node) bool {
+					if id, ok := an.(*ast.Ident); ok && id.Name == target {
+						found = true
+					}
+					return !found
+				})
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

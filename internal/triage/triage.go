@@ -94,7 +94,11 @@ func (t *Triager) Triage(data []byte) *Report {
 	if !rep.OracleClean() {
 		for _, m := range rep.Oracle {
 			if m.Hard() {
-				rep.Notes = append(rep.Notes, "oracle mismatch: "+m.String())
+				label := "oracle mismatch"
+				if m.VerifierSplit() {
+					label = "oracle verifier split"
+				}
+				rep.Notes = append(rep.Notes, label+": "+m.String())
 			}
 		}
 	}
