@@ -81,12 +81,12 @@ func main() {
 		cfg.Telemetry = reg
 	}
 	if *metricsAddr != "" {
-		_, addr, err := telemetry.Serve(*metricsAddr, func() telemetry.Snapshot { return reg.Snapshot() })
+		srv, err := telemetry.Serve(*metricsAddr, func() telemetry.Snapshot { return reg.Snapshot() })
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "metrics server: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "serving metrics on http://%s/metrics.json\n", addr)
+		fmt.Fprintf(os.Stderr, "serving metrics on http://%s/metrics.json\n", srv.Addr)
 	}
 
 	if *progress {
@@ -132,10 +132,17 @@ func main() {
 }
 
 // doReplay reproduces one iteration of the campaign cfg describes and
-// reports (and optionally writes) the rebuilt mutant.
+// reports (and optionally writes) the rebuilt mutant. The exit code is
+// part of the contract: any failure — including a byte-verification
+// mismatch against the campaign's own classfile, even when Replay
+// still returned the rebuilt mutant for inspection — exits nonzero, so
+// scripts and CI can gate on `classfuzz -replay`.
 func doReplay(cfg campaign.Config, iter int, out string) {
 	info, err := campaign.Replay(cfg, iter)
-	if err != nil {
+	if err != nil || info == nil || !info.Verified {
+		if err == nil {
+			err = fmt.Errorf("iteration %d rebuilt but bytes not verified", iter)
+		}
 		fmt.Fprintf(os.Stderr, "replay failed: %v\n", err)
 		os.Exit(1)
 	}

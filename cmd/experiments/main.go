@@ -43,14 +43,14 @@ func main() {
 	// every table is identical with or without it.
 	if *metricsAddr != "" {
 		scale.Telemetry = telemetry.New()
-		_, addr, err := telemetry.Serve(*metricsAddr, func() telemetry.Snapshot {
+		srv, err := telemetry.Serve(*metricsAddr, func() telemetry.Snapshot {
 			return scale.Telemetry.Snapshot()
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "metrics server: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "serving metrics on http://%s/metrics.json\n", addr)
+		fmt.Fprintf(os.Stderr, "serving metrics on http://%s/metrics.json\n", srv.Addr)
 	}
 
 	needSession := map[string]bool{

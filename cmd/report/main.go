@@ -6,10 +6,17 @@
 //
 // Usage:
 //
-//	report [-seeds N] [-iters N] [-seed N] [-reduce N] > report.md
+//	report [-seeds N] [-iters N] [-seed N] [-reduce N]
+//	       [-service-metrics FILE] > report.md
+//
+// -service-metrics folds a telemetry snapshot dumped by a classfuzzd
+// daemon (curl .../metrics.json > FILE) into the session registry and
+// appends a Service section covering the daemon's checkpoint, corpus
+// and shard-fold activity.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +32,7 @@ import (
 	"repro/internal/jvm"
 	"repro/internal/reduce"
 	"repro/internal/seedgen"
+	"repro/internal/service"
 	"repro/internal/telemetry"
 	"repro/internal/triage"
 )
@@ -35,6 +43,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	workers := flag.Int("workers", 1, "campaign worker pool size (results are identical at any value)")
 	reduceN := flag.Int("reduce", 3, "number of discrepancy witnesses to reduce")
+	serviceMetrics := flag.String("service-metrics", "", "telemetry snapshot JSON from a classfuzzd daemon (/metrics.json) to report on")
 	flag.Parse()
 
 	counters := &campaign.Counters{}
@@ -308,4 +317,43 @@ func main() {
 		final.Counter("analysis.dataflow.reject"),
 		final.Counter("analysis.dataflow.unknown"),
 		final.Counter("campaign.prefilter.verify_doomed"))
+
+	if *serviceMetrics != "" {
+		if err := reportService(treg, *serviceMetrics); err != nil {
+			fmt.Fprintf(os.Stderr, "service metrics: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// reportService folds a daemon's telemetry snapshot into the session
+// registry (so a combined dump sees both) and renders the Service
+// section from the service.* metrics.
+func reportService(treg *telemetry.Registry, path string) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var snap telemetry.Snapshot
+	if err := json.Unmarshal(blob, &snap); err != nil {
+		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	treg.MergeSnapshot(snap)
+
+	fmt.Printf("\n## Service\n\n")
+	fmt.Printf("classfuzzd daemon activity from `%s`: shard epochs folded into\n", path)
+	fmt.Printf("the session, checkpoint/resume traffic, and corpus-intake\n")
+	fmt.Printf("backpressure (429s mean submitters outpaced the intake queue).\n\n")
+	fmt.Printf("| metric | value |\n|---|---|\n")
+	fmt.Printf("| shard epochs folded | %d |\n", snap.Counter(service.MetricEpochsCompleted))
+	fmt.Printf("| checkpoints written | %d |\n", snap.Counter(service.MetricCheckpointsWritten))
+	fmt.Printf("| checkpoints restored | %d |\n", snap.Counter(service.MetricCheckpointsRestored))
+	fmt.Printf("| seeds accepted | %d |\n", snap.Counter(service.MetricSeedsAccepted))
+	fmt.Printf("| seeds rejected (malformed) | %d |\n", snap.Counter(service.MetricSeedsRejected))
+	fmt.Printf("| seeds throttled (429) | %d |\n", snap.Counter(service.MetricSeedsThrottled))
+	fmt.Printf("| intake queue high-water | %d |\n", snap.Gauge(service.MetricQueueHighWater))
+	fmt.Printf("| discrepancy log length | %d |\n", snap.Gauge(service.MetricDiscrepancies))
+	fmt.Printf("| campaign iterations across shards | %d |\n", snap.Counter("campaign.iterations"))
+	fmt.Printf("| reference-VM executions across shards | %d |\n", snap.Counter("campaign.executions"))
+	return nil
 }

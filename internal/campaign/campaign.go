@@ -107,6 +107,12 @@ type Config struct {
 	// Observer receives engine events (may be nil). Events fire from the
 	// sequential draw/commit stages, so their order is deterministic.
 	Observer Observer
+	// Control, when non-nil, lets another goroutine snapshot or stop
+	// the running campaign at coordinator boundaries (see Control).
+	// Like Observer and Telemetry it is observe-only with respect to
+	// results: a campaign run with a Control that is never asked to
+	// stop is bit-identical to one without.
+	Control *Control
 	// Telemetry, when non-nil, receives the campaign's metrics
 	// (campaign.* counters/gauges) and switches on stage + reference-VM
 	// timing histograms. Telemetry is observe-only: results are

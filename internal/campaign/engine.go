@@ -159,6 +159,25 @@ type engine struct {
 
 	lookahead int
 	res       *Result
+
+	// Checkpoint/resume state. drawn and committed advance only on the
+	// coordinator; mergedCov is the word-OR of the seed traces and every
+	// accepted trace (Result.Coverage); genLog mirrors commits of
+	// generated iterations for Snapshot. ctrl, when attached, is
+	// serviced at the top of each coordinator iteration. On a resumed
+	// engine, startIter is the first iteration this process commits and
+	// resumeDraws holds the in-flight window to re-process.
+	ctrl        *Control
+	startIter   int
+	resumeDraws []DrawRecord
+	drawn       int
+	committed   int
+	stopped     bool
+	stopSnap    *Snapshot
+	genLog      []GenEntry
+	mergedCov   *coverage.Trace
+	seedDigest  uint64
+	resumed     bool
 }
 
 func newEngine(cfg Config) *engine {
@@ -169,6 +188,7 @@ func newEngine(cfg Config) *engine {
 		coverageDirected: cfg.Algorithm != Randfuzz,
 		lookahead:        cfg.lookahead(),
 		timing:           cfg.Telemetry != nil,
+		ctrl:             cfg.Control,
 	}
 
 	// Counts always flow into a registry — the caller's, or a private
@@ -218,43 +238,54 @@ func newEngine(cfg Config) *engine {
 	return e
 }
 
-func (e *engine) run() (*Result, error) {
+// initSeedState builds the seed pool and folds the seed traces into
+// the acceptance state (Algorithm 1 line 1 initialises TestClasses
+// with the seeds, so seed traces participate in uniqueness checks).
+// Shared verbatim by fresh runs and snapshot restores.
+func (e *engine) initSeedState() {
 	cfg := &e.cfg
-	start := time.Now() //detlint:ok Result.Elapsed is reporting-only
-
-	// Seed pool: Algorithm 1 line 1 initialises TestClasses with the
-	// seeds, so seed traces participate in uniqueness checks.
 	e.pool = make([]poolEntry, 0, len(cfg.Seeds))
 	for _, s := range cfg.Seeds {
 		e.pool = append(e.pool, poolEntry{class: s, iter: -1})
 	}
-	if e.coverageDirected {
-		vm := jvm.New(cfg.RefSpec)
-		rec := coverage.NewRecorder(jvm.ProbeRegistry())
-		vm.SetRecorder(rec)
-		for _, s := range cfg.Seeds {
-			tr, _, err := runOnRef(vm, rec, s)
-			if err != nil {
-				continue // unlowerable seed: skip its trace
-			}
-			switch cfg.Algorithm {
-			case Greedyfuzz:
-				e.greedyUnion = coverage.Merge(e.greedyUnion, tr)
-			default:
-				if e.suite.Unique(tr) {
-					e.suite.Add(tr)
-				}
+	if !e.coverageDirected {
+		return
+	}
+	e.mergedCov = coverage.NewTrace()
+	vm := jvm.New(cfg.RefSpec)
+	rec := coverage.NewRecorder(jvm.ProbeRegistry())
+	vm.SetRecorder(rec)
+	for _, s := range cfg.Seeds {
+		tr, _, err := runOnRef(vm, rec, s)
+		if err != nil {
+			continue // unlowerable seed: skip its trace
+		}
+		e.mergedCov = coverage.Merge(e.mergedCov, tr)
+		switch cfg.Algorithm {
+		case Greedyfuzz:
+			e.greedyUnion = coverage.Merge(e.greedyUnion, tr)
+		default:
+			if e.suite.Unique(tr) {
+				e.suite.Add(tr)
 			}
 		}
 	}
+}
 
-	e.res = &Result{
-		Algorithm:  cfg.Algorithm,
-		Criterion:  cfg.Criterion,
-		Iterations: cfg.Iterations,
-		Draws:      make([]DrawRecord, 0, cfg.Iterations),
-		Workers:    cfg.workers(),
-		Lookahead:  e.lookahead,
+func (e *engine) run() (*Result, error) {
+	cfg := &e.cfg
+	start := time.Now() //detlint:ok Result.Elapsed is reporting-only
+
+	if !e.resumed {
+		e.initSeedState()
+		e.res = &Result{
+			Algorithm:  cfg.Algorithm,
+			Criterion:  cfg.Criterion,
+			Iterations: cfg.Iterations,
+			Draws:      make([]DrawRecord, 0, cfg.Iterations),
+			Workers:    cfg.workers(),
+			Lookahead:  e.lookahead,
+		}
 	}
 	e.tel.poolSize.Set(int64(len(e.pool)))
 
@@ -264,8 +295,17 @@ func (e *engine) run() (*Result, error) {
 	// observes exactly the commits of iterations ≤ i−D regardless of
 	// how the worker pool schedules the stages in between. At most D
 	// tasks are in flight, hence the ring and the channel bound.
+	//
+	// A resumed engine enters the same loop at base = startIter (the
+	// snapshot's commit frontier): the in-flight window re-enters the
+	// pipeline from its recorded draw records (redraw — the selector
+	// chain already consumed those proposals during restore), and fresh
+	// draws take over beyond it. Since draw(i) only observes commits
+	// ≤ i−D, which the restore fully reconstructed, the continuation is
+	// bit-identical to the uninterrupted run.
 	D := e.lookahead
 	N := cfg.Iterations
+	base := e.startIter
 	tasks := make(chan *task, D)
 	ring := make([]*task, D)
 
@@ -287,26 +327,44 @@ func (e *engine) run() (*Result, error) {
 		}()
 	}
 
-	for i := 0; i < N; i++ {
-		if i >= D {
+	for i := base; i < N; i++ {
+		if e.serviceControl(i) {
+			e.stopped = true
+			break
+		}
+		if i-D >= base {
 			e.commit(ring[(i-D)%D])
 		}
-		t := e.draw(i)
+		var t *task
+		if j := i - base; j < len(e.resumeDraws) {
+			t = e.redraw(e.resumeDraws[j])
+		} else {
+			t = e.draw(i)
+		}
 		ring[i%D] = t
 		tasks <- t
 	}
 	close(tasks)
-	tail := N - D
-	if tail < 0 {
-		tail = 0
+	// Drain the in-flight window (all of it, after a stop).
+	end := e.drawn
+	tail := end - D
+	if tail < base {
+		tail = base
 	}
-	for i := tail; i < N; i++ {
+	for i := tail; i < end; i++ {
 		e.commit(ring[i%D])
 	}
 	wg.Wait()
 
 	e.finalize()
 	e.res.Elapsed = time.Since(start) //detlint:ok Result.Elapsed is reporting-only
+	if e.ctrl != nil {
+		fin := e.stopSnap
+		if fin == nil {
+			fin = e.snapshot()
+		}
+		e.ctrl.finish(fin)
+	}
 	return e.res, nil
 }
 
@@ -321,10 +379,24 @@ func (e *engine) draw(i int) *task {
 	muID := e.selector.Next(rng)
 	rec := DrawRecord{Iter: i, PoolIndex: idx, Parent: pe.iter, MutatorID: muID}
 	e.res.Draws = append(e.res.Draws, rec)
+	e.drawn++
 	e.tel.iterations.Inc()
 	e.obs.emit(IterationStarted{Iter: i, PoolIndex: idx, MutatorID: muID})
 	sp.End()
 	return &task{iter: i, parent: pe.class, rec: rec, done: make(chan struct{})}
+}
+
+// redraw re-enters a recorded in-flight iteration into the pipeline
+// after a resume. Unlike draw it consults neither the RNG nor the
+// selector — the restore already replayed this iteration's proposal
+// into the chain — it only re-materialises the task from the record.
+func (e *engine) redraw(rec DrawRecord) *task {
+	fresh := DrawRecord{Iter: rec.Iter, PoolIndex: rec.PoolIndex, Parent: rec.Parent, MutatorID: rec.MutatorID}
+	e.res.Draws = append(e.res.Draws, fresh)
+	e.drawn++
+	e.tel.iterations.Inc()
+	e.obs.emit(IterationStarted{Iter: rec.Iter, PoolIndex: rec.PoolIndex, MutatorID: rec.MutatorID})
+	return &task{iter: rec.Iter, parent: e.pool[rec.PoolIndex].class, rec: fresh, done: make(chan struct{})}
 }
 
 // process runs the mutate/filter/execute stages for one task on a
@@ -416,6 +488,7 @@ func (e *engine) commit(t *task) {
 	sp := telemetry.StartSpan(e.tel.commit)
 	defer sp.End()
 	defer e.tel.committed.Inc()
+	e.committed++
 
 	generated := t.applied && t.lowered
 	e.obs.emit(Mutated{Iter: t.iter, MutatorID: t.rec.MutatorID, Applied: generated})
@@ -491,6 +564,9 @@ func (e *engine) commit(t *task) {
 		gc.Accepted = true
 		gc.Data = t.data
 		e.res.Test = append(e.res.Test, gc)
+		if e.coverageDirected {
+			e.mergedCov = coverage.Merge(e.mergedCov, t.trace)
+		}
 		if !e.cfg.NoSeedRecycling {
 			e.pool = append(e.pool, poolEntry{class: t.mutant, iter: t.iter})
 			e.tel.poolSize.Set(int64(len(e.pool)))
@@ -502,6 +578,11 @@ func (e *engine) commit(t *task) {
 		// them is what bounds campaign RSS at paper scale.
 		gc.Data = t.data
 	}
+	ge := GenEntry{Iter: t.iter, Stmts: gc.Stats.Stmts, Branches: gc.Stats.Branches, Accepted: accepted}
+	if accepted {
+		ge.Fp = analysis.ContentFingerprint(t.data)
+	}
+	e.genLog = append(e.genLog, ge)
 	e.selector.Record(t.rec.MutatorID, accepted)
 	e.obs.emit(SelectorUpdated{Iter: t.iter, MutatorID: t.rec.MutatorID, Success: accepted})
 }
@@ -510,6 +591,15 @@ func (e *engine) commit(t *task) {
 func (e *engine) finalize() {
 	res := e.res
 	res.GenUniqueStats = e.genStats.UniqueStatsCount()
+	res.Drawn = e.drawn
+	res.Stopped = e.stopped
+	res.Resumed = e.resumed
+	switch {
+	case e.cfg.Algorithm == Greedyfuzz:
+		res.Coverage = e.greedyUnion
+	case e.coverageDirected:
+		res.Coverage = e.mergedCov
+	}
 	if e.pf != nil {
 		pf := e.tel.prefilterStats()
 		res.Prefilter = &pf
@@ -545,10 +635,15 @@ func (e *engine) finalize() {
 	}
 }
 
+// mutantName is the deterministic name of iteration iter's mutant.
+func mutantName(iter int) string {
+	return fmt.Sprintf("M%d", 1430000000+iter)
+}
+
 // finishMutant applies the deterministic post-mutation fixups: the
 // iteration-derived name, the version pin, and the observable main.
 func finishMutant(c *jimple.Class, iter int) {
-	c.Name = fmt.Sprintf("M%d", 1430000000+iter)
+	c.Name = mutantName(iter)
 	c.Major = 51 // every mutant is pinned to version 51 (§3.1.1)
 	// §2.2.1: each mutant is supplemented with a simple main that
 	// prints a completion message, so the mutant observably either

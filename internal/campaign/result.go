@@ -117,6 +117,17 @@ type Result struct {
 	Workers   int
 	Lookahead int
 	Elapsed   time.Duration
+	// Coverage is the word-OR of the seed traces and every accepted
+	// trace — the campaign's merged footprint on the reference VM (nil
+	// for randfuzz and bytefuzz, which are not coverage-directed). The
+	// service coordinator folds shard results by merging these.
+	Coverage *coverage.Trace
+	// Drawn counts iterations that entered the pipeline; it equals
+	// Iterations unless the run was stopped early via Control.Stop
+	// (Stopped). Resumed marks a run reconstructed from a Snapshot.
+	Drawn   int
+	Stopped bool
+	Resumed bool
 }
 
 // Succ returns the campaign success rate |TestClasses| / #iterations.

@@ -385,6 +385,17 @@ func (s *Suite) Add(tr *Trace) {
 	s.size++
 }
 
+// AddStats commits a statistic pair without its trace. Restoring a
+// checkpointed campaign uses this for the statistics-census suites
+// ([st]/[stbr] decisions and UniqueStatsCount depend only on the
+// pair); a [tr]-criterion suite must be restored with full traces via
+// Add, since its Unique compares trace sets.
+func (s *Suite) AddStats(st Stats) {
+	s.stmtSeen[st.Stmts] = true
+	s.pairSeen[st] = true
+	s.size++
+}
+
 // UniqueStatsCount returns how many distinct (stmt, branch) statistic
 // pairs the suite's traces exhibit — the metric the paper reports for
 // comparing GenClasses sets (e.g. "898 unique coverage statistics").

@@ -23,6 +23,7 @@ import (
 	"repro/internal/mcmc"
 	"repro/internal/mutation"
 	"repro/internal/seedgen"
+	"repro/internal/service"
 	"repro/internal/telemetry"
 )
 
@@ -80,44 +81,22 @@ var CampaignOrder = []string{
 	KeyUniquefuzz, KeyGreedyfuzz, KeyRandfuzz,
 }
 
-// Session holds the shared campaign results.
+// Session holds the shared campaign results. It is a service.Session
+// — the same folding aggregate the classfuzzd daemon uses for its
+// shard epochs — plus the experiment-specific seed corpus: Campaigns,
+// the shared outcome Memo (Tables 6 and 7 overlap heavily, so a class
+// executes once per VM across the whole session) and the Telemetry
+// roll-up promote from the embedded session.
 type Session struct {
 	Scale     Scale
 	Seeds     []*jimple.Class
 	SeedFiles [][]byte
-	Campaigns map[string]*fuzz.Result
-	// Memo is the outcome memo shared by every differential evaluation
-	// the session performs (Tables 6 and 7 overlap heavily: every
-	// TestClasses suite is a subset of its GenClasses set, and the six
-	// campaigns share seed-derived mutants), so a class executes once
-	// per VM across the whole session.
-	Memo *difftest.OutcomeMemo
-	// Telemetry is the session-wide metrics roll-up. Each campaign runs
-	// against a private registry (handles are never shared between
-	// engines) which NewSession folds in via Registry.Merge as campaigns
-	// finish, so the campaign.* counters here are totals over all six;
-	// the shared memo and every differential runner report here
-	// directly.
-	Telemetry *telemetry.Registry
-}
-
-// nonNilRegistry substitutes a fresh roll-up registry when the caller
-// did not attach one via Scale.Telemetry.
-func nonNilRegistry(reg *telemetry.Registry) *telemetry.Registry {
-	if reg == nil {
-		return telemetry.New()
-	}
-	return reg
+	*service.Session
 }
 
 // diffRunner builds a standard five-VM runner wired to the session's
 // shared outcome memo and metrics roll-up.
-func (s *Session) diffRunner() *difftest.Runner {
-	r := difftest.NewStandardRunner()
-	r.Memo = s.Memo
-	r.UseTelemetry(s.Telemetry)
-	return r
-}
+func (s *Session) diffRunner() *difftest.Runner { return s.Runner() }
 
 // NewSession generates seeds and runs all six campaigns.
 func NewSession(s Scale) (*Session, error) {
@@ -157,11 +136,8 @@ func NewSession(s Scale) (*Session, error) {
 
 	sess := &Session{
 		Scale: s, Seeds: seeds, SeedFiles: seedFiles,
-		Campaigns: map[string]*fuzz.Result{},
-		Memo:      difftest.NewOutcomeMemo(),
-		Telemetry: nonNilRegistry(s.Telemetry),
+		Session: service.NewSession(s.Telemetry),
 	}
-	sess.Memo.UseTelemetry(sess.Telemetry)
 	type job struct {
 		key   string
 		alg   fuzz.Algorithm
@@ -187,16 +163,15 @@ func NewSession(s Scale) (*Session, error) {
 		go func(j job) {
 			defer wg.Done()
 			res, reg, err := mk(j.alg, j.crit, j.iters)
-			mu.Lock()
-			defer mu.Unlock()
 			if err != nil {
+				mu.Lock()
+				defer mu.Unlock()
 				if firstErr == nil {
 					firstErr = fmt.Errorf("experiments: %s: %w", j.key, err)
 				}
 				return
 			}
-			sess.Campaigns[j.key] = res
-			sess.Telemetry.Merge(reg)
+			sess.Fold(j.key, res, reg)
 		}(j)
 	}
 	wg.Wait()

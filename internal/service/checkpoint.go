@@ -1,0 +1,217 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/campaign"
+)
+
+// On-disk layout under Config.DataDir:
+//
+//	state.json              — State: config echo, corpus order, shard
+//	                          epoch frontiers, discrepancy log
+//	corpus/subNNNNN.class   — submitted seed classfiles, arrival order
+//	checkpoints/shard-N.json — ShardCheckpoint per shard (mid-epoch)
+//	memo.json               — difftest.MemoExport of the session memo
+//
+// Write ordering is the consistency argument: a corpus file and the
+// state.json that names it are persisted BEFORE the seed becomes
+// visible to shards, so no shard checkpoint can ever reference a seed
+// the disk does not hold. state.json is rewritten after every fold
+// (shard epoch frontier advance) and every accepted submission; shard
+// checkpoints whose Epoch is behind the state frontier are stale relics
+// of those races and are ignored at load. All files are written to a
+// temp name in the same directory and renamed into place, so a kill -9
+// at any instant leaves either the old or the new version, never a
+// torn one.
+
+// StateVersion is state.json's format version.
+const StateVersion = 1
+
+// ShardCheckpointVersion is the shard checkpoint format version.
+const ShardCheckpointVersion = 1
+
+// State is the daemon's persistent root: enough to validate that a
+// restart's configuration matches the data directory, rebuild the
+// corpus in arrival order, and know each shard's epoch frontier.
+type State struct {
+	Version    int    `json:"version"`
+	Algorithm  string `json:"algorithm"`
+	Criterion  int    `json:"criterion"`
+	Seed       int64  `json:"seed"`
+	SeedCount  int    `json:"seed_count"`
+	Iterations int    `json:"iterations"`
+	Shards     int    `json:"shards"`
+	// Submitted lists corpus file names in arrival order; position is
+	// identity (checkpoints pin a prefix length, not names).
+	Submitted []string `json:"submitted"`
+	// ShardEpochs[i] is shard i's next epoch to run — every epoch
+	// below it has been folded into the session.
+	ShardEpochs []int `json:"shard_epochs"`
+	// NextDiscrepancy is the next discrepancy ID to assign.
+	NextDiscrepancy int `json:"next_discrepancy"`
+	// Discrepancies is the accumulated discrepancy log.
+	Discrepancies []Discrepancy `json:"discrepancies"`
+}
+
+// ShardCheckpoint freezes one shard mid-epoch: the engine snapshot
+// plus the corpus prefix the epoch was started with.
+type ShardCheckpoint struct {
+	Version int `json:"version"`
+	Shard   int `json:"shard"`
+	Epoch   int `json:"epoch"`
+	// SubmittedUsed is how many submitted seeds (in arrival order) the
+	// epoch's corpus includes after the generated base seeds.
+	SubmittedUsed int                `json:"submitted_used"`
+	Campaign      *campaign.Snapshot `json:"campaign"`
+}
+
+// Discrepancy is one discrepancy-triggering classfile found by a shard
+// epoch. IDs are assigned in fold-arrival order (monotonic within a
+// daemon lifetime, persisted across restarts); the (Shard, Epoch,
+// Class) triple is the deterministic identity.
+type Discrepancy struct {
+	ID          int      `json:"id"`
+	Shard       int      `json:"shard"`
+	Epoch       int      `json:"epoch"`
+	Iteration   int      `json:"iteration"`
+	Class       string   `json:"class"`
+	Fingerprint uint64   `json:"fingerprint"`
+	Vector      string   `json:"vector"`
+	Outcomes    []string `json:"outcomes"`
+}
+
+// writeJSONAtomic marshals v and renames it into place. The temp file
+// lives in the target's directory so the rename cannot cross devices.
+func writeJSONAtomic(path string, v any) error {
+	blob, err := json.MarshalIndent(v, "", " ")
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(append(blob, '\n'))
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr != nil {
+			return werr
+		}
+		return cerr
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// readJSON loads path into v; a missing file returns os.ErrNotExist.
+func readJSON(path string, v any) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(blob, v)
+}
+
+func (m *Manager) statePath() string      { return filepath.Join(m.cfg.DataDir, "state.json") }
+func (m *Manager) memoPath() string       { return filepath.Join(m.cfg.DataDir, "memo.json") }
+func (m *Manager) corpusDir() string      { return filepath.Join(m.cfg.DataDir, "corpus") }
+func (m *Manager) checkpointDir() string  { return filepath.Join(m.cfg.DataDir, "checkpoints") }
+func (m *Manager) checkpointPath(shard int) string {
+	return filepath.Join(m.checkpointDir(), fmt.Sprintf("shard-%d.json", shard))
+}
+
+// stateLocked builds the current State. Caller holds m.mu.
+func (m *Manager) stateLocked() *State {
+	st := &State{
+		Version:         StateVersion,
+		Algorithm:       string(m.cfg.Algorithm),
+		Criterion:       int(m.cfg.Criterion),
+		Seed:            m.cfg.Seed,
+		SeedCount:       m.cfg.SeedCount,
+		Iterations:      m.cfg.Iterations,
+		Shards:          m.cfg.Shards,
+		ShardEpochs:     append([]int(nil), m.shardEpochs...),
+		NextDiscrepancy: m.nextDisc,
+		Discrepancies:   append([]Discrepancy(nil), m.discs...),
+	}
+	for _, s := range m.submitted {
+		st.Submitted = append(st.Submitted, s.name)
+	}
+	return st
+}
+
+// validateState checks that a loaded state matches the manager's
+// configuration; resuming a data directory under a different campaign
+// shape would silently fork every determinism guarantee, so it fails.
+func (m *Manager) validateState(st *State) error {
+	fail := func(field string, disk, cfg any) error {
+		return fmt.Errorf("service: data dir %s mismatch on %s: disk %v, config %v",
+			m.cfg.DataDir, field, disk, cfg)
+	}
+	if st.Version != StateVersion {
+		return fmt.Errorf("service: state version %d, this build reads %d", st.Version, StateVersion)
+	}
+	if st.Algorithm != string(m.cfg.Algorithm) {
+		return fail("algorithm", st.Algorithm, m.cfg.Algorithm)
+	}
+	if st.Criterion != int(m.cfg.Criterion) {
+		return fail("criterion", st.Criterion, m.cfg.Criterion)
+	}
+	if st.Seed != m.cfg.Seed {
+		return fail("seed", st.Seed, m.cfg.Seed)
+	}
+	if st.SeedCount != m.cfg.SeedCount {
+		return fail("seed_count", st.SeedCount, m.cfg.SeedCount)
+	}
+	if st.Iterations != m.cfg.Iterations {
+		return fail("iterations", st.Iterations, m.cfg.Iterations)
+	}
+	if st.Shards != m.cfg.Shards {
+		return fail("shards", st.Shards, m.cfg.Shards)
+	}
+	if len(st.ShardEpochs) != m.cfg.Shards {
+		return fmt.Errorf("service: state has %d shard frontiers for %d shards", len(st.ShardEpochs), m.cfg.Shards)
+	}
+	return nil
+}
+
+// loadShardCheckpoint reads shard i's checkpoint if one exists and is
+// current (its epoch equals the state frontier — older ones are stale
+// relics of checkpoint/fold races and are deleted). Caller holds m.mu
+// or runs before shards start.
+func (m *Manager) loadShardCheckpoint(i int) *ShardCheckpoint {
+	var cp ShardCheckpoint
+	if err := readJSON(m.checkpointPath(i), &cp); err != nil {
+		if !os.IsNotExist(err) {
+			m.logf("shard %d: unreadable checkpoint ignored: %v", i, err)
+		}
+		return nil
+	}
+	switch {
+	case cp.Version != ShardCheckpointVersion:
+		m.logf("shard %d: checkpoint version %d unsupported, ignored", i, cp.Version)
+	case cp.Shard != i:
+		m.logf("shard %d: checkpoint names shard %d, ignored", i, cp.Shard)
+	case cp.Epoch < m.shardEpochs[i]:
+		// Stale: the epoch already folded. Normal after the fold/drain
+		// race; remove quietly.
+		os.Remove(m.checkpointPath(i))
+	case cp.Epoch > m.shardEpochs[i]:
+		m.logf("shard %d: checkpoint epoch %d ahead of state frontier %d, ignored", i, cp.Epoch, m.shardEpochs[i])
+	case cp.SubmittedUsed > len(m.submitted):
+		m.logf("shard %d: checkpoint pins %d submitted seeds, corpus holds %d; ignored", i, cp.SubmittedUsed, len(m.submitted))
+	case cp.Campaign == nil:
+		m.logf("shard %d: checkpoint has no campaign snapshot, ignored", i)
+	default:
+		return &cp
+	}
+	return nil
+}

@@ -1,0 +1,7 @@
+//go:build !unix
+
+package service
+
+// Advisory data-directory locking needs flock; on platforms without it
+// two daemons sharing a data directory are unguarded.
+func lockDataDir(dir string) (func(), error) { return func() {}, nil }

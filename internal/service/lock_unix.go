@@ -1,0 +1,31 @@
+//go:build unix
+
+package service
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// lockDataDir takes an exclusive advisory lock on dataDir/lock so two
+// daemons can never share a data directory: each would rewrite
+// state.json from its own in-memory view and silently clobber the
+// other's corpus, frontiers and discrepancy log. The flock is released
+// by the kernel when the process exits — kill -9 included — so a
+// crashed daemon never wedges its data directory.
+func lockDataDir(dir string) (func(), error) {
+	f, err := os.OpenFile(filepath.Join(dir, "lock"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("service: data dir %s is locked by another daemon: %w", dir, err)
+	}
+	return func() {
+		syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+		f.Close()
+	}, nil
+}

@@ -1,0 +1,412 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/coverage"
+	"repro/internal/jimple"
+	"repro/internal/seedgen"
+)
+
+// testConfig is a small bounded daemon: 2 shards × 2 epochs.
+func testConfig(t *testing.T, workers int) Config {
+	t.Helper()
+	return Config{
+		DataDir:    t.TempDir(),
+		Shards:     2,
+		Workers:    workers,
+		Algorithm:  campaign.Classfuzz,
+		Criterion:  coverage.STBR,
+		SeedCount:  12,
+		Seed:       5,
+		Iterations: 60,
+		Epochs:     2,
+		QueueCap:   4,
+	}
+}
+
+// runToCompletion starts a manager, waits for the epoch budget and
+// stops it, returning the folded session.
+func runToCompletion(t *testing.T, cfg Config) (*Session, *Manager) {
+	t.Helper()
+	m := New(cfg)
+	if err := m.Start(); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	m.Wait()
+	if err := m.Stop(context.Background()); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	return m.Session(), m
+}
+
+// sessionSummary reduces a session to comparable facts: per fold key,
+// the accepted test names and bytes plus the draw log length.
+type foldSummary struct {
+	TestNames []string
+	TestBytes [][]byte
+	Draws     int
+	GenCount  int
+}
+
+func summarize(s *Session) map[string]foldSummary {
+	out := map[string]foldSummary{}
+	for key, res := range s.Campaigns {
+		var fs foldSummary
+		for _, g := range res.Test {
+			fs.TestNames = append(fs.TestNames, g.Name)
+			fs.TestBytes = append(fs.TestBytes, g.Data)
+		}
+		fs.Draws = len(res.Draws)
+		fs.GenCount = len(res.Gen)
+		out[key] = fs
+	}
+	return out
+}
+
+// discSet reduces the discrepancy log to its deterministic identity
+// (IDs are arrival-ordered and may differ between runs).
+func discSet(ds []Discrepancy) []string {
+	keys := make([]string, 0, len(ds))
+	for _, d := range ds {
+		keys = append(keys, fmt.Sprintf("s%d/e%d/%s/%s", d.Shard, d.Epoch, d.Class, d.Vector))
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// unionSummaries merges per-run fold summaries. An epoch folds in
+// exactly one daemon lifetime (the frontier advances with the fold),
+// so overlapping keys are a protocol violation.
+func unionSummaries(t *testing.T, runs ...map[string]foldSummary) map[string]foldSummary {
+	t.Helper()
+	out := map[string]foldSummary{}
+	for _, run := range runs {
+		for key, fs := range run {
+			if _, dup := out[key]; dup {
+				t.Fatalf("epoch %s folded in two daemon lifetimes", key)
+			}
+			out[key] = fs
+		}
+	}
+	return out
+}
+
+// TestDaemonKillResumeDeterminism is the service-level acceptance
+// test: a daemon stopped mid-flight (graceful drain writes shard
+// checkpoints) and restarted on the same data directory must produce,
+// across both lifetimes, the exact folds an uninterrupted daemon
+// produces — per-epoch accepted suites byte-identical, discrepancy
+// sets equal — at worker counts 1 and 4.
+func TestDaemonKillResumeDeterminism(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			t.Parallel()
+			want, wm := runToCompletion(t, testConfig(t, workers))
+
+			// Interrupted run: start, let some work happen, drain with
+			// checkpoints, then restart the same data directory and run
+			// to completion.
+			cfg := testConfig(t, workers)
+			m1 := New(cfg)
+			if err := m1.Start(); err != nil {
+				t.Fatalf("start: %v", err)
+			}
+			time.Sleep(30 * time.Millisecond)
+			if err := m1.Stop(context.Background()); err != nil {
+				t.Fatalf("drain: %v", err)
+			}
+
+			m2 := New(cfg)
+			if err := m2.Start(); err != nil {
+				t.Fatalf("restart: %v", err)
+			}
+			m2.Wait()
+			if err := m2.Stop(context.Background()); err != nil {
+				t.Fatalf("final stop: %v", err)
+			}
+
+			got := unionSummaries(t, summarize(m1.Session()), summarize(m2.Session()))
+			if !reflect.DeepEqual(got, summarize(want)) {
+				t.Fatal("interrupted+resumed folds diverge from the uninterrupted run")
+			}
+			// The discrepancy log persists in state.json, so the final
+			// daemon's view covers both lifetimes.
+			if !reflect.DeepEqual(discSet(m2.Discrepancies(0)), discSet(wm.Discrepancies(0))) {
+				t.Fatal("resumed daemon discrepancy set diverges from uninterrupted run")
+			}
+			// The restart must resume whatever the drain checkpointed.
+			if w := m1.Session().Telemetry.Snapshot().Counter(MetricCheckpointsWritten); w > 0 {
+				if r := m2.Session().Telemetry.Snapshot().Counter(MetricCheckpointsRestored); r == 0 {
+					t.Fatalf("drain wrote %d checkpoints but restart restored none", w)
+				}
+			}
+		})
+	}
+}
+
+// TestDaemonStaleCheckpointIgnored: checkpoints whose epoch already
+// folded (CheckpointNow raced the fold, or a kill landed between the
+// fold's state write and the checkpoint cleanup) must be ignored on
+// restart, not re-folded — the union across lifetimes still equals
+// the uninterrupted run.
+func TestDaemonStaleCheckpointIgnored(t *testing.T) {
+	want, _ := runToCompletion(t, testConfig(t, 2))
+
+	cfg := testConfig(t, 2)
+	m1 := New(cfg)
+	if err := m1.Start(); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	m1.CheckpointNow() // mid-flight snapshots that will go stale
+	m1.Wait()          // every epoch folds; the snapshots are now relics
+	if err := m1.Stop(context.Background()); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+
+	m2 := New(cfg)
+	if err := m2.Start(); err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	m2.Wait()
+	if err := m2.Stop(context.Background()); err != nil {
+		t.Fatalf("final stop: %v", err)
+	}
+	if n := len(m2.Session().Campaigns); n != 0 {
+		t.Fatalf("restart re-folded %d epochs of a completed daemon", n)
+	}
+	got := unionSummaries(t, summarize(m1.Session()), summarize(m2.Session()))
+	if !reflect.DeepEqual(got, summarize(want)) {
+		t.Fatal("completed run's folds diverge from the uninterrupted run")
+	}
+}
+
+// TestSeedSubmissionAPI drives the corpus API end to end: a valid
+// classfile is adopted and persisted, malformed bytes get 400, a held
+// intake queue overflows into 429, and released seeds drain.
+func TestSeedSubmissionAPI(t *testing.T) {
+	cfg := testConfig(t, 1)
+	cfg.Addr = "127.0.0.1:0"
+	cfg.Epochs = 0 // stay alive until stopped
+	cfg.Iterations = 2000
+	cfg.QueueCap = 2
+	m := New(cfg)
+	gate := make(chan struct{})
+	m.intakeGate = gate
+	if err := m.Start(); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	defer m.Stop(context.Background())
+	base := "http://" + m.Addr()
+
+	// A liftable classfile to submit.
+	seedBytes, err := seedgen.GenerateFiles(seedgen.DefaultOptions(1, 99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	post := func(body []byte) int {
+		resp, err := http.Post(base+"/api/seeds", "application/octet-stream", bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("post: %v", err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	if code := post([]byte("\xca\xfe\xba\xbenope")); code != http.StatusBadRequest {
+		t.Fatalf("malformed submission: got %d, want 400", code)
+	}
+	// With the intake worker gated, cap+1 submissions fill the queue
+	// (the worker may hold one extra in hand) and the next must 429.
+	overflowed := false
+	for i := 0; i < cfg.QueueCap+2; i++ {
+		if post(seedBytes[0]) == http.StatusTooManyRequests {
+			overflowed = true
+			break
+		}
+	}
+	if !overflowed {
+		t.Fatalf("queue of cap %d never answered 429 while intake was held", cfg.QueueCap)
+	}
+	close(gate) // release the intake worker
+
+	deadline := time.After(5 * time.Second)
+	for m.submittedCount() == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("released queue never drained into the corpus")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	if _, err := os.Stat(filepath.Join(m.corpusDir(), "sub00000.class")); err != nil {
+		t.Fatalf("adopted seed not persisted: %v", err)
+	}
+
+	// Status reflects the adoption; discrepancy listing answers.
+	resp, err := http.Get(base + "/api/status")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("status: %v (%v)", err, resp)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	// The API-triggered checkpoint writes shard snapshots (epochs are
+	// long, so both shards are mid-epoch).
+	cresp, err := http.Post(base+"/api/checkpoint", "", nil)
+	if err != nil || cresp.StatusCode != http.StatusOK {
+		t.Fatalf("checkpoint: %v (%v)", err, cresp)
+	}
+	io.Copy(io.Discard, cresp.Body)
+	cresp.Body.Close()
+	if n := m.Session().Telemetry.Snapshot().Counter(MetricCheckpointsWritten); n == 0 {
+		t.Fatal("API checkpoint wrote nothing")
+	}
+
+	// Graceful drain: intake 503s, the listener closes, restart lifts
+	// the adopted seed.
+	if err := m.Stop(context.Background()); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Fatal("listener still answering after Stop")
+	}
+
+	m2 := New(cfg)
+	if err := m2.Start(); err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	defer m2.Stop(context.Background())
+	if got := m2.submittedCount(); got < 1 {
+		t.Fatalf("restart lifted %d submitted seeds, want >= 1", got)
+	}
+	// Resume happens asynchronously in the shard loops; wait for the
+	// restored counter rather than racing it.
+	restoreDeadline := time.After(10 * time.Second)
+	for m2.Session().Telemetry.Snapshot().Counter(MetricCheckpointsRestored) == 0 {
+		select {
+		case <-restoreDeadline:
+			t.Fatal("restart restored no checkpoints despite mid-epoch drain")
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+// TestSubmittedSeedsEnterEpochs pins the corpus-pinning rule: an
+// epoch started after an adoption includes the submitted seed, and the
+// resulting campaigns remain valid folds.
+func TestSubmittedSeedsEnterEpochs(t *testing.T) {
+	cfg := testConfig(t, 1)
+	cfg.Shards = 1
+	cfg.Epochs = 2
+	cfg.Iterations = 40
+
+	// Pre-seed the data dir with one submission by writing through a
+	// live manager's queue before the first epoch can finish.
+	m := New(cfg)
+	if err := m.Start(); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	files, err := seedgen.GenerateFiles(seedgen.DefaultOptions(1, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.queue <- files[0]
+	m.Wait()
+	if err := m.Stop(context.Background()); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+
+	for key, res := range m.Session().Campaigns {
+		if n := len(res.Draws); n != cfg.Iterations {
+			t.Fatalf("%s: %d draws, want %d", key, n, cfg.Iterations)
+		}
+	}
+	if subs := m.submittedCount(); subs != 1 {
+		t.Fatalf("adopted %d seeds, want 1", subs)
+	}
+
+	// A restart on the same data dir lifts the submission, and an
+	// epoch pinning one submitted seed builds its corpus as
+	// base + submitted, in arrival order.
+	m2 := New(cfg)
+	if err := m2.Start(); err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	defer m2.Stop(context.Background())
+	var seeds []*jimple.Class = m2.corpusFor(1)
+	if want := cfg.SeedCount + 1; len(seeds) != want {
+		t.Fatalf("corpusFor(1) = %d seeds, want %d", len(seeds), want)
+	}
+}
+
+// TestStateValidation: a data directory refuses a mismatched config.
+func TestStateValidation(t *testing.T) {
+	cfg := testConfig(t, 1)
+	cfg.Shards = 1
+	cfg.Epochs = 1
+	cfg.Iterations = 20
+	runToCompletion(t, cfg)
+
+	bad := cfg
+	bad.Seed = 6
+	m := New(bad)
+	if err := m.Start(); err == nil {
+		m.Stop(context.Background())
+		t.Fatal("mismatched seed accepted against existing data dir")
+	}
+
+	bad = cfg
+	bad.Iterations = 21
+	m = New(bad)
+	if err := m.Start(); err == nil {
+		m.Stop(context.Background())
+		t.Fatal("mismatched iteration budget accepted against existing data dir")
+	}
+}
+
+// Two daemons must never share a data directory: each rewrites
+// state.json from its own in-memory view and would silently clobber
+// the other's corpus and frontiers. The flock guards it, and kernel
+// release-on-exit means a crashed daemon never wedges the directory.
+func TestDataDirLock(t *testing.T) {
+	cfg := testConfig(t, 1)
+	cfg.Epochs = 0 // run until stopped
+	m1 := New(cfg)
+	if err := m1.Start(); err != nil {
+		t.Fatal(err)
+	}
+	m2 := New(cfg)
+	if err := m2.Start(); err == nil {
+		m2.Stop(context.Background())
+		m1.Stop(context.Background())
+		t.Fatal("second daemon acquired an already-locked data dir")
+	} else if !strings.Contains(err.Error(), "locked") {
+		t.Fatalf("want lock error, got: %v", err)
+	}
+	if err := m1.Stop(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Stop released the lock; the directory is usable again.
+	m3 := New(cfg)
+	if err := m3.Start(); err != nil {
+		t.Fatalf("restart after Stop: %v", err)
+	}
+	if err := m3.Stop(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}

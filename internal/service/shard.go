@@ -1,0 +1,136 @@
+package service
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/campaign"
+	"repro/internal/telemetry"
+)
+
+// shard is one campaign worker slot: it runs epochs of the staged
+// engine back to back, each epoch a full campaign over the corpus as
+// pinned at that epoch's start, under a per-shard-per-epoch derived
+// seed. The manager talks to a running epoch through its Control
+// (snapshot/stop at coordinator boundaries) and reads live counters
+// the shard's observer maintains.
+type shard struct {
+	id int
+	m  *Manager
+
+	mu sync.Mutex
+	// ctrl/reg are non-nil exactly while an epoch's engine is running;
+	// epoch and submittedUsed describe that epoch (epoch advances only
+	// after ctrl is cleared, so a consistent triple is read under mu).
+	ctrl          *campaign.Control
+	reg           *telemetry.Registry
+	epoch         int
+	submittedUsed int
+	state         string
+	resumed       bool
+
+	// Live counters, written from the engine's sequential draw/commit
+	// stages via Event; reset at each epoch start.
+	drawn    atomic.Int64
+	executed atomic.Int64
+	accepted atomic.Int64
+}
+
+// ShardStatus is one shard's row in the status API.
+type ShardStatus struct {
+	ID            int    `json:"id"`
+	State         string `json:"state"`
+	Epoch         int    `json:"epoch"`
+	SubmittedUsed int    `json:"submitted_used"`
+	Resumed       bool   `json:"resumed"`
+	Drawn         int64  `json:"drawn"`
+	Executed      int64  `json:"executed"`
+	Accepted      int64  `json:"accepted"`
+}
+
+// Event implements campaign.Observer: iteration/execution/acceptance
+// tallies for the status API. Events fire from the engine's sequential
+// stages, so no further ordering is needed.
+func (sh *shard) Event(ev campaign.Event) {
+	switch ev.(type) {
+	case campaign.IterationStarted:
+		sh.drawn.Add(1)
+	case campaign.Executed:
+		sh.executed.Add(1)
+	case campaign.Accepted:
+		sh.accepted.Add(1)
+	}
+}
+
+func (sh *shard) setState(s string) {
+	sh.mu.Lock()
+	sh.state = s
+	sh.mu.Unlock()
+}
+
+// beginEpoch installs a running epoch's handles and resets the live
+// counters. Returns false — without installing — when the manager is
+// draining, so no engine starts after Stop began collecting shards.
+func (sh *shard) beginEpoch(epoch, used int, ctrl *campaign.Control, reg *telemetry.Registry, resumed bool) bool {
+	sh.m.drainMu.Lock()
+	defer sh.m.drainMu.Unlock()
+	if sh.m.stopping.Load() {
+		return false
+	}
+	sh.mu.Lock()
+	sh.ctrl, sh.reg = ctrl, reg
+	sh.epoch, sh.submittedUsed = epoch, used
+	sh.state, sh.resumed = "running", resumed
+	sh.drawn.Store(0)
+	sh.executed.Store(0)
+	sh.accepted.Store(0)
+	sh.mu.Unlock()
+	return true
+}
+
+// endEpoch clears the running handles (the epoch's engine returned).
+func (sh *shard) endEpoch() {
+	sh.mu.Lock()
+	sh.ctrl, sh.reg = nil, nil
+	sh.mu.Unlock()
+}
+
+// status snapshots the shard for the API.
+func (sh *shard) status() ShardStatus {
+	sh.mu.Lock()
+	st := ShardStatus{
+		ID:            sh.id,
+		State:         sh.state,
+		Epoch:         sh.epoch,
+		SubmittedUsed: sh.submittedUsed,
+		Resumed:       sh.resumed,
+	}
+	sh.mu.Unlock()
+	st.Drawn = sh.drawn.Load()
+	st.Executed = sh.executed.Load()
+	st.Accepted = sh.accepted.Load()
+	return st
+}
+
+// handles returns the consistent (ctrl, epoch, submittedUsed) triple,
+// or a nil ctrl when no epoch is running.
+func (sh *shard) handles() (*campaign.Control, int, int) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.ctrl, sh.epoch, sh.submittedUsed
+}
+
+// liveReg returns the running epoch's private registry, if any.
+func (sh *shard) liveReg() *telemetry.Registry {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.reg
+}
+
+// advance moves to the next epoch after a fold.
+func (sh *shard) advance() {
+	sh.mu.Lock()
+	sh.epoch++
+	sh.state = "idle"
+	sh.mu.Unlock()
+}

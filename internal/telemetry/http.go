@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"context"
 	"encoding/json"
 	"net"
 	"net/http"
@@ -45,16 +46,36 @@ func LiveSnapshot(regs ...*Registry) func() Snapshot {
 	}
 }
 
+// Server is a live metrics endpoint started by Serve. Addr is the
+// address actually bound — it differs from the requested one when an
+// ephemeral port (":0") was asked for, which is how tests avoid port
+// collisions.
+type Server struct {
+	// Addr is the bound listener address (host:port).
+	Addr string
+	srv  *http.Server
+}
+
 // Serve binds addr (e.g. "localhost:9090" or ":0" for an ephemeral
-// port) and serves Handler(snapshot) in a background goroutine. It
-// returns the server (for Close) and the bound address, which differs
-// from addr when an ephemeral port was requested.
-func Serve(addr string, snapshot func() Snapshot) (*http.Server, string, error) {
+// port) and serves Handler(snapshot) in a background goroutine.
+// Stop it with Shutdown (graceful: in-flight scrapes finish) or Close
+// (immediate).
+func Serve(addr string, snapshot func() Snapshot) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return nil, "", err
+		return nil, err
 	}
 	srv := &http.Server{Handler: Handler(snapshot)}
 	go srv.Serve(ln)
-	return srv, ln.Addr().String(), nil
+	return &Server{Addr: ln.Addr().String(), srv: srv}, nil
 }
+
+// Shutdown gracefully stops the server: the listener closes
+// immediately, in-flight requests run to completion (or until ctx
+// expires, whichever comes first).
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.srv.Shutdown(ctx)
+}
+
+// Close stops the server immediately, dropping in-flight requests.
+func (s *Server) Close() error { return s.srv.Close() }

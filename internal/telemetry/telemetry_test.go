@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -381,11 +382,12 @@ func TestHTTPEndpoint(t *testing.T) {
 	r1, r2 := New(), New()
 	r1.Counter("c").Add(5)
 	r2.Counter("c").Add(7)
-	srv, addr, err := Serve("127.0.0.1:0", LiveSnapshot(r1, nil, r2))
+	srv, err := Serve("127.0.0.1:0", LiveSnapshot(r1, nil, r2))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer srv.Close()
+	addr := srv.Addr
 
 	resp, err := http.Get("http://" + addr + "/healthz")
 	if err != nil {
@@ -414,4 +416,32 @@ func TestHTTPEndpoint(t *testing.T) {
 	if got := s.Counter("c"); got != 13 {
 		t.Fatalf("served counter = %d, want 13 (merged 6+7)", got)
 	}
+}
+
+// TestServeShutdown covers the graceful path: after Shutdown returns,
+// the port is released (a second Serve can bind it) and new requests
+// are refused.
+func TestServeShutdown(t *testing.T) {
+	r := New()
+	srv, err := Serve("127.0.0.1:0", LiveSnapshot(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + srv.Addr + "/healthz"); err != nil {
+		t.Fatalf("pre-shutdown request: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if _, err := http.Get("http://" + srv.Addr + "/healthz"); err == nil {
+		t.Fatal("request succeeded after shutdown")
+	}
+	// The address is free again.
+	srv2, err := Serve(srv.Addr, LiveSnapshot(r))
+	if err != nil {
+		t.Fatalf("rebind after shutdown: %v", err)
+	}
+	srv2.Close()
 }
