@@ -1,9 +1,9 @@
-// Command campaignbench measures campaign-engine throughput at several
-// worker counts and writes the results as JSON (the `make bench`
-// artifact BENCH_campaign.json). The workload is classfuzz[stbr] at the
-// experiments package's default scale; because the engine is
-// deterministic in everything but wall clock, every row of the sweep
-// fuzzes the identical campaign.
+// Command campaignbench measures campaign-engine throughput over a
+// (workers × batch) grid and writes the results as JSON (the
+// `make bench` artifact BENCH_campaign.json). The workload is
+// classfuzz[stbr] at the experiments package's default scale; because
+// the engine is deterministic in everything but wall clock, every cell
+// of the grid fuzzes the identical campaign.
 //
 // Besides wall-clock throughput each row records the allocation cost of
 // one campaign (allocs/op and bytes/op in the testing.B sense, measured
@@ -13,8 +13,8 @@
 // Usage:
 //
 //	campaignbench [-seeds N] [-iters N] [-seed N] [-workers 1,4,8]
-//	              [-repeat N] [-out BENCH_campaign.json]
-//	              [-cpuprofile FILE] [-memprofile FILE]
+//	              [-batch 1,8,32] [-repeat N] [-out BENCH_campaign.json]
+//	              [-cpuprofile FILE] [-memprofile FILE] [-topallocs N]
 package main
 
 import (
@@ -22,8 +22,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -36,13 +38,16 @@ import (
 
 type row struct {
 	Workers      int     `json:"workers"`
+	Batch        int     `json:"batch"`
 	Iterations   int     `json:"iterations"`
 	Tests        int     `json:"tests"`
 	MillisTotal  float64 `json:"millis_total"`
 	ItersPerSec  float64 `json:"iters_per_sec"`
 	MicrosPerGen float64 `json:"micros_per_gen"`
 	MicrosTest   float64 `json:"micros_per_test"`
-	Speedup      float64 `json:"speedup_vs_1"`
+	// Speedup is relative to the grid's first cell (the first -workers
+	// entry at the first -batch entry).
+	Speedup float64 `json:"speedup_vs_1"`
 	// AllocsPerOp / BytesPerOp are the heap allocation count and bytes
 	// of one full campaign (lowest across repeats), matching what
 	// `go test -benchmem` reports per benchmark op.
@@ -60,25 +65,39 @@ type report struct {
 	Rows       []row  `json:"rows"`
 }
 
+// parseList parses a comma-separated list of positive ints.
+func parseList(flagName, s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "bad %s entry %q\n", flagName, part)
+			os.Exit(2)
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
 func main() {
 	seedCount := flag.Int("seeds", 60, "seed corpus size")
 	iters := flag.Int("iters", 400, "campaign iterations")
 	seed := flag.Int64("seed", 1, "random seed")
 	workersList := flag.String("workers", "1,4,8", "comma-separated worker counts to sweep")
-	repeat := flag.Int("repeat", 3, "campaigns per worker count (best time wins)")
+	batchList := flag.String("batch", "1,8,32", "comma-separated dispatch batch sizes to sweep")
+	repeat := flag.Int("repeat", 3, "campaigns per grid cell (best time wins)")
 	out := flag.String("out", "BENCH_campaign.json", "output file")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile (after the sweep) to this file")
+	topAllocs := flag.Int("topallocs", 15, "allocation sites printed with -memprofile")
 	flag.Parse()
 
-	var sweep []int
-	for _, s := range strings.Split(*workersList, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(s))
-		if err != nil || n < 1 {
-			fmt.Fprintf(os.Stderr, "bad -workers entry %q\n", s)
-			os.Exit(2)
-		}
-		sweep = append(sweep, n)
+	workers := parseList("-workers", *workersList)
+	batches := parseList("-batch", *batchList)
+	if *memprofile != "" {
+		// Sample every allocation so the site report is a census, not an
+		// extrapolation. Set before the workload touches the heap.
+		runtime.MemProfileRate = 1
 	}
 
 	if *cpuprofile != "" {
@@ -106,66 +125,70 @@ func main() {
 	}
 
 	var base float64
-	for _, w := range sweep {
-		cfg := campaign.Config{
-			Algorithm:       campaign.Classfuzz,
-			Criterion:       coverage.STBR,
-			Seeds:           seeds,
-			Iterations:      *iters,
-			Rand:            *seed,
-			RefSpec:         jvm.HotSpot9(),
-			StaticPrefilter: true,
-			Workers:         w,
-		}
-		best := time.Duration(0)
-		var bestAllocs, bestBytes uint64
-		var last *campaign.Result
-		for r := 0; r < *repeat; r++ {
-			var before, after runtime.MemStats
-			runtime.ReadMemStats(&before)
-			start := time.Now()
-			res, err := campaign.Run(cfg)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "campaign (workers=%d): %v\n", w, err)
-				os.Exit(1)
+	for _, w := range workers {
+		for _, b := range batches {
+			cfg := campaign.Config{
+				Algorithm:       campaign.Classfuzz,
+				Criterion:       coverage.STBR,
+				Seeds:           seeds,
+				Iterations:      *iters,
+				Rand:            *seed,
+				RefSpec:         jvm.HotSpot9(),
+				StaticPrefilter: true,
+				Workers:         w,
+				Batch:           b,
 			}
-			el := time.Since(start)
-			runtime.ReadMemStats(&after)
-			allocs := after.Mallocs - before.Mallocs
-			bytes := after.TotalAlloc - before.TotalAlloc
-			if best == 0 || el < best {
-				best = el
+			best := time.Duration(0)
+			var bestAllocs, bestBytes uint64
+			var last *campaign.Result
+			for r := 0; r < *repeat; r++ {
+				var before, after runtime.MemStats
+				runtime.ReadMemStats(&before)
+				start := time.Now()
+				res, err := campaign.Run(cfg)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "campaign (workers=%d batch=%d): %v\n", w, b, err)
+					os.Exit(1)
+				}
+				el := time.Since(start)
+				runtime.ReadMemStats(&after)
+				allocs := after.Mallocs - before.Mallocs
+				bytes := after.TotalAlloc - before.TotalAlloc
+				if best == 0 || el < best {
+					best = el
+				}
+				if bestAllocs == 0 || allocs < bestAllocs {
+					bestAllocs = allocs
+					bestBytes = bytes
+				}
+				last = res
 			}
-			if bestAllocs == 0 || allocs < bestAllocs {
-				bestAllocs = allocs
-				bestBytes = bytes
+			r := row{
+				Workers:     w,
+				Batch:       b,
+				Iterations:  *iters,
+				Tests:       len(last.Test),
+				MillisTotal: float64(best.Microseconds()) / 1000,
+				ItersPerSec: float64(*iters) / best.Seconds(),
+				AllocsPerOp: bestAllocs,
+				BytesPerOp:  bestBytes,
 			}
-			last = res
+			if n := len(last.Gen); n > 0 {
+				r.MicrosPerGen = best.Seconds() / float64(n) * 1e6
+			}
+			if n := len(last.Test); n > 0 {
+				r.MicrosTest = best.Seconds() / float64(n) * 1e6
+			}
+			if base == 0 {
+				base = r.ItersPerSec
+			}
+			if base > 0 {
+				r.Speedup = r.ItersPerSec / base
+			}
+			rep.Rows = append(rep.Rows, r)
+			fmt.Fprintf(os.Stderr, "workers=%d batch=%d: %s, %.0f iters/sec, %d tests (%.2fx), %d allocs/op, %d B/op\n",
+				w, b, best.Round(time.Millisecond), r.ItersPerSec, r.Tests, r.Speedup, r.AllocsPerOp, r.BytesPerOp)
 		}
-		r := row{
-			Workers:     w,
-			Iterations:  *iters,
-			Tests:       len(last.Test),
-			MillisTotal: float64(best.Microseconds()) / 1000,
-			ItersPerSec: float64(*iters) / best.Seconds(),
-			AllocsPerOp: bestAllocs,
-			BytesPerOp:  bestBytes,
-		}
-		if n := len(last.Gen); n > 0 {
-			r.MicrosPerGen = best.Seconds() / float64(n) * 1e6
-		}
-		if n := len(last.Test); n > 0 {
-			r.MicrosTest = best.Seconds() / float64(n) * 1e6
-		}
-		if w == sweep[0] {
-			base = r.ItersPerSec
-		}
-		if base > 0 {
-			r.Speedup = r.ItersPerSec / base
-		}
-		rep.Rows = append(rep.Rows, r)
-		fmt.Fprintf(os.Stderr, "workers=%d: %s, %.0f iters/sec, %d tests (%.2fx), %d allocs/op, %d B/op\n",
-			w, best.Round(time.Millisecond), r.ItersPerSec, r.Tests, r.Speedup, r.AllocsPerOp, r.BytesPerOp)
 	}
 
 	if *memprofile != "" {
@@ -180,6 +203,7 @@ func main() {
 			os.Exit(1)
 		}
 		f.Close()
+		reportAllocSites(*topAllocs)
 	}
 
 	blob, err := json.MarshalIndent(rep, "", "  ")
@@ -193,4 +217,77 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s\n", *out)
+}
+
+// allocSite aggregates profile records by their innermost frame.
+type allocSite struct {
+	where   string
+	objects int64
+	bytes   int64
+}
+
+// reportAllocSites prints the top-n allocation sites by allocated
+// object count, straight from runtime.MemProfile — no external pprof
+// invocation. Records (one per unique stack) are folded by innermost
+// frame, so a function allocating from many callers appears once.
+func reportAllocSites(n int) {
+	var recs []runtime.MemProfileRecord
+	size, ok := runtime.MemProfile(nil, true)
+	for !ok {
+		recs = make([]runtime.MemProfileRecord, size+64)
+		size, ok = runtime.MemProfile(recs, true)
+	}
+	recs = recs[:size]
+
+	sites := map[string]*allocSite{}
+	for i := range recs {
+		stk := recs[i].Stack()
+		if len(stk) == 0 {
+			continue
+		}
+		frames := runtime.CallersFrames(stk)
+		fr, _ := frames.Next()
+		name := fr.Function
+		if name == "" {
+			if fn := runtime.FuncForPC(stk[0]); fn != nil {
+				name = fn.Name()
+			} else {
+				name = fmt.Sprintf("pc=%#x", stk[0])
+			}
+		}
+		where := fmt.Sprintf("%s (%s:%d)", name, filepath.Base(fr.File), fr.Line)
+		s := sites[where]
+		if s == nil {
+			s = &allocSite{where: where}
+			sites[where] = s
+		}
+		s.objects += recs[i].AllocObjects
+		s.bytes += recs[i].AllocBytes
+	}
+
+	ranked := make([]*allocSite, 0, len(sites))
+	for _, s := range sites {
+		ranked = append(ranked, s)
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].objects != ranked[j].objects {
+			return ranked[i].objects > ranked[j].objects
+		}
+		return ranked[i].where < ranked[j].where
+	})
+	if n > len(ranked) {
+		n = len(ranked)
+	}
+	var total int64
+	for _, s := range ranked {
+		total += s.objects
+	}
+	fmt.Fprintf(os.Stderr, "top %d allocation sites (of %d, %d objects total):\n", n, len(ranked), total)
+	for _, s := range ranked[:n] {
+		pct := 0.0
+		if total > 0 {
+			pct = float64(s.objects) * 100 / float64(total)
+		}
+		fmt.Fprintf(os.Stderr, "  %12d objects %5.1f%% %12d B  %s\n", s.objects, pct, s.bytes, s.where)
+	}
 }

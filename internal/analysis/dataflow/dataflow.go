@@ -23,6 +23,7 @@ package dataflow
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/bytecode"
 	"repro/internal/classfile"
@@ -123,12 +124,15 @@ type state struct {
 	locals []slot
 }
 
-func (f *state) clone() *state {
-	return &state{
-		stack:  append([]slot(nil), f.stack...),
-		locals: append([]slot(nil), f.locals...),
-	}
-}
+// statePool recycles states across VerifyMethod calls (there is no
+// long-lived checker object to hang a free list on — VerifyMethod is a
+// stateless package API — so a sync.Pool carries the slice capacity
+// between runs instead). States go back to the pool at the end of each
+// run; nothing a run returns retains one.
+var statePool = sync.Pool{New: func() any { return &state{} }}
+
+func getState() *state  { return statePool.Get().(*state) }
+func putState(f *state) { statePool.Put(f) }
 
 // copyFrom overwrites f with src's state, reusing f's slice capacity.
 func (f *state) copyFrom(src *state) *state {
@@ -291,12 +295,21 @@ func (c *checker) run() *jvm.Outcome {
 		}
 	}
 
-	// Initial state.
-	init := &state{locals: make([]slot, c.code.MaxLocals)}
+	// Initial state (pooled; mergeInto copies it, so it goes straight
+	// back to the pool afterwards).
+	init := getState()
+	init.stack = init.stack[:0]
+	if cap(init.locals) < int(c.code.MaxLocals) {
+		init.locals = make([]slot, c.code.MaxLocals)
+	} else {
+		init.locals = init.locals[:c.code.MaxLocals]
+		clear(init.locals)
+	}
 	at := 0
 	isStatic := c.m.AccessFlags.Has(classfile.AccStatic)
 	if !isStatic {
 		if at >= len(init.locals) {
+			putState(init)
 			return c.outcome(jvm.ErrVerify, "max_locals too small for receiver")
 		}
 		if mname == "<init>" {
@@ -309,6 +322,7 @@ func (c *checker) run() *jvm.Outcome {
 	for _, pt := range md.Params {
 		t := slotOfDesc(pt)
 		if at+t.slots() > len(init.locals) {
+			putState(init)
 			return c.outcome(jvm.ErrVerify,
 				"max_locals %d too small for parameters of %s%s", c.code.MaxLocals, mname, mdesc)
 		}
@@ -322,11 +336,17 @@ func (c *checker) run() *jvm.Outcome {
 
 	c.in = make([]*state, len(ins))
 	c.mergeInto(0, init)
+	putState(init)
 
 	for len(c.work) > 0 && !c.failed() {
 		idx := c.work[len(c.work)-1]
 		c.work = c.work[:len(c.work)-1]
 		c.step(idx)
+	}
+	for _, f := range c.in {
+		if f != nil {
+			putState(f)
+		}
 	}
 	if c.failed() {
 		return c.outcome(c.errName, "method %s%s: %s", mname, mdesc, c.errMsg)
@@ -355,7 +375,7 @@ func (c *checker) mergeInto(idx int, f *state) {
 	}
 	cur := c.in[idx]
 	if cur == nil {
-		c.in[idx] = f.clone()
+		c.in[idx] = getState().copyFrom(f)
 		c.work = append(c.work, idx)
 		return
 	}
@@ -1064,8 +1084,11 @@ func (c *checker) step(idx int) {
 					cname = n
 				}
 			}
-			hf := &state{locals: append([]slot(nil), fr.locals...), stack: []slot{refOf(cname)}}
+			hf := getState()
+			hf.locals = append(hf.locals[:0], fr.locals...)
+			hf.stack = append(hf.stack[:0], refOf(cname))
 			c.mergeInto(hidx, hf)
+			putState(hf)
 		}
 	}
 }

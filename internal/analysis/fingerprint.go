@@ -252,7 +252,7 @@ func utf8Bits(s string) byte {
 	if strings.HasPrefix(s, "[") {
 		b |= 8
 	}
-	if md, err := descriptor.ParseMethod(s); err == nil && md.Return.IsVoid() {
+	if descriptor.ValidMethodReturnsVoid(s) {
 		b |= 16
 	}
 	return b

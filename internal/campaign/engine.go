@@ -2,6 +2,7 @@ package campaign
 
 import (
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -12,6 +13,7 @@ import (
 	"repro/internal/jvm"
 	"repro/internal/mcmc"
 	"repro/internal/mutation"
+	"repro/internal/prng"
 	"repro/internal/telemetry"
 )
 
@@ -23,9 +25,11 @@ type poolEntry struct {
 }
 
 // task carries one iteration through the pipeline. The draw stage fills
-// the input fields on the coordinator; a worker fills the output fields
-// and closes done; the commit stage reads them back on the coordinator
-// (the channel close orders the accesses).
+// the input fields on the coordinator; a worker fills the output fields;
+// the commit stage reads them back on the coordinator (the close of the
+// enclosing block's done channel orders the accesses). Tasks live
+// embedded by value inside their block, so a dispatch allocates one
+// block instead of K tasks plus K channels.
 type task struct {
 	iter   int
 	parent *jimple.Class
@@ -45,7 +49,41 @@ type task struct {
 	cacheHit      bool   // trace served from the prefilter cache
 	fp            uint64 // trace-cache key of the band that doomed it
 
-	done chan struct{}
+	// dataRetained is set at commit when t.data escaped into the result
+	// (accepted bytes, or KeepClasses/KeepGenBytes); only unretained
+	// buffers return to the block's recycling pool.
+	dataRetained bool
+}
+
+// block is one dispatch unit: up to Config.Batch tasks embedded by
+// value, a single completion channel, and a pool of class-byte buffers
+// the serialiser reuses. Ownership alternates strictly — coordinator
+// while drawing, one worker between the channel send and close(done),
+// coordinator again after commit — so no field needs a lock. Blocks
+// are recycled through a coordinator-owned free list; the tasks slice
+// is never regrown past its original capacity, so *task pointers in
+// the commit ring stay valid.
+type block struct {
+	tasks []task
+	done  chan struct{}
+	bufs  [][]byte
+}
+
+// takeBuf pops a recycled class-byte buffer (length 0, capacity from a
+// previous serialisation) or hands out a fresh one.
+func (b *block) takeBuf() []byte {
+	if n := len(b.bufs); n > 0 {
+		buf := b.bufs[n-1]
+		b.bufs = b.bufs[:n-1]
+		return buf[:0]
+	}
+	return make([]byte, 0, 1024)
+}
+
+// taskRef locates one task inside its block for the commit ring.
+type taskRef struct {
+	b   *block
+	idx int
 }
 
 // engineTel holds the engine's interned telemetry handles. The count
@@ -158,7 +196,17 @@ type engine struct {
 	timing bool // external registry attached: stage + VM timing on
 
 	lookahead int
+	batch     int
 	res       *Result
+
+	// drawR is the coordinator's reused draw-stream generator: reseeded
+	// per iteration (prng.Reseed), byte-for-byte equivalent to a fresh
+	// drawRNG but without reallocating the ~5KB rand source each draw.
+	drawR *rand.Rand
+	// freeBlocks recycles dispatch blocks (and their task storage and
+	// byte buffers) on the coordinator once every task in a block has
+	// committed.
+	freeBlocks []*block
 
 	// Checkpoint/resume state. drawn and committed advance only on the
 	// coordinator; mergedCov is the word-OR of the seed traces and every
@@ -187,6 +235,7 @@ func newEngine(cfg Config) *engine {
 		muts:             mutation.Registry(),
 		coverageDirected: cfg.Algorithm != Randfuzz,
 		lookahead:        cfg.lookahead(),
+		batch:            cfg.batch(),
 		timing:           cfg.Telemetry != nil,
 		ctrl:             cfg.Control,
 	}
@@ -285,6 +334,7 @@ func (e *engine) run() (*Result, error) {
 			Draws:      make([]DrawRecord, 0, cfg.Iterations),
 			Workers:    cfg.workers(),
 			Lookahead:  e.lookahead,
+			Batch:      e.batch,
 		}
 	}
 	e.tel.poolSize.Set(int64(len(e.pool)))
@@ -296,6 +346,18 @@ func (e *engine) run() (*Result, error) {
 	// how the worker pool schedules the stages in between. At most D
 	// tasks are in flight, hence the ring and the channel bound.
 	//
+	// Dispatch is batched: drawn tasks accumulate in a block of up to K
+	// (= Config.Batch, clamped to K ≤ D) and the block is handed to one
+	// worker, which runs mutate/filter/execute for every task against
+	// its long-lived scratch and closes the block's done channel. Only
+	// the dispatch granularity changes — each iteration is still drawn
+	// and committed individually, in the interleaving above, so results
+	// are bit-identical at any (workers, batch). The first commit that
+	// waits on a block can never precede its dispatch: commit(i−D)
+	// waits on the block holding task i−D, whose last task is at most
+	// iteration i−D+K−1 ≤ i−1, so the block was filled — and therefore
+	// sent — before iteration i began.
+	//
 	// A resumed engine enters the same loop at base = startIter (the
 	// snapshot's commit frontier): the in-flight window re-enters the
 	// pipeline from its recorded draw records (redraw — the selector
@@ -306,53 +368,73 @@ func (e *engine) run() (*Result, error) {
 	D := e.lookahead
 	N := cfg.Iterations
 	base := e.startIter
-	tasks := make(chan *task, D)
-	ring := make([]*task, D)
+	blocks := make(chan *block, D)
+	ring := make([]taskRef, D)
 
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.workers(); w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			// Per-worker VM + recorder: the reference VM is stateless
-			// across runs, so one instance serves the worker's stream of
-			// mutants without sharing anything with its peers.
-			vm := jvm.New(cfg.RefSpec)
-			rec := coverage.NewRecorder(jvm.ProbeRegistry())
-			vm.SetRecorder(rec)
-			for t := range tasks {
-				e.process(t, vm, rec)
-				close(t.done)
+			// Per-worker arenas: the reference VM and recorder are
+			// stateless across runs; the lowering context and mutation
+			// RNG are reset per task. One set serves the worker's whole
+			// stream of blocks without sharing anything with its peers.
+			ws := &workerScratch{
+				vm:   jvm.New(cfg.RefSpec),
+				rec:  coverage.NewRecorder(jvm.ProbeRegistry()),
+				lctx: jimple.NewLowerCtx(),
+			}
+			ws.vm.SetRecorder(ws.rec)
+			for b := range blocks {
+				for j := range b.tasks {
+					e.process(&b.tasks[j], ws, b)
+				}
+				close(b.done)
 			}
 		}()
 	}
 
+	var cur *block
 	for i := base; i < N; i++ {
 		if e.serviceControl(i) {
 			e.stopped = true
 			break
 		}
 		if i-D >= base {
-			e.commit(ring[(i-D)%D])
+			e.commitRef(ring[(i-D)%D])
 		}
-		var t *task
+		if cur == nil {
+			cur = e.getBlock()
+		}
+		cur.tasks = cur.tasks[:len(cur.tasks)+1]
+		t := &cur.tasks[len(cur.tasks)-1]
 		if j := i - base; j < len(e.resumeDraws) {
-			t = e.redraw(e.resumeDraws[j])
+			e.redraw(e.resumeDraws[j], t)
 		} else {
-			t = e.draw(i)
+			e.draw(i, t)
 		}
-		ring[i%D] = t
-		tasks <- t
+		ring[i%D] = taskRef{b: cur, idx: len(cur.tasks) - 1}
+		if len(cur.tasks) == e.batch {
+			blocks <- cur
+			cur = nil
+		}
 	}
-	close(tasks)
-	// Drain the in-flight window (all of it, after a stop).
+	// Flush the partial block a stop (or a budget not divisible by K)
+	// left behind, then drain the in-flight window (all of it, after a
+	// stop).
+	if cur != nil && len(cur.tasks) > 0 {
+		blocks <- cur
+		cur = nil
+	}
+	close(blocks)
 	end := e.drawn
 	tail := end - D
 	if tail < base {
 		tail = base
 	}
 	for i := tail; i < end; i++ {
-		e.commit(ring[i%D])
+		e.commitRef(ring[i%D])
 	}
 	wg.Wait()
 
@@ -368,12 +450,49 @@ func (e *engine) run() (*Result, error) {
 	return e.res, nil
 }
 
+// getBlock pops a recycled dispatch block or allocates a fresh one.
+// Coordinator-goroutine only. The tasks slice always has capacity
+// e.batch and is filled in place, never regrown, so pointers into it
+// stay valid for the block's whole flight.
+func (e *engine) getBlock() *block {
+	if n := len(e.freeBlocks); n > 0 {
+		b := e.freeBlocks[n-1]
+		e.freeBlocks = e.freeBlocks[:n-1]
+		b.done = make(chan struct{})
+		return b
+	}
+	return &block{tasks: make([]task, 0, e.batch), done: make(chan struct{})}
+}
+
+// recycle returns a fully committed block to the free list, reclaiming
+// the class-byte buffers of tasks whose bytes did not escape into the
+// result and dropping every object reference so a parked block pins
+// nothing. Coordinator-goroutine only, after the block's last commit.
+func (e *engine) recycle(b *block) {
+	for j := range b.tasks {
+		t := &b.tasks[j]
+		if t.data != nil && !t.dataRetained {
+			b.bufs = append(b.bufs, t.data[:0])
+		}
+		t.parent, t.mutant, t.trace, t.data = nil, nil, nil, nil
+	}
+	b.tasks = b.tasks[:0]
+	b.done = nil
+	e.freeBlocks = append(e.freeBlocks, b)
+}
+
 // draw runs the sequential draw stage for iteration i: pick a seed from
 // the pool, propose a mutator, log the DrawRecord. State read here
-// (pool, selector chain) was last written by commit(i−D).
-func (e *engine) draw(i int) *task {
+// (pool, selector chain) was last written by commit(i−D). The task is
+// filled in place inside its dispatch block.
+func (e *engine) draw(i int, t *task) {
 	sp := telemetry.StartSpan(e.tel.draw)
-	rng := drawRNG(e.cfg.Rand, i)
+	if e.drawR == nil {
+		e.drawR = drawRNG(e.cfg.Rand, i)
+	} else {
+		prng.Reseed(e.drawR, e.cfg.Rand, drawStream, uint64(i))
+	}
+	rng := e.drawR
 	idx := rng.Intn(len(e.pool))
 	pe := e.pool[idx]
 	muID := e.selector.Next(rng)
@@ -381,30 +500,58 @@ func (e *engine) draw(i int) *task {
 	e.res.Draws = append(e.res.Draws, rec)
 	e.drawn++
 	e.tel.iterations.Inc()
-	e.obs.emit(IterationStarted{Iter: i, PoolIndex: idx, MutatorID: muID})
+	if e.obs.o != nil {
+		e.obs.emit(IterationStarted{Iter: i, PoolIndex: idx, MutatorID: muID})
+	}
 	sp.End()
-	return &task{iter: i, parent: pe.class, rec: rec, done: make(chan struct{})}
+	*t = task{iter: i, parent: pe.class, rec: rec}
 }
 
 // redraw re-enters a recorded in-flight iteration into the pipeline
 // after a resume. Unlike draw it consults neither the RNG nor the
 // selector — the restore already replayed this iteration's proposal
 // into the chain — it only re-materialises the task from the record.
-func (e *engine) redraw(rec DrawRecord) *task {
+func (e *engine) redraw(rec DrawRecord, t *task) {
 	fresh := DrawRecord{Iter: rec.Iter, PoolIndex: rec.PoolIndex, Parent: rec.Parent, MutatorID: rec.MutatorID}
 	e.res.Draws = append(e.res.Draws, fresh)
 	e.drawn++
 	e.tel.iterations.Inc()
-	e.obs.emit(IterationStarted{Iter: rec.Iter, PoolIndex: rec.PoolIndex, MutatorID: rec.MutatorID})
-	return &task{iter: rec.Iter, parent: e.pool[rec.PoolIndex].class, rec: fresh, done: make(chan struct{})}
+	if e.obs.o != nil {
+		e.obs.emit(IterationStarted{Iter: rec.Iter, PoolIndex: rec.PoolIndex, MutatorID: rec.MutatorID})
+	}
+	*t = task{iter: rec.Iter, parent: e.pool[rec.PoolIndex].class, rec: fresh}
+}
+
+// workerScratch is one worker's long-lived arenas: the instrumented
+// reference VM and its recorder, the reusable lowering context, and
+// the per-task mutation RNG (reseeded, never reallocated). All of it
+// is confined to the owning worker goroutine.
+type workerScratch struct {
+	vm   *jvm.VM
+	rec  *coverage.Recorder
+	rng  *rand.Rand
+	lctx *jimple.LowerCtx
+}
+
+// mutateRNG returns iteration iter's mutation stream on the worker's
+// reused generator — the same stream DeriveRNG builds fresh.
+func (ws *workerScratch) mutateRNG(campaignSeed int64, iter int) *rand.Rand {
+	if ws.rng == nil {
+		ws.rng = DeriveRNG(campaignSeed, iter)
+	} else {
+		prng.Reseed(ws.rng, campaignSeed, mutateStream, uint64(iter))
+	}
+	return ws.rng
 }
 
 // process runs the mutate/filter/execute stages for one task on a
 // worker. It touches no engine state except the (versioned, locked)
-// prefilter cache; everything else flows through the task.
-func (e *engine) process(t *task, vm *jvm.VM, rec *coverage.Recorder) {
+// prefilter cache; everything else flows through the task, the
+// worker's scratch, and the enclosing block's buffer pool.
+func (e *engine) process(t *task, ws *workerScratch, b *block) {
+	vm, rec := ws.vm, ws.rec
 	spMutate := telemetry.StartSpan(e.tel.mutate)
-	rng := DeriveRNG(e.cfg.Rand, t.iter)
+	rng := ws.mutateRNG(e.cfg.Rand, t.iter)
 	mutant := t.parent.Clone()
 	if !e.muts[t.rec.MutatorID].Apply(mutant, rng) {
 		// Soot-style failure: no classfile generated this iteration.
@@ -415,7 +562,15 @@ func (e *engine) process(t *task, vm *jvm.VM, rec *coverage.Recorder) {
 	finishMutant(mutant, t.iter)
 	t.mutant = mutant
 
-	data, err := lower(mutant)
+	// Lower through the worker's reused context and serialise into a
+	// buffer recycled from the block's pool (bytes identical to a fresh
+	// lower() — only where the scratch lives differs).
+	f, err := ws.lctx.Lower(mutant)
+	if err != nil {
+		spMutate.End()
+		return
+	}
+	data, err := f.AppendBytes(b.takeBuf())
 	spMutate.End()
 	if err != nil {
 		return
@@ -480,22 +635,37 @@ func (e *engine) process(t *task, vm *jvm.VM, rec *coverage.Recorder) {
 	spExec.End()
 }
 
+// commitRef waits for the task's block to finish processing, commits
+// the task, and recycles the block after its last task commits. The
+// wait is per block, not per task; tasks inside a block still commit
+// one at a time, in iteration order.
+func (e *engine) commitRef(ref taskRef) {
+	<-ref.b.done
+	e.commit(&ref.b.tasks[ref.idx])
+	if ref.idx == len(ref.b.tasks)-1 {
+		e.recycle(ref.b)
+	}
+}
+
 // commit runs the sequential commit stage for one task, in iteration
 // order: prefilter bookkeeping, the acceptance decision against the
 // suite, pool recycling and selector feedback.
 func (e *engine) commit(t *task) {
-	<-t.done
 	sp := telemetry.StartSpan(e.tel.commit)
 	defer sp.End()
 	defer e.tel.committed.Inc()
 	e.committed++
 
 	generated := t.applied && t.lowered
-	e.obs.emit(Mutated{Iter: t.iter, MutatorID: t.rec.MutatorID, Applied: generated})
+	if e.obs.o != nil {
+		e.obs.emit(Mutated{Iter: t.iter, MutatorID: t.rec.MutatorID, Applied: generated})
+	}
 	if !generated {
 		e.tel.failures.Inc()
 		e.selector.Record(t.rec.MutatorID, false)
-		e.obs.emit(SelectorUpdated{Iter: t.iter, MutatorID: t.rec.MutatorID, Success: false})
+		if e.obs.o != nil {
+			e.obs.emit(SelectorUpdated{Iter: t.iter, MutatorID: t.rec.MutatorID, Success: false})
+		}
 		return
 	}
 	e.res.Draws[t.iter].Generated = true
@@ -519,7 +689,9 @@ func (e *engine) commit(t *task) {
 			}
 			if t.cacheHit {
 				e.tel.pfSkipped.Inc()
-				e.obs.emit(PrefilterHit{Iter: t.iter})
+				if e.obs.o != nil {
+					e.obs.emit(PrefilterHit{Iter: t.iter})
+				}
 			} else {
 				e.tel.pfExecuted.Inc()
 				e.pf.insert(t.fp, t.trace, t.iter)
@@ -530,7 +702,9 @@ func (e *engine) commit(t *task) {
 		if !t.cacheHit {
 			e.tel.executions.Inc()
 		}
-		e.obs.emit(Executed{Iter: t.iter, Skipped: t.cacheHit})
+		if e.obs.o != nil {
+			e.obs.emit(Executed{Iter: t.iter, Skipped: t.cacheHit})
+		}
 	}
 
 	gc := &GenClass{Iter: t.iter, Name: t.mutant.Name, MutatorID: t.rec.MutatorID}
@@ -563,6 +737,7 @@ func (e *engine) commit(t *task) {
 	if accepted {
 		gc.Accepted = true
 		gc.Data = t.data
+		t.dataRetained = true
 		e.res.Test = append(e.res.Test, gc)
 		if e.coverageDirected {
 			e.mergedCov = coverage.Merge(e.mergedCov, t.trace)
@@ -572,11 +747,14 @@ func (e *engine) commit(t *task) {
 			e.tel.poolSize.Set(int64(len(e.pool)))
 		}
 		e.tel.accepts.Inc()
-		e.obs.emit(Accepted{Iter: t.iter, Name: gc.Name, Stats: gc.Stats})
+		if e.obs.o != nil {
+			e.obs.emit(Accepted{Iter: t.iter, Name: gc.Name, Stats: gc.Stats})
+		}
 	} else if e.cfg.KeepClasses || e.cfg.KeepGenBytes {
 		// Unaccepted mutants keep their bytes only on request: dropping
 		// them is what bounds campaign RSS at paper scale.
 		gc.Data = t.data
+		t.dataRetained = true
 	}
 	ge := GenEntry{Iter: t.iter, Stmts: gc.Stats.Stmts, Branches: gc.Stats.Branches, Accepted: accepted}
 	if accepted {
@@ -584,7 +762,9 @@ func (e *engine) commit(t *task) {
 	}
 	e.genLog = append(e.genLog, ge)
 	e.selector.Record(t.rec.MutatorID, accepted)
-	e.obs.emit(SelectorUpdated{Iter: t.iter, MutatorID: t.rec.MutatorID, Success: accepted})
+	if e.obs.o != nil {
+		e.obs.emit(SelectorUpdated{Iter: t.iter, MutatorID: t.rec.MutatorID, Success: accepted})
+	}
 }
 
 // finalize derives the summary statistics.

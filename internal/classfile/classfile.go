@@ -31,6 +31,28 @@ type File struct {
 	Fields     []*Member
 	Methods    []*Member
 	Attributes []Attribute
+
+	// memberArena chunk-allocates Members built through the
+	// AddField/AddMethod/Clone/parse paths (one heap object per chunk
+	// instead of per member — member tables dominate the builder's
+	// allocation profile). Chunks are replaced when full, never
+	// regrown, so handed-out pointers stay valid for the life of the
+	// file.
+	memberArena []Member
+}
+
+// allocMember places m in the file's arena and returns a stable pointer.
+func (f *File) allocMember(m Member) *Member {
+	if len(f.memberArena) == cap(f.memberArena) {
+		// Small first chunk, bigger follow-ups for member-heavy classes.
+		n := 16
+		if cap(f.memberArena) >= 16 {
+			n = 64
+		}
+		f.memberArena = make([]Member, 0, n)
+	}
+	f.memberArena = append(f.memberArena, m)
+	return &f.memberArena[len(f.memberArena)-1]
 }
 
 // Member is a field_info or method_info structure.
@@ -171,22 +193,22 @@ func (f *File) AddInterface(internalName string) {
 
 // AddField appends a new field and returns it.
 func (f *File) AddField(flags Flags, name, desc string) *Member {
-	m := &Member{
+	m := f.allocMember(Member{
 		AccessFlags: flags,
 		NameIndex:   f.Pool.AddUtf8(name),
 		DescIndex:   f.Pool.AddUtf8(desc),
-	}
+	})
 	f.Fields = append(f.Fields, m)
 	return m
 }
 
 // AddMethod appends a new method (without a Code attribute) and returns it.
 func (f *File) AddMethod(flags Flags, name, desc string) *Member {
-	m := &Member{
+	m := f.allocMember(Member{
 		AccessFlags: flags,
 		NameIndex:   f.Pool.AddUtf8(name),
 		DescIndex:   f.Pool.AddUtf8(desc),
-	}
+	})
 	f.Methods = append(f.Methods, m)
 	return m
 }
@@ -203,21 +225,21 @@ func (f *File) Clone() *File {
 		SuperClass:  f.SuperClass,
 		Interfaces:  append([]uint16(nil), f.Interfaces...),
 	}
-	out.Fields = cloneMembers(f.Fields)
-	out.Methods = cloneMembers(f.Methods)
+	out.Fields = out.cloneMembers(f.Fields)
+	out.Methods = out.cloneMembers(f.Methods)
 	out.Attributes = cloneAttrs(f.Attributes)
 	return out
 }
 
-func cloneMembers(ms []*Member) []*Member {
+func (f *File) cloneMembers(ms []*Member) []*Member {
 	out := make([]*Member, len(ms))
 	for i, m := range ms {
-		out[i] = &Member{
+		out[i] = f.allocMember(Member{
 			AccessFlags: m.AccessFlags,
 			NameIndex:   m.NameIndex,
 			DescIndex:   m.DescIndex,
 			Attributes:  cloneAttrs(m.Attributes),
-		}
+		})
 	}
 	return out
 }

@@ -59,6 +59,9 @@ func (r *reader) u4() uint32 {
 	return v
 }
 
+// bytes returns the next n bytes as a subslice of the input — no copy.
+// Retained outputs (CodeAttr.Code, RawAttr.Data, ...) therefore alias
+// the buffer handed to Parse; see Parse's aliasing contract.
 func (r *reader) bytes(n int) []byte {
 	if r.err != nil {
 		return nil
@@ -67,9 +70,9 @@ func (r *reader) bytes(n int) []byte {
 		r.fail("unexpected end of file reading %d bytes", n)
 		return nil
 	}
-	v := r.data[r.pos : r.pos+n]
+	v := r.data[r.pos : r.pos+n : r.pos+n]
 	r.pos += n
-	return append([]byte(nil), v...)
+	return v
 }
 
 // Parse decodes a classfile from raw bytes. It enforces structural
@@ -77,6 +80,12 @@ func (r *reader) bytes(n int) []byte {
 // not semantic constraints — invalid flag combinations, dangling
 // indices inside attributes, and illegal bytecode all parse fine;
 // judging them is the JVM simulators' job.
+//
+// The returned File aliases data: byte-slice fields (CodeAttr.Code,
+// RawAttr.Data, StackMapTableAttr.Raw, ...) are subslices of it, not
+// copies. Callers that mutate or recycle data after parsing must stop
+// using the File first (Clone deep-copies and breaks the aliasing).
+// Pool strings are always independent copies.
 func Parse(data []byte) (*File, error) {
 	r := &reader{data: data}
 	if magic := r.u4(); r.err == nil && magic != Magic {
@@ -163,11 +172,11 @@ func Parse(data []byte) (*File, error) {
 	}
 
 	var err error
-	f.Fields, err = parseMembers(r, pool)
+	f.Fields, err = parseMembers(r, f, pool)
 	if err != nil {
 		return nil, err
 	}
-	f.Methods, err = parseMembers(r, pool)
+	f.Methods, err = parseMembers(r, f, pool)
 	if err != nil {
 		return nil, err
 	}
@@ -184,18 +193,18 @@ func Parse(data []byte) (*File, error) {
 	return f, nil
 }
 
-func parseMembers(r *reader, cp *ConstPool) ([]*Member, error) {
+func parseMembers(r *reader, f *File, cp *ConstPool) ([]*Member, error) {
 	n := int(r.u2())
 	if r.err != nil {
 		return nil, r.err
 	}
 	members := make([]*Member, 0, n)
 	for i := 0; i < n; i++ {
-		m := &Member{
+		m := f.allocMember(Member{
 			AccessFlags: Flags(r.u2()),
 			NameIndex:   r.u2(),
 			DescIndex:   r.u2(),
-		}
+		})
 		attrs, err := parseAttributes(r, cp)
 		if err != nil {
 			return nil, err

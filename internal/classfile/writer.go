@@ -22,6 +22,15 @@ func (w *writer) raw(b []byte) { w.buf = append(w.buf, b...) }
 // returned for shapes the container format cannot express (e.g. more
 // than 65535 methods).
 func (f *File) Bytes() ([]byte, error) {
+	return f.AppendBytes(make([]byte, 0, 1024))
+}
+
+// AppendBytes serialises the classfile into buf (appending from
+// buf[len(buf):], reusing its capacity) and returns the extended slice.
+// The output bytes are identical to Bytes; callers that recycle buffers
+// across serialisations use this form to keep the hot path
+// allocation-free once the buffer has grown to steady state.
+func (f *File) AppendBytes(buf []byte) ([]byte, error) {
 	// Intern every attribute name before the pool is serialised, so the
 	// name indices written later point into the written pool.
 	internAttrNames(f.Pool, f.Attributes)
@@ -32,7 +41,7 @@ func (f *File) Bytes() ([]byte, error) {
 		internAttrNames(f.Pool, m.Attributes)
 	}
 
-	w := &writer{buf: make([]byte, 0, 1024)}
+	w := &writer{buf: buf}
 	w.u4(Magic)
 	w.u2(f.Minor)
 	w.u2(f.Major)
@@ -144,22 +153,24 @@ func writeAttributes(w *writer, cp *ConstPool, attrs []Attribute) error {
 	}
 	w.u2(uint16(len(attrs)))
 	for _, a := range attrs {
-		body, err := encodeAttribute(cp, a)
-		if err != nil {
-			return err
-		}
 		// Names were pre-interned before the pool was written, so this
 		// lookup always hits an existing entry.
 		nameIdx := cp.AddUtf8(a.AttrName())
 		w.u2(nameIdx)
-		w.u4(uint32(len(body)))
-		w.raw(body)
+		// Reserve the attribute_length slot, encode the body straight
+		// into the same buffer, then patch the length in place — no
+		// per-attribute scratch writer.
+		lenAt := len(w.buf)
+		w.u4(0)
+		if err := encodeAttribute(w, cp, a); err != nil {
+			return err
+		}
+		binary.BigEndian.PutUint32(w.buf[lenAt:], uint32(len(w.buf)-lenAt-4))
 	}
 	return nil
 }
 
-func encodeAttribute(cp *ConstPool, a Attribute) ([]byte, error) {
-	w := &writer{}
+func encodeAttribute(w *writer, cp *ConstPool, a Attribute) error {
 	switch at := a.(type) {
 	case *CodeAttr:
 		w.u2(at.MaxStack)
@@ -174,7 +185,7 @@ func encodeAttribute(cp *ConstPool, a Attribute) ([]byte, error) {
 			w.u2(h.CatchType)
 		}
 		if err := writeAttributes(w, cp, at.Attributes); err != nil {
-			return nil, err
+			return err
 		}
 	case *ExceptionsAttr:
 		w.u2(uint16(len(at.Classes)))
@@ -221,7 +232,7 @@ func encodeAttribute(cp *ConstPool, a Attribute) ([]byte, error) {
 	case *RawAttr:
 		w.raw(at.Data)
 	default:
-		return nil, fmt.Errorf("classfile: cannot serialise attribute %T", a)
+		return fmt.Errorf("classfile: cannot serialise attribute %T", a)
 	}
-	return w.buf, nil
+	return nil
 }

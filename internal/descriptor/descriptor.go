@@ -69,20 +69,33 @@ func (t Type) Slots() int {
 	return 1
 }
 
-// String renders t back into descriptor syntax.
-func (t Type) String() string {
-	var b strings.Builder
+// encodedLen is the byte length of t in descriptor syntax.
+func (t Type) encodedLen() int {
+	n := t.Dims + 1
+	if t.Kind == 'L' {
+		n += len(t.ClassName) + 1
+	}
+	return n
+}
+
+// appendTo renders t into b in descriptor syntax.
+func (t Type) appendTo(b []byte) []byte {
 	for i := 0; i < t.Dims; i++ {
-		b.WriteByte('[')
+		b = append(b, '[')
 	}
 	if t.Kind == 'L' {
-		b.WriteByte('L')
-		b.WriteString(t.ClassName)
-		b.WriteByte(';')
+		b = append(b, 'L')
+		b = append(b, t.ClassName...)
+		b = append(b, ';')
 	} else {
-		b.WriteByte(t.Kind)
+		b = append(b, t.Kind)
 	}
-	return b.String()
+	return b
+}
+
+// String renders t back into descriptor syntax.
+func (t Type) String() string {
+	return string(t.appendTo(make([]byte, 0, t.encodedLen())))
 }
 
 // Java renders t in Java-source style ("java.lang.String[]", "int").
@@ -123,14 +136,18 @@ type Method struct {
 
 // String renders m back into descriptor syntax.
 func (m Method) String() string {
-	var b strings.Builder
-	b.WriteByte('(')
+	n := 2 + m.Return.encodedLen()
 	for _, p := range m.Params {
-		b.WriteString(p.String())
+		n += p.encodedLen()
 	}
-	b.WriteByte(')')
-	b.WriteString(m.Return.String())
-	return b.String()
+	b := make([]byte, 0, n)
+	b = append(b, '(')
+	for _, p := range m.Params {
+		b = p.appendTo(b)
+	}
+	b = append(b, ')')
+	b = m.Return.appendTo(b)
+	return string(b)
 }
 
 // ParamSlots returns the total argument slot count (not counting the
@@ -227,16 +244,82 @@ func ParseMethod(s string) (Method, error) {
 	return Method{Params: params, Return: ret}, nil
 }
 
-// ValidField reports whether s is a syntactically legal field descriptor.
+// validOne scans one type starting at s[i] without allocating,
+// accepting exactly what parseOne accepts. It returns the index just
+// past the type, whether it was void, and validity.
+func validOne(s string, i int) (next int, isVoid, ok bool) {
+	dims := 0
+	for i < len(s) && s[i] == '[' {
+		dims++
+		i++
+		if dims > 255 {
+			return i, false, false
+		}
+	}
+	if i >= len(s) {
+		return i, false, false
+	}
+	switch s[i] {
+	case 'B', 'C', 'D', 'F', 'I', 'J', 'S', 'Z':
+		return i + 1, false, true
+	case 'V':
+		return i + 1, true, dims == 0
+	case 'L':
+		end := strings.IndexByte(s[i:], ';')
+		if end < 2 { // missing ';' or empty class name
+			return i, false, false
+		}
+		return i + end + 1, false, true
+	default:
+		return i, false, false
+	}
+}
+
+// ValidField reports whether s is a syntactically legal field
+// descriptor. Equivalent to ParseField(s) == nil, but a pure scan —
+// no Type, no error values.
 func ValidField(s string) bool {
-	_, err := ParseField(s)
-	return err == nil
+	next, isVoid, ok := validOne(s, 0)
+	return ok && !isVoid && next == len(s)
+}
+
+// scanMethod validates a method descriptor like (ILjava/lang/String;)V
+// without allocating, reporting validity and whether the return type
+// is void. Accepts exactly what ParseMethod accepts.
+func scanMethod(s string) (voidReturn, valid bool) {
+	if len(s) == 0 || s[0] != '(' {
+		return false, false
+	}
+	i := 1
+	for i < len(s) && s[i] != ')' {
+		next, isVoid, ok := validOne(s, i)
+		if !ok || isVoid {
+			return false, false
+		}
+		i = next
+	}
+	if i >= len(s) {
+		return false, false
+	}
+	i++ // consume ')'
+	next, isVoid, ok := validOne(s, i)
+	if !ok || next != len(s) {
+		return false, false
+	}
+	return isVoid, true
 }
 
 // ValidMethod reports whether s is a syntactically legal method descriptor.
 func ValidMethod(s string) bool {
-	_, err := ParseMethod(s)
-	return err == nil
+	_, ok := scanMethod(s)
+	return ok
+}
+
+// ValidMethodReturnsVoid reports whether s is a legal method
+// descriptor whose return type is void, in one allocation-free scan.
+func ValidMethodReturnsVoid(s string) bool {
+	v, ok := scanMethod(s)
+	return ok && v
 }
 
 // ValidClassName reports whether s is a plausible internal class name:
@@ -251,13 +334,21 @@ func ValidClassName(s string) bool {
 		// Array type used in a class context: must be a valid field descriptor.
 		return ValidField(s)
 	}
-	for _, seg := range strings.Split(s, "/") {
-		if seg == "" {
+	// Walk segments in place (the equivalent of splitting on '/'): no
+	// empty segment, no descriptor metacharacters inside one.
+	segLen := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '/':
+			if segLen == 0 {
+				return false
+			}
+			segLen = 0
+		case ';', '[', '.':
 			return false
-		}
-		if strings.ContainsAny(seg, ";[.") {
-			return false
+		default:
+			segLen++
 		}
 	}
-	return true
+	return segLen > 0
 }

@@ -2,6 +2,7 @@ package descriptor
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -197,5 +198,47 @@ func TestPropertyMethodRoundTrip(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestValidScannersMatchParsers pins the allocation-free validity
+// scanners to the parsers: for a corpus of legal and garbage strings
+// (including randomly generated ones), ValidField/ValidMethod and the
+// void-return scan must agree exactly with ParseField/ParseMethod.
+func TestValidScannersMatchParsers(t *testing.T) {
+	corpus := []string{
+		"", "I", "V", "[I", "[[J", "Ljava/lang/String;", "[Ljava/lang/Object;",
+		"L;", "L", "Lfoo", "X", "[V", "[[V", "II", "Ijunk", "Ljava/lang/String;;",
+		"()V", "()I", "(I)V", "(Ljava/lang/String;[I)J", "(V)V", "([V)V",
+		"(", ")", "()", "()X", "()VV", "(I", "(L;)V", "(I)Lfoo;", "(I)Lfoo",
+		"()[V", "()[[Ljava/a/b;", "(BCDFIJSZ)Z", "(Ljava/lang/String;",
+	}
+	// Deep array dims around the 255 limit.
+	deep := strings.Repeat("[", 255) + "I"
+	tooDeep := strings.Repeat("[", 256) + "I"
+	corpus = append(corpus, deep, tooDeep, "("+deep+")V", "("+tooDeep+")V")
+	rng := rand.New(rand.NewSource(7))
+	alphabet := []byte("BCDFIJSZVL[();/ajX")
+	for i := 0; i < 3000; i++ {
+		n := rng.Intn(12)
+		b := make([]byte, n)
+		for j := range b {
+			b[j] = alphabet[rng.Intn(len(alphabet))]
+		}
+		corpus = append(corpus, string(b))
+	}
+	for _, s := range corpus {
+		_, ferr := ParseField(s)
+		if got, want := ValidField(s), ferr == nil; got != want {
+			t.Errorf("ValidField(%q) = %v, ParseField err = %v", s, got, ferr)
+		}
+		md, merr := ParseMethod(s)
+		if got, want := ValidMethod(s), merr == nil; got != want {
+			t.Errorf("ValidMethod(%q) = %v, ParseMethod err = %v", s, got, merr)
+		}
+		wantVoid := merr == nil && md.Return.IsVoid()
+		if got := ValidMethodReturnsVoid(s); got != wantVoid {
+			t.Errorf("ValidMethodReturnsVoid(%q) = %v, want %v", s, got, wantVoid)
+		}
 	}
 }

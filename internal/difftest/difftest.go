@@ -286,6 +286,18 @@ func (r *Runner) EvaluateParallel(classes [][]byte, workers int) *Summary {
 	return r.evaluate(classes, workers, false)
 }
 
+// EvaluateBatch evaluates a whole suite against the memo in one
+// batched pass: a single locked probe phase partitions the classes
+// into fully-memoized vectors (assembled without parsing or locking
+// again) and misses, and only the misses fan out to the worker pool.
+// Summaries fold in class order, so the result is field-for-field
+// identical to Evaluate and EvaluateParallel at any worker count.
+// Without a memo attached it degenerates to EvaluateParallel. workers
+// ≤ 0 selects GOMAXPROCS.
+func (r *Runner) EvaluateBatch(classes [][]byte, workers int) *Summary {
+	return r.evaluateBatch(classes, workers)
+}
+
 // EvaluateChecked is EvaluateParallel with the static-oracle sanitizer
 // enabled: every class goes through RunChecked and unwaived mismatches
 // are counted (and sampled) in the summary. workers ≤ 0 selects

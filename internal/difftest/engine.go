@@ -110,6 +110,16 @@ func (r *Runner) cloneLineup() []*jvm.VM {
 	return vms
 }
 
+// Clone returns a Runner driving a private copy of r's lineup (same
+// specs and read-only environments, one fresh decode cache shared
+// across the clone) while sharing r's memo and metrics registry. Use
+// one clone per goroutine: a single Runner's VMs carry per-run scratch
+// state and must not execute concurrently. The parallel delta debugger
+// (internal/reduce) builds its worker pool this way.
+func (r *Runner) Clone() *Runner {
+	return &Runner{VMs: r.cloneLineup(), Memo: r.Memo, reg: r.reg, tel: r.tel, vmTiming: r.vmTiming}
+}
+
 // runLineup executes one classfile on a lineup under the engine's
 // parse-once discipline:
 //
@@ -195,7 +205,10 @@ func (r *Runner) runLineup(vms []*jvm.VM, data []byte, checked bool) (Vector, []
 func (r *Runner) evaluate(classes [][]byte, workers int, checked bool) *Summary {
 	sp := telemetry.StartSpan(r.tel.evaluateNs)
 	defer sp.End()
+	return r.evaluateCore(classes, workers, checked)
+}
 
+func (r *Runner) evaluateCore(classes [][]byte, workers int, checked bool) *Summary {
 	s := newSummary(r)
 	if checked {
 		defer func() { r.tel.oracleMM.Add(int64(s.OracleMismatches)) }()
@@ -248,6 +261,126 @@ func (r *Runner) evaluate(classes [][]byte, workers int, checked bool) *Summary 
 		if checked {
 			s.absorbMismatches(mms[i])
 		}
+	}
+	return s
+}
+
+// runLineupPrefilled is runLineup for EvaluateBatch's execution phase:
+// the partition pass already probed the memo, so outs/hits carry the
+// cached outcomes and only the missing (class, VM) pairs parse and
+// execute. Outcomes are pure functions of (bytes, spec, release), so
+// the resulting Vector is identical to runLineup's.
+func (r *Runner) runLineupPrefilled(vms []*jvm.VM, data []byte, cls *memoClass, outs []jvm.Outcome, hits []bool) Vector {
+	v := Vector{
+		Codes:    make([]int, len(vms)),
+		Outcomes: make([]jvm.Outcome, len(vms)),
+	}
+	var f *classfile.File
+	var perr error
+	parsed := false
+	for i, vm := range vms {
+		o := outs[i]
+		if !hits[i] {
+			if !parsed {
+				parsed = true
+				f, perr = classfile.Parse(data)
+				r.tel.parses.Inc()
+			}
+			if perr != nil {
+				o = jvm.ParseReject(perr)
+			} else {
+				o = vm.RunParsed(f)
+				r.tel.vmRuns.Inc()
+			}
+			r.Memo.put(cls, memoIdent(vm), o)
+		}
+		v.Outcomes[i] = o
+		v.Codes[i] = o.Code()
+	}
+	return v
+}
+
+// evaluateBatch is the engine behind EvaluateBatch: partition the
+// whole class set against the memo in one locked pass, then fan out
+// only the classes with at least one uncached VM outcome. Vectors park
+// in an index-addressed buffer and fold in class order, so the Summary
+// is bit-identical to Evaluate's.
+func (r *Runner) evaluateBatch(classes [][]byte, workers int) *Summary {
+	sp := telemetry.StartSpan(r.tel.evaluateNs)
+	defer sp.End()
+
+	if r.Memo == nil || len(classes) == 0 {
+		// Nothing to partition against: the batch path degenerates to
+		// the ordinary engine.
+		return r.evaluateCore(classes, workers, false)
+	}
+
+	ids := make([]vmIdent, len(r.VMs))
+	for i, vm := range r.VMs {
+		ids[i] = memoIdent(vm)
+	}
+	cls, outs, hits := r.Memo.batchProbe(classes, ids)
+	r.tel.classes.Add(int64(len(classes)))
+	r.tel.memoProbes.Add(int64(len(classes) * len(ids)))
+
+	// Partition: a class is a miss when any VM outcome is uncached.
+	vecs := make([]Vector, len(classes))
+	var misses []int
+	for i := range classes {
+		full := true
+		for k := range ids {
+			if hits[i][k] {
+				r.tel.memoHits.Inc()
+			} else {
+				full = false
+			}
+		}
+		if full {
+			v := Vector{Codes: make([]int, len(ids)), Outcomes: outs[i]}
+			for k, o := range outs[i] {
+				v.Codes[k] = o.Code()
+			}
+			vecs[i] = v
+		} else {
+			misses = append(misses, i)
+		}
+	}
+
+	// Execute only the misses, in parallel when it pays.
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(misses) {
+		workers = len(misses)
+	}
+	if workers <= 1 {
+		for _, i := range misses {
+			vecs[i] = r.runLineupPrefilled(r.VMs, classes[i], cls[i], outs[i], hits[i])
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				lineup := r.cloneLineup()
+				for {
+					n := int(next.Add(1)) - 1
+					if n >= len(misses) {
+						return
+					}
+					i := misses[n]
+					vecs[i] = r.runLineupPrefilled(lineup, classes[i], cls[i], outs[i], hits[i])
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	s := newSummary(r)
+	for _, v := range vecs {
+		s.absorb(v)
 	}
 	return s
 }

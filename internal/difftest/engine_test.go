@@ -87,6 +87,57 @@ func TestEngineEquivalence(t *testing.T) {
 	check("memoized warm sequential", memoRunner.Evaluate(classes))
 }
 
+// TestEvaluateBatchEquivalence asserts the batched engine — one locked
+// memo partition, misses-only execution — produces field-identical
+// Summaries in every memo state: no memo at all, cold, partially warm
+// (half the corpus pre-seeded), and fully warm (where no class should
+// execute at all), across the worker sweep.
+func TestEvaluateBatchEquivalence(t *testing.T) {
+	classes := mixedCorpus(t)
+	want := NewStandardRunner().Evaluate(classes)
+
+	check := func(name string, got *Summary) {
+		t.Helper()
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("%s summary differs:\nwant %+v\ngot  %+v", name, want, got)
+		}
+	}
+
+	// Degenerate path: no memo attached.
+	for _, w := range testWorkerCounts() {
+		check(fmt.Sprintf("no-memo(%d)", w), NewStandardRunner().EvaluateBatch(classes, w))
+	}
+
+	for _, w := range testWorkerCounts() {
+		r := NewStandardRunner()
+		r.Memo = NewOutcomeMemo()
+		check(fmt.Sprintf("cold(%d)", w), r.EvaluateBatch(classes, w))
+		check(fmt.Sprintf("warm(%d)", w), r.EvaluateBatch(classes, w))
+	}
+
+	// Partially warm: seed the memo with half the corpus, then batch the
+	// whole set — hits assemble from the partition pass, misses execute.
+	partial := NewStandardRunner()
+	partial.Memo = NewOutcomeMemo()
+	partial.Evaluate(classes[:len(classes)/2])
+	check("partial(4)", partial.EvaluateBatch(classes, 4))
+
+	// Fully warm batch runs zero VM pipelines: every vector assembles
+	// from the single probe phase.
+	warm := NewStandardRunner()
+	warm.Memo = NewOutcomeMemo()
+	warm.EvaluateBatch(classes, 4)
+	before := warm.Stats()
+	check("warm-noexec", warm.EvaluateBatch(classes, 4))
+	delta := warm.Stats().Diff(before)
+	if runs := delta.Counter(MetricVMRuns); runs != 0 {
+		t.Errorf("fully-warm batch executed %d VM runs, want 0", runs)
+	}
+	if parses := delta.Counter(MetricParses); parses != 0 {
+		t.Errorf("fully-warm batch parsed %d classes, want 0", parses)
+	}
+}
+
 // TestEvaluateCheckedEquivalence asserts the checked path (static
 // oracle sanitizer) is byte-identical across worker counts and the
 // memoized path, MismatchSamples ordering included.

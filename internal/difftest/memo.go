@@ -119,6 +119,10 @@ func (m *OutcomeMemo) class(data []byte) *memoClass {
 	fp := analysis.ContentFingerprint(data)
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	return m.classLocked(fp, data)
+}
+
+func (m *OutcomeMemo) classLocked(fp uint64, data []byte) *memoClass {
 	for _, c := range m.buckets[fp] {
 		if bytes.Equal(c.data, data) {
 			return c
@@ -128,6 +132,41 @@ func (m *OutcomeMemo) class(data []byte) *memoClass {
 	m.buckets[fp] = append(m.buckets[fp], c)
 	m.tel.classes.Add(1)
 	return c
+}
+
+// batchProbe is the memo half of Runner.EvaluateBatch's partition
+// phase: one lock acquisition resolves every class's cache line and
+// copies out whatever outcomes the lineup already has, instead of
+// len(classes)·len(ids) individual lock round-trips. hits[i][k]
+// reports whether outs[i][k] is a valid cached outcome for class i
+// under ids[k]. Fingerprints are computed before taking the lock —
+// they dominate the probe's cost and need no shared state.
+func (m *OutcomeMemo) batchProbe(classes [][]byte, ids []vmIdent) (cls []*memoClass, outs [][]jvm.Outcome, hits [][]bool) {
+	fps := make([]uint64, len(classes))
+	for i, data := range classes {
+		fps[i] = analysis.ContentFingerprint(data)
+	}
+	cls = make([]*memoClass, len(classes))
+	outs = make([][]jvm.Outcome, len(classes))
+	hits = make([][]bool, len(classes))
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i, data := range classes {
+		c := m.classLocked(fps[i], data)
+		cls[i] = c
+		outs[i] = make([]jvm.Outcome, len(ids))
+		hits[i] = make([]bool, len(ids))
+		for k, id := range ids {
+			o, ok := c.outcomes[id]
+			if ok {
+				m.tel.hits.Inc()
+			} else {
+				m.tel.misses.Inc()
+			}
+			outs[i][k], hits[i][k] = o, ok
+		}
+	}
+	return cls, outs, hits
 }
 
 // get returns the cached outcome for one VM identity.

@@ -314,7 +314,7 @@ func (s *Session) Table6() *Table6 {
 	runner := s.diffRunner()
 	t := &Table6{}
 	add := func(name string, classes [][]byte) {
-		sum := runner.EvaluateParallel(classes, 0)
+		sum := runner.EvaluateBatch(classes, 0)
 		t.Rows = append(t.Rows, Table6Row{
 			Set:                  name,
 			Size:                 sum.Total,

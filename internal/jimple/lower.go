@@ -8,6 +8,22 @@ import (
 	"repro/internal/descriptor"
 )
 
+// LowerCtx is a reusable lowering context. The per-method compiler
+// scratch (slot map, instruction and relocation buffers, instruction
+// arena, max-stack worklist) lives here and is recycled across methods
+// and across Lower calls, so a long-lived caller — one campaign worker,
+// say — pays for the buffers once instead of per class. A zero LowerCtx
+// is ready to use; contexts are not safe for concurrent use. Lowering
+// through a reused context produces bytes identical to a fresh one:
+// reuse changes where scratch lives, never what is emitted.
+type LowerCtx struct {
+	lw lowerer
+	ms maxStackScratch
+}
+
+// NewLowerCtx returns an empty reusable lowering context.
+func NewLowerCtx() *LowerCtx { return &LowerCtx{} }
+
 // Lower compiles the Jimple class into a classfile. Lowering is
 // deliberately non-judgemental: a class holding illegal constructs
 // (bad flags, type mismatches, dangling references) lowers into exactly
@@ -15,6 +31,13 @@ import (
 // returned only when the container format cannot represent the class
 // at all.
 func Lower(c *Class) (*classfile.File, error) {
+	var ctx LowerCtx
+	return ctx.Lower(c)
+}
+
+// Lower compiles the Jimple class into a classfile, reusing the
+// context's scratch buffers. See the package-level Lower for semantics.
+func (ctx *LowerCtx) Lower(c *Class) (*classfile.File, error) {
 	f := &classfile.File{
 		Minor: c.Minor,
 		Major: c.Major,
@@ -43,7 +66,7 @@ func Lower(c *Class) (*classfile.File, error) {
 		if m.Body == nil {
 			continue
 		}
-		code, err := lowerBody(f, c, m)
+		code, err := ctx.lowerBody(f, c, m)
 		if err != nil {
 			return nil, fmt.Errorf("jimple: lowering %s.%s: %w", c.Name, m.Name, err)
 		}
@@ -76,8 +99,21 @@ type lowerer struct {
 	arena []bytecode.Instruction
 }
 
-func lowerBody(f *classfile.File, c *Class, m *Method) (*classfile.CodeAttr, error) {
-	lw := &lowerer{f: f, c: c, m: m, slots: map[*Local]int{}}
+func (ctx *LowerCtx) lowerBody(f *classfile.File, c *Class, m *Method) (*classfile.CodeAttr, error) {
+	// Reset the reused lowerer. Truncating ins/reloc/arena keeps their
+	// capacity; nothing retains pointers into them once lowerBody
+	// returns (the CodeAttr holds assembled bytes and copied entries).
+	lw := &ctx.lw
+	lw.f, lw.c, lw.m = f, c, m
+	lw.next = 0
+	if lw.slots == nil {
+		lw.slots = make(map[*Local]int)
+	} else {
+		clear(lw.slots)
+	}
+	lw.ins = lw.ins[:0]
+	lw.reloc = lw.reloc[:0]
+	lw.arena = lw.arena[:0]
 
 	// Slot layout: receiver, parameters (by descriptor), then the
 	// remaining declared locals. Identity statements bind locals to the
@@ -108,7 +144,11 @@ func lowerBody(f *classfile.File, c *Class, m *Method) (*classfile.CodeAttr, err
 	}
 
 	// Compile statements.
-	lw.stmtFirst = make([]int, len(m.Body)+1)
+	if cap(lw.stmtFirst) < len(m.Body)+1 {
+		lw.stmtFirst = make([]int, len(m.Body)+1)
+	} else {
+		lw.stmtFirst = lw.stmtFirst[:len(m.Body)+1]
+	}
 	for i, s := range m.Body {
 		lw.stmtFirst[i] = len(lw.ins)
 		lw.stmt(s)
@@ -150,7 +190,7 @@ func lowerBody(f *classfile.File, c *Class, m *Method) (*classfile.CodeAttr, err
 	if err != nil {
 		return nil, err
 	}
-	maxStack := computeMaxStack(lw.ins, f.Pool)
+	maxStack := computeMaxStack(lw.ins, f.Pool, &ctx.ms)
 	if int(m.RawMaxStack) > maxStack {
 		maxStack = int(m.RawMaxStack)
 	}
@@ -990,27 +1030,51 @@ func atypeOf(elem descriptor.Type) bytecode.ArrayTypeCode {
 	}
 }
 
+// maxStackScratch holds computeMaxStack's working storage so a reused
+// LowerCtx does not reallocate it per method.
+type maxStackScratch struct {
+	pcIdx map[int]int
+	depth []int
+	work  []int
+}
+
+// reset sizes the scratch for n instructions and returns the cleared
+// pc index, the depth array (all -1), and the empty worklist. The
+// caller stores the worklist back after use to keep its capacity.
+func (sc *maxStackScratch) reset(n int) (map[int]int, []int, []int) {
+	if sc.pcIdx == nil {
+		sc.pcIdx = make(map[int]int, n)
+	} else {
+		clear(sc.pcIdx)
+	}
+	if cap(sc.depth) < n {
+		sc.depth = make([]int, n)
+	} else {
+		sc.depth = sc.depth[:n]
+	}
+	for i := range sc.depth {
+		sc.depth[i] = -1
+	}
+	return sc.pcIdx, sc.depth, sc.work[:0]
+}
+
 // computeMaxStack simulates stack depth over the assembled instructions
 // to set max_stack. The instructions must already carry final PCs and
 // byte-offset branch targets (i.e. have been through Assemble), so they
 // are identical to what decoding the emitted code would yield. On any
 // irregularity it returns a generous default — the real verifier (in
 // internal/jvm) is the arbiter of validity.
-func computeMaxStack(ins []*bytecode.Instruction, cp *classfile.ConstPool) int {
+func computeMaxStack(ins []*bytecode.Instruction, cp *classfile.ConstPool, sc *maxStackScratch) int {
 	const fallback = 16
 	if len(ins) == 0 {
 		return fallback
 	}
-	pcIdx := make(map[int]int, len(ins))
+	pcIdx, depth, work := sc.reset(len(ins))
+	defer func() { sc.work = work }()
 	for i, in := range ins {
 		pcIdx[in.PC] = i
 	}
-	depth := make([]int, len(ins))
-	for i := range depth {
-		depth[i] = -1
-	}
 	maxD := 0
-	var work []int
 	depth[0] = 0
 	work = append(work, 0)
 	for len(work) > 0 {

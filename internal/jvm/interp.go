@@ -240,7 +240,6 @@ func (ex *execState) callMethod(m *classfile.Member, args []value) (value, *java
 	}
 
 	var stack []value
-	push := func(v value) { stack = append(stack, v) }
 	pop := func() value {
 		if len(stack) == 0 {
 			return value{}
@@ -273,18 +272,18 @@ func (ex *execState) callMethod(m *classfile.Member, args []value) (value, *java
 		switch op {
 		case bytecode.Nop, bytecode.Breakpoint:
 		case bytecode.AconstNull:
-			push(nullVal())
+			stackPush(&stack, nullVal())
 		case bytecode.IconstM1, bytecode.Iconst0, bytecode.Iconst1, bytecode.Iconst2,
 			bytecode.Iconst3, bytecode.Iconst4, bytecode.Iconst5:
-			push(intVal(int64(op) - int64(bytecode.Iconst0)))
+			stackPush(&stack, intVal(int64(op) - int64(bytecode.Iconst0)))
 		case bytecode.Lconst0, bytecode.Lconst1:
-			push(longVal(int64(op - bytecode.Lconst0)))
+			stackPush(&stack, longVal(int64(op - bytecode.Lconst0)))
 		case bytecode.Fconst0, bytecode.Fconst1, bytecode.Fconst2:
-			push(floatVal(float64(op - bytecode.Fconst0)))
+			stackPush(&stack, floatVal(float64(op - bytecode.Fconst0)))
 		case bytecode.Dconst0, bytecode.Dconst1:
-			push(doubleVal(float64(op - bytecode.Dconst0)))
+			stackPush(&stack, doubleVal(float64(op - bytecode.Dconst0)))
 		case bytecode.Bipush, bytecode.Sipush:
-			push(intVal(int64(in.Imm)))
+			stackPush(&stack, intVal(int64(in.Imm)))
 		case bytecode.Ldc, bytecode.LdcW, bytecode.Ldc2W:
 			c := ex.f.Pool.Get(in.CPIndex)
 			if c == nil {
@@ -293,35 +292,35 @@ func (ex *execState) callMethod(m *classfile.Member, args []value) (value, *java
 			}
 			switch c.Tag {
 			case classfile.TagInteger:
-				push(intVal(int64(c.Int)))
+				stackPush(&stack, intVal(int64(c.Int)))
 			case classfile.TagFloat:
-				push(floatVal(float64(c.Float)))
+				stackPush(&stack, floatVal(float64(c.Float)))
 			case classfile.TagLong:
-				push(longVal(c.Long))
+				stackPush(&stack, longVal(c.Long))
 			case classfile.TagDouble:
-				push(doubleVal(c.Double))
+				stackPush(&stack, doubleVal(c.Double))
 			case classfile.TagString:
 				s, _ := ex.f.Pool.Utf8(c.Ref1)
-				push(refVal(stringObj(s)))
+				stackPush(&stack, refVal(stringObj(s)))
 			case classfile.TagClass:
 				n, _ := ex.f.Pool.Utf8(c.Ref1)
-				push(refVal(&object{class: "java/lang/Class", str: n}))
+				stackPush(&stack, refVal(&object{class: "java/lang/Class", str: n}))
 			default:
 				thrown = throwf(dot2slash(ErrClassFormat), "ldc of unsupported tag")
 			}
 
 		case bytecode.Iload, bytecode.Lload, bytecode.Fload, bytecode.Dload, bytecode.Aload:
-			push(locals[in.Local])
+			stackPush(&stack, locals[in.Local])
 		case bytecode.Iload0, bytecode.Iload1, bytecode.Iload2, bytecode.Iload3:
-			push(locals[op-bytecode.Iload0])
+			stackPush(&stack, locals[op-bytecode.Iload0])
 		case bytecode.Lload0, bytecode.Lload1, bytecode.Lload2, bytecode.Lload3:
-			push(locals[op-bytecode.Lload0])
+			stackPush(&stack, locals[op-bytecode.Lload0])
 		case bytecode.Fload0, bytecode.Fload1, bytecode.Fload2, bytecode.Fload3:
-			push(locals[op-bytecode.Fload0])
+			stackPush(&stack, locals[op-bytecode.Fload0])
 		case bytecode.Dload0, bytecode.Dload1, bytecode.Dload2, bytecode.Dload3:
-			push(locals[op-bytecode.Dload0])
+			stackPush(&stack, locals[op-bytecode.Dload0])
 		case bytecode.Aload0, bytecode.Aload1, bytecode.Aload2, bytecode.Aload3:
-			push(locals[op-bytecode.Aload0])
+			stackPush(&stack, locals[op-bytecode.Aload0])
 
 		case bytecode.Istore, bytecode.Lstore, bytecode.Fstore, bytecode.Dstore, bytecode.Astore:
 			locals[in.Local] = pop()
@@ -348,7 +347,7 @@ func (ex *execState) callMethod(m *classfile.Member, args []value) (value, *java
 				thrown = throwf("java/lang/ArrayIndexOutOfBoundsException", "%d", i.i)
 				break
 			}
-			push(arr.ref.arr[i.i])
+			stackPush(&stack, arr.ref.arr[i.i])
 		case bytecode.Iastore, bytecode.Lastore, bytecode.Fastore, bytecode.Dastore,
 			bytecode.Aastore, bytecode.Bastore, bytecode.Castore, bytecode.Sastore:
 			v := pop()
@@ -373,156 +372,156 @@ func (ex *execState) callMethod(m *classfile.Member, args []value) (value, *java
 			}
 		case bytecode.Dup:
 			v := pop()
-			push(v)
-			push(v)
+			stackPush(&stack, v)
+			stackPush(&stack, v)
 		case bytecode.DupX1:
 			a, b := pop(), pop()
-			push(a)
-			push(b)
-			push(a)
+			stackPush(&stack, a)
+			stackPush(&stack, b)
+			stackPush(&stack, a)
 		case bytecode.DupX2:
 			a, b, c := pop(), pop(), pop()
-			push(a)
-			push(c)
-			push(b)
-			push(a)
+			stackPush(&stack, a)
+			stackPush(&stack, c)
+			stackPush(&stack, b)
+			stackPush(&stack, a)
 		case bytecode.Dup2:
 			a := pop()
 			if a.kind == 'J' || a.kind == 'D' {
-				push(a)
-				push(a)
+				stackPush(&stack, a)
+				stackPush(&stack, a)
 			} else {
 				b := pop()
-				push(b)
-				push(a)
-				push(b)
-				push(a)
+				stackPush(&stack, b)
+				stackPush(&stack, a)
+				stackPush(&stack, b)
+				stackPush(&stack, a)
 			}
 		case bytecode.Dup2X1, bytecode.Dup2X2:
 			a, b, c := pop(), pop(), pop()
-			push(b)
-			push(a)
-			push(c)
-			push(b)
-			push(a)
+			stackPush(&stack, b)
+			stackPush(&stack, a)
+			stackPush(&stack, c)
+			stackPush(&stack, b)
+			stackPush(&stack, a)
 		case bytecode.Swap:
 			a, b := pop(), pop()
-			push(a)
-			push(b)
+			stackPush(&stack, a)
+			stackPush(&stack, b)
 
 		case bytecode.Iadd, bytecode.Ladd:
 			b, a := pop(), pop()
-			push(value{kind: a.kind, i: a.i + b.i})
+			stackPush(&stack, value{kind: a.kind, i: a.i + b.i})
 		case bytecode.Isub, bytecode.Lsub:
 			b, a := pop(), pop()
-			push(value{kind: a.kind, i: a.i - b.i})
+			stackPush(&stack, value{kind: a.kind, i: a.i - b.i})
 		case bytecode.Imul, bytecode.Lmul:
 			b, a := pop(), pop()
-			push(value{kind: a.kind, i: a.i * b.i})
+			stackPush(&stack, value{kind: a.kind, i: a.i * b.i})
 		case bytecode.Idiv, bytecode.Ldiv:
 			b, a := pop(), pop()
 			if b.i == 0 {
 				thrown = throwf("java/lang/ArithmeticException", "/ by zero")
 				break
 			}
-			push(value{kind: a.kind, i: a.i / b.i})
+			stackPush(&stack, value{kind: a.kind, i: a.i / b.i})
 		case bytecode.Irem, bytecode.Lrem:
 			b, a := pop(), pop()
 			if b.i == 0 {
 				thrown = throwf("java/lang/ArithmeticException", "/ by zero")
 				break
 			}
-			push(value{kind: a.kind, i: a.i % b.i})
+			stackPush(&stack, value{kind: a.kind, i: a.i % b.i})
 		case bytecode.Fadd, bytecode.Dadd:
 			b, a := pop(), pop()
-			push(value{kind: a.kind, f: a.f + b.f})
+			stackPush(&stack, value{kind: a.kind, f: a.f + b.f})
 		case bytecode.Fsub, bytecode.Dsub:
 			b, a := pop(), pop()
-			push(value{kind: a.kind, f: a.f - b.f})
+			stackPush(&stack, value{kind: a.kind, f: a.f - b.f})
 		case bytecode.Fmul, bytecode.Dmul:
 			b, a := pop(), pop()
-			push(value{kind: a.kind, f: a.f * b.f})
+			stackPush(&stack, value{kind: a.kind, f: a.f * b.f})
 		case bytecode.Fdiv, bytecode.Ddiv:
 			b, a := pop(), pop()
-			push(value{kind: a.kind, f: a.f / b.f})
+			stackPush(&stack, value{kind: a.kind, f: a.f / b.f})
 		case bytecode.Frem, bytecode.Drem:
 			b, a := pop(), pop()
-			push(value{kind: a.kind, f: fmod(a.f, b.f)})
+			stackPush(&stack, value{kind: a.kind, f: fmod(a.f, b.f)})
 		case bytecode.Ineg, bytecode.Lneg:
 			a := pop()
-			push(value{kind: a.kind, i: -a.i})
+			stackPush(&stack, value{kind: a.kind, i: -a.i})
 		case bytecode.Fneg, bytecode.Dneg:
 			a := pop()
-			push(value{kind: a.kind, f: -a.f})
+			stackPush(&stack, value{kind: a.kind, f: -a.f})
 		case bytecode.Ishl:
 			b, a := pop(), pop()
-			push(intVal(int64(int32(a.i) << (uint(b.i) & 31))))
+			stackPush(&stack, intVal(int64(int32(a.i) << (uint(b.i) & 31))))
 		case bytecode.Ishr:
 			b, a := pop(), pop()
-			push(intVal(int64(int32(a.i) >> (uint(b.i) & 31))))
+			stackPush(&stack, intVal(int64(int32(a.i) >> (uint(b.i) & 31))))
 		case bytecode.Iushr:
 			b, a := pop(), pop()
-			push(intVal(int64(int32(uint32(a.i) >> (uint(b.i) & 31)))))
+			stackPush(&stack, intVal(int64(int32(uint32(a.i) >> (uint(b.i) & 31)))))
 		case bytecode.Lshl:
 			b, a := pop(), pop()
-			push(longVal(a.i << (uint(b.i) & 63)))
+			stackPush(&stack, longVal(a.i << (uint(b.i) & 63)))
 		case bytecode.Lshr:
 			b, a := pop(), pop()
-			push(longVal(a.i >> (uint(b.i) & 63)))
+			stackPush(&stack, longVal(a.i >> (uint(b.i) & 63)))
 		case bytecode.Lushr:
 			b, a := pop(), pop()
-			push(longVal(int64(uint64(a.i) >> (uint(b.i) & 63))))
+			stackPush(&stack, longVal(int64(uint64(a.i) >> (uint(b.i) & 63))))
 		case bytecode.Iand, bytecode.Land:
 			b, a := pop(), pop()
-			push(value{kind: a.kind, i: a.i & b.i})
+			stackPush(&stack, value{kind: a.kind, i: a.i & b.i})
 		case bytecode.Ior, bytecode.Lor:
 			b, a := pop(), pop()
-			push(value{kind: a.kind, i: a.i | b.i})
+			stackPush(&stack, value{kind: a.kind, i: a.i | b.i})
 		case bytecode.Ixor, bytecode.Lxor:
 			b, a := pop(), pop()
-			push(value{kind: a.kind, i: a.i ^ b.i})
+			stackPush(&stack, value{kind: a.kind, i: a.i ^ b.i})
 		case bytecode.Iinc:
 			locals[in.Local] = intVal(locals[in.Local].i + int64(in.Imm))
 
 		case bytecode.I2l:
-			push(longVal(pop().i))
+			stackPush(&stack, longVal(pop().i))
 		case bytecode.I2f, bytecode.I2d:
 			a := pop()
 			k := byte('F')
 			if op == bytecode.I2d {
 				k = 'D'
 			}
-			push(value{kind: k, f: float64(a.i)})
+			stackPush(&stack, value{kind: k, f: float64(a.i)})
 		case bytecode.L2i:
-			push(intVal(int64(int32(pop().i))))
+			stackPush(&stack, intVal(int64(int32(pop().i))))
 		case bytecode.L2f, bytecode.L2d:
 			a := pop()
 			k := byte('F')
 			if op == bytecode.L2d {
 				k = 'D'
 			}
-			push(value{kind: k, f: float64(a.i)})
+			stackPush(&stack, value{kind: k, f: float64(a.i)})
 		case bytecode.F2i, bytecode.D2i:
-			push(intVal(int64(int32(pop().f))))
+			stackPush(&stack, intVal(int64(int32(pop().f))))
 		case bytecode.F2l, bytecode.D2l:
-			push(longVal(int64(pop().f)))
+			stackPush(&stack, longVal(int64(pop().f)))
 		case bytecode.F2d:
-			push(doubleVal(pop().f))
+			stackPush(&stack, doubleVal(pop().f))
 		case bytecode.D2f:
-			push(floatVal(pop().f))
+			stackPush(&stack, floatVal(pop().f))
 		case bytecode.I2b:
-			push(intVal(int64(int8(pop().i))))
+			stackPush(&stack, intVal(int64(int8(pop().i))))
 		case bytecode.I2c:
-			push(intVal(int64(uint16(pop().i))))
+			stackPush(&stack, intVal(int64(uint16(pop().i))))
 		case bytecode.I2s:
-			push(intVal(int64(int16(pop().i))))
+			stackPush(&stack, intVal(int64(int16(pop().i))))
 
 		case bytecode.Lcmp:
 			b, a := pop(), pop()
-			push(intVal(int64(cmpInt(a.i, b.i))))
+			stackPush(&stack, intVal(int64(cmpInt(a.i, b.i))))
 		case bytecode.Fcmpl, bytecode.Fcmpg, bytecode.Dcmpl, bytecode.Dcmpg:
 			b, a := pop(), pop()
-			push(intVal(int64(cmpFloat(a.f, b.f))))
+			stackPush(&stack, intVal(int64(cmpFloat(a.f, b.f))))
 
 		case bytecode.Ifeq, bytecode.Ifne, bytecode.Iflt, bytecode.Ifge, bytecode.Ifgt, bytecode.Ifle:
 			v := pop().i
@@ -585,7 +584,7 @@ func (ex *execState) callMethod(m *classfile.Member, args []value) (value, *java
 			// Old-style subroutine call: push the return address (the pc
 			// after this instruction) and jump. Only lazily-verifying VMs
 			// reach this in version-51 files (ForbidJsrRet gates the rest).
-			push(value{kind: 'R', i: int64(in.PC + in.Size())})
+			stackPush(&stack, value{kind: 'R', i: int64(in.PC + in.Size())})
 			jumpTo = in.PC + int(in.Branch)
 		case bytecode.Ret:
 			ra := locals[in.Local]
@@ -633,7 +632,7 @@ func (ex *execState) callMethod(m *classfile.Member, args []value) (value, *java
 				thrown = jt
 				break
 			}
-			push(refVal(&object{class: cname, fields: map[string]value{}}))
+			stackPush(&stack, refVal(&object{class: cname, fields: map[string]value{}}))
 		case bytecode.Newarray:
 			n := pop().i
 			if n < 0 {
@@ -644,7 +643,7 @@ func (ex *execState) callMethod(m *classfile.Member, args []value) (value, *java
 			for i := range o.arr {
 				o.arr[i] = zeroOf(o.elem)
 			}
-			push(refVal(o))
+			stackPush(&stack, refVal(o))
 		case bytecode.Anewarray:
 			cname, _ := ex.f.Pool.ClassName(in.CPIndex)
 			n := pop().i
@@ -656,20 +655,20 @@ func (ex *execState) callMethod(m *classfile.Member, args []value) (value, *java
 			for i := range o.arr {
 				o.arr[i] = nullVal()
 			}
-			push(refVal(o))
+			stackPush(&stack, refVal(o))
 		case bytecode.Multianewarray:
 			for i := 0; i < int(in.Count); i++ {
 				pop()
 			}
 			cname, _ := ex.f.Pool.ClassName(in.CPIndex)
-			push(refVal(&object{class: cname, arr: []value{}}))
+			stackPush(&stack, refVal(&object{class: cname, arr: []value{}}))
 		case bytecode.Arraylength:
 			a := pop()
 			if a.ref == nil {
 				thrown = throwf("java/lang/NullPointerException", "arraylength")
 				break
 			}
-			push(intVal(int64(len(a.ref.arr))))
+			stackPush(&stack, intVal(int64(len(a.ref.arr))))
 
 		case bytecode.Athrow:
 			v := pop()
@@ -692,7 +691,7 @@ func (ex *execState) callMethod(m *classfile.Member, args []value) (value, *java
 					break
 				}
 			}
-			push(v)
+			stackPush(&stack, v)
 		case bytecode.Instanceof:
 			cname, _ := ex.f.Pool.ClassName(in.CPIndex)
 			v := pop()
@@ -707,7 +706,7 @@ func (ex *execState) callMethod(m *classfile.Member, args []value) (value, *java
 					res = 1
 				}
 			}
-			push(intVal(res))
+			stackPush(&stack, intVal(res))
 		case bytecode.Monitorenter, bytecode.Monitorexit:
 			if pop().ref == nil {
 				thrown = throwf("java/lang/NullPointerException", "monitor on null")
@@ -737,7 +736,7 @@ func (ex *execState) callMethod(m *classfile.Member, args []value) (value, *java
 						continue
 					}
 					stack = stack[:0]
-					push(refVal(&object{class: thrown.class, str: thrown.msg}))
+					stackPush(&stack, refVal(&object{class: thrown.class, str: thrown.msg}))
 					idx = hidx
 					handled = true
 					vm.st(pInterpHandler)
@@ -857,16 +856,6 @@ func (ex *execState) interpField(op bytecode.Opcode, in *bytecode.Instruction, s
 	if !ok {
 		return throwf(dot2slash(ErrClassFormat), "field access through invalid constant")
 	}
-	pop := func() value {
-		s := *stack
-		if len(s) == 0 {
-			return value{}
-		}
-		v := s[len(s)-1]
-		*stack = s[:len(s)-1]
-		return v
-	}
-	push := func(v value) { *stack = append(*stack, v) }
 
 	// Lazy resolution failure channel.
 	if !ex.vm.Spec.Policy.EagerResolution {
@@ -880,22 +869,21 @@ func (ex *execState) interpField(op bytecode.Opcode, in *bytecode.Instruction, s
 	}
 
 	// System.out / System.err are the interesting platform statics.
-	key := cls + "." + name + ":" + desc
 	switch op {
 	case bytecode.Getstatic:
 		if cls == "java/lang/System" && (name == "out" || name == "err") {
-			push(refVal(&object{class: "java/io/PrintStream", str: name}))
+			stackPush(stack, refVal(&object{class: "java/io/PrintStream", str: name}))
 			return nil
 		}
-		if v, ok := ex.statics[key]; ok {
-			push(v)
+		if v, ok := ex.statics[cls+"."+name+":"+desc]; ok {
+			stackPush(stack, v)
 		} else {
-			push(zeroOf(desc))
+			stackPush(stack, zeroOf(desc))
 		}
 	case bytecode.Putstatic:
-		ex.statics[key] = pop()
+		ex.statics[cls+"."+name+":"+desc] = stackPop(stack)
 	case bytecode.Getfield:
-		recv := pop()
+		recv := stackPop(stack)
 		if recv.ref == nil {
 			return throwf("java/lang/NullPointerException", "getfield %s", name)
 		}
@@ -903,13 +891,13 @@ func (ex *execState) interpField(op bytecode.Opcode, in *bytecode.Instruction, s
 			recv.ref.fields = map[string]value{}
 		}
 		if v, ok := recv.ref.fields[name+":"+desc]; ok {
-			push(v)
+			stackPush(stack, v)
 		} else {
-			push(zeroOf(desc))
+			stackPush(stack, zeroOf(desc))
 		}
 	case bytecode.Putfield:
-		v := pop()
-		recv := pop()
+		v := stackPop(stack)
+		recv := stackPop(stack)
 		if recv.ref == nil {
 			return throwf("java/lang/NullPointerException", "putfield %s", name)
 		}
@@ -920,6 +908,21 @@ func (ex *execState) interpField(op bytecode.Opcode, in *bytecode.Instruction, s
 	}
 	return nil
 }
+
+// stackPop pops the operand stack (empty pops yield the zero value —
+// the verifier is the arbiter of underflow).
+func stackPop(stack *[]value) value {
+	s := *stack
+	if len(s) == 0 {
+		return value{}
+	}
+	v := s[len(s)-1]
+	*stack = s[:len(s)-1]
+	return v
+}
+
+// stackPush pushes onto the operand stack.
+func stackPush(stack *[]value, v value) { *stack = append(*stack, v) }
 
 // interpInvoke executes the invoke opcodes: platform intrinsics get
 // hand-written semantics; methods of the class under test recurse into
@@ -946,7 +949,6 @@ func (ex *execState) interpInvoke(op bytecode.Opcode, in *bytecode.Instruction, 
 	}
 	args := append([]value(nil), s[len(s)-total:]...)
 	*stack = s[:len(s)-total]
-	push := func(v value) { *stack = append(*stack, v) }
 
 	// Lazy resolution (GIJ): failures surface here, at runtime.
 	if !ex.vm.Spec.Policy.EagerResolution {
@@ -976,7 +978,7 @@ func (ex *execState) interpInvoke(op bytecode.Opcode, in *bytecode.Instruction, 
 			return jt
 		}
 		if !md.Return.IsVoid() {
-			push(ret)
+			stackPush(stack, ret)
 		}
 		return nil
 	}
@@ -988,14 +990,14 @@ func (ex *execState) interpInvoke(op bytecode.Opcode, in *bytecode.Instruction, 
 	}
 	if handled {
 		if !md.Return.IsVoid() {
-			push(ret)
+			stackPush(stack, ret)
 		}
 		return nil
 	}
 	// Known platform method without bespoke semantics: return the
 	// default value of the return type (a benign stub).
 	if !md.Return.IsVoid() {
-		push(zeroOf(md.Return.String()))
+		stackPush(stack, zeroOf(md.Return.String()))
 	}
 	return nil
 }

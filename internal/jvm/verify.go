@@ -94,13 +94,6 @@ type frame struct {
 	locals []vt
 }
 
-func (f *frame) clone() *frame {
-	return &frame{
-		stack:  append([]vt(nil), f.stack...),
-		locals: append([]vt(nil), f.locals...),
-	}
-}
-
 // copyFrom overwrites f with src's state, reusing f's slice capacity.
 func (f *frame) copyFrom(src *frame) *frame {
 	f.stack = append(f.stack[:0], src.stack...)
@@ -139,11 +132,65 @@ type verifier struct {
 	scratch frame
 }
 
+// verifyScratch recycles the verifier's working storage across
+// runVerifier calls on one VM: the verifier value itself, a free list
+// of frames (whose stack/locals slices keep their capacity), the
+// per-instruction entry-frame slice, and the worklist. Nothing a run
+// produces retains these — Outcomes carry only formatted strings — so
+// the next run can overwrite them freely.
+type verifyScratch struct {
+	v      verifier
+	frames []*frame
+	in     []*frame
+	work   []int
+}
+
+// getFrame pops a pooled frame or allocates a fresh one. Callers must
+// overwrite stack and locals before reading them.
+func (s *verifyScratch) getFrame() *frame {
+	if n := len(s.frames); n > 0 {
+		f := s.frames[n-1]
+		s.frames = s.frames[:n-1]
+		return f
+	}
+	return &frame{}
+}
+
+func (s *verifyScratch) putFrame(f *frame) {
+	s.frames = append(s.frames, f)
+}
+
+// release harvests v's frames back into the free list and detaches v
+// from the method it verified, so the scratch retains slice capacity
+// but no pointers into the verified class.
+func (s *verifyScratch) release(v *verifier) {
+	if v.in != nil {
+		for i, f := range v.in {
+			if f != nil {
+				s.frames = append(s.frames, f)
+				v.in[i] = nil
+			}
+		}
+		s.in = v.in[:0]
+	}
+	if v.work != nil {
+		s.work = v.work[:0]
+	}
+	v.ex, v.m, v.code = nil, nil, nil
+	v.ins, v.pcIndex, v.targets = nil, nil, nil
+	v.in, v.work, v.err = nil, nil, nil
+	v.md = descriptor.Method{}
+}
+
 // runVerifier verifies one method body; nil result means it passed.
 func (vm *VM) runVerifier(ex *execState, m *classfile.Member) *Outcome {
 	vm.st(pVerifyEnter)
-	v := &verifier{vm: vm, ex: ex, m: m, code: m.Code()}
+	s := &vm.vscratch
+	v := &s.v
+	sc := v.scratch // keep the step frame's capacity across runs
+	*v = verifier{vm: vm, ex: ex, m: m, code: m.Code(), scratch: sc}
 	out := v.run()
+	s.release(v)
 	if out == nil {
 		vm.st(pVerifyOk)
 	} else {
@@ -249,12 +296,21 @@ func (v *verifier) run() *Outcome {
 		}
 	}
 
-	// Initial frame.
-	init := &frame{locals: make([]vt, v.code.MaxLocals)}
+	// Initial frame (pooled; mergeInto copies it, so it goes straight
+	// back to the pool afterwards).
+	init := vm.vscratch.getFrame()
+	init.stack = init.stack[:0]
+	if cap(init.locals) < int(v.code.MaxLocals) {
+		init.locals = make([]vt, v.code.MaxLocals)
+	} else {
+		init.locals = init.locals[:v.code.MaxLocals]
+		clear(init.locals)
+	}
 	slot := 0
 	isStatic := v.m.AccessFlags.Has(classfile.AccStatic)
 	if !isStatic {
 		if slot >= len(init.locals) {
+			vm.vscratch.putFrame(init)
 			return v.outcome(ErrVerify, "max_locals too small for receiver")
 		}
 		if mname == "<init>" {
@@ -268,6 +324,7 @@ func (v *verifier) run() *Outcome {
 		t := typeOfDesc(pt)
 		if slot+t.kindSlots() > len(init.locals) {
 			vm.st(pVerifyLocalsoverflow)
+			vm.vscratch.putFrame(init)
 			return v.outcome(ErrVerify, "max_locals %d too small for parameters of %s%s", v.code.MaxLocals, mname, mdesc)
 		}
 		init.locals[slot] = t
@@ -278,8 +335,14 @@ func (v *verifier) run() *Outcome {
 		}
 	}
 
-	v.in = make([]*frame, len(ins))
+	if cap(vm.vscratch.in) >= len(ins) {
+		v.in = vm.vscratch.in[:len(ins)] // entries were nilled at release
+	} else {
+		v.in = make([]*frame, len(ins))
+	}
+	v.work = vm.vscratch.work[:0]
 	v.mergeInto(0, init)
+	vm.vscratch.putFrame(init)
 
 	for len(v.work) > 0 && v.err == nil {
 		idx := v.work[len(v.work)-1]
@@ -312,7 +375,7 @@ func (v *verifier) mergeInto(idx int, f *frame) {
 	}
 	cur := v.in[idx]
 	if cur == nil {
-		v.in[idx] = f.clone()
+		v.in[idx] = v.vm.vscratch.getFrame().copyFrom(f)
 		v.work = append(v.work, idx)
 		return
 	}
@@ -1046,8 +1109,11 @@ func (v *verifier) step(idx int) {
 					cname = n
 				}
 			}
-			hf := &frame{locals: append([]vt(nil), fr.locals...), stack: []vt{refOf(cname)}}
+			hf := vm.vscratch.getFrame()
+			hf.locals = append(hf.locals[:0], fr.locals...)
+			hf.stack = append(hf.stack[:0], refOf(cname))
 			v.mergeInto(hidx, hf)
+			vm.vscratch.putFrame(hf)
 		}
 	}
 }

@@ -38,6 +38,13 @@ type VM struct {
 	// Lazily created unless a shared cache is attached via
 	// SetDecodeCache/ShareDecodeCache.
 	decodeCache *DecodeCache
+
+	// vscratch recycles the verifier's working storage (frames, entry
+	// states, worklist) across runVerifier calls. Safe as a single
+	// per-VM value because method verification never nests: the
+	// verifier resolves classes through flat Env lookups, it does not
+	// link them.
+	vscratch verifyScratch
 }
 
 type platformProbeKey struct{ cls, name string }

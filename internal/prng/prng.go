@@ -37,3 +37,13 @@ func Mix(seed int64, stream, index uint64) int64 {
 func Derive(seed int64, stream, index uint64) *rand.Rand {
 	return rand.New(rand.NewSource(Mix(seed, stream, index)))
 }
+
+// Reseed re-derives r in place to the (seed, stream, index) stream —
+// the zero-allocation twin of Derive for hot paths that keep one
+// *rand.Rand per worker. After Reseed(r, ...) the generator emits
+// exactly the sequence Derive(...) would: rand.Rand.Seed fully resets
+// the source state and the generator's internal read buffer. r must
+// have been created by Derive (i.e. be backed by rand.NewSource).
+func Reseed(r *rand.Rand, seed int64, stream, index uint64) {
+	r.Seed(Mix(seed, stream, index))
+}

@@ -1,0 +1,16 @@
+package prng
+
+import "testing"
+
+func TestReseedMatchesDerive(t *testing.T) {
+	r := Derive(0, 0, 0)
+	for i := uint64(0); i < 20; i++ {
+		Reseed(r, 7, 0xD4A7_0002, i)
+		fresh := Derive(7, 0xD4A7_0002, i)
+		for j := 0; j < 50; j++ {
+			if r.Int63() != fresh.Int63() {
+				t.Fatalf("Reseed diverged from Derive at index %d draw %d", i, j)
+			}
+		}
+	}
+}

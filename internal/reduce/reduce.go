@@ -9,6 +9,7 @@ package reduce
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/difftest"
 	"repro/internal/jimple"
@@ -18,6 +19,17 @@ import (
 type Options struct {
 	// MaxRounds caps full passes over the hierarchy (default 8).
 	MaxRounds int
+	// Workers sets the speculative-evaluation width: blocks of up to
+	// Workers candidate deletions are evaluated in parallel against the
+	// current base (each on a private VM lineup), then committed in
+	// candidate order — the campaign engine's worker-block pattern.
+	// Because the first accepted deletion in a block invalidates the
+	// speculations behind it (the base moved), those are discarded and
+	// re-evaluated, so the reduced class, its vector and the accepted
+	// deletion sequence are identical to the sequential algorithm at
+	// any width; only Tests (executions spent) varies. ≤ 1 runs the
+	// plain sequential loop.
+	Workers int
 }
 
 // Result reports the reduction.
@@ -25,7 +37,9 @@ type Result struct {
 	Reduced *jimple.Class
 	// Vector is the preserved outcome vector key.
 	Vector string
-	// Tests counts differential executions spent.
+	// Tests counts differential executions spent, including parallel
+	// speculations discarded because an earlier candidate in the same
+	// block committed first.
 	Tests int
 	// Deleted counts accepted deletions.
 	Deleted int
@@ -44,6 +58,123 @@ func vectorOf(r *difftest.Runner, c *jimple.Class) (string, bool) {
 	return r.Run(data).Key(), true
 }
 
+// del is one candidate deletion. It mutates the clone it is handed and
+// reports whether it applied (bounds may have shifted since the
+// candidate was enumerated; a stale candidate is a no-op).
+type del func(*jimple.Class) bool
+
+// shrinker carries one Reduce call's state through its stages.
+type shrinker struct {
+	cur     *jimple.Class
+	want    string
+	res     *Result
+	runner  *difftest.Runner
+	workers int
+	// pool holds one private-lineup runner per speculative slot,
+	// created on first use and reused across blocks so decode caches
+	// stay warm.
+	pool []*difftest.Runner
+}
+
+// try applies del to a clone of the base; on vector preservation it
+// commits. The sequential inner step.
+func (s *shrinker) try(d del) bool {
+	cand := s.cur.Clone()
+	if !d(cand) {
+		return false
+	}
+	got, ok := vectorOf(s.runner, cand)
+	s.res.Tests++
+	if ok && got == s.want {
+		s.cur = cand
+		s.res.Deleted++
+		return true
+	}
+	return false
+}
+
+// runStage processes one stage's ordered candidate list. Sequentially
+// that is a plain in-order walk; with workers > 1 it evaluates blocks
+// of candidates speculatively against the fixed current base and
+// commits in order: candidates before the block's first success saw
+// exactly the base the sequential walk would have used, the first
+// success commits, and everything after it is discarded (its base
+// moved) and re-enumerated in the next block. The accept/reject
+// sequence is therefore identical to the sequential walk.
+func (s *shrinker) runStage(cands []del) bool {
+	changed := false
+	if s.workers <= 1 || len(cands) < 2 {
+		for _, d := range cands {
+			if s.try(d) {
+				changed = true
+			}
+		}
+		return changed
+	}
+
+	if s.pool == nil {
+		s.pool = make([]*difftest.Runner, s.workers)
+		for i := range s.pool {
+			s.pool[i] = s.runner.Clone()
+		}
+	}
+
+	type spec struct {
+		cand    *jimple.Class
+		applied bool
+		ok      bool
+		got     string
+	}
+	pos := 0
+	for pos < len(cands) {
+		n := len(cands) - pos
+		if n > s.workers {
+			n = s.workers
+		}
+		specs := make([]spec, n)
+		var wg sync.WaitGroup
+		for j := 0; j < n; j++ {
+			wg.Add(1)
+			go func(j int) {
+				defer wg.Done()
+				cand := s.cur.Clone()
+				if !cands[pos+j](cand) {
+					return
+				}
+				specs[j].cand = cand
+				specs[j].applied = true
+				specs[j].got, specs[j].ok = vectorOf(s.pool[j], cand)
+			}(j)
+		}
+		wg.Wait()
+		for j := 0; j < n; j++ {
+			if specs[j].applied {
+				s.res.Tests++
+			}
+		}
+
+		// In-order commit: the first preserved vector wins the block.
+		committed := false
+		for j := 0; j < n; j++ {
+			if !specs[j].applied {
+				continue
+			}
+			if specs[j].ok && specs[j].got == s.want {
+				s.cur = specs[j].cand
+				s.res.Deleted++
+				changed = true
+				pos += j + 1
+				committed = true
+				break
+			}
+		}
+		if !committed {
+			pos += n
+		}
+	}
+	return changed
+}
+
 // Reduce shrinks c while preserving its outcome vector on the runner's
 // VMs. The input class is not modified.
 func Reduce(c *jimple.Class, runner *difftest.Runner, opts Options) (*Result, error) {
@@ -55,87 +186,95 @@ func Reduce(c *jimple.Class, runner *difftest.Runner, opts Options) (*Result, er
 	if !ok {
 		return nil, fmt.Errorf("reduce: class does not lower to a classfile")
 	}
-	res := &Result{Vector: want, Tests: 1}
-
-	// try applies del to a clone; on vector preservation it commits.
-	try := func(del func(*jimple.Class) bool) bool {
-		cand := cur.Clone()
-		if !del(cand) {
-			return false
-		}
-		got, ok := vectorOf(runner, cand)
-		res.Tests++
-		if ok && got == want {
-			cur = cand
-			res.Deleted++
-			return true
-		}
-		return false
+	s := &shrinker{
+		cur:     cur,
+		want:    want,
+		res:     &Result{Vector: want, Tests: 1},
+		runner:  runner,
+		workers: opts.Workers,
 	}
 
 	for round := 0; round < opts.MaxRounds; round++ {
 		changed := false
 
-		// Step 1 of §2.3: delete methods (largest units first).
-		for i := len(cur.Methods) - 1; i >= 0; i-- {
+		// Step 1 of §2.3: delete methods (largest units first). Each
+		// stage enumerates its candidates up front against the current
+		// class; within a stage a deletion never grows another
+		// candidate's container, so a stale index is at worst a no-op
+		// (the bounds checks), exactly as in the original interleaved
+		// loops.
+		var cands []del
+		for i := len(s.cur.Methods) - 1; i >= 0; i-- {
 			i := i
-			if try(func(c *jimple.Class) bool {
+			cands = append(cands, func(c *jimple.Class) bool {
 				if i >= len(c.Methods) {
 					return false
 				}
 				c.Methods = append(c.Methods[:i], c.Methods[i+1:]...)
 				return true
-			}) {
-				changed = true
-			}
+			})
 		}
+		if s.runStage(cands) {
+			changed = true
+		}
+
 		// Fields.
-		for i := len(cur.Fields) - 1; i >= 0; i-- {
+		cands = cands[:0]
+		for i := len(s.cur.Fields) - 1; i >= 0; i-- {
 			i := i
-			if try(func(c *jimple.Class) bool {
+			cands = append(cands, func(c *jimple.Class) bool {
 				if i >= len(c.Fields) {
 					return false
 				}
 				c.Fields = append(c.Fields[:i], c.Fields[i+1:]...)
 				return true
-			}) {
-				changed = true
-			}
+			})
 		}
+		if s.runStage(cands) {
+			changed = true
+		}
+
 		// Interfaces.
-		for i := len(cur.Interfaces) - 1; i >= 0; i-- {
+		cands = cands[:0]
+		for i := len(s.cur.Interfaces) - 1; i >= 0; i-- {
 			i := i
-			if try(func(c *jimple.Class) bool {
+			cands = append(cands, func(c *jimple.Class) bool {
 				if i >= len(c.Interfaces) {
 					return false
 				}
 				c.Interfaces = append(c.Interfaces[:i], c.Interfaces[i+1:]...)
 				return true
-			}) {
-				changed = true
-			}
+			})
 		}
+		if s.runStage(cands) {
+			changed = true
+		}
+
 		// Throws entries.
-		for mi := range cur.Methods {
-			for ti := len(cur.Methods[mi].Throws) - 1; ti >= 0; ti-- {
+		cands = cands[:0]
+		for mi := range s.cur.Methods {
+			for ti := len(s.cur.Methods[mi].Throws) - 1; ti >= 0; ti-- {
 				mi, ti := mi, ti
-				if try(func(c *jimple.Class) bool {
+				cands = append(cands, func(c *jimple.Class) bool {
 					if mi >= len(c.Methods) || ti >= len(c.Methods[mi].Throws) {
 						return false
 					}
 					m := c.Methods[mi]
 					m.Throws = append(m.Throws[:ti], m.Throws[ti+1:]...)
 					return true
-				}) {
-					changed = true
-				}
+				})
 			}
 		}
+		if s.runStage(cands) {
+			changed = true
+		}
+
 		// Statements (from the end, preserving branch targets).
-		for mi := range cur.Methods {
-			for si := len(cur.Methods[mi].Body) - 1; si >= 0; si-- {
+		cands = cands[:0]
+		for mi := range s.cur.Methods {
+			for si := len(s.cur.Methods[mi].Body) - 1; si >= 0; si-- {
 				mi, si := mi, si
-				if try(func(c *jimple.Class) bool {
+				cands = append(cands, func(c *jimple.Class) bool {
 					if mi >= len(c.Methods) || si >= len(c.Methods[mi].Body) {
 						return false
 					}
@@ -143,34 +282,38 @@ func Reduce(c *jimple.Class, runner *difftest.Runner, opts Options) (*Result, er
 					m.Body = append(m.Body[:si], m.Body[si+1:]...)
 					jimple.RetargetAfterRemoval(m.Body, si)
 					return true
-				}) {
-					changed = true
-				}
+				})
 			}
 		}
+		if s.runStage(cands) {
+			changed = true
+		}
+
 		// Unused locals.
-		for mi := range cur.Methods {
-			for li := len(cur.Methods[mi].Locals) - 1; li >= 0; li-- {
+		cands = cands[:0]
+		for mi := range s.cur.Methods {
+			for li := len(s.cur.Methods[mi].Locals) - 1; li >= 0; li-- {
 				mi, li := mi, li
-				if try(func(c *jimple.Class) bool {
+				cands = append(cands, func(c *jimple.Class) bool {
 					if mi >= len(c.Methods) || li >= len(c.Methods[mi].Locals) {
 						return false
 					}
 					m := c.Methods[mi]
 					m.Locals = append(m.Locals[:li], m.Locals[li+1:]...)
 					return true
-				}) {
-					changed = true
-				}
+				})
 			}
+		}
+		if s.runStage(cands) {
+			changed = true
 		}
 
 		if !changed {
 			break
 		}
 	}
-	res.Reduced = cur
-	return res, nil
+	s.res.Reduced = s.cur
+	return s.res, nil
 }
 
 // Size is the reduction metric: structural element count.
