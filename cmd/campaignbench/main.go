@@ -34,6 +34,7 @@ import (
 	"repro/internal/coverage"
 	"repro/internal/jvm"
 	"repro/internal/seedgen"
+	"repro/internal/telemetry"
 )
 
 type row struct {
@@ -45,6 +46,16 @@ type row struct {
 	ItersPerSec  float64 `json:"iters_per_sec"`
 	MicrosPerGen float64 `json:"micros_per_gen"`
 	MicrosTest   float64 `json:"micros_per_test"`
+	// MicrosVerify / MicrosExecute split the per-test cost into the
+	// reference VM's verification phase (linking: hierarchy checks,
+	// resolution, §4.10 method verification — where the verify memo
+	// bites) and the rest of the startup pipeline (loading,
+	// initialization, runtime). Measured on one extra
+	// telemetry-instrumented campaign per cell from the per-phase
+	// jvm.<spec>.phase.*_ns histograms, so the timed repeats above stay
+	// uninstrumented.
+	MicrosVerify  float64 `json:"micros_verify_per_test"`
+	MicrosExecute float64 `json:"micros_execute_per_test"`
 	// Speedup is relative to the grid's first cell (the first -workers
 	// entry at the first -batch entry).
 	Speedup float64 `json:"speedup_vs_1"`
@@ -178,6 +189,7 @@ func main() {
 			}
 			if n := len(last.Test); n > 0 {
 				r.MicrosTest = best.Seconds() / float64(n) * 1e6
+				r.MicrosVerify, r.MicrosExecute = phaseSplit(cfg, n)
 			}
 			if base == 0 {
 				base = r.ItersPerSec
@@ -217,6 +229,32 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s\n", *out)
+}
+
+// phaseSplit runs one telemetry-instrumented campaign for cfg and
+// splits the reference VM's per-test wall clock into the verification
+// phase (linking) and the rest of the startup pipeline. tests is the
+// executed-test count of the identical uninstrumented campaign
+// (telemetry is observe-only, so the counts match by construction).
+func phaseSplit(cfg campaign.Config, tests int) (verifyµs, executeµs float64) {
+	reg := telemetry.New()
+	cfg.Telemetry = reg
+	if _, err := campaign.Run(cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "campaign (instrumented, workers=%d batch=%d): %v\n", cfg.Workers, cfg.Batch, err)
+		os.Exit(1)
+	}
+	snap := reg.Snapshot()
+	prefix := "jvm." + cfg.RefSpec.Name + ".phase."
+	var verifyNs, executeNs int64
+	for _, p := range jvm.AllPhases() {
+		sum := snap.Hist(prefix + p.String() + "_ns").Sum
+		if p == jvm.PhaseLinking {
+			verifyNs += sum
+		} else {
+			executeNs += sum
+		}
+	}
+	return float64(verifyNs) / float64(tests) / 1e3, float64(executeNs) / float64(tests) / 1e3
 }
 
 // allocSite aggregates profile records by their innermost frame.

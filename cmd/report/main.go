@@ -317,6 +317,10 @@ func main() {
 		final.Counter("analysis.dataflow.reject"),
 		final.Counter("analysis.dataflow.unknown"),
 		final.Counter("campaign.prefilter.verify_doomed"))
+	fmt.Printf("Method verify memo: %d hits / %d misses (%d unsafe fallbacks).\n",
+		final.Counter(jvm.MetricVerifyMemoHits),
+		final.Counter(jvm.MetricVerifyMemoMisses),
+		final.Counter(jvm.MetricVerifyMemoUnsafe))
 
 	if *serviceMetrics != "" {
 		if err := reportService(treg, *serviceMetrics); err != nil {

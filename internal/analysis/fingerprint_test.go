@@ -1,0 +1,143 @@
+package analysis_test
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/classfile"
+)
+
+// maskClass builds a small class that references its own name through
+// several pool entries (ThisClass→Class→Utf8 plus a self-typed method
+// descriptor is overkill here — the Class chain is what every mutant
+// has), with one extra Utf8 payload the tests can vary.
+func maskClass(name, payload string) []byte {
+	f := classfile.New(name)
+	m := f.AddMethod(classfile.AccPublic|classfile.AccStatic, payload, "()V")
+	m.Attributes = append(m.Attributes, &classfile.CodeAttr{
+		MaxStack: 1, MaxLocals: 1, Code: []byte{0xb1}, // return
+	})
+	data, err := f.Bytes()
+	if err != nil {
+		panic(err)
+	}
+	return data
+}
+
+// TestVerifyFingerprintSelfNameCollision pins the mask's purpose: two
+// classes identical up to the spelling of their own name — including
+// names of different lengths, which shift every subsequent byte offset
+// in the pool — must collide, so a lineage's renamed-per-iteration
+// mutants share one verify-band key.
+func TestVerifyFingerprintSelfNameCollision(t *testing.T) {
+	a := analysis.VerifyFingerprint(maskClass("Alpha", "go"), "Alpha")
+	b := analysis.VerifyFingerprint(maskClass("Mutant_00042", "go"), "Mutant_00042")
+	if a != b {
+		t.Fatalf("self-name-masked fingerprints diverged: %#x vs %#x", a, b)
+	}
+}
+
+// TestVerifyFingerprintUtf8EditDiverges pins the mask's limit: editing
+// any referenced Utf8 that is *not* the self-name — here a method name,
+// same length so offsets do not move — must change the fingerprint,
+// because the verifiers read that content.
+func TestVerifyFingerprintUtf8EditDiverges(t *testing.T) {
+	a := analysis.VerifyFingerprint(maskClass("Alpha", "go"), "Alpha")
+	b := analysis.VerifyFingerprint(maskClass("Alpha", "gp"), "Alpha")
+	if a == b {
+		t.Fatalf("single Utf8 edit did not change the fingerprint: %#x", a)
+	}
+}
+
+// TestVerifyFingerprintNestedSelfReference pins substring behaviour:
+// strings that merely *contain* the self-name ("AA", "LA;" for a class
+// named "A") are not the self-name and must be hashed verbatim, not
+// masked.
+func TestVerifyFingerprintNestedSelfReference(t *testing.T) {
+	a := analysis.VerifyFingerprint(maskClass("A", "AA"), "A")
+	b := analysis.VerifyFingerprint(maskClass("A", "AB"), "A")
+	if a == b {
+		t.Fatal("a string containing the self-name was masked with it")
+	}
+}
+
+// fpSafeName matches class names the rename invariant below can reason
+// about: plain ASCII identifiers whose loader-visible properties
+// (validity bits, special-name table) are stable under same-length
+// letter substitution.
+var fpSafeName = regexp.MustCompile(`^[A-Za-z][A-Za-z0-9_]+$`)
+
+// FuzzVerifyFingerprintMask checks the mask's defining invariant on
+// arbitrary parseable classfiles: re-serialising a file under a fresh
+// class name (same validity class, no aliasing with other pool
+// strings) must not move its verify fingerprint, while the seeds also
+// exercise pool strings that nest the self-name as a substring. The
+// seed corpus covers the nested-self-reference shapes directly; `go
+// test -fuzz` explores mutated bytes.
+func FuzzVerifyFingerprintMask(f *testing.F) {
+	f.Add(maskClass("A", "AA"))         // name nested in a longer string
+	f.Add(maskClass("A", "go"))         // plain minimal class
+	f.Add(maskClass("Outer", "Outer_")) // prefix-nested self-reference
+	f.Add(maskClass("Mutant_1", "m"))   // lineage-style generated name
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cf, err := classfile.Parse(data)
+		if err != nil {
+			return
+		}
+		cc := cf.Pool.Get(cf.ThisClass)
+		if cc == nil || cc.Tag != classfile.TagClass {
+			return
+		}
+		utf := cf.Pool.Get(cc.Ref1)
+		if utf == nil || utf.Tag != classfile.TagUtf8 {
+			return
+		}
+		oldName := utf.Str
+		if !fpSafeName.MatchString(oldName) || oldName == "main" {
+			return
+		}
+		// Same-length letter substitution keeps every property the
+		// fingerprint prefix hashes (validity bits, special names).
+		newName := "Zx" + oldName[2:]
+		if newName == oldName {
+			newName = "Qy" + oldName[2:]
+		}
+		// Renaming must not create or destroy aliasing with other pool
+		// strings: skip files where either spelling appears elsewhere.
+		for i := 1; i < cf.Pool.Count(); i++ {
+			if c := cf.Pool.Get(uint16(i)); c != nil && c.Tag == classfile.TagUtf8 && c != utf {
+				if c.Str == oldName || c.Str == newName {
+					return
+				}
+			}
+		}
+		orig, err := cf.Bytes()
+		if err != nil {
+			return
+		}
+		utf.Str = newName
+		renamed, err := cf.Bytes()
+		utf.Str = oldName
+		if err != nil {
+			return
+		}
+		a := analysis.VerifyFingerprint(orig, oldName)
+		b := analysis.VerifyFingerprint(renamed, newName)
+		if a != b {
+			t.Fatalf("rename %q→%q moved the verify fingerprint: %#x vs %#x",
+				oldName, newName, a, b)
+		}
+		// And the mask must never erase a non-self edit: flipping the
+		// spelling while keeping the old selfName argument makes the
+		// entry an ordinary (hashed) string, so the keys must differ.
+		if strings.Contains(newName, oldName) {
+			return // nested spellings can re-collide legitimately
+		}
+		if analysis.VerifyFingerprint(renamed, oldName) == a {
+			t.Fatalf("unmasked rename %q→%q kept the fingerprint", oldName, newName)
+		}
+	})
+}

@@ -60,6 +60,14 @@ type prefilter struct {
 	// outcomes, and needs no versioning.
 	vmu      sync.Mutex
 	verdicts map[uint64]bool
+
+	// vmemo, when attached by the engine, memoises the band's per-method
+	// dataflow fixpoints below the whole-class verdicts map: a class
+	// that misses on its masked fingerprint (every generation renames
+	// the mutant) still reuses the lineage's verdicts for untouched
+	// methods. Like verdicts it is a pure-function cache — content-
+	// addressed keys, no versioning needed.
+	vmemo *jvm.VerifyMemo
 }
 
 type prefilterEntry struct {
@@ -109,7 +117,7 @@ func (pf *prefilter) verifyReject(f *classfile.File, vfp uint64) bool {
 	if ok {
 		return v
 	}
-	v = analysis.VerifyReject(f, pf.spec, pf.env) != nil
+	v = analysis.VerifyRejectMemo(f, pf.spec, pf.env, pf.vmemo) != nil
 	pf.vmu.Lock()
 	pf.verdicts[vfp] = v
 	pf.vmu.Unlock()

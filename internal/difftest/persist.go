@@ -20,6 +20,11 @@ const MemoExportVersion = 1
 type MemoExport struct {
 	Version int               `json:"version"`
 	Classes []MemoExportClass `json:"classes"`
+	// Verify carries the method-granular verification memo
+	// (jvm.VerifyMemo) alongside the whole-class outcomes. The field is
+	// optional — files written before the verify memo existed simply
+	// leave it empty, so the version number stays at 1.
+	Verify []jvm.VerifyMemoExportEntry `json:"verify_outcomes,omitempty"`
 }
 
 // MemoExportClass is one distinct classfile's cache line.

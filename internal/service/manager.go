@@ -361,7 +361,8 @@ func (m *Manager) loadState() (bool, error) {
 	return true, nil
 }
 
-// loadMemo imports memo.json into the session memo, if present.
+// loadMemo imports memo.json into the session memos (the whole-class
+// outcome memo and the method-granular verify memo), if present.
 func (m *Manager) loadMemo() error {
 	var exp difftest.MemoExport
 	if err := readJSON(m.memoPath(), &exp); err != nil {
@@ -370,16 +371,20 @@ func (m *Manager) loadMemo() error {
 		}
 		return err
 	}
-	n, err := m.session.Memo.Import(&exp, difftest.NewStandardRunner().VMs)
+	vms := difftest.NewStandardRunner().VMs
+	n, err := m.session.Memo.Import(&exp, vms)
 	if err != nil {
 		return err
 	}
-	m.logf("memo: adopted %d cached outcomes from %s", n, m.memoPath())
+	nv := m.session.VerifyMemo.Import(exp.Verify, vms)
+	m.logf("memo: adopted %d cached outcomes, %d method verdicts from %s", n, nv, m.memoPath())
 	return nil
 }
 
 func (m *Manager) persistMemo() error {
-	return writeJSONAtomic(m.memoPath(), m.session.Memo.Export())
+	exp := m.session.Memo.Export()
+	exp.Verify = m.session.VerifyMemo.Export()
+	return writeJSONAtomic(m.memoPath(), exp)
 }
 
 // liftSeed validates submission bytes all the way to the class model

@@ -3,6 +3,7 @@ package service
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -16,6 +17,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/coverage"
+	"repro/internal/difftest"
 	"repro/internal/jimple"
 	"repro/internal/seedgen"
 )
@@ -408,5 +410,50 @@ func TestDataDirLock(t *testing.T) {
 	}
 	if err := m3.Stop(context.Background()); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestMemoPersistsMethodVerdicts pins the daemon's memo.json contract
+// for the method-verification memo: a completed run persists
+// verify_outcomes alongside the whole-class outcomes, and a restart on
+// the same data directory adopts every verdict and re-persists the
+// file byte-identically (export order is canonical, import is
+// lossless).
+func TestMemoPersistsMethodVerdicts(t *testing.T) {
+	cfg := testConfig(t, 2)
+	runToCompletion(t, cfg)
+
+	memoPath := filepath.Join(cfg.DataDir, "memo.json")
+	first, err := os.ReadFile(memoPath)
+	if err != nil {
+		t.Fatalf("memo.json missing after run: %v", err)
+	}
+	var exp difftest.MemoExport
+	if err := json.Unmarshal(first, &exp); err != nil {
+		t.Fatal(err)
+	}
+	if len(exp.Verify) == 0 {
+		t.Fatal("memo.json carries no method verdicts")
+	}
+
+	// Restart on the exhausted directory: loadMemo adopts, no epochs
+	// run, Stop re-persists.
+	m2 := New(cfg)
+	if err := m2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	m2.Wait()
+	if got := m2.Session().VerifyMemo.Len(); got != len(exp.Verify) {
+		t.Fatalf("restart adopted %d method verdicts, persisted %d", got, len(exp.Verify))
+	}
+	if err := m2.Stop(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	second, err := os.ReadFile(memoPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatal("memo.json not byte-identical across an idle restart")
 	}
 }

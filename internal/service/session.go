@@ -12,6 +12,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/coverage"
 	"repro/internal/difftest"
+	"repro/internal/jvm"
 	"repro/internal/telemetry"
 )
 
@@ -59,6 +60,11 @@ type Session struct {
 	// Memo is the outcome memo shared by every differential evaluation
 	// the session performs.
 	Memo *difftest.OutcomeMemo
+	// VerifyMemo is the method-granular verification memo shared by
+	// every session Runner (below Memo: renamed-but-identical lineage
+	// methods hit it even when the whole-class memo misses). It
+	// persists into memo.json next to the outcome memo.
+	VerifyMemo *jvm.VerifyMemo
 	// Telemetry is the session-wide metrics roll-up. Campaigns run
 	// against private registries which Fold merges in as they finish,
 	// so campaign.* counters here are totals across all folds; the
@@ -77,12 +83,14 @@ func NewSession(reg *telemetry.Registry) *Session {
 		reg = telemetry.New()
 	}
 	s := &Session{
-		Campaigns: map[string]*campaign.Result{},
-		Memo:      difftest.NewOutcomeMemo(),
-		Telemetry: reg,
-		cov:       coverage.NewTrace(),
+		Campaigns:  map[string]*campaign.Result{},
+		Memo:       difftest.NewOutcomeMemo(),
+		VerifyMemo: jvm.NewVerifyMemo(),
+		Telemetry:  reg,
+		cov:        coverage.NewTrace(),
 	}
 	s.Memo.UseTelemetry(reg)
+	s.VerifyMemo.UseTelemetry(reg)
 	return s
 }
 
@@ -110,6 +118,8 @@ func (s *Session) Fold(key string, res *campaign.Result, reg *telemetry.Registry
 func (s *Session) Runner() *difftest.Runner {
 	r := difftest.NewStandardRunner()
 	r.Memo = s.Memo
+	r.VerifyMemo = s.VerifyMemo
+	jvm.ShareVerifyMemo(r.VMs, s.VerifyMemo)
 	r.UseTelemetry(s.Telemetry)
 	return r
 }
