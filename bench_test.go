@@ -153,7 +153,7 @@ func BenchmarkAblationMCMC(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		run := func(alg fuzz.Algorithm) int {
 			res, err := fuzz.Run(fuzz.Config{
-				Algorithm: alg, Criterion: coverage.STBR, Seeds: seeds,
+				Algorithm: alg, Criterion: coverage.STBR, Source: fuzz.FlatSeeds(seeds),
 				Iterations: 300, Rand: int64(i) + 11, RefSpec: jvm.HotSpot9(),
 			})
 			if err != nil {
@@ -178,7 +178,7 @@ func BenchmarkAblationCriterion(b *testing.B) {
 			name string
 		}{{coverage.ST, "st_tests"}, {coverage.STBR, "stbr_tests"}, {coverage.TR, "tr_tests"}} {
 			res, err := fuzz.Run(fuzz.Config{
-				Algorithm: fuzz.Classfuzz, Criterion: c.crit, Seeds: seeds,
+				Algorithm: fuzz.Classfuzz, Criterion: c.crit, Source: fuzz.FlatSeeds(seeds),
 				Iterations: 300, Rand: 11, RefSpec: jvm.HotSpot9(),
 			})
 			if err != nil {
@@ -196,7 +196,7 @@ func BenchmarkAblationSeedPool(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		run := func(noRecycle bool) int {
 			res, err := fuzz.Run(fuzz.Config{
-				Algorithm: fuzz.Classfuzz, Criterion: coverage.STBR, Seeds: seeds,
+				Algorithm: fuzz.Classfuzz, Criterion: coverage.STBR, Source: fuzz.FlatSeeds(seeds),
 				Iterations: 300, Rand: 11, RefSpec: jvm.HotSpot9(),
 				NoSeedRecycling: noRecycle,
 			})
@@ -225,7 +225,7 @@ func BenchmarkAblationP(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		for _, pc := range ps {
 			res, err := fuzz.Run(fuzz.Config{
-				Algorithm: fuzz.Classfuzz, Criterion: coverage.STBR, Seeds: seeds,
+				Algorithm: fuzz.Classfuzz, Criterion: coverage.STBR, Source: fuzz.FlatSeeds(seeds),
 				Iterations: 300, Rand: 11, RefSpec: jvm.HotSpot9(), P: pc.p,
 			})
 			if err != nil {

@@ -107,7 +107,7 @@ func DefaultCampaign(seeds []*Class, iterations int) CampaignConfig {
 	return CampaignConfig{
 		Algorithm:  Classfuzz,
 		Criterion:  STBR,
-		Seeds:      seeds,
+		Source:     fuzz.FlatSeeds(seeds),
 		Iterations: iterations,
 		Rand:       1,
 		RefSpec:    jvm.HotSpot9(),

@@ -141,7 +141,7 @@ func main() {
 			cfg := campaign.Config{
 				Algorithm:       campaign.Classfuzz,
 				Criterion:       coverage.STBR,
-				Seeds:           seeds,
+				Source:          campaign.FlatSeeds(seeds),
 				Iterations:      *iters,
 				Rand:            *seed,
 				RefSpec:         jvm.HotSpot9(),

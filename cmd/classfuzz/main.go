@@ -5,6 +5,7 @@
 //
 //	classfuzz [-alg classfuzz|randfuzz|greedyfuzz|uniquefuzz]
 //	          [-criterion stbr|st|tr] [-seeds N] [-iters N]
+//	          [-seed-strategy uniform|clustered|yield]
 //	          [-seed N] [-workers N] [-out DIR] [-difftest] [-progress]
 //	          [-replay ITER] [-metrics-addr HOST:PORT] [-metrics-dump FILE]
 //
@@ -27,6 +28,7 @@ import (
 	"repro/internal/jimple"
 	"repro/internal/jvm"
 	"repro/internal/seedgen"
+	"repro/internal/seedsel"
 	"repro/internal/telemetry"
 )
 
@@ -34,6 +36,7 @@ func main() {
 	alg := flag.String("alg", "classfuzz", "algorithm: classfuzz, randfuzz, greedyfuzz, uniquefuzz")
 	criterion := flag.String("criterion", "stbr", "uniqueness criterion for classfuzz: st, stbr, tr")
 	seedCount := flag.Int("seeds", 100, "number of generated seed classes")
+	seedStrategy := flag.String("seed-strategy", "uniform", "seed selection: uniform, clustered, yield")
 	iters := flag.Int("iters", 1000, "iteration budget")
 	seed := flag.Int64("seed", 1, "random seed")
 	workers := flag.Int("workers", 1, "worker pool size for the mutate/execute stages (results are identical at any value)")
@@ -58,19 +61,10 @@ func main() {
 		os.Exit(2)
 	}
 
-	cfg := campaign.Config{
-		Algorithm:  campaign.Algorithm(*alg),
-		Criterion:  crit,
-		Seeds:      seedgen.Generate(seedgen.DefaultOptions(*seedCount, *seed)),
-		Iterations: *iters,
-		Rand:       *seed,
-		RefSpec:    jvm.HotSpot9(),
-		Workers:    *workers,
-	}
-
-	if *replay >= 0 {
-		doReplay(cfg, *replay, *out)
-		return
+	strategy, err := seedsel.ParseStrategy(*seedStrategy)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "unknown seed strategy %q (want %s)\n", *seedStrategy, seedsel.Strategies())
+		os.Exit(2)
 	}
 
 	// Telemetry is observe-only: attaching a registry (for the live
@@ -78,7 +72,34 @@ func main() {
 	var reg *telemetry.Registry
 	if *metricsAddr != "" || *metricsDump != "" {
 		reg = telemetry.New()
-		cfg.Telemetry = reg
+	}
+
+	seeds := seedgen.Generate(seedgen.DefaultOptions(*seedCount, *seed))
+	var source campaign.SeedSource
+	if strategy == seedsel.Uniform {
+		source = campaign.FlatSeeds(seeds)
+	} else {
+		source, err = seedsel.New(seeds, seedsel.Options{Strategy: strategy, RefSpec: jvm.HotSpot9(), Telemetry: reg})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "seed scheduler: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	cfg := campaign.Config{
+		Algorithm:  campaign.Algorithm(*alg),
+		Criterion:  crit,
+		Source:     source,
+		Iterations: *iters,
+		Rand:       *seed,
+		RefSpec:    jvm.HotSpot9(),
+		Workers:    *workers,
+		Telemetry:  reg,
+	}
+
+	if *replay >= 0 {
+		doReplay(cfg, *replay, *out)
+		return
 	}
 	if *metricsAddr != "" {
 		srv, err := telemetry.Serve(*metricsAddr, func() telemetry.Snapshot { return reg.Snapshot() })

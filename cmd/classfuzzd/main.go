@@ -9,6 +9,7 @@
 //	classfuzzd -data DIR [-addr HOST:PORT] [-shards N] [-workers N]
 //	           [-alg classfuzz|randfuzz|greedyfuzz|uniquefuzz]
 //	           [-criterion stbr|st|tr] [-seeds N] [-iters N] [-seed N]
+//	           [-seed-strategy uniform|clustered|yield]
 //	           [-epochs N] [-queue N] [-checkpoint-every DUR]
 //
 // API quick reference (see DESIGN.md "Service layer"):
@@ -35,6 +36,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/coverage"
+	"repro/internal/seedsel"
 	"repro/internal/service"
 )
 
@@ -48,6 +50,7 @@ func main() {
 	seedCount := flag.Int("seeds", 60, "generated base seed classes")
 	iters := flag.Int("iters", 400, "iterations per shard epoch")
 	seed := flag.Int64("seed", 1, "daemon seed (roots every shard epoch's derived campaign seed)")
+	seedStrategy := flag.String("seed-strategy", "uniform", "seed selection: uniform, clustered, yield")
 	epochs := flag.Int("epochs", 0, "epochs per shard (0 = run until stopped)")
 	queueCap := flag.Int("queue", 64, "seed-intake queue capacity (full queue answers 429)")
 	ckptEvery := flag.Duration("checkpoint-every", 30*time.Second, "periodic checkpoint interval (0 disables)")
@@ -69,6 +72,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown criterion %q\n", *criterion)
 		os.Exit(2)
 	}
+	if _, err := seedsel.ParseStrategy(*seedStrategy); err != nil {
+		fmt.Fprintf(os.Stderr, "unknown seed strategy %q (want %s)\n", *seedStrategy, seedsel.Strategies())
+		os.Exit(2)
+	}
 
 	logger := log.New(os.Stderr, "classfuzzd: ", log.LstdFlags)
 	m := service.New(service.Config{
@@ -80,6 +87,7 @@ func main() {
 		Criterion:       crit,
 		SeedCount:       *seedCount,
 		Seed:            *seed,
+		SeedStrategy:    *seedStrategy,
 		Iterations:      *iters,
 		Epochs:          *epochs,
 		QueueCap:        *queueCap,

@@ -3,8 +3,8 @@
 //
 // Usage:
 //
-//	experiments [-scale default|paper] [-run all|prelim|table4|table5|table6|table7|figure4|pestimate|mcmcgain]
-//	            [-metrics-addr HOST:PORT]
+//	experiments [-scale default|paper] [-run all|prelim|table4|table5|table6|table7|figure4|pestimate|mcmcgain|seedsel]
+//	            [-seed-strategy uniform|clustered|yield] [-metrics-addr HOST:PORT]
 package main
 
 import (
@@ -14,16 +14,24 @@ import (
 
 	"repro/internal/difftest"
 	"repro/internal/experiments"
+	"repro/internal/seedsel"
 	"repro/internal/telemetry"
 )
 
 func main() {
 	scaleFlag := flag.String("scale", "default", "campaign scale: default or paper")
-	runFlag := flag.String("run", "all", "experiment to run: all, prelim, table4, table5, table6, table7, figure4, pestimate, mcmcgain")
+	runFlag := flag.String("run", "all", "experiment to run: all, prelim, table4, table5, table6, table7, figure4, pestimate, mcmcgain, seedsel")
 	seed := flag.Int64("seed", 1, "random seed")
 	workers := flag.Int("workers", 1, "per-campaign worker pool size (results are identical at any value)")
+	seedStrategy := flag.String("seed-strategy", "uniform", "seed-selection policy for the session campaigns: "+seedsel.Strategies())
 	metricsAddr := flag.String("metrics-addr", "", "serve live /metrics.json and /healthz on this address (e.g. 127.0.0.1:8317)")
 	flag.Parse()
+
+	if _, err := seedsel.ParseStrategy(*seedStrategy); err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	var scale experiments.Scale
 	switch *scaleFlag {
@@ -37,6 +45,7 @@ func main() {
 	}
 	scale.Seed = *seed
 	scale.Workers = *workers
+	scale.SeedStrategy = *seedStrategy
 
 	// Attach the roll-up registry before the session runs so the live
 	// endpoint watches the six campaigns as they execute. Observe-only:
@@ -105,6 +114,13 @@ func main() {
 			}
 			fmt.Println(b)
 			fmt.Println()
+		case "seedsel":
+			study, err := experiments.RunSeedStrategyStudy(scale)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "seed-strategy study failed: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println(study)
 		case "pestimate":
 			p, err := experiments.RunPEstimate()
 			if err != nil {
@@ -119,7 +135,7 @@ func main() {
 	}
 
 	if *runFlag == "all" {
-		for _, what := range []string{"prelim", "table4", "table5", "table6", "table7", "figure4", "mcmcgain", "blind", "pestimate"} {
+		for _, what := range []string{"prelim", "table4", "table5", "table6", "table7", "figure4", "mcmcgain", "blind", "seedsel", "pestimate"} {
 			show(what)
 		}
 		if sess != nil && sess.Memo != nil {

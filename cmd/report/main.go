@@ -7,6 +7,7 @@
 // Usage:
 //
 //	report [-seeds N] [-iters N] [-seed N] [-reduce N]
+//	       [-seed-strategy uniform|clustered|yield]
 //	       [-service-metrics FILE] > report.md
 //
 // -service-metrics folds a telemetry snapshot dumped by a classfuzzd
@@ -32,6 +33,7 @@ import (
 	"repro/internal/jvm"
 	"repro/internal/reduce"
 	"repro/internal/seedgen"
+	"repro/internal/seedsel"
 	"repro/internal/service"
 	"repro/internal/telemetry"
 	"repro/internal/triage"
@@ -43,18 +45,38 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	workers := flag.Int("workers", 1, "campaign worker pool size (results are identical at any value)")
 	reduceN := flag.Int("reduce", 3, "number of discrepancy witnesses to reduce")
+	seedStrategy := flag.String("seed-strategy", "uniform", "seed selection: uniform, clustered, yield")
 	serviceMetrics := flag.String("service-metrics", "", "telemetry snapshot JSON from a classfuzzd daemon (/metrics.json) to report on")
 	flag.Parse()
+
+	strategy, err := seedsel.ParseStrategy(*seedStrategy)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "unknown seed strategy %q (want %s)\n", *seedStrategy, seedsel.Strategies())
+		os.Exit(2)
+	}
 
 	counters := &campaign.Counters{}
 	// One registry for the whole session: campaign stage timing, per-VM
 	// phase timing and the difftest engine all report here, and the
 	// Telemetry section at the end renders from its snapshot.
 	treg := telemetry.New()
+	seeds := seedgen.Generate(seedgen.DefaultOptions(*seedCount, *seed))
+	var source fuzz.SeedSource
+	var sched *seedsel.Scheduler
+	if strategy == seedsel.Uniform {
+		source = fuzz.FlatSeeds(seeds)
+	} else {
+		sched, err = seedsel.New(seeds, seedsel.Options{Strategy: strategy, RefSpec: jvm.HotSpot9(), Telemetry: treg})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "seed scheduler: %v\n", err)
+			os.Exit(1)
+		}
+		source = sched
+	}
 	cfg := fuzz.Config{
 		Algorithm:       fuzz.Classfuzz,
 		Criterion:       coverage.STBR,
-		Seeds:           seedgen.Generate(seedgen.DefaultOptions(*seedCount, *seed)),
+		Source:          source,
 		Iterations:      *iters,
 		Rand:            *seed,
 		RefSpec:         jvm.HotSpot9(),
@@ -94,7 +116,21 @@ func main() {
 	fmt.Printf("| generated classfiles | %d |\n", len(res.Gen))
 	fmt.Printf("| representative tests | %d |\n", len(res.Test))
 	fmt.Printf("| success rate | %.1f%% |\n", res.Succ()*100)
+	fmt.Printf("| seed strategy | %s |\n", strategy)
 	fmt.Printf("| wall clock | %s |\n\n", res.Elapsed.Round(1000000))
+
+	if sched != nil {
+		fmt.Printf("## Seed scheduling\n\n")
+		fmt.Printf("Corpus clustered by structural fingerprint and baseline coverage\n")
+		fmt.Printf("trace; draws scheduled per cluster under the %s policy (counters\n", strategy)
+		fmt.Printf("are the campaign.seeds.* telemetry series).\n\n")
+		fmt.Printf("| cluster | seeds | pool | draws | yield | demotions | demoted |\n|---|---|---|---|---|---|---|\n")
+		for _, cs := range sched.ClusterStats() {
+			fmt.Printf("| %d | %d | %d | %d | %d | %d | %v |\n",
+				cs.Cluster, cs.Seeds, cs.Pool, cs.Draws, cs.Yield, cs.Demotions, cs.Demoted)
+		}
+		fmt.Printf("\n")
+	}
 
 	fmt.Printf("## Engine events\n\n")
 	fmt.Printf("Tallied by the campaign engine's observer; the event stream fires\n")

@@ -61,7 +61,7 @@ func TestCampaignInvariants(t *testing.T) {
 	seeds := seedgen.Generate(seedgen.DefaultOptions(25, 8))
 	for _, alg := range []fuzz.Algorithm{fuzz.Classfuzz, fuzz.Uniquefuzz, fuzz.Greedyfuzz, fuzz.Randfuzz} {
 		res, err := fuzz.Run(fuzz.Config{
-			Algorithm: alg, Criterion: coverage.STBR, Seeds: seeds,
+			Algorithm: alg, Criterion: coverage.STBR, Source: fuzz.FlatSeeds(seeds),
 			Iterations: 120, Rand: 5, RefSpec: jvm.HotSpot9(),
 		})
 		if err != nil {
@@ -107,7 +107,7 @@ func TestCampaignInvariants(t *testing.T) {
 func TestCoverageUniquenessHoldsOverSuite(t *testing.T) {
 	seeds := seedgen.Generate(seedgen.DefaultOptions(25, 4))
 	res, err := fuzz.Run(fuzz.Config{
-		Algorithm: fuzz.Classfuzz, Criterion: coverage.STBR, Seeds: seeds,
+		Algorithm: fuzz.Classfuzz, Criterion: coverage.STBR, Source: fuzz.FlatSeeds(seeds),
 		Iterations: 250, Rand: 5, RefSpec: jvm.HotSpot9(),
 	})
 	if err != nil {

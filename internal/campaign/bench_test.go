@@ -6,6 +6,7 @@ import (
 	"repro/internal/coverage"
 	"repro/internal/jvm"
 	"repro/internal/seedgen"
+	"repro/internal/seedsel"
 	"repro/internal/telemetry"
 )
 
@@ -16,7 +17,7 @@ func benchConfig(workers int) Config {
 	return Config{
 		Algorithm:       Classfuzz,
 		Criterion:       coverage.STBR,
-		Seeds:           seedgen.Generate(seedgen.DefaultOptions(60, 1)),
+		Source:          FlatSeeds(seedgen.Generate(seedgen.DefaultOptions(60, 1))),
 		Iterations:      400,
 		Rand:            1,
 		RefSpec:         jvm.HotSpot9(),
@@ -68,6 +69,29 @@ func BenchmarkCampaignWarmLineage(b *testing.B) {
 		b.Fatal(err)
 	}
 	benchCampaignCfg(b, cfg)
+}
+
+// BenchmarkCampaignYieldSched is the scheduler hot path: the same
+// campaign drawn through a yield-weighted seedsel scheduler instead of
+// the flat adapter, so every draw walks the cluster weights and every
+// commit updates them. The bench-compare CI gate watches this next to
+// the flat-draw benchmarks; scheduler construction (per-seed baseline
+// execution) happens inside the timed loop because a stateful source
+// serves exactly one run.
+func BenchmarkCampaignYieldSched(b *testing.B) {
+	seeds := seedgen.Generate(seedgen.DefaultOptions(60, 1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sched, err := seedsel.New(seeds, seedsel.Options{Strategy: seedsel.Yield, RefSpec: jvm.HotSpot9()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := benchConfig(1)
+		cfg.Source = sched
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkCampaign1WorkerTelemetry is the instrumented twin of

@@ -23,7 +23,7 @@ func runBytefuzz(cfg Config) (*Result, error) {
 
 	// Serialise the seed corpus once.
 	var pool [][]byte
-	for _, s := range cfg.Seeds {
+	for _, s := range cfg.seedCorpus() {
 		f, err := jimple.Lower(s)
 		if err != nil {
 			continue

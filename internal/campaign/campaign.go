@@ -28,7 +28,6 @@ import (
 	"fmt"
 
 	"repro/internal/coverage"
-	"repro/internal/jimple"
 	"repro/internal/jvm"
 	"repro/internal/telemetry"
 )
@@ -63,8 +62,11 @@ type Config struct {
 	// Criterion selects the uniqueness discipline for classfuzz
 	// ([st]/[stbr]/[tr]); uniquefuzz always uses [stbr] (§3.1.2).
 	Criterion coverage.Criterion
-	// Seeds is the initial corpus (cloned before mutation).
-	Seeds []*jimple.Class
+	// Source supplies the initial corpus and the per-iteration seed
+	// selection policy. FlatSeeds wraps a plain slice with the
+	// historical uniform draw; internal/seedsel provides clustering and
+	// yield-aware scheduling behind the same interface.
+	Source SeedSource
 	// Iterations is the campaign budget (the stand-in for the paper's
 	// three-day wall clock).
 	Iterations int
@@ -176,7 +178,7 @@ func (c *Config) batch() int {
 
 // Run executes a campaign.
 func Run(cfg Config) (*Result, error) {
-	if len(cfg.Seeds) == 0 {
+	if len(cfg.seedCorpus()) == 0 {
 		return nil, fmt.Errorf("campaign: no seeds")
 	}
 	if cfg.Iterations <= 0 {

@@ -58,7 +58,7 @@ func detConfig(alg Algorithm) Config {
 	return Config{
 		Algorithm:       alg,
 		Criterion:       coverage.STBR,
-		Seeds:           seedgen.Generate(seedgen.DefaultOptions(20, 5)),
+		Source:          FlatSeeds(seedgen.Generate(seedgen.DefaultOptions(20, 5))),
 		Iterations:      160,
 		Rand:            17,
 		RefSpec:         jvm.HotSpot9(),
@@ -287,11 +287,11 @@ func referenceClassfuzz(t *testing.T, cfg Config) []string {
 	rec := coverage.NewRecorder(jvm.ProbeRegistry())
 	vm.SetRecorder(rec)
 
-	pool := append([]poolEntry(nil), make([]poolEntry, 0, len(cfg.Seeds))...)
-	for _, s := range cfg.Seeds {
+	pool := append([]poolEntry(nil), make([]poolEntry, 0, len(cfg.Source.Corpus()))...)
+	for _, s := range cfg.Source.Corpus() {
 		pool = append(pool, poolEntry{class: s, iter: -1})
 	}
-	for _, s := range cfg.Seeds {
+	for _, s := range cfg.Source.Corpus() {
 		tr, _, err := runOnRef(vm, rec, s)
 		if err != nil {
 			continue

@@ -183,6 +183,10 @@ type engine struct {
 	cfg  Config
 	obs  obs
 	muts []*mutation.Mutator
+	// src is the seed-selection policy; seeds caches its corpus (the
+	// pool's prefix, the digest's input, every lineage's bottom).
+	src   SeedSource
+	seeds []*jimple.Class
 
 	selector         mcmc.Selector
 	coverageDirected bool
@@ -237,6 +241,8 @@ func newEngine(cfg Config) *engine {
 		cfg:              cfg,
 		obs:              obs{cfg.Observer},
 		muts:             mutation.Registry(),
+		src:              cfg.Source,
+		seeds:            cfg.Source.Corpus(),
 		coverageDirected: cfg.Algorithm != Randfuzz,
 		lookahead:        cfg.lookahead(),
 		batch:            cfg.batch(),
@@ -313,8 +319,8 @@ func newEngine(cfg Config) *engine {
 // Shared verbatim by fresh runs and snapshot restores.
 func (e *engine) initSeedState() {
 	cfg := &e.cfg
-	e.pool = make([]poolEntry, 0, len(cfg.Seeds))
-	for _, s := range cfg.Seeds {
+	e.pool = make([]poolEntry, 0, len(e.seeds))
+	for _, s := range e.seeds {
 		e.pool = append(e.pool, poolEntry{class: s, iter: -1})
 	}
 	if !e.coverageDirected {
@@ -330,7 +336,7 @@ func (e *engine) initSeedState() {
 	if e.timing {
 		vm.SetTelemetry(e.cfg.Telemetry)
 	}
-	for _, s := range cfg.Seeds {
+	for _, s := range e.seeds {
 		tr, _, err := runOnRef(vm, rec, s)
 		if err != nil {
 			continue // unlowerable seed: skip its trace
@@ -526,7 +532,7 @@ func (e *engine) draw(i int, t *task) {
 		prng.Reseed(e.drawR, e.cfg.Rand, drawStream, uint64(i))
 	}
 	rng := e.drawR
-	idx := rng.Intn(len(e.pool))
+	idx := e.src.Pick(rng, len(e.pool))
 	pe := e.pool[idx]
 	muID := e.selector.Next(rng)
 	rec := DrawRecord{Iter: i, PoolIndex: idx, Parent: pe.iter, MutatorID: muID}
@@ -695,6 +701,7 @@ func (e *engine) commit(t *task) {
 	}
 	if !generated {
 		e.tel.failures.Inc()
+		e.src.Observe(t.rec.PoolIndex, false, false)
 		e.selector.Record(t.rec.MutatorID, false)
 		if e.obs.o != nil {
 			e.obs.emit(SelectorUpdated{Iter: t.iter, MutatorID: t.rec.MutatorID, Success: false})
@@ -777,6 +784,7 @@ func (e *engine) commit(t *task) {
 		}
 		if !e.cfg.NoSeedRecycling {
 			e.pool = append(e.pool, poolEntry{class: t.mutant, iter: t.iter})
+			e.src.Grew(len(e.pool)-1, t.rec.PoolIndex)
 			e.tel.poolSize.Set(int64(len(e.pool)))
 		}
 		e.tel.accepts.Inc()
@@ -794,6 +802,7 @@ func (e *engine) commit(t *task) {
 		ge.Fp = analysis.ContentFingerprint(t.data)
 	}
 	e.genLog = append(e.genLog, ge)
+	e.src.Observe(t.rec.PoolIndex, true, accepted)
 	e.selector.Record(t.rec.MutatorID, accepted)
 	if e.obs.o != nil {
 		e.obs.emit(SelectorUpdated{Iter: t.iter, MutatorID: t.rec.MutatorID, Success: accepted})

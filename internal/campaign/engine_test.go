@@ -16,10 +16,10 @@ func TestRunValidation(t *testing.T) {
 		t.Error("expected error for empty seed corpus")
 	}
 	seeds := seedgen.Generate(seedgen.DefaultOptions(3, 1))
-	if _, err := Run(Config{Algorithm: Classfuzz, Seeds: seeds}); err == nil {
+	if _, err := Run(Config{Algorithm: Classfuzz, Source: FlatSeeds(seeds)}); err == nil {
 		t.Error("expected error for zero iteration budget")
 	}
-	if _, err := Run(Config{Algorithm: "nosuch", Seeds: seeds, Iterations: 5}); err == nil {
+	if _, err := Run(Config{Algorithm: "nosuch", Source: FlatSeeds(seeds), Iterations: 5}); err == nil {
 		t.Error("expected error for unknown algorithm")
 	}
 }
@@ -242,7 +242,7 @@ func TestReplayRoundTrip(t *testing.T) {
 		t.Error("replayed iteration not verified against the campaign")
 	}
 
-	if _, err := Replay(Config{Algorithm: Bytefuzz, Seeds: cfg.Seeds, Iterations: 5, RefSpec: cfg.RefSpec}, 1); err == nil {
+	if _, err := Replay(Config{Algorithm: Bytefuzz, Source: cfg.Source, Iterations: 5, RefSpec: cfg.RefSpec}, 1); err == nil {
 		t.Error("expected bytefuzz replay to be rejected")
 	}
 }
@@ -325,7 +325,7 @@ func TestConcurrentCampaignsShareSeeds(t *testing.T) {
 	seeds := seedgen.Generate(seedgen.DefaultOptions(10, 9))
 	mk := func() Config {
 		return Config{
-			Algorithm: Classfuzz, Criterion: coverage.STBR, Seeds: seeds,
+			Algorithm: Classfuzz, Criterion: coverage.STBR, Source: FlatSeeds(seeds),
 			Iterations: 60, Rand: 23, RefSpec: jvm.HotSpot9(), Workers: 2,
 		}
 	}

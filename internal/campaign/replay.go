@@ -22,6 +22,22 @@ type ReplayInfo struct {
 	Verified bool
 }
 
+// RootSeed walks iteration iter's lineage through the draw log to the
+// original corpus seed it descends from, returning that seed's pool
+// index (-1 if iter or any ancestor link is outside the log).
+func RootSeed(draws []DrawRecord, iter int) int {
+	for {
+		if iter < 0 || iter >= len(draws) {
+			return -1
+		}
+		rec := draws[iter]
+		if rec.Parent < 0 {
+			return rec.PoolIndex
+		}
+		iter = rec.Parent
+	}
+}
+
 // Rebuild reconstructs iteration iter's mutant from the campaign seed
 // and the draw log alone, with no reference-VM execution. The draw log
 // pins the lineage: the parent is either an original seed
@@ -40,12 +56,13 @@ func Rebuild(cfg Config, draws []DrawRecord, iter int) (*ReplayInfo, error) {
 		return nil, fmt.Errorf("campaign: iteration %d generated no classfile (mutator %d inapplicable or mutant unlowerable)", iter, rec.MutatorID)
 	}
 
+	seeds := cfg.seedCorpus()
 	var parent *jimple.Class
 	if rec.Parent < 0 {
-		if rec.PoolIndex >= len(cfg.Seeds) {
-			return nil, fmt.Errorf("campaign: draw log pool index %d exceeds seed corpus (%d seeds)", rec.PoolIndex, len(cfg.Seeds))
+		if rec.PoolIndex >= len(seeds) {
+			return nil, fmt.Errorf("campaign: draw log pool index %d exceeds seed corpus (%d seeds)", rec.PoolIndex, len(seeds))
 		}
-		parent = cfg.Seeds[rec.PoolIndex]
+		parent = seeds[rec.PoolIndex]
 	} else {
 		pi, err := Rebuild(cfg, draws, rec.Parent)
 		if err != nil {

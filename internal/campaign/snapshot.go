@@ -1,6 +1,8 @@
 package campaign
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"hash/fnv"
 	"sync"
@@ -14,7 +16,9 @@ import (
 
 // SnapshotVersion is the on-disk format version of Snapshot. Bump it
 // whenever a field changes meaning; Resume refuses other versions.
-const SnapshotVersion = 1
+// Version 2 added the seed-selection strategy and its serialized
+// scheduler state (the SeedSource redesign).
+const SnapshotVersion = 2
 
 // Snapshot is a resume-safe image of a running campaign, captured at a
 // coordinator boundary: Drawn iterations have entered the pipeline (the
@@ -58,6 +62,14 @@ type Snapshot struct {
 	// since every rebuilt lineage bottoms out in a seed.
 	SeedCount  int    `json:"seed_count"`
 	SeedDigest uint64 `json:"seed_digest"`
+	// SeedStrategy pins the SeedSource policy ("uniform", "clustered",
+	// "yield"); Resume refuses a config whose source names another.
+	SeedStrategy string `json:"seed_strategy"`
+	// SeedSched carries the source's serialized scheduler state as of
+	// the snapshot (absent for stateless sources). Restore re-derives
+	// the state by replaying the committed prefix into the fresh source
+	// and cross-checks it against this copy.
+	SeedSched json.RawMessage `json:"seed_sched,omitempty"`
 
 	Drawn     int `json:"drawn"`
 	Committed int `json:"committed"`
@@ -204,8 +216,9 @@ func (e *engine) snapshot() *Snapshot {
 		P:               e.effectiveP(),
 		NoSeedRecycling: cfg.NoSeedRecycling,
 		RefSpec:         cfg.RefSpec.Name,
-		SeedCount:       len(cfg.Seeds),
+		SeedCount:       len(e.seeds),
 		SeedDigest:      e.seedCorpusDigest(),
+		SeedStrategy:    e.src.Strategy(),
 		Drawn:           len(draws),
 		Committed:       e.committed,
 		Draws:           draws,
@@ -214,6 +227,9 @@ func (e *engine) snapshot() *Snapshot {
 	if e.pf != nil {
 		pf := e.tel.prefilterStats()
 		s.Prefilter = &pf
+	}
+	if st, err := e.src.MarshalState(); err == nil && len(st) > 0 {
+		s.SeedSched = json.RawMessage(st)
 	}
 	return s
 }
@@ -235,7 +251,7 @@ func (e *engine) effectiveP() float64 {
 // corpus that drifted from the one the snapshot was taken under.
 func (e *engine) seedCorpusDigest() uint64 {
 	if e.seedDigest == 0 {
-		e.seedDigest = SeedDigest(e.cfg.Seeds)
+		e.seedDigest = SeedDigest(e.seeds)
 	}
 	return e.seedDigest
 }
@@ -284,7 +300,7 @@ func (en *Engine) Run() (*Result, error) {
 }
 
 func validateStaged(cfg Config) error {
-	if len(cfg.Seeds) == 0 {
+	if len(cfg.seedCorpus()) == 0 {
 		return fmt.Errorf("campaign: no seeds")
 	}
 	if cfg.Iterations <= 0 {
@@ -355,11 +371,14 @@ func (e *engine) validateSnapshot(snap *Snapshot) error {
 	if snap.RefSpec != cfg.RefSpec.Name {
 		return fail("ref_spec", snap.RefSpec, cfg.RefSpec.Name)
 	}
-	if snap.SeedCount != len(cfg.Seeds) {
-		return fail("seed_count", snap.SeedCount, len(cfg.Seeds))
+	if snap.SeedCount != len(e.seeds) {
+		return fail("seed_count", snap.SeedCount, len(e.seeds))
 	}
 	if d := e.seedCorpusDigest(); snap.SeedDigest != d {
 		return fail("seed_digest", snap.SeedDigest, d)
+	}
+	if snap.SeedStrategy != e.src.Strategy() {
+		return fail("seed_strategy", snap.SeedStrategy, e.src.Strategy())
 	}
 	if snap.Drawn < 0 || snap.Drawn > snap.Iterations {
 		return fmt.Errorf("campaign: snapshot drawn %d outside budget %d", snap.Drawn, snap.Iterations)
@@ -403,10 +422,10 @@ func (e *engine) rebuildCommitted(snap *Snapshot) (map[int]*rebuiltGen, error) {
 		}
 		var parent *jimple.Class
 		if rec.Parent < 0 {
-			if rec.PoolIndex >= len(cfg.Seeds) {
-				return nil, fmt.Errorf("campaign: snapshot iteration %d draws seed %d beyond corpus (%d seeds)", ge.Iter, rec.PoolIndex, len(cfg.Seeds))
+			if rec.PoolIndex >= len(e.seeds) {
+				return nil, fmt.Errorf("campaign: snapshot iteration %d draws seed %d beyond corpus (%d seeds)", ge.Iter, rec.PoolIndex, len(e.seeds))
 			}
-			parent = cfg.Seeds[rec.PoolIndex]
+			parent = e.seeds[rec.PoolIndex]
 		} else {
 			parent = accepted[rec.Parent]
 			if parent == nil {
@@ -475,6 +494,7 @@ func (e *engine) restore(snap *Snapshot) error {
 		e.tel.committed.Inc()
 		if !dr.Generated {
 			e.tel.failures.Inc()
+			e.src.Observe(dr.PoolIndex, false, false)
 			e.selector.Record(dr.MutatorID, false)
 			return nil
 		}
@@ -521,9 +541,11 @@ func (e *engine) restore(snap *Snapshot) error {
 			e.res.Test = append(e.res.Test, gc)
 			if !cfg.NoSeedRecycling {
 				e.pool = append(e.pool, poolEntry{class: rebuilt[j].class, iter: j})
+				e.src.Grew(len(e.pool)-1, dr.PoolIndex)
 			}
 			e.tel.accepts.Inc()
 		}
+		e.src.Observe(dr.PoolIndex, true, ge.Accepted)
 		e.selector.Record(dr.MutatorID, ge.Accepted)
 		return nil
 	}
@@ -542,7 +564,7 @@ func (e *engine) restore(snap *Snapshot) error {
 		}
 		dr := snap.Draws[i]
 		rng := drawRNG(cfg.Rand, i)
-		idx := rng.Intn(len(e.pool))
+		idx := e.src.Pick(rng, len(e.pool))
 		if idx != dr.PoolIndex {
 			return fmt.Errorf("campaign: replayed draw %d picks pool index %d, snapshot recorded %d", i, idx, dr.PoolIndex)
 		}
@@ -565,6 +587,26 @@ func (e *engine) restore(snap *Snapshot) error {
 	}
 	if genCursor != len(snap.Gens) {
 		return fmt.Errorf("campaign: snapshot gen log has %d unconsumed entries", len(snap.Gens)-genCursor)
+	}
+
+	// The replayed source must land exactly on the snapshot's scheduler
+	// state. Compare compacted: checkpoint writers may re-indent the
+	// nested raw message, which must not fail a faithful replay.
+	if len(snap.SeedSched) > 0 {
+		st, err := e.src.MarshalState()
+		if err != nil {
+			return fmt.Errorf("campaign: serializing replayed seed-scheduler state: %w", err)
+		}
+		var got, want bytes.Buffer
+		if err := json.Compact(&got, st); err != nil {
+			return fmt.Errorf("campaign: replayed seed-scheduler state: %w", err)
+		}
+		if err := json.Compact(&want, snap.SeedSched); err != nil {
+			return fmt.Errorf("campaign: snapshot seed-scheduler state: %w", err)
+		}
+		if !bytes.Equal(got.Bytes(), want.Bytes()) {
+			return fmt.Errorf("campaign: replayed seed-scheduler state diverges from snapshot")
+		}
 	}
 
 	// Carry the prefilter counters forward so post-resume PrefilterStats

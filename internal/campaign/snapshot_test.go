@@ -280,7 +280,7 @@ func TestResumeRejectsMismatchedConfig(t *testing.T) {
 		{"iterations", func(c *Config, s *Snapshot) { c.Iterations++ }},
 		{"algorithm", func(c *Config, s *Snapshot) { c.Algorithm = Greedyfuzz }},
 		{"lookahead", func(c *Config, s *Snapshot) { c.Lookahead = 8 }},
-		{"seeds", func(c *Config, s *Snapshot) { c.Seeds = seedgen.Generate(seedgen.DefaultOptions(20, 6)) }},
+		{"seeds", func(c *Config, s *Snapshot) { c.Source = FlatSeeds(seedgen.Generate(seedgen.DefaultOptions(20, 6))) }},
 		{"version", func(c *Config, s *Snapshot) { s.Version = SnapshotVersion + 1 }},
 		{"draw log", func(c *Config, s *Snapshot) { s.Draws[10].MutatorID = (s.Draws[10].MutatorID + 1) % 30 }},
 		{"truncated", func(c *Config, s *Snapshot) { s.Draws = s.Draws[:len(s.Draws)-1] }},

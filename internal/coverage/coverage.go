@@ -250,6 +250,44 @@ func Merge(a, b *Trace) *Trace {
 	}
 }
 
+func overlapWords(a, b []uint64) int {
+	short := a
+	if len(b) < len(a) {
+		short = b
+	}
+	n := 0
+	for i := range short {
+		n += bits.OnesCount64(a[i] & b[i])
+	}
+	return n
+}
+
+func gainWords(a, union []uint64) int {
+	n := 0
+	for i, w := range a {
+		if i < len(union) {
+			w &^= union[i]
+		}
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// OverlapCount returns |t ∩ o| over both probe sets — the similarity
+// measure seed clustering ranks candidate clusters by. One AND +
+// popcount per machine word; no allocation.
+func (t *Trace) OverlapCount(o *Trace) int {
+	return overlapWords(t.stmts, o.stmts) + overlapWords(t.edges, o.edges)
+}
+
+// GainOver returns |t \ union| over both probe sets — the marginal
+// coverage t would add to the union trace. The greedy distillation
+// loop maximises this. One AND-NOT + popcount per machine word; no
+// allocation.
+func (t *Trace) GainOver(union *Trace) int {
+	return gainWords(t.stmts, union.stmts) + gainWords(t.edges, union.edges)
+}
+
 func equalWords(a, b []uint64) bool {
 	long, short := a, b
 	if len(b) > len(a) {

@@ -48,6 +48,10 @@ type Scale struct {
 	// Campaign results are identical at any value; this only trades CPU
 	// for wall clock.
 	Workers int
+	// SeedStrategy selects the seed-scheduling policy every campaign
+	// draws under ("" or "uniform" is the paper's flat draw; "clustered"
+	// and "yield" route through seedsel). Unknown values fail NewSession.
+	SeedStrategy string
 	// Telemetry, when non-nil, becomes the session's roll-up registry
 	// (Session.Telemetry) instead of a fresh one — attach it before
 	// NewSession so a live /metrics.json endpoint watches the campaigns
@@ -114,12 +118,22 @@ func NewSession(s Scale) (*Session, error) {
 		seedFiles = append(seedFiles, data)
 	}
 
+	strategy, err := parseScaleStrategy(s.SeedStrategy)
+	if err != nil {
+		return nil, err
+	}
 	mk := func(alg fuzz.Algorithm, crit coverage.Criterion, iters int) (*fuzz.Result, *telemetry.Registry, error) {
 		reg := telemetry.New()
+		// Sources are stateful under the scheduling strategies, so each
+		// campaign gets a fresh one.
+		src, _, err := seedSourceFor(strategy, seeds, reg)
+		if err != nil {
+			return nil, nil, err
+		}
 		res, err := fuzz.Run(fuzz.Config{
 			Algorithm:   alg,
 			Criterion:   crit,
-			Seeds:       seeds,
+			Source:      src,
 			Iterations:  iters,
 			Rand:        s.Seed + 100,
 			RefSpec:     jvm.HotSpot9(),
@@ -522,7 +536,7 @@ func RunMCMCGainStudy(scale Scale, repeats int) (*MCMCGainStudy, error) {
 		seeds := seedgen.Generate(seedgen.DefaultOptions(scale.SeedCount, scale.Seed+int64(r)))
 		run := func(alg fuzz.Algorithm) (int, error) {
 			res, err := fuzz.Run(fuzz.Config{
-				Algorithm: alg, Criterion: coverage.STBR, Seeds: seeds,
+				Algorithm: alg, Criterion: coverage.STBR, Source: fuzz.FlatSeeds(seeds),
 				Iterations: scale.Iterations, Rand: scale.Seed + int64(r)*31,
 				RefSpec: jvm.HotSpot9(),
 			})
@@ -574,7 +588,7 @@ func RunBlindBaseline(scale Scale) (*BlindBaseline, error) {
 	out := &BlindBaseline{Iterations: scale.Iterations}
 	for _, alg := range []fuzz.Algorithm{fuzz.Bytefuzz, fuzz.Randfuzz} {
 		res, err := fuzz.Run(fuzz.Config{
-			Algorithm: alg, Criterion: coverage.STBR, Seeds: seeds,
+			Algorithm: alg, Criterion: coverage.STBR, Source: fuzz.FlatSeeds(seeds),
 			Iterations: scale.Iterations, Rand: scale.Seed + 3, RefSpec: jvm.HotSpot9(),
 		})
 		if err != nil {

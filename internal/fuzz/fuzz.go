@@ -8,7 +8,10 @@
 // directly for the engine-only features (Workers, Observer, Replay).
 package fuzz
 
-import "repro/internal/campaign"
+import (
+	"repro/internal/campaign"
+	"repro/internal/jimple"
+)
 
 // Algorithm names the campaign strategy.
 type Algorithm = campaign.Algorithm
@@ -28,8 +31,17 @@ const (
 // KeepGenBytes) default to the sequential behaviour.
 type Config = campaign.Config
 
+// SeedSource supplies the seed corpus and per-draw selection policy.
+type SeedSource = campaign.SeedSource
+
+// FlatSeeds wraps a flat seed slice with the historical uniform draw.
+func FlatSeeds(seeds []*jimple.Class) SeedSource { return campaign.FlatSeeds(seeds) }
+
 // Result summarises a campaign.
 type Result = campaign.Result
+
+// DrawRecord is one iteration's draw-log entry.
+type DrawRecord = campaign.DrawRecord
 
 // GenClass is one generated mutant.
 type GenClass = campaign.GenClass

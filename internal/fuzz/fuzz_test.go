@@ -15,7 +15,7 @@ func runCampaign(t *testing.T, alg Algorithm, crit coverage.Criterion, iters int
 	cfg := Config{
 		Algorithm:  alg,
 		Criterion:  crit,
-		Seeds:      seedgen.Generate(seedgen.DefaultOptions(30, 5)),
+		Source:     FlatSeeds(seedgen.Generate(seedgen.DefaultOptions(30, 5))),
 		Iterations: iters,
 		Rand:       17,
 		RefSpec:    jvm.HotSpot9(),
@@ -139,7 +139,7 @@ func TestSeedRecyclingAblation(t *testing.T) {
 	cfg := Config{
 		Algorithm:       Classfuzz,
 		Criterion:       coverage.STBR,
-		Seeds:           seedgen.Generate(seedgen.DefaultOptions(30, 5)),
+		Source:          FlatSeeds(seedgen.Generate(seedgen.DefaultOptions(30, 5))),
 		Iterations:      300,
 		Rand:            17,
 		RefSpec:         jvm.HotSpot9(),
@@ -225,10 +225,10 @@ func TestConfigValidation(t *testing.T) {
 		t.Error("empty seeds must fail")
 	}
 	seeds := seedgen.Generate(seedgen.DefaultOptions(2, 1))
-	if _, err := Run(Config{Algorithm: Classfuzz, Seeds: seeds}); err == nil {
+	if _, err := Run(Config{Algorithm: Classfuzz, Source: FlatSeeds(seeds)}); err == nil {
 		t.Error("zero iterations must fail")
 	}
-	if _, err := Run(Config{Algorithm: "bogus", Seeds: seeds, Iterations: 1}); err == nil {
+	if _, err := Run(Config{Algorithm: "bogus", Source: FlatSeeds(seeds), Iterations: 1}); err == nil {
 		t.Error("unknown algorithm must fail")
 	}
 }

@@ -27,14 +27,14 @@ func TestStaticPrefilterPreservesSuite(t *testing.T) {
 	}
 
 	plain := base
-	plain.Seeds = seedgen.Generate(seedgen.DefaultOptions(15, 3))
+	plain.Source = FlatSeeds(seedgen.Generate(seedgen.DefaultOptions(15, 3)))
 	r1, err := Run(plain)
 	if err != nil {
 		t.Fatalf("plain run: %v", err)
 	}
 
 	filtered := base
-	filtered.Seeds = seedgen.Generate(seedgen.DefaultOptions(15, 3))
+	filtered.Source = FlatSeeds(seedgen.Generate(seedgen.DefaultOptions(15, 3)))
 	filtered.StaticPrefilter = true
 	r2, err := Run(filtered)
 	if err != nil {

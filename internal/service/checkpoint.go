@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/campaign"
+	"repro/internal/seedsel"
 )
 
 // On-disk layout under Config.DataDir:
@@ -45,6 +46,9 @@ type State struct {
 	SeedCount  int    `json:"seed_count"`
 	Iterations int    `json:"iterations"`
 	Shards     int    `json:"shards"`
+	// SeedStrategy is the seed-selection policy the data dir was built
+	// under (empty in pre-strategy states, meaning "uniform").
+	SeedStrategy string `json:"seed_strategy,omitempty"`
 	// Submitted lists corpus file names in arrival order; position is
 	// identity (checkpoints pin a prefix length, not names).
 	Submitted []string `json:"submitted"`
@@ -82,6 +86,9 @@ type Discrepancy struct {
 	Fingerprint uint64   `json:"fingerprint"`
 	Vector      string   `json:"vector"`
 	Outcomes    []string `json:"outcomes"`
+	// Cluster is the seed cluster the triggering class's lineage roots
+	// in (-1 when no scheduler is active, e.g. the uniform strategy).
+	Cluster int `json:"cluster"`
 }
 
 // writeJSONAtomic marshals v and renames it into place. The temp file
@@ -138,6 +145,7 @@ func (m *Manager) stateLocked() *State {
 		SeedCount:       m.cfg.SeedCount,
 		Iterations:      m.cfg.Iterations,
 		Shards:          m.cfg.Shards,
+		SeedStrategy:    string(m.strategy),
 		ShardEpochs:     append([]int(nil), m.shardEpochs...),
 		NextDiscrepancy: m.nextDisc,
 		Discrepancies:   append([]Discrepancy(nil), m.discs...),
@@ -179,6 +187,13 @@ func (m *Manager) validateState(st *State) error {
 	}
 	if len(st.ShardEpochs) != m.cfg.Shards {
 		return fmt.Errorf("service: state has %d shard frontiers for %d shards", len(st.ShardEpochs), m.cfg.Shards)
+	}
+	diskStrategy := st.SeedStrategy
+	if diskStrategy == "" {
+		diskStrategy = string(seedsel.Uniform) // pre-strategy states were uniform
+	}
+	if diskStrategy != string(m.strategy) {
+		return fail("seed_strategy", diskStrategy, m.strategy)
 	}
 	return nil
 }

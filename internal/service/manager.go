@@ -21,6 +21,7 @@ import (
 	"repro/internal/jvm"
 	"repro/internal/prng"
 	"repro/internal/seedgen"
+	"repro/internal/seedsel"
 	"repro/internal/telemetry"
 )
 
@@ -46,6 +47,10 @@ type Config struct {
 	// Algorithm (default classfuzz) and Criterion shape every epoch.
 	Algorithm campaign.Algorithm
 	Criterion coverage.Criterion
+	// SeedStrategy selects the seed-scheduling policy for every epoch:
+	// "uniform" (default — the flat draw), "clustered" or "yield".
+	// Unknown values fail Start.
+	SeedStrategy string
 	// SeedCount/Seed generate the base corpus; Seed also roots every
 	// shard epoch's derived campaign seed.
 	SeedCount int
@@ -78,6 +83,9 @@ func (c *Config) withDefaults() Config {
 	if d.Algorithm == "" {
 		d.Algorithm = campaign.Classfuzz
 	}
+	if d.SeedStrategy == "" {
+		d.SeedStrategy = string(seedsel.Uniform)
+	}
 	if d.SeedCount < 1 {
 		d.SeedCount = 60
 	}
@@ -106,9 +114,17 @@ type Manager struct {
 	session   *Session
 	tel       *telemetry.Registry
 	baseSeeds []*jimple.Class
+	strategy  seedsel.Strategy
 
 	mu        sync.Mutex
 	submitted []submittedSeed
+	// seedIndex is the intake classification index (nil under the
+	// uniform strategy): the corpus's cluster structure, pinned to the
+	// generated base seeds so cluster identities stay stable as
+	// submissions join. clusterAgg accumulates per-cluster scheduling
+	// outcomes across folded epochs, indexed like seedIndex's clusters.
+	seedIndex  *seedsel.Scheduler
+	clusterAgg []clusterTallies
 	discs     []Discrepancy
 	nextDisc  int
 	// shardEpochs[i] is shard i's fold frontier (next epoch to run).
@@ -196,11 +212,32 @@ func (m *Manager) Start() error {
 	}()
 	m.shardEpochs = make([]int, m.cfg.Shards)
 
+	strategy, err := seedsel.ParseStrategy(m.cfg.SeedStrategy)
+	if err != nil {
+		return err
+	}
+	m.strategy = strategy
+
 	resuming, err := m.loadState()
 	if err != nil {
 		return err
 	}
 	m.baseSeeds = seedgen.Generate(seedgen.DefaultOptions(m.cfg.SeedCount, m.cfg.Seed))
+	if m.strategy != seedsel.Uniform {
+		// The intake index: cluster structure over the generated base
+		// corpus, with every reloaded submission classified back into
+		// it in arrival order (identical to how it was classified when
+		// first accepted — classification is deterministic).
+		idx, err := seedsel.New(m.baseSeeds, seedsel.Options{Strategy: m.strategy, RefSpec: m.cfg.RefSpec})
+		if err != nil {
+			return err
+		}
+		for _, s := range m.submitted {
+			idx.AddSeed(s.class)
+		}
+		m.seedIndex = idx
+		m.clusterAgg = make([]clusterTallies, idx.Clusters())
+	}
 	if err := m.loadMemo(); err != nil {
 		return err
 	}
@@ -420,8 +457,24 @@ func (m *Manager) acceptSeed(data []byte) {
 	if err := writeJSONAtomic(m.statePath(), m.stateLocked()); err != nil {
 		m.logf("intake: state write: %v", err)
 	}
+	if m.seedIndex != nil {
+		sc := m.seedIndex.AddSeed(c)
+		m.logf("intake: %s classified into cluster %d (fp %016x)", name, sc.Cluster, sc.Fingerprint)
+	}
 	m.tel.Counter(MetricSeedsAccepted).Inc()
 	m.logf("intake: adopted %s (%d submitted seeds)", name, len(m.submitted))
+}
+
+// classifySeed reports where intake would place c (ok=false under the
+// uniform strategy, which has no index). Classification runs on the
+// index's private VM, so it serialises under m.mu alongside adoption.
+func (m *Manager) classifySeed(c *jimple.Class) (seedsel.SeedClass, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.seedIndex == nil {
+		return seedsel.SeedClass{}, false
+	}
+	return m.seedIndex.Classify(c), true
 }
 
 // intake is the single consumer of the submission queue.
@@ -480,12 +533,35 @@ func (m *Manager) epochSeed(shard, epoch int) int64 {
 	return prng.Mix(m.cfg.Seed, campaignStream, uint64(shard)<<32|uint64(uint32(epoch)))
 }
 
+// epochSource builds one epoch's SeedSource over the corpus prefix:
+// the flat-uniform adapter, or a fresh scheduler (stateful sources
+// serve exactly one engine run — a Resume replays the committed prefix
+// into it). The scheduler's cluster identities match the intake
+// index's: representatives are restricted to the generated base
+// corpus, so submitted seeds join existing clusters.
+func (m *Manager) epochSource(used int, reg *telemetry.Registry) (campaign.SeedSource, *seedsel.Scheduler, error) {
+	corpus := m.corpusFor(used)
+	if m.strategy == seedsel.Uniform {
+		return campaign.FlatSeeds(corpus), nil, nil
+	}
+	sched, err := seedsel.New(corpus, seedsel.Options{
+		Strategy:  m.strategy,
+		RefSpec:   m.cfg.RefSpec,
+		Base:      len(m.baseSeeds),
+		Telemetry: reg,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return sched, sched, nil
+}
+
 // campaignConfig shapes one epoch's engine run.
-func (m *Manager) campaignConfig(sh *shard, epoch, used int, ctrl *campaign.Control, reg *telemetry.Registry) campaign.Config {
+func (m *Manager) campaignConfig(sh *shard, epoch int, src campaign.SeedSource, ctrl *campaign.Control, reg *telemetry.Registry) campaign.Config {
 	return campaign.Config{
 		Algorithm:       m.cfg.Algorithm,
 		Criterion:       m.cfg.Criterion,
-		Seeds:           m.corpusFor(used),
+		Source:          src,
 		Iterations:      m.cfg.Iterations,
 		Rand:            m.epochSeed(sh.id, epoch),
 		RefSpec:         m.cfg.RefSpec,
@@ -510,16 +586,20 @@ func (m *Manager) runShard(sh *shard, cp *ShardCheckpoint) {
 		ctrl := campaign.NewControl()
 		reg := telemetry.New()
 		var eng *campaign.Engine
+		var sched *seedsel.Scheduler
 		var used int
 		resumed := false
 		if cp != nil {
 			used = cp.SubmittedUsed
-			var err error
-			eng, err = campaign.Resume(m.campaignConfig(sh, epoch, used, ctrl, reg), cp.Campaign)
+			src, sc, err := m.epochSource(used, reg)
+			if err == nil {
+				eng, err = campaign.Resume(m.campaignConfig(sh, epoch, src, ctrl, reg), cp.Campaign)
+			}
 			if err != nil {
 				m.logf("shard %d: checkpoint rejected (%v); restarting epoch %d fresh", sh.id, err, epoch)
 				eng = nil
 			} else {
+				sched = sc
 				m.tel.Counter(MetricCheckpointsRestored).Inc()
 				resumed = true
 				m.logf("shard %d: resumed epoch %d at iteration %d/%d", sh.id, epoch, cp.Campaign.Committed, m.cfg.Iterations)
@@ -528,13 +608,16 @@ func (m *Manager) runShard(sh *shard, cp *ShardCheckpoint) {
 		}
 		if eng == nil {
 			used = m.submittedCount()
-			var err error
-			eng, err = campaign.NewEngine(m.campaignConfig(sh, epoch, used, ctrl, reg))
+			src, sc, err := m.epochSource(used, reg)
+			if err == nil {
+				eng, err = campaign.NewEngine(m.campaignConfig(sh, epoch, src, ctrl, reg))
+			}
 			if err != nil {
 				m.logf("shard %d: engine: %v", sh.id, err)
 				sh.setState("failed")
 				return
 			}
+			sched = sc
 		}
 		if !sh.beginEpoch(epoch, used, ctrl, reg, resumed) {
 			sh.setState("stopped")
@@ -553,15 +636,17 @@ func (m *Manager) runShard(sh *shard, cp *ShardCheckpoint) {
 			sh.setState("stopped")
 			return
 		}
-		m.foldEpoch(sh, epoch, res, reg)
+		m.foldEpoch(sh, epoch, res, reg, sched)
 		sh.advance()
 	}
 }
 
 // foldEpoch absorbs one completed epoch: session fold, differential
 // testing of the accepted suite against the shared memo, discrepancy
-// log append, state-frontier advance and persist.
-func (m *Manager) foldEpoch(sh *shard, epoch int, res *campaign.Result, reg *telemetry.Registry) {
+// log append (each discrepancy credited to the seed cluster its
+// lineage's root seed belongs to), per-cluster scheduling tallies,
+// state-frontier advance and persist.
+func (m *Manager) foldEpoch(sh *shard, epoch int, res *campaign.Result, reg *telemetry.Registry, sched *seedsel.Scheduler) {
 	m.session.Fold(shardKey(sh.id, epoch), res, reg)
 	m.tel.Counter(MetricShardMerges).Inc()
 	m.tel.Counter(MetricEpochsCompleted).Inc()
@@ -581,6 +666,7 @@ func (m *Manager) foldEpoch(sh *shard, epoch int, res *campaign.Result, reg *tel
 			Class:       g.Name,
 			Fingerprint: analysis.ContentFingerprint(g.Data),
 			Vector:      v.Key(),
+			Cluster:     -1,
 		}
 		for i, o := range v.Outcomes {
 			d.Outcomes = append(d.Outcomes, fmt.Sprintf("%s: %s", names[i], o))
@@ -589,6 +675,28 @@ func (m *Manager) foldEpoch(sh *shard, epoch int, res *campaign.Result, reg *tel
 	}
 
 	m.mu.Lock()
+	if sched != nil {
+		for i, cs := range sched.ClusterStats() {
+			if i >= len(m.clusterAgg) {
+				break // epoch built under a different corpus shape; skip extras
+			}
+			agg := &m.clusterAgg[i]
+			agg.draws += cs.Draws
+			agg.yield += cs.Yield
+			agg.demotions += cs.Demotions
+			agg.demoted = cs.Demoted
+		}
+		for i := range found {
+			if root := campaign.RootSeed(res.Draws, found[i].Iteration); root >= 0 {
+				if ci := sched.ClusterOf(root); ci >= 0 {
+					found[i].Cluster = ci
+					if ci < len(m.clusterAgg) {
+						m.clusterAgg[ci].discrepancies++
+					}
+				}
+			}
+		}
+	}
 	for i := range found {
 		found[i].ID = m.nextDisc
 		m.nextDisc++
@@ -681,6 +789,7 @@ func (m *Manager) checkpointTimer() {
 type Status struct {
 	Algorithm     string         `json:"algorithm"`
 	Criterion     string         `json:"criterion"`
+	SeedStrategy  string         `json:"seed_strategy"`
 	Shards        []ShardStatus  `json:"shards"`
 	BaseSeeds     int            `json:"base_seeds"`
 	Submitted     int            `json:"submitted"`
@@ -690,19 +799,42 @@ type Status struct {
 	Merges        int            `json:"merges"`
 	Coverage      coverage.Stats `json:"coverage"`
 	Stopping      bool           `json:"stopping"`
+	// SeedClusters is the per-cluster seed table (clustered/yield
+	// strategies only): corpus membership from the intake index,
+	// scheduling outcomes accumulated across folded epochs.
+	SeedClusters []ClusterStatus `json:"seed_clusters,omitempty"`
+}
+
+// ClusterStatus is one seed cluster's row in the status API.
+type ClusterStatus struct {
+	Cluster       int   `json:"cluster"`
+	Seeds         int   `json:"seeds"`
+	Draws         int64 `json:"draws"`
+	Yield         int64 `json:"yield"`
+	Demotions     int64 `json:"demotions"`
+	Discrepancies int64 `json:"discrepancies"`
+	Demoted       bool  `json:"demoted"`
+}
+
+// clusterTallies accumulates one cluster's scheduling outcomes across
+// folded epochs (m.mu-guarded, parallel to the intake index clusters).
+type clusterTallies struct {
+	draws, yield, demotions, discrepancies int64
+	demoted                                bool
 }
 
 // Status snapshots the daemon for the API and dashboard.
 func (m *Manager) Status() Status {
 	st := Status{
-		Algorithm:  string(m.cfg.Algorithm),
-		Criterion:  m.cfg.Criterion.String(),
-		BaseSeeds:  len(m.baseSeeds),
-		QueueDepth: len(m.queue),
-		QueueCap:   m.cfg.QueueCap,
-		Merges:     m.session.Merges(),
-		Coverage:   m.session.Coverage(),
-		Stopping:   m.stopping.Load(),
+		Algorithm:    string(m.cfg.Algorithm),
+		Criterion:    m.cfg.Criterion.String(),
+		SeedStrategy: string(m.strategy),
+		BaseSeeds:    len(m.baseSeeds),
+		QueueDepth:   len(m.queue),
+		QueueCap:     m.cfg.QueueCap,
+		Merges:       m.session.Merges(),
+		Coverage:     m.session.Coverage(),
+		Stopping:     m.stopping.Load(),
 	}
 	for _, sh := range m.shards {
 		st.Shards = append(st.Shards, sh.status())
@@ -710,6 +842,18 @@ func (m *Manager) Status() Status {
 	m.mu.Lock()
 	st.Submitted = len(m.submitted)
 	st.Discrepancies = len(m.discs)
+	if m.seedIndex != nil {
+		for i, cs := range m.seedIndex.ClusterStats() {
+			row := ClusterStatus{Cluster: i, Seeds: cs.Seeds}
+			if i < len(m.clusterAgg) {
+				agg := m.clusterAgg[i]
+				row.Draws, row.Yield = agg.draws, agg.yield
+				row.Demotions, row.Discrepancies = agg.demotions, agg.discrepancies
+				row.Demoted = agg.demoted
+			}
+			st.SeedClusters = append(st.SeedClusters, row)
+		}
+	}
 	m.mu.Unlock()
 	return st
 }

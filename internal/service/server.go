@@ -62,7 +62,8 @@ func (m *Manager) handleSeeds(w http.ResponseWriter, r *http.Request) {
 	}
 	// Validate before queueing: malformed submissions cost the
 	// submitter a 400, not the intake worker a cycle.
-	if _, err := liftSeed(data); err != nil {
+	c, err := liftSeed(data)
+	if err != nil {
 		m.tel.Counter(MetricSeedsRejected).Inc()
 		respondJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("not a liftable classfile: %v", err)})
 		return
@@ -77,7 +78,16 @@ func (m *Manager) handleSeeds(w http.ResponseWriter, r *http.Request) {
 			m.tel.Gauge(MetricQueueHighWater).Set(depth)
 		}
 		m.mu.Unlock()
-		respondJSON(w, http.StatusAccepted, map[string]any{"status": "queued", "depth": depth})
+		resp := map[string]any{"status": "queued", "depth": depth}
+		// Under a scheduling strategy, tell the submitter where its
+		// seed lands: structural fingerprint, baseline trace key, and
+		// the cluster intake will assign it to.
+		if sc, ok := m.classifySeed(c); ok {
+			resp["fingerprint"] = fmt.Sprintf("%016x", sc.Fingerprint)
+			resp["trace_key"] = fmt.Sprintf("%016x%016x", sc.TraceKeyHi, sc.TraceKeyLo)
+			resp["cluster"] = sc.Cluster
+		}
+		respondJSON(w, http.StatusAccepted, resp)
 	default:
 		m.tel.Counter(MetricSeedsThrottled).Inc()
 		w.Header().Set("Retry-After", "1")

@@ -267,16 +267,26 @@ func TestSeedSubmissionAPI(t *testing.T) {
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 
-	// The API-triggered checkpoint writes shard snapshots (epochs are
-	// long, so both shards are mid-epoch).
-	cresp, err := http.Post(base+"/api/checkpoint", "", nil)
-	if err != nil || cresp.StatusCode != http.StatusOK {
-		t.Fatalf("checkpoint: %v (%v)", err, cresp)
-	}
-	io.Copy(io.Discard, cresp.Body)
-	cresp.Body.Close()
-	if n := m.Session().Telemetry.Snapshot().Counter(MetricCheckpointsWritten); n == 0 {
-		t.Fatal("API checkpoint wrote nothing")
+	// The API-triggered checkpoint writes shard snapshots once it lands
+	// mid-epoch. Epochs cycle quickly at this scale, so a request can
+	// catch every shard between epochs (nothing running to snapshot) —
+	// retry until one lands.
+	ckptDeadline := time.After(10 * time.Second)
+	for {
+		cresp, err := http.Post(base+"/api/checkpoint", "", nil)
+		if err != nil || cresp.StatusCode != http.StatusOK {
+			t.Fatalf("checkpoint: %v (%v)", err, cresp)
+		}
+		io.Copy(io.Discard, cresp.Body)
+		cresp.Body.Close()
+		if m.Session().Telemetry.Snapshot().Counter(MetricCheckpointsWritten) > 0 {
+			break
+		}
+		select {
+		case <-ckptDeadline:
+			t.Fatal("API checkpoint never wrote a shard snapshot")
+		case <-time.After(20 * time.Millisecond):
+		}
 	}
 
 	// Graceful drain: intake 503s, the listener closes, restart lifts
@@ -286,6 +296,15 @@ func TestSeedSubmissionAPI(t *testing.T) {
 	}
 	if _, err := http.Get(base + "/healthz"); err == nil {
 		t.Fatal("listener still answering after Stop")
+	}
+	// Drain checkpoints every mid-epoch shard; a shard caught between
+	// epochs leaves nothing to restore, so pin restore against what the
+	// drain actually left on disk.
+	surviving := 0
+	for i := 0; i < cfg.Shards; i++ {
+		if _, err := os.Stat(m.checkpointPath(i)); err == nil {
+			surviving++
+		}
 	}
 
 	m2 := New(cfg)
@@ -298,13 +317,100 @@ func TestSeedSubmissionAPI(t *testing.T) {
 	}
 	// Resume happens asynchronously in the shard loops; wait for the
 	// restored counter rather than racing it.
-	restoreDeadline := time.After(10 * time.Second)
-	for m2.Session().Telemetry.Snapshot().Counter(MetricCheckpointsRestored) == 0 {
-		select {
-		case <-restoreDeadline:
-			t.Fatal("restart restored no checkpoints despite mid-epoch drain")
-		case <-time.After(10 * time.Millisecond):
+	if surviving > 0 {
+		restoreDeadline := time.After(10 * time.Second)
+		for m2.Session().Telemetry.Snapshot().Counter(MetricCheckpointsRestored) == 0 {
+			select {
+			case <-restoreDeadline:
+				t.Fatal("restart restored no checkpoints despite drain-time snapshots")
+			case <-time.After(10 * time.Millisecond):
+			}
 		}
+	}
+}
+
+// TestSeedStrategyService drives a clustered daemon end to end: the
+// intake API classifies a submitted seed (fingerprint, trace key,
+// cluster), /api/status carries the strategy and the per-cluster seed
+// table, and the data directory refuses a restart under a different
+// strategy.
+func TestSeedStrategyService(t *testing.T) {
+	cfg := testConfig(t, 1)
+	cfg.Addr = "127.0.0.1:0"
+	cfg.SeedStrategy = "clustered"
+	cfg.Epochs = 0 // stay alive until stopped
+	cfg.Iterations = 2000
+	m := New(cfg)
+	if err := m.Start(); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	defer m.Stop(context.Background())
+	base := "http://" + m.Addr()
+
+	seedBytes, err := seedgen.GenerateFiles(seedgen.DefaultOptions(1, 99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/api/seeds", "application/octet-stream", bytes.NewReader(seedBytes[0]))
+	if err != nil {
+		t.Fatalf("post: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submission: got %d (%s), want 202", resp.StatusCode, body)
+	}
+	var sub struct {
+		Status      string `json:"status"`
+		Fingerprint string `json:"fingerprint"`
+		TraceKey    string `json:"trace_key"`
+		Cluster     *int   `json:"cluster"`
+	}
+	if err := json.Unmarshal(body, &sub); err != nil {
+		t.Fatalf("submission body %q: %v", body, err)
+	}
+	if sub.Fingerprint == "" || sub.TraceKey == "" || sub.Cluster == nil {
+		t.Fatalf("submission response lacks classification: %s", body)
+	}
+	if *sub.Cluster < 0 {
+		t.Fatalf("submitted seed assigned cluster %d", *sub.Cluster)
+	}
+
+	sresp, err := http.Get(base + "/api/status")
+	if err != nil || sresp.StatusCode != http.StatusOK {
+		t.Fatalf("status: %v (%v)", err, sresp)
+	}
+	var st Status
+	if err := json.NewDecoder(sresp.Body).Decode(&st); err != nil {
+		t.Fatalf("status decode: %v", err)
+	}
+	sresp.Body.Close()
+	if st.SeedStrategy != "clustered" {
+		t.Fatalf("status strategy %q, want clustered", st.SeedStrategy)
+	}
+	if len(st.SeedClusters) == 0 {
+		t.Fatal("status carries no seed-cluster table under the clustered strategy")
+	}
+	seedsTotal := 0
+	for _, row := range st.SeedClusters {
+		seedsTotal += row.Seeds
+	}
+	if seedsTotal < cfg.SeedCount {
+		t.Fatalf("cluster table covers %d seeds, corpus has at least %d", seedsTotal, cfg.SeedCount)
+	}
+	if *sub.Cluster >= len(st.SeedClusters) {
+		t.Fatalf("submission cluster %d outside table of %d", *sub.Cluster, len(st.SeedClusters))
+	}
+
+	if err := m.Stop(context.Background()); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	flipped := cfg
+	flipped.SeedStrategy = "yield"
+	m2 := New(flipped)
+	if err := m2.Start(); err == nil {
+		m2.Stop(context.Background())
+		t.Fatal("restart under a different seed strategy was accepted")
 	}
 }
 
